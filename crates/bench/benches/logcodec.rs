@@ -1,0 +1,33 @@
+//! Criterion benches for the log codec: encode/decode throughput, which
+//! bounds the offline detector's I/O stage.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use literace::log::{decode_all, encode_all, Record, SamplerMask};
+use literace::sim::{Addr, FuncId, Pc, ThreadId};
+
+fn records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::Mem {
+            tid: ThreadId::from_index(i % 8),
+            pc: Pc::new(FuncId::from_index(i % 100), i % 50),
+            addr: Addr::global((i % 1000) as u64),
+            is_write: i % 3 == 0,
+            mask: SamplerMask((i % 128) as u32),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let rs = records(100_000);
+    let mut group = c.benchmark_group("log-codec");
+    group.throughput(Throughput::Elements(rs.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| encode_all(&rs)));
+    let bytes = encode_all(&rs);
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_all(bytes.clone()).expect("decodes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for the end-to-end pipeline: simulate + instrument +
+//! detect on a small workload, per sampler (the real-time analog of the
+//! Table 5 modeled slowdowns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use literace::pipeline::{run_literace, RunConfig};
+use literace::samplers::SamplerKind;
+use literace::workloads::{build, Scale, WorkloadId};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let w = build(WorkloadId::Dryad, Scale::Smoke);
+    for sampler in [
+        SamplerKind::Never,
+        SamplerKind::TlAdaptive,
+        SamplerKind::Always,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sampler.short_name()),
+            &sampler,
+            |b, sampler| {
+                b.iter(|| {
+                    run_literace(&w.program, *sampler, &RunConfig::seeded(1))
+                        .expect("pipeline runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

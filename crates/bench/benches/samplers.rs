@@ -1,0 +1,33 @@
+//! Criterion benches for the dispatch check: cost per decision for every
+//! sampler of Table 3 (the paper keeps this to 8 instructions; ours should
+//! be tens of nanoseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use literace::samplers::{Sampler, SamplerKind};
+use literace::sim::{FuncId, ThreadId};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch-check");
+    group.throughput(Throughput::Elements(1));
+    for kind in SamplerKind::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.short_name()),
+            &kind,
+            |b, kind| {
+                let mut s = kind.build(7);
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    s.dispatch(
+                        ThreadId::from_index(i % 8),
+                        FuncId::from_index(i % 512),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

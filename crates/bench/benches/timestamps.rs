@@ -1,0 +1,33 @@
+//! Criterion bench for the §4.2 logical-timestamp bank: stamping throughput
+//! as a function of counter-bank size (1 = the naive global counter the
+//! paper rejects, 128 = the paper's design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use literace::instrument::TimestampBank;
+use literace::sim::{SyncVar, ThreadId};
+
+fn bench_stamping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestamp-bank");
+    group.throughput(Throughput::Elements(1));
+    for counters in [1usize, 8, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(counters),
+            &counters,
+            |b, &counters| {
+                let mut bank = TimestampBank::with_counters(counters);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    bank.stamp(
+                        ThreadId::from_index((i % 8) as usize),
+                        SyncVar(0x2000_0000 + (i % 64) * 64),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamping);
+criterion_main!(benches);

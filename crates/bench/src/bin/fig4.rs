@@ -1,0 +1,15 @@
+//! Regenerates **Figure 4**: proportion of static races found per sampler
+//! per benchmark, with the average and weighted ESR rows.
+
+use literace::experiments::run_sampler_study_on;
+use literace_bench::{detection_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = detection_workloads(&opts);
+    let study = run_sampler_study_on(opts.scale, &opts.seeds, &workloads)
+        .expect("sampler study runs");
+    println!("{}", study.fig4());
+    println!("{}", study.fig4_chart());
+    println!("{}", study.fig4_stability());
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Figure 5**: rare vs frequent detection rates per sampler.
+
+use literace::experiments::run_sampler_study_on;
+use literace_bench::{detection_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = detection_workloads(&opts);
+    let study = run_sampler_study_on(opts.scale, &opts.seeds, &workloads)
+        .expect("sampler study runs");
+    let (rare, frequent) = study.fig5();
+    println!("{rare}");
+    println!("{frequent}");
+    let (rare_chart, frequent_chart) = study.fig5_charts();
+    println!("{rare_chart}");
+    println!("{frequent_chart}");
+}

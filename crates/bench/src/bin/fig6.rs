@@ -1,0 +1,14 @@
+//! Regenerates **Figure 6**: the stacked overhead decomposition
+//! (baseline → +dispatch → +sync logging → full LiteRace).
+
+use literace::experiments::run_overhead_study_on;
+use literace_bench::{overhead_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = overhead_workloads(&opts);
+    let study = run_overhead_study_on(opts.scale, opts.seeds.first().copied().unwrap_or(1), &workloads)
+        .expect("overhead study runs");
+    println!("{}", study.fig6());
+    println!("{}", study.fig6_chart());
+}

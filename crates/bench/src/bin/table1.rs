@@ -1,0 +1,6 @@
+//! Regenerates **Table 1**: the SyncVar mapping for every synchronization
+//! class (a design table; included for completeness of the artifact set).
+
+fn main() {
+    println!("{}", literace::experiments::table1());
+}

@@ -1,0 +1,9 @@
+//! Regenerates **Table 2**: the benchmark inventory, with measured function
+//! counts from the generated workloads beside the paper's.
+
+use literace_bench::parse_args;
+
+fn main() {
+    let opts = parse_args();
+    println!("{}", literace::experiments::table2(opts.scale));
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table 3**: samplers and their effective sampling rates.
+
+use literace::experiments::run_sampler_study_on;
+use literace_bench::{detection_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = detection_workloads(&opts);
+    let study = run_sampler_study_on(opts.scale, &opts.seeds, &workloads)
+        .expect("sampler study runs");
+    println!("{}", study.table3());
+}

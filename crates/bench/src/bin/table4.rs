@@ -1,0 +1,13 @@
+//! Regenerates **Table 4**: static races found under full logging, with the
+//! rare/frequent split (median over seeds).
+
+use literace::experiments::run_sampler_study_on;
+use literace_bench::{detection_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = detection_workloads(&opts);
+    let study = run_sampler_study_on(opts.scale, &opts.seeds, &workloads)
+        .expect("sampler study runs");
+    println!("{}", study.table4());
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Table 5**: LiteRace vs full-logging slowdowns and log
+//! rates over all ten workloads.
+
+use literace::experiments::run_overhead_study_on;
+use literace_bench::{overhead_workloads, parse_args};
+
+fn main() {
+    let opts = parse_args();
+    let workloads = overhead_workloads(&opts);
+    let study = run_overhead_study_on(opts.scale, opts.seeds.first().copied().unwrap_or(1), &workloads)
+        .expect("overhead study runs");
+    println!("{}", study.table5());
+}

@@ -1,0 +1,134 @@
+//! Shared harness code for the table/figure-regenerating binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale smoke|paper` (default `paper`) — workload size;
+//! * `--seeds N` (default 3) — scheduler seeds per benchmark, as in the
+//!   paper's three runs;
+//! * `--workloads a,b,c` — restrict to a subset (names as in the paper,
+//!   e.g. `Apache-1`, or the short forms `dryad`, `ff-render`, …).
+
+use literace::prelude::*;
+use literace::workloads::WorkloadId;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Scheduler seeds.
+    pub seeds: Vec<u64>,
+    /// Workloads to run (defaults to the experiment's own set).
+    pub workloads: Option<Vec<WorkloadId>>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scale: Scale::Paper,
+            seeds: vec![1, 2, 3],
+            workloads: None,
+        }
+    }
+}
+
+/// Parses options from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+pub fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("--scale expects smoke|paper, got {other:?}"),
+                };
+            }
+            "--seeds" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds expects a number");
+                opts.seeds = (1..=n).collect();
+            }
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).expect("--workloads expects a list");
+                opts.workloads = Some(
+                    list.split(',')
+                        .map(|s| parse_workload(s).unwrap_or_else(|| panic!("unknown workload {s}")))
+                        .collect(),
+                );
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Parses a workload name (paper name or short form, case-insensitive).
+pub fn parse_workload(s: &str) -> Option<WorkloadId> {
+    let key = s.to_ascii_lowercase();
+    let by_short = match key.as_str() {
+        "dryad-stdlib" | "dryadstdlib" => Some(WorkloadId::DryadStdlib),
+        "dryad" => Some(WorkloadId::Dryad),
+        "concrt-messaging" | "messaging" => Some(WorkloadId::ConcrtMessaging),
+        "concrt-scheduling" | "scheduling" => Some(WorkloadId::ConcrtScheduling),
+        "apache-1" | "apache1" => Some(WorkloadId::Apache1),
+        "apache-2" | "apache2" => Some(WorkloadId::Apache2),
+        "ff-start" | "firefox-start" => Some(WorkloadId::FirefoxStart),
+        "ff-render" | "firefox-render" => Some(WorkloadId::FirefoxRender),
+        "lkrhash" => Some(WorkloadId::LkrHash),
+        "lflist" => Some(WorkloadId::LfList),
+        _ => None,
+    };
+    by_short.or_else(|| {
+        WorkloadId::all()
+            .into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(s))
+    })
+}
+
+/// The detection-experiment workload set, honoring `--workloads`.
+pub fn detection_workloads(opts: &Options) -> Vec<WorkloadId> {
+    opts.workloads
+        .clone()
+        .unwrap_or_else(|| WorkloadId::detection_set().to_vec())
+}
+
+/// The overhead-experiment workload set (all ten), honoring `--workloads`.
+pub fn overhead_workloads(opts: &Options) -> Vec<WorkloadId> {
+    opts.workloads
+        .clone()
+        .unwrap_or_else(|| WorkloadId::all().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_parse_both_forms() {
+        assert_eq!(parse_workload("apache-1"), Some(WorkloadId::Apache1));
+        assert_eq!(parse_workload("Apache-1"), Some(WorkloadId::Apache1));
+        assert_eq!(parse_workload("Dryad Channel"), Some(WorkloadId::Dryad));
+        assert_eq!(parse_workload("ff-render"), Some(WorkloadId::FirefoxRender));
+        assert_eq!(parse_workload("nope"), None);
+    }
+
+    #[test]
+    fn default_sets() {
+        let opts = Options::default();
+        assert_eq!(detection_workloads(&opts).len(), 8);
+        assert_eq!(overhead_workloads(&opts).len(), 10);
+    }
+}

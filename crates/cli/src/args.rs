@@ -1,0 +1,80 @@
+//! Minimal flag parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs; returns an error message on stray or
+    /// dangling arguments.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{key}`"));
+            };
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            values.insert(name.to_owned(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    /// The raw value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required flag's value.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&sv(&["--seed", "7", "--scale", "paper"])).unwrap();
+        assert_eq!(f.get("seed"), Some("7"));
+        assert_eq!(f.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(f.get_parsed::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_danglers_and_positional() {
+        assert!(Flags::parse(&sv(&["--seed"])).is_err());
+        assert!(Flags::parse(&sv(&["seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let f = Flags::parse(&[]).unwrap();
+        assert!(f.require("log").unwrap_err().contains("--log"));
+    }
+}

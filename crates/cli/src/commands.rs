@@ -1,0 +1,496 @@
+//! Command implementations.
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use literace::detector::{detect_fasttrack, detect_lockset};
+use literace::eval::{evaluate_program, EvalConfig};
+use literace::log::{LogReader, LogStats, LogWriter};
+use literace::overhead::measure_overhead;
+use literace::prelude::*;
+use literace::tables::{mb_s, pct, slowdown, Table};
+use literace::workloads::WorkloadId;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+literace — sampling-based data-race detection (LiteRace, PLDI 2009)
+
+USAGE:
+  literace workloads
+      List the benchmark workloads.
+
+  literace run --workload <name> [--sampler tl-ad] [--seed 1]
+               [--scale smoke|paper] [--log <file>] [--suppress pat1,pat2]
+      Instrument, execute, and detect. Optionally write the event log and
+      suppress races in functions matching the given name patterns.
+
+  literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
+      Compare all Table 3 samplers on identical interleavings (§5.3).
+
+  literace overhead --workload <name> [--seed 1] [--scale smoke|paper]
+      Print the workload's Table 5 row and Figure 6 decomposition.
+
+  literace detect --log <file> [--detector hb|fasttrack|lockset]
+                  [--non-stack <count>]
+      Run offline detection over a previously written event log.
+
+  literace log-stats --log <file>
+      Print log composition and encoded size.
+
+  literace inspect --workload <name> [--function <substring>]
+      Show a workload's structure; with --function, disassemble matching
+      functions (offsets match race-report program counters).
+
+  literace trace --workload <name> [--limit 40] [--seed 1]
+      Print the first events of an execution, human-readably.
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadId, String> {
+    let key = name.to_ascii_lowercase();
+    let found = match key.as_str() {
+        "dryad-stdlib" => Some(WorkloadId::DryadStdlib),
+        "dryad" => Some(WorkloadId::Dryad),
+        "messaging" | "concrt-messaging" => Some(WorkloadId::ConcrtMessaging),
+        "scheduling" | "concrt-scheduling" => Some(WorkloadId::ConcrtScheduling),
+        "apache-1" => Some(WorkloadId::Apache1),
+        "apache-2" => Some(WorkloadId::Apache2),
+        "ff-start" | "firefox-start" => Some(WorkloadId::FirefoxStart),
+        "ff-render" | "firefox-render" => Some(WorkloadId::FirefoxRender),
+        "lkrhash" => Some(WorkloadId::LkrHash),
+        "lflist" => Some(WorkloadId::LfList),
+        _ => None,
+    };
+    found.ok_or_else(|| {
+        format!("unknown workload `{name}` (try `literace workloads`)")
+    })
+}
+
+fn parse_scale(flags: &crate::args::Flags) -> Result<Scale, String> {
+    match flags.get("scale") {
+        None | Some("smoke") => Ok(Scale::Smoke),
+        Some("paper") => Ok(Scale::Paper),
+        Some(other) => Err(format!("--scale expects smoke|paper, got `{other}`")),
+    }
+}
+
+/// `literace workloads`
+pub fn workloads() -> ExitCode {
+    let mut t = Table::new(
+        "benchmark workloads (Table 2)",
+        &["name", "paper name", "description", "planted races"],
+    );
+    let short = [
+        "dryad-stdlib",
+        "dryad",
+        "messaging",
+        "scheduling",
+        "apache-1",
+        "apache-2",
+        "ff-start",
+        "ff-render",
+        "lkrhash",
+        "lflist",
+    ];
+    for (id, short) in WorkloadId::all().into_iter().zip(short) {
+        let w = build(id, Scale::Smoke);
+        t.row(vec![
+            short.to_owned(),
+            id.name().to_owned(),
+            w.spec.description.to_owned(),
+            format!("{} ({} rare)", w.planted.total(), w.planted.rare()),
+        ]);
+    }
+    println!("{t}");
+    ExitCode::SUCCESS
+}
+
+/// `literace run …`
+pub fn run(args: &[String]) -> ExitCode {
+    match run_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn run_inner(args: &[String]) -> Result<(), String> {
+    let flags = crate::args::Flags::parse(args)?;
+    let id = parse_workload(flags.require("workload")?)?;
+    let scale = parse_scale(&flags)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let sampler = match flags.get("sampler") {
+        None => SamplerKind::TlAdaptive,
+        Some(name) => SamplerKind::from_short_name(name)
+            .ok_or_else(|| format!("unknown sampler `{name}` (TL-Ad, TL-Fx, G-Ad, G-Fx, Rnd10, Rnd25, UCP, Full, None)"))?,
+    };
+
+    let w = build(id, scale);
+    let outcome = run_literace(&w.program, sampler, &RunConfig::seeded(seed))
+        .map_err(|e| e.to_string())?;
+
+    // Optional benign-race suppressions: --suppress pat1,pat2 filters out
+    // static races whose functions match any pattern.
+    let (report, suppressed) = match flags.get("suppress") {
+        None => (outcome.report.clone(), 0),
+        Some(list) => {
+            let rules =
+                literace::detector::Suppressions::from_patterns(list.split(','));
+            rules.apply(&outcome.report, &w.program)
+        }
+    };
+
+    println!("workload           : {} ({:?} scale, seed {seed})", id, scale);
+    println!("sampler            : {}", sampler.short_name());
+    println!(
+        "memory accesses    : {} executed, {} logged (ESR {})",
+        outcome.instrumented.stats.total_mem,
+        outcome.instrumented.stats.logged_mem,
+        pct(outcome.esr()),
+    );
+    println!(
+        "sync records       : {}",
+        outcome.instrumented.stats.sync_records
+    );
+    println!("modeled slowdown   : {}", slowdown(outcome.slowdown()));
+    if suppressed > 0 {
+        println!("suppressed races   : {suppressed}");
+    }
+    println!();
+    print!("{}", literace::render::render_report(&report, &w.program));
+
+    if let Some(path) = flags.get("log") {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut writer = LogWriter::new(file);
+        for record in &outcome.instrumented.log {
+            writer
+                .write_record(record)
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        let n = writer.records_written();
+        writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
+        println!("wrote {n} records to {path}");
+        println!(
+            "(redetect with: literace detect --log {path} --non-stack {})",
+            outcome.summary.non_stack_accesses
+        );
+    }
+    Ok(())
+}
+
+/// `literace eval …`
+pub fn eval(args: &[String]) -> ExitCode {
+    match eval_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn eval_inner(args: &[String]) -> Result<(), String> {
+    let flags = crate::args::Flags::parse(args)?;
+    let id = parse_workload(flags.require("workload")?)?;
+    let scale = parse_scale(&flags)?;
+    let seeds: u64 = flags.get_parsed("seeds", 3)?;
+    let w = build(id, scale);
+    let cfg = EvalConfig {
+        seeds: (1..=seeds).collect(),
+        ..EvalConfig::default()
+    };
+    let eval = evaluate_program(&w.program, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} — ground truth: {} static races ({} rare, {} frequent), median of {} runs",
+        id,
+        eval.truth.static_races_median,
+        eval.truth.rare_median,
+        eval.truth.frequent_median,
+        seeds
+    );
+    let mut t = Table::new(
+        "sampler comparison (identical interleavings, §5.3)",
+        &["sampler", "detected", "rare", "frequent", "ESR"],
+    );
+    for s in &eval.samplers {
+        t.row(vec![
+            s.name.clone(),
+            pct(s.detection_rate),
+            pct(s.rare_detection_rate),
+            pct(s.frequent_detection_rate),
+            pct(s.esr),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+/// `literace overhead …`
+pub fn overhead(args: &[String]) -> ExitCode {
+    match overhead_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn overhead_inner(args: &[String]) -> Result<(), String> {
+    let flags = crate::args::Flags::parse(args)?;
+    let id = parse_workload(flags.require("workload")?)?;
+    let scale = parse_scale(&flags)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let w = build(id, scale);
+    let r = measure_overhead(&w.program, &RunConfig::seeded(seed)).map_err(|e| e.to_string())?;
+    println!("{id} — modeled overhead (Figure 6 decomposition):");
+    println!("  baseline              : 1.00x  ({} abstract instructions)", r.baseline_cost);
+    println!(
+        "  + dispatch checks     : {}",
+        slowdown(r.dispatch_only.slowdown(r.baseline_cost))
+    );
+    println!(
+        "  + sync logging        : {}",
+        slowdown(r.dispatch_sync.slowdown(r.baseline_cost))
+    );
+    println!(
+        "  + sampled mem logging : {}  (LiteRace, ESR {})",
+        slowdown(r.literace_slowdown()),
+        pct(r.literace_esr)
+    );
+    println!(
+        "  full logging          : {}",
+        slowdown(r.full_logging_slowdown())
+    );
+    println!(
+        "  log volume            : LiteRace {} MB/s vs full {} MB/s",
+        mb_s(r.literace.log_mb_per_s()),
+        mb_s(r.full_logging.log_mb_per_s())
+    );
+    Ok(())
+}
+
+/// `literace detect …`
+pub fn detect(args: &[String]) -> ExitCode {
+    match detect_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn detect_inner(args: &[String]) -> Result<(), String> {
+    let flags = crate::args::Flags::parse(args)?;
+    let path = flags.require("log")?;
+    let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let log = LogReader::new(file)
+        .read_all()
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let report = match flags.get("detector") {
+        None | Some("hb") => literace::detector::detect(&log, non_stack),
+        Some("fasttrack") => detect_fasttrack(&log, non_stack),
+        Some("lockset") => detect_lockset(&log, non_stack),
+        Some(other) => return Err(format!("unknown detector `{other}`")),
+    };
+    println!(
+        "{}: {} records, {} static races ({} dynamic)",
+        path,
+        log.len(),
+        report.static_count(),
+        report.dynamic_races
+    );
+    for r in &report.static_races {
+        println!("  {r}");
+    }
+    if non_stack == 0 {
+        println!("(pass --non-stack to enable the rare/frequent split)");
+    } else {
+        let (rare, freq) = report.split_by_rarity();
+        println!("rare: {}, frequent: {}", rare.len(), freq.len());
+    }
+    Ok(())
+}
+
+/// `literace inspect …`
+pub fn inspect(args: &[String]) -> ExitCode {
+    match inspect_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn inspect_inner(args: &[String]) -> Result<(), String> {
+    use literace::sim::{disasm, lower, FuncId};
+    let flags = crate::args::Flags::parse(args)?;
+    let id = parse_workload(flags.require("workload")?)?;
+    let scale = parse_scale(&flags)?;
+    let w = build(id, scale);
+    let compiled = lower(&w.program);
+    println!("{id} ({:?} scale):", scale);
+    println!("{}", literace::sim::ProgramStats::of(&compiled));
+    println!(
+        "planted races      : {} ({} rare at paper scale)",
+        w.planted.total(),
+        w.planted.rare()
+    );
+    if let Some(pattern) = flags.get("function") {
+        let mut shown = 0;
+        for (i, f) in compiled.functions.iter().enumerate() {
+            if f.name.contains(pattern) {
+                println!();
+                print!("{}", disasm::disasm_function(FuncId::from_index(i), f));
+                shown += 1;
+                if shown >= 8 {
+                    println!("(more matches elided)");
+                    break;
+                }
+            }
+        }
+        if shown == 0 {
+            return Err(format!("no function matching `{pattern}`"));
+        }
+    }
+    Ok(())
+}
+
+/// `literace trace …`
+pub fn trace(args: &[String]) -> ExitCode {
+    match trace_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn trace_inner(args: &[String]) -> Result<(), String> {
+    use literace::sim::{
+        lower, ChunkedRandomScheduler, Event, Machine, MachineConfig, Observer,
+    };
+    let flags = crate::args::Flags::parse(args)?;
+    let id = parse_workload(flags.require("workload")?)?;
+    let scale = parse_scale(&flags)?;
+    let seed: u64 = flags.get_parsed("seed", 1)?;
+    let limit: usize = flags.get_parsed("limit", 40)?;
+    let w = build(id, scale);
+    let compiled = lower(&w.program);
+
+    struct Tracer<'p> {
+        program: &'p literace::sim::Program,
+        remaining: usize,
+    }
+    impl Observer for Tracer<'_> {
+        fn on_event(&mut self, event: &Event) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            let fname = |f: literace::sim::FuncId| self.program.function(f).name.clone();
+            let line = match *event {
+                Event::ThreadStart { tid, parent, func } => match parent {
+                    Some(p) => format!("{tid} starts (spawned by {p}) in {}", fname(func)),
+                    None => format!("{tid} starts in {}", fname(func)),
+                },
+                Event::ThreadExit { tid } => format!("{tid} exits"),
+                Event::FunctionEntry { tid, func } => {
+                    format!("{tid} enters {}", fname(func))
+                }
+                Event::FunctionExit { tid, func } => {
+                    format!("{tid} leaves {}", fname(func))
+                }
+                Event::LoopIter { tid, head, .. } => {
+                    format!("{tid} loop iteration at {head}")
+                }
+                Event::MemRead { tid, pc, addr } => format!("{tid} read  {addr} @ {pc}"),
+                Event::MemWrite { tid, pc, addr } => format!("{tid} write {addr} @ {pc}"),
+                Event::Sync { tid, kind, var, .. } => {
+                    format!("{tid} sync  {kind:?} on {var}")
+                }
+                Event::Alloc { tid, base, words, .. } => {
+                    format!("{tid} alloc {words} words at {base}")
+                }
+                Event::Free { tid, base, .. } => format!("{tid} free  {base}"),
+            };
+            println!("{line}");
+        }
+    }
+    let mut tracer = Tracer {
+        program: &w.program,
+        remaining: limit,
+    };
+    Machine::new(&compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(seed, 64), &mut tracer)
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `literace log-stats …`
+pub fn log_stats(args: &[String]) -> ExitCode {
+    match log_stats_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn log_stats_inner(args: &[String]) -> Result<(), String> {
+    let flags = crate::args::Flags::parse(args)?;
+    let path = flags.require("log")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let log = LogReader::new(file)
+        .read_all()
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let stats = LogStats::of(&log);
+    println!("{path}:");
+    println!("  records          : {}", stats.records);
+    println!("  memory accesses  : {}", stats.mem_records);
+    println!("  synchronization  : {}", stats.sync_records);
+    println!("  thread markers   : {}", stats.marker_records);
+    println!("  encoded size     : {} bytes", stats.bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Flags;
+
+    #[test]
+    fn workload_names_resolve() {
+        assert_eq!(parse_workload("dryad").unwrap(), WorkloadId::Dryad);
+        assert_eq!(parse_workload("FF-RENDER").unwrap(), WorkloadId::FirefoxRender);
+        assert!(parse_workload("nope").is_err());
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_smoke() {
+        let f = Flags::parse(&[]).unwrap();
+        assert_eq!(parse_scale(&f).unwrap(), Scale::Smoke);
+        let f = Flags::parse(&["--scale".into(), "paper".into()]).unwrap();
+        assert_eq!(parse_scale(&f).unwrap(), Scale::Paper);
+        let f = Flags::parse(&["--scale".into(), "huge".into()]).unwrap();
+        assert!(parse_scale(&f).is_err());
+    }
+
+    #[test]
+    fn run_command_smoke() {
+        // Drive the command function end to end on the smallest workload.
+        let args: Vec<String> = ["--workload", "lflist", "--seed", "2"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn detect_command_reports_missing_file() {
+        let args: Vec<String> = ["--log", "/nonexistent/xyz.lrlog"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        assert_eq!(detect(&args), std::process::ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn inspect_command_smoke() {
+        let args: Vec<String> = ["--workload", "lkrhash", "--function", "hash_op"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        assert_eq!(inspect(&args), std::process::ExitCode::SUCCESS);
+    }
+}

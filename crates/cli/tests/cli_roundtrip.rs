@@ -1,0 +1,130 @@
+//! True end-to-end tests driving the compiled `literace` binary.
+
+use std::process::Command;
+
+fn literace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_literace"))
+}
+
+fn stdout_of(mut cmd: Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let text = stdout_of({
+        let mut c = literace();
+        c.arg("help");
+        c
+    });
+    for sub in ["run", "eval", "overhead", "detect", "log-stats", "inspect", "trace"] {
+        assert!(text.contains(sub), "missing `{sub}` in help:\n{text}");
+    }
+}
+
+#[test]
+fn workloads_lists_all_ten() {
+    let text = stdout_of({
+        let mut c = literace();
+        c.arg("workloads");
+        c
+    });
+    for name in ["dryad", "apache-1", "ff-render", "lkrhash", "lflist"] {
+        assert!(text.contains(name), "{text}");
+    }
+}
+
+#[test]
+fn run_then_detect_round_trips_through_a_log_file() {
+    let dir = std::env::temp_dir().join("literace_cli_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("run.lrlog");
+    let text = stdout_of({
+        let mut c = literace();
+        c.args([
+            "run",
+            "--workload",
+            "lflist",
+            "--sampler",
+            "Full",
+            "--log",
+            log.to_str().unwrap(),
+        ]);
+        c
+    });
+    assert!(text.contains("static data races"), "{text}");
+    assert!(log.exists());
+
+    let text = stdout_of({
+        let mut c = literace();
+        c.args(["detect", "--log", log.to_str().unwrap(), "--non-stack", "100000"]);
+        c
+    });
+    assert!(text.contains("static races"), "{text}");
+    // The planted LFList stats race survives the disk round trip.
+    assert!(text.contains("race F"), "{text}");
+
+    let text = stdout_of({
+        let mut c = literace();
+        c.args(["log-stats", "--log", log.to_str().unwrap()]);
+        c
+    });
+    assert!(text.contains("synchronization"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = literace().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_flag_fails_cleanly() {
+    let out = literace().args(["run"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
+}
+
+#[test]
+fn inspect_disassembles() {
+    let text = stdout_of({
+        let mut c = literace();
+        c.args(["inspect", "--workload", "lkrhash", "--function", "hash_op"]);
+        c
+    });
+    assert!(text.contains("fn hash_op"), "{text}");
+    assert!(text.contains("rmw"), "{text}");
+}
+
+#[test]
+fn suppressions_reduce_the_report() {
+    let with = stdout_of({
+        let mut c = literace();
+        c.args(["run", "--workload", "lflist", "--sampler", "Full"]);
+        c
+    });
+    let without = stdout_of({
+        let mut c = literace();
+        c.args([
+            "run",
+            "--workload",
+            "lflist",
+            "--sampler",
+            "Full",
+            "--suppress",
+            "hr_",
+        ]);
+        c
+    });
+    assert!(with.contains("static data races"));
+    assert!(without.contains("no data races detected"), "{without}");
+}

@@ -1,0 +1,171 @@
+//! ASCII bar charts for the figure-regenerating binaries.
+//!
+//! The paper's Figures 4–6 are grouped bar charts; [`BarChart`] renders the
+//! same data as horizontal bars so the shape (who wins, by how much) is
+//! visible directly in a terminal, next to the exact numbers in the
+//! accompanying tables.
+
+use std::fmt;
+
+/// A horizontal grouped bar chart.
+///
+/// # Examples
+///
+/// ```
+/// use literace::charts::BarChart;
+/// let mut c = BarChart::new("demo", 40);
+/// c.group("Dryad")
+///     .bar("TL-Ad", 0.875)
+///     .bar("G-Ad", 0.75);
+/// let s = c.to_string();
+/// assert!(s.contains("TL-Ad"));
+/// assert!(s.contains("87.5%"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    groups: Vec<(String, Vec<(String, f64)>)>,
+    /// Values are fractions in `[0, 1]` shown as percentages when true
+    /// (the default), otherwise raw numbers scaled to the maximum.
+    percent: bool,
+}
+
+/// Builder handle for one group's bars.
+#[derive(Debug)]
+pub struct GroupBuilder<'a> {
+    chart: &'a mut BarChart,
+}
+
+impl BarChart {
+    /// Creates an empty chart; `width` is the maximum bar width in cells.
+    pub fn new(title: &str, width: usize) -> BarChart {
+        BarChart {
+            title: title.to_owned(),
+            width: width.max(8),
+            groups: Vec::new(),
+            percent: true,
+        }
+    }
+
+    /// Switches to raw-value mode: bars are scaled to the chart's maximum
+    /// value and labeled with the raw numbers (used for slowdown factors).
+    pub fn raw_values(mut self) -> BarChart {
+        self.percent = false;
+        self
+    }
+
+    /// Starts a new group (e.g. one benchmark).
+    pub fn group(&mut self, label: &str) -> GroupBuilder<'_> {
+        self.groups.push((label.to_owned(), Vec::new()));
+        GroupBuilder { chart: self }
+    }
+
+    /// Number of groups so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the chart has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+impl GroupBuilder<'_> {
+    /// Adds one bar to the current group.
+    pub fn bar(self, label: &str, value: f64) -> Self {
+        self.chart
+            .groups
+            .last_mut()
+            .expect("group exists")
+            .1
+            .push((label.to_owned(), value.max(0.0)));
+        self
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_w = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(l, _)| l.len()))
+            .max()
+            .unwrap_or(0);
+        let max_val = if self.percent {
+            1.0
+        } else {
+            self.groups
+                .iter()
+                .flat_map(|(_, bars)| bars.iter().map(|(_, v)| *v))
+                .fold(0.0f64, f64::max)
+                .max(f64::MIN_POSITIVE)
+        };
+        for (group, bars) in &self.groups {
+            writeln!(f, "{group}")?;
+            for (label, value) in bars {
+                let frac = (value / max_val).clamp(0.0, 1.0);
+                let filled = (frac * self.width as f64).round() as usize;
+                let bar: String = std::iter::repeat_n('█', filled)
+                    .chain(std::iter::repeat_n('·', self.width - filled))
+                    .collect();
+                let num = if self.percent {
+                    format!("{:.1}%", value * 100.0)
+                } else {
+                    format!("{value:.2}")
+                };
+                writeln!(f, "  {label:<label_w$} {bar} {num}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("t", 10);
+        c.group("g").bar("full", 1.0).bar("half", 0.5).bar("none", 0.0);
+        let s = c.to_string();
+        assert!(s.contains("██████████ 100.0%"), "{s}");
+        assert!(s.contains("█████····· 50.0%"), "{s}");
+        assert!(s.contains("·········· 0.0%"), "{s}");
+    }
+
+    #[test]
+    fn raw_mode_scales_to_max() {
+        let mut c = BarChart::new("slowdowns", 10);
+        c.group("g").bar("a", 2.0).bar("b", 4.0);
+        let c = c.raw_values();
+        let s = c.to_string();
+        assert!(s.contains("4.00"), "{s}");
+        // b is the max → full bar; a → half bar.
+        assert!(s.contains("█████····· 2.00"), "{s}");
+    }
+
+    #[test]
+    fn values_above_scale_are_clamped() {
+        let mut c = BarChart::new("t", 10);
+        c.group("g").bar("over", 1.5);
+        let s = c.to_string();
+        assert!(s.contains("██████████ 150.0%"), "{s}");
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("t", 8);
+        c.group("g").bar("ab", 0.1).bar("abcdef", 0.2);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('█') || l.contains('·')).collect();
+        let starts: Vec<usize> = lines
+            .iter()
+            .map(|l| l.find(['█', '·']).unwrap())
+            .collect();
+        assert_eq!(starts[0], starts[1], "{s}");
+    }
+}

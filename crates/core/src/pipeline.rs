@@ -1,0 +1,166 @@
+//! The end-to-end LiteRace pipeline: instrument → execute → log → detect.
+
+use literace_detector::{HbConfig, HbDetector, RaceReport};
+use literace_instrument::{InstrumentConfig, InstrumentOutput, Instrumenter};
+use literace_samplers::SamplerKind;
+use literace_sim::{
+    lower, ChunkedRandomScheduler, Machine, MachineConfig, Program, RunSummary, SimError,
+};
+
+/// Configuration for one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Scheduler seed — fixes the interleaving.
+    pub seed: u64,
+    /// Scheduler chunk size (steps a thread runs before a context switch
+    /// may occur); models coarse timeslicing on a few cores.
+    pub sched_quantum: u32,
+    /// Machine limits and baseline cost model.
+    pub machine: MachineConfig,
+    /// Instrumentation configuration.
+    pub instrument: InstrumentConfig,
+    /// Offline detector configuration.
+    pub detector: HbConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            seed: 0,
+            sched_quantum: 64,
+            machine: MachineConfig::default(),
+            instrument: InstrumentConfig::default(),
+            detector: HbConfig::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config with everything default but the scheduler seed.
+    pub fn seeded(seed: u64) -> RunConfig {
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Baseline execution statistics (instrumentation never perturbs the
+    /// interleaving in this substrate, so these are the uninstrumented
+    /// numbers).
+    pub summary: RunSummary,
+    /// Log, overhead breakdown and instrumentation counters.
+    pub instrumented: InstrumentOutput,
+    /// Offline happens-before detection over the produced log.
+    pub report: RaceReport,
+}
+
+impl RunOutcome {
+    /// Effective sampling rate of this run (Table 3).
+    pub fn esr(&self) -> f64 {
+        self.instrumented.stats.esr()
+    }
+
+    /// Modeled slowdown over the uninstrumented baseline (Table 5).
+    pub fn slowdown(&self) -> f64 {
+        self.instrumented.overhead.slowdown(self.summary.baseline_cost)
+    }
+}
+
+/// Runs the full LiteRace pipeline on `program` with the given sampler.
+///
+/// # Errors
+///
+/// Propagates simulator errors (deadlock, limits, runtime faults).
+pub fn run_literace(
+    program: &Program,
+    sampler: SamplerKind,
+    cfg: &RunConfig,
+) -> Result<RunOutcome, SimError> {
+    let compiled = lower(program);
+    let mut inst = Instrumenter::new(sampler.build(cfg.seed), cfg.instrument.clone());
+    let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
+    let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
+    let instrumented = inst.finish();
+    let mut det = HbDetector::with_config(cfg.detector);
+    det.process_log(&instrumented.log);
+    let report = det.finish(summary.non_stack_accesses);
+    Ok(RunOutcome {
+        summary,
+        instrumented,
+        report,
+    })
+}
+
+/// Runs the program uninstrumented, returning baseline statistics only.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_baseline(program: &Program, cfg: &RunConfig) -> Result<RunSummary, SimError> {
+    let compiled = lower(program);
+    let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
+    Machine::new(&compiled, cfg.machine).run(&mut sched, &mut literace_sim::NullObserver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_sim::ProgramBuilder;
+    use literace_sim::Rvalue;
+
+    fn racy_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        let w = b.function("w", 0, move |f| {
+            f.write(g);
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_sampler_finds_the_race() {
+        let out = run_literace(&racy_program(), SamplerKind::Always, &RunConfig::seeded(1))
+            .unwrap();
+        assert_eq!(out.report.static_count(), 1);
+        assert!((out.esr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_sampler_finds_nothing_but_costs_less() {
+        let full = run_literace(&racy_program(), SamplerKind::Always, &RunConfig::seeded(1))
+            .unwrap();
+        let none = run_literace(&racy_program(), SamplerKind::Never, &RunConfig::seeded(1))
+            .unwrap();
+        assert_eq!(none.report.static_count(), 0);
+        assert!(none.instrumented.overhead.total() < full.instrumented.overhead.total());
+    }
+
+    #[test]
+    fn tl_ad_finds_cold_race_too() {
+        let out = run_literace(
+            &racy_program(),
+            SamplerKind::TlAdaptive,
+            &RunConfig::seeded(1),
+        )
+        .unwrap();
+        assert_eq!(out.report.static_count(), 1, "both accesses are cold");
+    }
+
+    #[test]
+    fn baseline_matches_instrumented_summary() {
+        let cfg = RunConfig::seeded(7);
+        let base = run_baseline(&racy_program(), &cfg).unwrap();
+        let inst = run_literace(&racy_program(), SamplerKind::TlAdaptive, &cfg).unwrap();
+        assert_eq!(base, inst.summary, "observation must not perturb execution");
+    }
+}

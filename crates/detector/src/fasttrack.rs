@@ -1,0 +1,348 @@
+//! A FastTrack-style epoch-optimized happens-before detector.
+//!
+//! The full vector-clock detector in [`hb`](crate::hb) keeps an access
+//! frontier per location. FastTrack (Flanagan & Freund, PLDI 2009 — the
+//! companion optimization published alongside LiteRace) observes that writes
+//! to a location are almost always totally ordered, so the *last write
+//! epoch* suffices, and reads only need a full clock while they are
+//! concurrent ("read-shared"). This detector trades some static-pair
+//! completeness for O(1) state per location in the common case; the test
+//! suite checks it agrees with the full detector on *which locations race*.
+
+use std::collections::HashMap;
+
+use literace_log::{EventLog, Record};
+use literace_sim::{Addr, Pc, SyncVar, ThreadId};
+
+use crate::report::{DynamicRace, RaceReport};
+use crate::vector_clock::VectorClock;
+
+/// A (thread, clock) pair: FastTrack's scalar epoch `c@t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Epoch {
+    tid: ThreadId,
+    clock: u64,
+    pc: Pc,
+}
+
+impl Epoch {
+    fn happens_before(&self, c: &VectorClock) -> bool {
+        c.get(self.tid) >= self.clock
+    }
+}
+
+#[derive(Debug)]
+enum ReadState {
+    /// No reads since the last write.
+    None,
+    /// All reads so far are totally ordered: only the latest matters.
+    Single(Epoch),
+    /// Concurrent reads: escalated to a full clock (plus PCs for reports).
+    Shared(VectorClock, Vec<Epoch>),
+}
+
+#[derive(Debug)]
+struct LocState {
+    write: Option<Epoch>,
+    read: ReadState,
+}
+
+impl Default for LocState {
+    fn default() -> LocState {
+        LocState {
+            write: None,
+            read: ReadState::None,
+        }
+    }
+}
+
+/// The epoch-optimized detector.
+#[derive(Debug)]
+pub struct FastTrackDetector {
+    threads: Vec<VectorClock>,
+    syncvars: HashMap<SyncVar, VectorClock>,
+    locations: HashMap<u64, LocState>,
+    races: Vec<DynamicRace>,
+}
+
+impl FastTrackDetector {
+    /// Creates an empty detector.
+    pub fn new() -> FastTrackDetector {
+        FastTrackDetector {
+            threads: Vec::new(),
+            syncvars: HashMap::new(),
+            locations: HashMap::new(),
+            races: Vec::new(),
+        }
+    }
+
+    fn clock_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+        let i = tid.index();
+        if i >= self.threads.len() {
+            for j in self.threads.len()..=i {
+                let mut c = VectorClock::new();
+                c.set(ThreadId::from_index(j), 1);
+                self.threads.push(c);
+            }
+        }
+        &mut self.threads[i]
+    }
+
+    /// Processes one record.
+    pub fn process(&mut self, record: &Record) {
+        match *record {
+            Record::Sync { tid, kind, var, .. } => {
+                if kind.is_acquire() {
+                    if let Some(l) = self.syncvars.get(&var) {
+                        let l = l.clone();
+                        self.clock_mut(tid).join(&l);
+                    } else {
+                        let _ = self.clock_mut(tid);
+                    }
+                }
+                if kind.is_release() {
+                    let c = self.clock_mut(tid).clone();
+                    self.syncvars.entry(var).or_default().join(&c);
+                    self.clock_mut(tid).increment(tid);
+                }
+            }
+            Record::Mem {
+                tid,
+                pc,
+                addr,
+                is_write,
+                ..
+            } => {
+                if is_write {
+                    self.write(tid, pc, addr);
+                } else {
+                    self.read(tid, pc, addr);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn read(&mut self, tid: ThreadId, pc: Pc, addr: Addr) {
+        let clock = self.clock_mut(tid).clone();
+        let epoch = Epoch {
+            tid,
+            clock: clock.get(tid),
+            pc,
+        };
+        let loc = self.locations.entry(addr.raw()).or_default();
+        if let Some(w) = loc.write {
+            if w.tid != tid && !w.happens_before(&clock) {
+                self.races.push(race(w, epoch, addr, true, false));
+            }
+        }
+        match &mut loc.read {
+            ReadState::None => loc.read = ReadState::Single(epoch),
+            ReadState::Single(prev) => {
+                if prev.tid == tid || prev.happens_before(&clock) {
+                    *prev = epoch;
+                } else {
+                    // Concurrent reads: escalate to a read clock.
+                    let mut vc = VectorClock::new();
+                    vc.set(prev.tid, prev.clock);
+                    vc.set(tid, epoch.clock);
+                    loc.read = ReadState::Shared(vc, vec![*prev, epoch]);
+                }
+            }
+            ReadState::Shared(vc, pcs) => {
+                vc.set(tid, epoch.clock.max(vc.get(tid)));
+                pcs.retain(|e| e.tid != tid);
+                pcs.push(epoch);
+                if pcs.len() > 64 {
+                    pcs.drain(0..32);
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, tid: ThreadId, pc: Pc, addr: Addr) {
+        let clock = self.clock_mut(tid).clone();
+        let epoch = Epoch {
+            tid,
+            clock: clock.get(tid),
+            pc,
+        };
+        let loc = self.locations.entry(addr.raw()).or_default();
+        if let Some(w) = loc.write {
+            if w.tid != tid && !w.happens_before(&clock) {
+                self.races.push(race(w, epoch, addr, true, true));
+            }
+        }
+        match &loc.read {
+            ReadState::None => {}
+            ReadState::Single(r) => {
+                if r.tid != tid && !r.happens_before(&clock) {
+                    self.races.push(race(*r, epoch, addr, false, true));
+                }
+            }
+            ReadState::Shared(vc, pcs) => {
+                if !vc.le(&clock) {
+                    // Report against every remembered concurrent reader.
+                    for r in pcs {
+                        if r.tid != tid && !r.happens_before(&clock) {
+                            self.races.push(race(*r, epoch, addr, false, true));
+                        }
+                    }
+                }
+            }
+        }
+        loc.write = Some(epoch);
+        loc.read = ReadState::None;
+    }
+
+    /// Processes a whole log.
+    pub fn process_log(&mut self, log: &EventLog) {
+        for r in log {
+            self.process(r);
+        }
+    }
+
+    /// Finishes, producing a report.
+    pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
+        RaceReport::from_dynamic(self.races, non_stack_accesses)
+    }
+}
+
+impl Default for FastTrackDetector {
+    fn default() -> FastTrackDetector {
+        FastTrackDetector::new()
+    }
+}
+
+fn race(first: Epoch, second: Epoch, addr: Addr, fw: bool, sw: bool) -> DynamicRace {
+    DynamicRace {
+        first_pc: first.pc,
+        second_pc: second.pc,
+        addr,
+        first_tid: first.tid,
+        second_tid: second.tid,
+        first_is_write: fw,
+        second_is_write: sw,
+    }
+}
+
+/// One-shot convenience: run the FastTrack detector on a log.
+pub fn detect_fasttrack(log: &EventLog, non_stack_accesses: u64) -> RaceReport {
+    let mut d = FastTrackDetector::new();
+    d.process_log(log);
+    d.finish(non_stack_accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::detect;
+    use literace_log::SamplerMask;
+    use literace_sim::{FuncId, SyncOpKind};
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+    fn pc(i: usize) -> Pc {
+        Pc::new(FuncId::from_index(0), i)
+    }
+    fn a(i: u64) -> Addr {
+        Addr::global(i)
+    }
+
+    fn mem(tid: ThreadId, pcv: usize, addr: Addr, w: bool) -> Record {
+        Record::Mem {
+            tid,
+            pc: pc(pcv),
+            addr,
+            is_write: w,
+            mask: SamplerMask::FULL,
+        }
+    }
+
+    fn sync(tid: ThreadId, kind: SyncOpKind, var: u64, ts: u64) -> Record {
+        Record::Sync {
+            tid,
+            pc: pc(99),
+            kind,
+            var: SyncVar(0x2000_0000 + var),
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn detects_write_write_race() {
+        let log: EventLog = vec![mem(t(0), 1, a(0), true), mem(t(1), 2, a(0), true)]
+            .into_iter()
+            .collect();
+        assert_eq!(detect_fasttrack(&log, 2).static_count(), 1);
+    }
+
+    #[test]
+    fn detects_read_shared_write_race() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), false),
+            mem(t(1), 2, a(0), false),
+            mem(t(2), 3, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        let r = detect_fasttrack(&log, 3);
+        // The write races with both concurrent reads.
+        assert_eq!(r.static_count(), 2);
+    }
+
+    #[test]
+    fn clean_on_locked_program() {
+        let log: EventLog = vec![
+            sync(t(0), SyncOpKind::LockAcquire, 0, 1),
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::LockRelease, 0, 2),
+            sync(t(1), SyncOpKind::LockAcquire, 0, 3),
+            mem(t(1), 2, a(0), true),
+            sync(t(1), SyncOpKind::LockRelease, 0, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect_fasttrack(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn agrees_with_full_detector_on_racy_locations() {
+        // Randomized-ish small scenario mixing sync and races.
+        let mut records = Vec::new();
+        for i in 0..5u64 {
+            records.push(mem(t(0), 1, a(i), true));
+            if i % 2 == 0 {
+                // Protected handoff for even addresses.
+                records.push(sync(t(0), SyncOpKind::LockRelease, i, 2 * i + 1));
+                records.push(sync(t(1), SyncOpKind::LockAcquire, i, 2 * i + 2));
+            }
+            records.push(mem(t(1), 2, a(i), true));
+        }
+        let log: EventLog = records.into_iter().collect();
+        let full = detect(&log, 10);
+        let fast = detect_fasttrack(&log, 10);
+        let full_addrs: std::collections::HashSet<_> = full
+            .static_races
+            .iter()
+            .map(|s| s.example_addr)
+            .collect();
+        let fast_addrs: std::collections::HashSet<_> = fast
+            .static_races
+            .iter()
+            .map(|s| s.example_addr)
+            .collect();
+        assert_eq!(full_addrs, fast_addrs);
+    }
+
+    #[test]
+    fn same_thread_reads_do_not_escalate() {
+        let mut d = FastTrackDetector::new();
+        for i in 0..10 {
+            d.process(&mem(t(0), i, a(0), false));
+        }
+        let loc = &d.locations[&a(0).raw()];
+        assert!(matches!(loc.read, ReadState::Single(_)));
+    }
+}

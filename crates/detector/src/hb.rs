@@ -1,0 +1,649 @@
+//! The happens-before race-detection core (§2.1 of the paper).
+//!
+//! [`HbCore`] implements the standard vector-clock algorithm over an
+//! abstract stream of synchronization operations and data accesses:
+//!
+//! * each thread `t` carries a clock `C(t)`;
+//! * each synchronization variable `v` carries a clock `L(v)`;
+//! * a release-like operation on `v` joins `C(t)` into `L(v)` and then
+//!   increments `C(t)[t]`;
+//! * an acquire-like operation joins `L(v)` into `C(t)`;
+//! * two accesses to the same address race iff neither's clock snapshot is
+//!   ≤ the other's and at least one is a write.
+//!
+//! Per address the core keeps a *frontier* of accesses not yet ordered
+//! before a subsequent write (an antichain), so every racing static pair
+//! that manifests against the frontier is reported. The offline
+//! [`HbDetector`] drives the core from an [`EventLog`]; the online detector
+//! (see [`online`](crate::online)) drives it from live simulator events.
+
+use std::collections::HashMap;
+
+use literace_log::{EventLog, Record};
+use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
+
+use crate::report::{DynamicRace, RaceReport};
+use crate::vector_clock::VectorClock;
+
+/// Tuning knobs for the happens-before core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbConfig {
+    /// Upper bound on remembered frontier accesses per location and kind;
+    /// beyond it the oldest entries are dropped (bounds memory on
+    /// pathological inputs). The frontier is an antichain, so in practice it
+    /// stays near the thread count.
+    pub max_history_per_location: usize,
+    /// Upper bound on *dynamic* races recorded per static pair before
+    /// further occurrences are only counted, not stored.
+    pub max_dynamic_per_pair: usize,
+}
+
+impl Default for HbConfig {
+    fn default() -> HbConfig {
+        HbConfig {
+            max_history_per_location: 128,
+            max_dynamic_per_pair: 1 << 20,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    tid: ThreadId,
+    epoch: u64,
+    pc: Pc,
+    is_write: bool,
+}
+
+#[derive(Debug, Default)]
+struct LocState {
+    reads: Vec<Access>,
+    writes: Vec<Access>,
+}
+
+/// The reusable happens-before engine.
+#[derive(Debug)]
+pub struct HbCore {
+    cfg: HbConfig,
+    threads: Vec<VectorClock>,
+    /// Threads known to have exited (excluded from the compaction bound).
+    retired: Vec<bool>,
+    syncvars: HashMap<SyncVar, VectorClock>,
+    locations: HashMap<u64, LocState>,
+    races: Vec<DynamicRace>,
+    /// Dynamic races beyond the stored cap, per static pair.
+    overflow: HashMap<(Pc, Pc), u64>,
+    pair_counts: HashMap<(Pc, Pc), u64>,
+}
+
+impl HbCore {
+    /// Creates a core with the given configuration.
+    pub fn new(cfg: HbConfig) -> HbCore {
+        HbCore {
+            cfg,
+            threads: Vec::new(),
+            retired: Vec::new(),
+            syncvars: HashMap::new(),
+            locations: HashMap::new(),
+            races: Vec::new(),
+            overflow: HashMap::new(),
+            pair_counts: HashMap::new(),
+        }
+    }
+
+    fn clock_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+        let i = tid.index();
+        if i >= self.threads.len() {
+            for j in self.threads.len()..=i {
+                let mut c = VectorClock::new();
+                c.set(ThreadId::from_index(j), 1);
+                self.threads.push(c);
+            }
+        }
+        &mut self.threads[i]
+    }
+
+    /// Processes one synchronization operation.
+    pub fn sync(&mut self, tid: ThreadId, kind: SyncOpKind, var: SyncVar) {
+        if kind == SyncOpKind::Fork {
+            // Materialize the child's clock immediately: until the child
+            // starts, its (empty) clock must pin the compaction bound —
+            // the child will begin from the parent's *fork-time* snapshot,
+            // which may be older than every live thread's current clock.
+            let child = ThreadId::from_index(var.0 as usize);
+            let _ = self.clock_mut(child);
+        }
+        let acquire = kind.is_acquire();
+        let release = kind.is_release();
+        if acquire {
+            if let Some(l) = self.syncvars.get(&var) {
+                let l = l.clone();
+                self.clock_mut(tid).join(&l);
+            } else {
+                // Still materialize the thread clock.
+                let _ = self.clock_mut(tid);
+            }
+        }
+        if release {
+            let c = self.clock_mut(tid).clone();
+            self.syncvars.entry(var).or_default().join(&c);
+            self.clock_mut(tid).increment(tid);
+        }
+    }
+
+    /// Processes one data access.
+    pub fn access(&mut self, tid: ThreadId, pc: Pc, addr: Addr, is_write: bool) {
+        let clock = self.clock_mut(tid).clone();
+        let epoch = clock.get(tid);
+        let current = Access {
+            tid,
+            epoch,
+            pc,
+            is_write,
+        };
+
+        let loc = self.locations.entry(addr.raw()).or_default();
+
+        // Collect conflicts first (borrow discipline), then record.
+        let mut conflicts: Vec<Access> = Vec::new();
+        for w in &loc.writes {
+            if w.tid != tid && clock.get(w.tid) < w.epoch {
+                conflicts.push(*w);
+            }
+        }
+        if is_write {
+            for r in &loc.reads {
+                if r.tid != tid && clock.get(r.tid) < r.epoch {
+                    conflicts.push(*r);
+                }
+            }
+        }
+
+        // Update the frontier: a write supersedes everything ordered before
+        // it; a read supersedes only reads ordered before it.
+        if is_write {
+            loc.writes.retain(|w| clock.get(w.tid) < w.epoch);
+            loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
+            loc.writes.push(current);
+            cap(&mut loc.writes, self.cfg.max_history_per_location);
+        } else {
+            loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
+            loc.reads.push(current);
+            cap(&mut loc.reads, self.cfg.max_history_per_location);
+        }
+
+        for prior in conflicts {
+            let race = DynamicRace {
+                first_pc: prior.pc,
+                second_pc: pc,
+                addr,
+                first_tid: prior.tid,
+                second_tid: tid,
+                first_is_write: prior.is_write,
+                second_is_write: is_write,
+            };
+            let key = race.static_key();
+            let n = self.pair_counts.entry(key).or_insert(0);
+            *n += 1;
+            if (*n as usize) <= self.cfg.max_dynamic_per_pair {
+                self.races.push(race);
+            } else {
+                *self.overflow.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Marks a thread as exited: it will make no further accesses, so it no
+    /// longer constrains [`compact`](HbCore::compact)'s reclamation bound.
+    pub fn retire_thread(&mut self, tid: ThreadId) {
+        let i = tid.index();
+        if i >= self.retired.len() {
+            self.retired.resize(i + 1, false);
+        }
+        self.retired[i] = true;
+    }
+
+    /// Reclaims per-location state that can never race again: an access is
+    /// dead once **every live thread's clock** already covers it (all
+    /// future accesses inherit those clocks, so they would be ordered after
+    /// it). Locations whose frontier empties are dropped entirely. This
+    /// bounds detector memory on long runs; correctness is untouched
+    /// (property-tested in the crate's integration tests).
+    ///
+    /// Returns the number of locations dropped.
+    pub fn compact(&mut self) -> usize {
+        // Pointwise minimum over live threads' clocks. With no live thread,
+        // nothing further can happen: everything is reclaimable.
+        let live: Vec<&VectorClock> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.retired.get(*i).copied().unwrap_or(false))
+            .map(|(_, c)| c)
+            .collect();
+        let covered = |a: &Access| -> bool {
+            live.iter().all(|c| c.get(a.tid) >= a.epoch)
+        };
+        let before = self.locations.len();
+        self.locations.retain(|_, loc| {
+            loc.reads.retain(|r| !covered(r));
+            loc.writes.retain(|w| !covered(w));
+            !(loc.reads.is_empty() && loc.writes.is_empty())
+        });
+        before - self.locations.len()
+    }
+
+    /// Consumes the core, producing the race report.
+    ///
+    /// `non_stack_accesses` is the rarity denominator of §5.3.1 — the number
+    /// of non-stack memory instructions *executed* in the run (not merely
+    /// logged).
+    pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
+        let mut report = RaceReport::from_dynamic(self.races, non_stack_accesses);
+        // Fold overflowed occurrences back into the per-static counts.
+        for sr in &mut report.static_races {
+            if let Some(extra) = self.overflow.get(&sr.pcs) {
+                sr.count += extra;
+                report.dynamic_races += extra;
+            }
+        }
+        report.static_races.sort_by(|a, b| {
+            b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs))
+        });
+        report
+    }
+
+    /// Number of addresses with live frontier state (memory footprint).
+    pub fn tracked_locations(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+fn cap(v: &mut Vec<Access>, max: usize) {
+    if v.len() > max {
+        let excess = v.len() - max;
+        v.drain(0..excess);
+    }
+}
+
+/// Records between automatic frontier compactions in [`HbDetector`].
+const COMPACT_INTERVAL: u64 = 1 << 18;
+
+/// Offline happens-before detector over an event log (§4.4: the paper's
+/// primary mode — write the log to disk, analyze later).
+///
+/// # Examples
+///
+/// ```
+/// use literace_detector::HbDetector;
+/// use literace_log::{Record, SamplerMask};
+/// use literace_sim::{Addr, FuncId, Pc, ThreadId};
+///
+/// let mut det = HbDetector::new();
+/// for t in 0..2 {
+///     det.process(&Record::Mem {
+///         tid: ThreadId::from_index(t),
+///         pc: Pc::new(FuncId::from_index(0), t),
+///         addr: Addr::global(0),
+///         is_write: true,
+///         mask: SamplerMask::FULL,
+///     });
+/// }
+/// let report = det.finish(2);
+/// assert_eq!(report.static_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct HbDetector {
+    core: HbCore,
+    records_since_compact: u64,
+    /// Per-var last timestamp, to validate the logical-timestamp invariant
+    /// (§4.2): operations on one variable must be logged in timestamp order.
+    last_ts: HashMap<SyncVar, u64>,
+    /// Count of timestamp-order violations observed (should stay zero; a
+    /// nonzero value reproduces the paper's "hundreds of false data races"
+    /// failure mode when atomic timestamping is broken).
+    pub timestamp_violations: u64,
+}
+
+impl HbDetector {
+    /// Creates a detector with default configuration.
+    pub fn new() -> HbDetector {
+        HbDetector::with_config(HbConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    pub fn with_config(cfg: HbConfig) -> HbDetector {
+        HbDetector {
+            core: HbCore::new(cfg),
+            records_since_compact: 0,
+            last_ts: HashMap::new(),
+            timestamp_violations: 0,
+        }
+    }
+
+    /// Processes one log record.
+    pub fn process(&mut self, record: &Record) {
+        match *record {
+            Record::Sync {
+                tid,
+                kind,
+                var,
+                timestamp,
+                ..
+            } => {
+                let last = self.last_ts.entry(var).or_insert(0);
+                if timestamp < *last {
+                    self.timestamp_violations += 1;
+                }
+                *last = (*last).max(timestamp);
+                self.core.sync(tid, kind, var);
+            }
+            Record::Mem {
+                tid,
+                pc,
+                addr,
+                is_write,
+                ..
+            } => self.core.access(tid, pc, addr, is_write),
+            Record::ThreadBegin { .. } => {}
+            Record::ThreadEnd { tid } => {
+                self.core.retire_thread(tid);
+                self.records_since_compact = 0;
+                self.core.compact();
+            }
+        }
+        self.records_since_compact += 1;
+        if self.records_since_compact >= COMPACT_INTERVAL {
+            self.records_since_compact = 0;
+            self.core.compact();
+        }
+    }
+
+    /// Processes an entire log.
+    pub fn process_log(&mut self, log: &EventLog) {
+        for r in log {
+            self.process(r);
+        }
+    }
+
+    /// Finishes, producing the report.
+    pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
+        self.core.finish(non_stack_accesses)
+    }
+}
+
+impl Default for HbDetector {
+    fn default() -> HbDetector {
+        HbDetector::new()
+    }
+}
+
+/// One-shot convenience: detect races in a log.
+pub fn detect(log: &EventLog, non_stack_accesses: u64) -> RaceReport {
+    let mut d = HbDetector::new();
+    d.process_log(log);
+    d.finish(non_stack_accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_log::SamplerMask;
+    use literace_sim::FuncId;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+    fn pc(i: usize) -> Pc {
+        Pc::new(FuncId::from_index(0), i)
+    }
+    fn a(i: u64) -> Addr {
+        Addr::global(i)
+    }
+    fn v(i: u64) -> SyncVar {
+        SyncVar(0x2000_0000 + i)
+    }
+
+    fn mem(tid: ThreadId, pcv: usize, addr: Addr, w: bool) -> Record {
+        Record::Mem {
+            tid,
+            pc: pc(pcv),
+            addr,
+            is_write: w,
+            mask: SamplerMask::FULL,
+        }
+    }
+
+    fn sync(tid: ThreadId, kind: SyncOpKind, var: SyncVar, ts: u64) -> Record {
+        Record::Sync {
+            tid,
+            pc: pc(99),
+            kind,
+            var,
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            mem(t(1), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        let report = detect(&log, 2);
+        assert_eq!(report.static_count(), 1);
+        assert_eq!(report.dynamic_races, 1);
+    }
+
+    #[test]
+    fn lock_protected_accesses_do_not_race() {
+        // Figure 1 (left): write, unlock ... lock, write.
+        let log: EventLog = vec![
+            sync(t(0), SyncOpKind::LockAcquire, v(0), 1),
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::LockRelease, v(0), 2),
+            sync(t(1), SyncOpKind::LockAcquire, v(0), 3),
+            mem(t(1), 2, a(0), true),
+            sync(t(1), SyncOpKind::LockRelease, v(0), 4),
+        ]
+        .into_iter()
+        .collect();
+        let report = detect(&log, 2);
+        assert_eq!(report.static_count(), 0);
+    }
+
+    #[test]
+    fn missing_sync_record_creates_false_race() {
+        // Figure 2: dropping the unlock/lock records loses the HB edge and a
+        // (false) race is reported — the reason LiteRace never samples sync.
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            // unlock by t0 and lock by t1 NOT logged
+            mem(t(1), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        let report = detect(&log, 2);
+        assert_eq!(report.static_count(), 1, "demonstrates Figure 2");
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), false),
+            mem(t(1), 2, a(0), false),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn write_read_races_both_orders() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            mem(t(1), 2, a(0), false),
+            mem(t(0), 3, a(1), false),
+            mem(t(1), 4, a(1), true),
+        ]
+        .into_iter()
+        .collect();
+        let report = detect(&log, 4);
+        assert_eq!(report.static_count(), 2);
+    }
+
+    #[test]
+    fn same_thread_never_races() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            mem(t(0), 2, a(0), true),
+            mem(t(0), 3, a(0), false),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 3).static_count(), 0);
+    }
+
+    #[test]
+    fn fork_orders_parent_before_child() {
+        let child_var = SyncVar(1);
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::Fork, child_var, 1),
+            sync(t(1), SyncOpKind::ThreadStart, child_var, 2),
+            mem(t(1), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn join_orders_child_before_parent() {
+        let child_var = SyncVar(1);
+        let log: EventLog = vec![
+            sync(t(0), SyncOpKind::Fork, child_var, 1),
+            sync(t(1), SyncOpKind::ThreadStart, child_var, 2),
+            mem(t(1), 1, a(0), true),
+            sync(t(1), SyncOpKind::ThreadExit, child_var, 3),
+            sync(t(0), SyncOpKind::Join, child_var, 4),
+            mem(t(0), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn notify_wait_creates_edge() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::Notify, v(3), 1),
+            sync(t(1), SyncOpKind::WaitReturn, v(3), 2),
+            mem(t(1), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn atomic_rmw_totally_orders_participants() {
+        let flag = SyncVar(Addr::global(9).raw());
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::AtomicRmw, flag, 1),
+            sync(t(1), SyncOpKind::AtomicRmw, flag, 2),
+            mem(t(1), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn alloc_page_sync_prevents_reuse_false_positive() {
+        // §4.3: thread 0 writes its allocation, frees it; thread 1 gets the
+        // same address back. AllocPage sync on free/alloc orders them.
+        let page = SyncVar(0x4000_0000 / 4096);
+        let log: EventLog = vec![
+            mem(t(0), 1, Addr(0x4000_0000), true),
+            sync(t(0), SyncOpKind::AllocPage, page, 1), // free
+            sync(t(1), SyncOpKind::AllocPage, page, 2), // realloc
+            mem(t(1), 2, Addr(0x4000_0000), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0);
+    }
+
+    #[test]
+    fn transitivity_across_two_locks() {
+        // t0 -> (lock A) -> t1 -> (lock B) -> t2: t0's write HB t2's write.
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::LockRelease, v(0), 1),
+            sync(t(1), SyncOpKind::LockAcquire, v(0), 2),
+            sync(t(1), SyncOpKind::LockRelease, v(1), 1),
+            sync(t(2), SyncOpKind::LockAcquire, v(1), 2),
+            mem(t(2), 2, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(detect(&log, 2).static_count(), 0, "HB3 transitivity");
+    }
+
+    #[test]
+    fn frontier_reports_multiple_static_pairs_per_address() {
+        // Three concurrent writers at distinct PCs: every pair races.
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), true),
+            mem(t(1), 2, a(0), true),
+            mem(t(2), 3, a(0), true),
+        ]
+        .into_iter()
+        .collect();
+        let report = detect(&log, 3);
+        assert_eq!(report.static_count(), 3); // (1,2) (1,3) (2,3)
+    }
+
+    #[test]
+    fn timestamp_violations_are_counted() {
+        let mut d = HbDetector::new();
+        d.process(&sync(t(0), SyncOpKind::LockAcquire, v(0), 5));
+        d.process(&sync(t(0), SyncOpKind::LockRelease, v(0), 3));
+        assert_eq!(d.timestamp_violations, 1);
+    }
+
+    #[test]
+    fn dynamic_counts_accumulate_per_static_pair() {
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(mem(t(0), 1, a(0), true));
+            records.push(mem(t(1), 2, a(0), true));
+        }
+        let log: EventLog = records.into_iter().collect();
+        let report = detect(&log, 20);
+        assert_eq!(report.static_count(), 1);
+        assert!(report.static_races[0].count >= 10);
+    }
+
+    #[test]
+    fn history_cap_bounds_memory() {
+        let cfg = HbConfig {
+            max_history_per_location: 4,
+            ..HbConfig::default()
+        };
+        let mut d = HbDetector::with_config(cfg);
+        // 100 concurrent readers of one address.
+        for i in 0..100 {
+            d.process(&mem(t(i), i, a(0), false));
+        }
+        assert_eq!(d.core.tracked_locations(), 1);
+        let report = d.finish(100);
+        // No writes, no races.
+        assert_eq!(report.static_count(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Race reports: dynamic races grouped into static races, with the paper's
+//! rare/frequent classification (§5.3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use literace_sim::{Addr, Pc, ThreadId};
+
+/// One detected dynamic race occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicRace {
+    /// The earlier access's site.
+    pub first_pc: Pc,
+    /// The later access's site.
+    pub second_pc: Pc,
+    /// The address both accesses touched.
+    pub addr: Addr,
+    /// Thread of the earlier access.
+    pub first_tid: ThreadId,
+    /// Thread of the later access.
+    pub second_tid: ThreadId,
+    /// Whether the earlier access was a write.
+    pub first_is_write: bool,
+    /// Whether the later access was a write.
+    pub second_is_write: bool,
+}
+
+impl DynamicRace {
+    /// The unordered, normalized PC pair identifying the static race.
+    pub fn static_key(&self) -> (Pc, Pc) {
+        if self.first_pc <= self.second_pc {
+            (self.first_pc, self.second_pc)
+        } else {
+            (self.second_pc, self.first_pc)
+        }
+    }
+}
+
+/// A static race: a pair of instruction sites observed racing, "roughly a
+/// possible synchronization error in the program" (§5.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticRace {
+    /// Normalized (smaller-first) pair of program counters.
+    pub pcs: (Pc, Pc),
+    /// Dynamic occurrences observed.
+    pub count: u64,
+    /// An example address involved.
+    pub example_addr: Addr,
+    /// Distinct addresses observed racing at this site pair.
+    pub distinct_addrs: u64,
+}
+
+impl StaticRace {
+    /// The paper's rarity rule: a static race is *rare* if it manifested
+    /// fewer than 3 times per million non-stack memory instructions.
+    pub fn is_rare(&self, non_stack_accesses: u64) -> bool {
+        if non_stack_accesses == 0 {
+            return true;
+        }
+        (self.count as f64) * 1_000_000.0 / (non_stack_accesses as f64) < 3.0
+    }
+}
+
+impl fmt::Display for StaticRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race {}↔{} (×{}, e.g. {})",
+            self.pcs.0, self.pcs.1, self.count, self.example_addr
+        )
+    }
+}
+
+/// The result of one detection pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// Static races, sorted by descending dynamic count then by PC pair.
+    pub static_races: Vec<StaticRace>,
+    /// Total dynamic race occurrences.
+    pub dynamic_races: u64,
+    /// Non-stack memory accesses *executed* in the run (the rarity
+    /// denominator); carried on the report for classification.
+    pub non_stack_accesses: u64,
+}
+
+impl RaceReport {
+    /// Builds a report from raw dynamic races.
+    pub fn from_dynamic(races: Vec<DynamicRace>, non_stack_accesses: u64) -> RaceReport {
+        let mut groups: HashMap<(Pc, Pc), StaticRace> = HashMap::new();
+        let mut addr_sets: HashMap<(Pc, Pc), std::collections::HashSet<Addr>> = HashMap::new();
+        let dynamic_races = races.len() as u64;
+        for r in races {
+            let key = r.static_key();
+            let entry = groups.entry(key).or_insert_with(|| StaticRace {
+                pcs: key,
+                count: 0,
+                example_addr: r.addr,
+                distinct_addrs: 0,
+            });
+            entry.count += 1;
+            addr_sets.entry(key).or_default().insert(r.addr);
+        }
+        let mut static_races: Vec<StaticRace> = groups
+            .into_values()
+            .map(|mut s| {
+                s.distinct_addrs = addr_sets[&s.pcs].len() as u64;
+                s
+            })
+            .collect();
+        static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+        RaceReport {
+            static_races,
+            dynamic_races,
+            non_stack_accesses,
+        }
+    }
+
+    /// Number of static races.
+    pub fn static_count(&self) -> usize {
+        self.static_races.len()
+    }
+
+    /// The set of static-race keys (PC pairs).
+    pub fn static_keys(&self) -> std::collections::HashSet<(Pc, Pc)> {
+        self.static_races.iter().map(|s| s.pcs).collect()
+    }
+
+    /// Splits static races into (rare, frequent) by the §5.3.1 rule.
+    pub fn split_by_rarity(&self) -> (Vec<&StaticRace>, Vec<&StaticRace>) {
+        self.static_races
+            .iter()
+            .partition(|s| s.is_rare(self.non_stack_accesses))
+    }
+
+    /// Merges several runs' reports into one aggregate: static races are
+    /// united by PC pair with dynamic counts summed, and the rarity
+    /// denominator accumulates — the way a tester triages races collected
+    /// from many executions of the same binary (§3.1: more runs, more
+    /// coverage).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use literace_detector::RaceReport;
+    /// let merged = RaceReport::merge(std::iter::empty());
+    /// assert_eq!(merged.static_count(), 0);
+    /// ```
+    pub fn merge<'a>(reports: impl IntoIterator<Item = &'a RaceReport>) -> RaceReport {
+        let mut by_key: HashMap<(Pc, Pc), StaticRace> = HashMap::new();
+        let mut dynamic_races = 0;
+        let mut non_stack_accesses = 0;
+        for r in reports {
+            dynamic_races += r.dynamic_races;
+            non_stack_accesses += r.non_stack_accesses;
+            for s in &r.static_races {
+                by_key
+                    .entry(s.pcs)
+                    .and_modify(|acc| {
+                        acc.count += s.count;
+                        acc.distinct_addrs = acc.distinct_addrs.max(s.distinct_addrs);
+                    })
+                    .or_insert_with(|| s.clone());
+            }
+        }
+        let mut static_races: Vec<StaticRace> = by_key.into_values().collect();
+        static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+        RaceReport {
+            static_races,
+            dynamic_races,
+            non_stack_accesses,
+        }
+    }
+
+    /// Detection rate of this report against a ground-truth report: the
+    /// fraction of the truth's static races whose PC pair appears here.
+    pub fn detection_rate_against(&self, truth: &RaceReport) -> f64 {
+        if truth.static_races.is_empty() {
+            return 1.0;
+        }
+        let mine = self.static_keys();
+        let found = truth
+            .static_races
+            .iter()
+            .filter(|s| mine.contains(&s.pcs))
+            .count();
+        found as f64 / truth.static_races.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_sim::FuncId;
+
+    fn pc(i: usize) -> Pc {
+        Pc::new(FuncId::from_index(0), i)
+    }
+
+    fn dr(a: usize, b: usize, addr: u64) -> DynamicRace {
+        DynamicRace {
+            first_pc: pc(a),
+            second_pc: pc(b),
+            addr: Addr::global(addr),
+            first_tid: ThreadId::from_index(0),
+            second_tid: ThreadId::from_index(1),
+            first_is_write: true,
+            second_is_write: false,
+        }
+    }
+
+    #[test]
+    fn static_key_is_order_insensitive() {
+        assert_eq!(dr(1, 2, 0).static_key(), dr(2, 1, 0).static_key());
+    }
+
+    #[test]
+    fn grouping_counts_occurrences_and_addresses() {
+        let races = vec![dr(1, 2, 0), dr(2, 1, 5), dr(3, 4, 0)];
+        let report = RaceReport::from_dynamic(races, 1_000_000);
+        assert_eq!(report.static_count(), 2);
+        assert_eq!(report.dynamic_races, 3);
+        let top = &report.static_races[0];
+        assert_eq!(top.count, 2);
+        assert_eq!(top.distinct_addrs, 2);
+    }
+
+    #[test]
+    fn rarity_threshold_matches_paper() {
+        let s = StaticRace {
+            pcs: (pc(0), pc(1)),
+            count: 2,
+            example_addr: Addr::global(0),
+            distinct_addrs: 1,
+        };
+        // 2 per 1M -> rare; 2 per 0.5M = 4 per 1M -> frequent.
+        assert!(s.is_rare(1_000_000));
+        assert!(!s.is_rare(500_000));
+        // Exactly 3 per million is NOT rare ("fewer than 3").
+        let s3 = StaticRace { count: 3, ..s };
+        assert!(!s3.is_rare(1_000_000));
+    }
+
+    #[test]
+    fn detection_rate() {
+        let truth = RaceReport::from_dynamic(vec![dr(1, 2, 0), dr(3, 4, 0), dr(5, 6, 0)], 100);
+        let partial = RaceReport::from_dynamic(vec![dr(1, 2, 0), dr(5, 6, 1)], 100);
+        let rate = partial.detection_rate_against(&truth);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+        let empty = RaceReport::default();
+        assert_eq!(empty.detection_rate_against(&RaceReport::default()), 1.0);
+        assert_eq!(empty.detection_rate_against(&truth), 0.0);
+    }
+
+    #[test]
+    fn merge_unions_static_races_and_sums_counts() {
+        let a = RaceReport::from_dynamic(vec![dr(1, 2, 0), dr(1, 2, 3)], 100);
+        let b = RaceReport::from_dynamic(vec![dr(1, 2, 0), dr(5, 6, 0)], 200);
+        let merged = RaceReport::merge([&a, &b]);
+        assert_eq!(merged.static_count(), 2);
+        assert_eq!(merged.dynamic_races, 4);
+        assert_eq!(merged.non_stack_accesses, 300);
+        let pair12 = merged
+            .static_races
+            .iter()
+            .find(|s| s.pcs == (pc(1), pc(2)))
+            .unwrap();
+        assert_eq!(pair12.count, 3);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged = RaceReport::merge(std::iter::empty());
+        assert_eq!(merged, RaceReport::default());
+    }
+
+    #[test]
+    fn split_by_rarity_partitions() {
+        let mut races = vec![dr(1, 2, 0)];
+        for _ in 0..100 {
+            races.push(dr(3, 4, 0));
+        }
+        let report = RaceReport::from_dynamic(races, 1_000_000);
+        let (rare, freq) = report.split_by_rarity();
+        assert_eq!(rare.len(), 1);
+        assert_eq!(freq.len(), 1);
+        assert_eq!(freq[0].pcs, (pc(3), pc(4)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Race-report triage filters.
+//!
+//! The paper notes that "some of the data races found could be benign"
+//! (§5.3.1): in practice a race detector needs a suppression mechanism so
+//! known-benign sites stop burying new findings. [`Suppressions`] filters a
+//! [`RaceReport`] by the names of the functions containing either racing
+//! site — the stable, human-meaningful identity a triager works with.
+
+use literace_sim::Program;
+
+use crate::report::RaceReport;
+
+/// A set of suppression rules applied to race reports.
+///
+/// Rules are simple substring patterns matched against the *names* of the
+/// two functions containing a static race's program counters; a race is
+/// suppressed when any pattern matches either function.
+///
+/// # Examples
+///
+/// ```
+/// use literace_detector::Suppressions;
+/// let rules = Suppressions::from_patterns(["stats_", "logging_"]);
+/// assert!(rules.matches("stats_counter_bump", "worker"));
+/// assert!(!rules.matches("worker", "list_insert"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Suppressions {
+    patterns: Vec<String>,
+}
+
+impl Suppressions {
+    /// An empty rule set (suppresses nothing).
+    pub fn new() -> Suppressions {
+        Suppressions::default()
+    }
+
+    /// Adds a substring pattern.
+    pub fn add(&mut self, pattern: impl Into<String>) -> &mut Suppressions {
+        self.patterns.push(pattern.into());
+        self
+    }
+
+    /// Builds a rule set from an iterator of patterns.
+    pub fn from_patterns<I, S>(patterns: I) -> Suppressions
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Suppressions {
+            patterns: patterns.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the rule set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Whether a race between functions named `a` and `b` is suppressed.
+    pub fn matches(&self, a: &str, b: &str) -> bool {
+        self.patterns
+            .iter()
+            .any(|p| a.contains(p.as_str()) || b.contains(p.as_str()))
+    }
+
+    /// Returns `report` with suppressed static races removed (their dynamic
+    /// occurrences are subtracted from the total), plus the number of
+    /// suppressed static races.
+    pub fn apply(&self, report: &RaceReport, program: &Program) -> (RaceReport, usize) {
+        if self.is_empty() {
+            return (report.clone(), 0);
+        }
+        let mut kept = report.clone();
+        let before = kept.static_races.len();
+        kept.static_races.retain(|race| {
+            let fa = &program.function(race.pcs.0.func()).name;
+            let fb = &program.function(race.pcs.1.func()).name;
+            if self.matches(fa, fb) {
+                kept.dynamic_races = kept.dynamic_races.saturating_sub(race.count);
+                false
+            } else {
+                true
+            }
+        });
+        let suppressed = before - kept.static_races.len();
+        (kept, suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::detect;
+    use literace_log::{EventLog, Record, SamplerMask};
+    use literace_sim::{Addr, Pc, ProgramBuilder, Rvalue, ThreadId};
+
+    fn racy_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g1 = b.global_word("g1");
+        let g2 = b.global_word("g2");
+        let benign = b.function("stats_counter", 0, move |f| {
+            f.write(g1);
+        });
+        let real = b.function("list_insert", 0, move |f| {
+            f.write(g2);
+        });
+        b.entry_fn("main", move |f| {
+            let mut hs = vec![];
+            for _ in 0..2 {
+                hs.push(f.spawn(benign, Rvalue::Const(0)));
+                hs.push(f.spawn(real, Rvalue::Const(0)));
+            }
+            for h in hs {
+                f.join(h);
+            }
+        });
+        b.build().unwrap()
+    }
+
+    fn report_for(program: &Program) -> RaceReport {
+        // Build the log by hand from the known racy sites to keep the test
+        // focused on the filter; integration tests cover the pipeline.
+        let benign = program.function_by_name("stats_counter").unwrap();
+        let real = program.function_by_name("list_insert").unwrap();
+        let mut log = EventLog::new();
+        for (f, addr, t) in [
+            (benign, 0u64, 0usize),
+            (benign, 0, 1),
+            (real, 1, 2),
+            (real, 1, 3),
+        ] {
+            log.push(Record::Mem {
+                tid: ThreadId::from_index(t),
+                pc: Pc::new(f, 0),
+                addr: Addr::global(addr),
+                is_write: true,
+                mask: SamplerMask::FULL,
+            });
+        }
+        detect(&log, 4)
+    }
+
+    #[test]
+    fn suppression_by_function_name() {
+        let program = racy_program();
+        let report = report_for(&program);
+        assert_eq!(report.static_count(), 2);
+        let rules = Suppressions::from_patterns(["stats_"]);
+        let (filtered, suppressed) = rules.apply(&report, &program);
+        assert_eq!(suppressed, 1);
+        assert_eq!(filtered.static_count(), 1);
+        let survivor = &filtered.static_races[0];
+        assert_eq!(
+            program.function(survivor.pcs.0.func()).name,
+            "list_insert"
+        );
+    }
+
+    #[test]
+    fn empty_rules_are_identity() {
+        let program = racy_program();
+        let report = report_for(&program);
+        let (filtered, suppressed) = Suppressions::new().apply(&report, &program);
+        assert_eq!(suppressed, 0);
+        assert_eq!(filtered, report);
+    }
+
+    #[test]
+    fn dynamic_counts_follow_suppression() {
+        let program = racy_program();
+        let report = report_for(&program);
+        let total = report.dynamic_races;
+        let rules = Suppressions::from_patterns(["stats_counter"]);
+        let (filtered, _) = rules.apply(&report, &program);
+        assert!(filtered.dynamic_races < total);
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)]
+    fn rule_bookkeeping() {
+        let mut r = Suppressions::new();
+        assert!(r.is_empty());
+        r.add("alpha_").add("beta_");
+        assert_eq!(r.len(), 2);
+        assert!(r.matches("alpha_function", "other"));
+        assert!(r.matches("other", "beta_function"));
+        assert!(!r.matches("other", "gamma_function"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the vector-clock lattice: the happens-before core's
+//! correctness rests on these algebraic laws.
+
+use literace_detector::VectorClock;
+use literace_sim::ThreadId;
+use proptest::prelude::*;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u64..50, 0..8).prop_map(|components| {
+        let mut c = VectorClock::new();
+        for (i, v) in components.into_iter().enumerate() {
+            c.set(ThreadId::from_index(i), v);
+        }
+        c
+    })
+}
+
+fn joined(a: &VectorClock, b: &VectorClock) -> VectorClock {
+    let mut j = a.clone();
+    j.join(b);
+    j
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ≤ is reflexive.
+    #[test]
+    fn le_reflexive(a in arb_clock()) {
+        prop_assert!(a.le(&a));
+    }
+
+    /// ≤ is antisymmetric up to component equality.
+    #[test]
+    fn le_antisymmetric(a in arb_clock(), b in arb_clock()) {
+        if a.le(&b) && b.le(&a) {
+            for i in 0..8 {
+                let t = ThreadId::from_index(i);
+                prop_assert_eq!(a.get(t), b.get(t));
+            }
+        }
+    }
+
+    /// ≤ is transitive.
+    #[test]
+    fn le_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    /// join is the least upper bound: an upper bound of both operands, and
+    /// below any other upper bound.
+    #[test]
+    fn join_is_lub(a in arb_clock(), b in arb_clock(), other in arb_clock()) {
+        let j = joined(&a, &b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        if a.le(&other) && b.le(&other) {
+            prop_assert!(j.le(&other));
+        }
+    }
+
+    /// join is commutative, associative and idempotent.
+    #[test]
+    fn join_lattice_laws(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert_eq!(joined(&a, &b), joined(&b, &a));
+        prop_assert_eq!(joined(&joined(&a, &b), &c), joined(&a, &joined(&b, &c)));
+        prop_assert_eq!(joined(&a, &a), a.clone());
+    }
+
+    /// Concurrency is symmetric and exclusive with ordering.
+    #[test]
+    fn concurrency_properties(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        if a.concurrent(&b) {
+            prop_assert!(!a.le(&b));
+            prop_assert!(!b.le(&a));
+        } else {
+            prop_assert!(a.le(&b) || b.le(&a));
+        }
+    }
+
+    /// Incrementing a component strictly increases the clock.
+    #[test]
+    fn increment_strictly_increases(a in arb_clock(), t in 0usize..8) {
+        let before = a.clone();
+        let mut after = a;
+        after.increment(ThreadId::from_index(t));
+        prop_assert!(before.le(&after));
+        prop_assert!(!after.le(&before));
+    }
+
+    /// partial_cmp agrees with le in both directions.
+    #[test]
+    fn partial_cmp_consistent(a in arb_clock(), b in arb_clock()) {
+        use std::cmp::Ordering::*;
+        match a.partial_cmp(&b) {
+            Some(Less) => prop_assert!(a.le(&b) && !b.le(&a)),
+            Some(Greater) => prop_assert!(b.le(&a) && !a.le(&b)),
+            Some(Equal) => prop_assert!(a.le(&b) && b.le(&a)),
+            None => prop_assert!(a.concurrent(&b)),
+        }
+    }
+}

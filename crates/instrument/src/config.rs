@@ -1,0 +1,258 @@
+//! Instrumentation configuration and overhead accounting.
+
+use literace_samplers::BackoffSchedule;
+use serde::{Deserialize, Serialize};
+
+use crate::timestamps::PAPER_COUNTER_COUNT;
+
+/// Modeled cost, in abstract instructions, of each instrumentation action.
+///
+/// The dispatch check's cost comes straight from the paper (§4.1: "8
+/// instructions with 3 memory references and 1 branch"); the logging costs
+/// cover computing the record, writing it to the thread-local buffer, and —
+/// for synchronization — taking the logical timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentCosts {
+    /// Per function entry (the dispatch check).
+    pub dispatch_check: u64,
+    /// Per logged memory access.
+    pub mem_log: u64,
+    /// Per logged synchronization operation (incl. timestamping).
+    pub sync_log: u64,
+    /// Extra penalty when the timestamp counter was last touched by a
+    /// different thread (cache-line transfer).
+    pub contended_stamp: u64,
+    /// Per allocation-as-synchronization record (§4.3).
+    pub alloc_sync: u64,
+}
+
+impl InstrumentCosts {
+    /// Default calibration. The dispatch check is 8 instructions straight
+    /// from §4.1; the logging costs cover record construction, the
+    /// thread-local buffer write and its amortized drain to disk — tens of
+    /// instructions per record, which is what makes full logging an order
+    /// of magnitude slower than baseline on access-dense code (Table 5).
+    pub const DEFAULT: InstrumentCosts = InstrumentCosts {
+        dispatch_check: 8,
+        mem_log: 60,
+        sync_log: 40,
+        contended_stamp: 20,
+        alloc_sync: 40,
+    };
+}
+
+impl Default for InstrumentCosts {
+    fn default() -> InstrumentCosts {
+        InstrumentCosts::DEFAULT
+    }
+}
+
+/// How memory accesses inside loops are sampled once a function execution is
+/// being logged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LoopPolicy {
+    /// The paper's shipped design: the whole function execution is logged.
+    #[default]
+    FunctionGranularity,
+    /// The paper's §7 future-work extension: within one sampled function
+    /// execution, loop iterations back off per this schedule, so
+    /// high-trip-count loops stop dominating the log.
+    AdaptiveLoops(BackoffSchedule),
+}
+
+
+/// Which memory accesses an instrumented function execution actually logs.
+///
+/// The paper samples *code regions*; QVM (related work, §6.2) samples
+/// *objects* instead. [`AccessPolicy::AddressHash`] is that object-centric
+/// alternative: a fixed pseudo-random subset of addresses is logged from
+/// every execution. Because both endpoints of a race share the address,
+/// detection degrades *linearly* with the sampling rate instead of
+/// quadratically — at the price of never covering the unselected addresses,
+/// however long the program runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AccessPolicy {
+    /// Log every access of an instrumented execution (the paper's design).
+    #[default]
+    All,
+    /// Log only accesses whose address hashes into the kept fraction.
+    AddressHash {
+        /// Fraction of addresses kept, in `[0, 1]`.
+        keep_fraction: f64,
+    },
+}
+
+impl AccessPolicy {
+    /// Whether an access to `addr` is logged under this policy.
+    pub fn keeps(&self, addr: literace_sim::Addr) -> bool {
+        match *self {
+            AccessPolicy::All => true,
+            AccessPolicy::AddressHash { keep_fraction } => {
+                let h = addr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+                ((h % 10_000) as f64) < keep_fraction * 10_000.0
+            }
+        }
+    }
+}
+
+/// Full instrumentation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentConfig {
+    /// Action costs.
+    pub costs: InstrumentCosts,
+    /// Per-access filter applied within instrumented executions
+    /// (object-centric sampling, related work §6.2).
+    pub access_policy: AccessPolicy,
+    /// Whether §4.3 allocation-as-synchronization is enabled. Disabling it
+    /// reproduces the false positives the paper warns about (for ablation).
+    pub alloc_sync: bool,
+    /// Whether synchronization operations are logged at all. Disabling this
+    /// models the paper's "dispatch check only" overhead configuration
+    /// (Figure 6); it also breaks soundness, as Figure 2 demonstrates.
+    pub sync_logging: bool,
+    /// Whether the dispatch check is performed (and charged). Full logging
+    /// (§5.4) has no dispatch checks or cloned code.
+    pub dispatch_checks: bool,
+    /// Size of the logical-timestamp counter bank (§4.2; the paper uses
+    /// 128, a single counter models the naive global-counter design).
+    pub timestamp_counters: usize,
+    /// Loop-granularity sampling policy (§7 extension).
+    pub loop_policy: LoopPolicy,
+    /// Whether thread begin/end markers are written.
+    pub log_markers: bool,
+}
+
+impl Default for InstrumentConfig {
+    fn default() -> InstrumentConfig {
+        InstrumentConfig {
+            costs: InstrumentCosts::DEFAULT,
+            access_policy: AccessPolicy::All,
+            alloc_sync: true,
+            sync_logging: true,
+            dispatch_checks: true,
+            timestamp_counters: PAPER_COUNTER_COUNT,
+            loop_policy: LoopPolicy::FunctionGranularity,
+            log_markers: true,
+        }
+    }
+}
+
+impl InstrumentConfig {
+    /// The configuration used for the paper's full-logging comparison
+    /// (§5.4): every access logged, no dispatch checks, no cloned code.
+    pub fn full_logging() -> InstrumentConfig {
+        InstrumentConfig {
+            dispatch_checks: false,
+            ..InstrumentConfig::default()
+        }
+    }
+}
+
+/// Modeled instrumentation overhead, decomposed as in Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Cost of dispatch checks.
+    pub dispatch: u64,
+    /// Cost of logging synchronization operations (incl. §4.3 records and
+    /// timestamp contention penalties).
+    pub sync_logging: u64,
+    /// Cost of logging sampled memory accesses.
+    pub mem_logging: u64,
+}
+
+impl OverheadBreakdown {
+    /// Total modeled overhead.
+    pub fn total(&self) -> u64 {
+        self.dispatch + self.sync_logging + self.mem_logging
+    }
+
+    /// Slowdown factor relative to a baseline cost: `(base + overhead) /
+    /// base`. Returns 1.0 for a zero baseline.
+    pub fn slowdown(&self, baseline_cost: u64) -> f64 {
+        if baseline_cost == 0 {
+            return 1.0;
+        }
+        (baseline_cost + self.total()) as f64 / baseline_cost as f64
+    }
+}
+
+/// Counters describing what the instrumentation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrStats {
+    /// Data memory accesses executed (sampled or not).
+    pub total_mem: u64,
+    /// Data memory accesses logged.
+    pub logged_mem: u64,
+    /// Synchronization records written (incl. allocation sync).
+    pub sync_records: u64,
+    /// Dispatch checks executed.
+    pub dispatch_checks: u64,
+    /// Function executions that ran the instrumented copy.
+    pub instrumented_entries: u64,
+}
+
+impl InstrStats {
+    /// Effective sampling rate: logged / total memory accesses (Table 3).
+    pub fn esr(&self) -> f64 {
+        if self.total_mem == 0 {
+            return 0.0;
+        }
+        self.logged_mem as f64 / self.total_mem as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_check_cost_matches_paper() {
+        assert_eq!(InstrumentCosts::DEFAULT.dispatch_check, 8);
+    }
+
+    #[test]
+    fn overhead_totals_and_slowdown() {
+        let o = OverheadBreakdown {
+            dispatch: 10,
+            sync_logging: 20,
+            mem_logging: 70,
+        };
+        assert_eq!(o.total(), 100);
+        assert!((o.slowdown(100) - 2.0).abs() < 1e-12);
+        assert_eq!(o.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn esr_guards_division_by_zero() {
+        assert_eq!(InstrStats::default().esr(), 0.0);
+        let s = InstrStats {
+            total_mem: 200,
+            logged_mem: 4,
+            ..InstrStats::default()
+        };
+        assert!((s.esr() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn address_hash_policy_is_deterministic_and_proportional() {
+        let policy = AccessPolicy::AddressHash { keep_fraction: 0.1 };
+        let kept = (0..100_000u64)
+            .filter(|i| policy.keeps(literace_sim::Addr(0x1000_0000 + i * 8)))
+            .count();
+        let frac = kept as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "kept {frac}");
+        // Determinism: the same address always gets the same verdict.
+        let a = literace_sim::Addr(0x1000_0040);
+        assert_eq!(policy.keeps(a), policy.keeps(a));
+        assert!(AccessPolicy::All.keeps(a));
+    }
+
+    #[test]
+    fn full_logging_config_disables_dispatch() {
+        let c = InstrumentConfig::full_logging();
+        assert!(!c.dispatch_checks);
+        assert!(c.sync_logging);
+        assert!(c.alloc_sync);
+    }
+}

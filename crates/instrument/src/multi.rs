@@ -1,0 +1,310 @@
+//! The §5.3 evaluation mode: full logging plus simultaneous dispatch-check
+//! simulation for many samplers.
+//!
+//! Two executions of a multithreaded program need not interleave alike, so
+//! the paper compares samplers by running a *modified* LiteRace that logs
+//! everything while also executing every evaluated sampler's dispatch logic
+//! at each function entry and marking, per memory operation, which samplers
+//! would have logged it. Detection on the full log gives ground truth;
+//! detection on each sampler's marked subset gives its detection rate — all
+//! from one identical interleaving. [`MultiSamplerInstrumenter`] is that
+//! modified build.
+
+use literace_log::{EventLog, Record, SamplerMask};
+use literace_samplers::Sampler;
+use literace_sim::{alloc_page_var, pages_of, Event, Observer, SyncOpKind, ThreadId};
+
+use crate::config::InstrumentConfig;
+use crate::timestamps::TimestampBank;
+
+/// Per-sampler activity counters from a marked run.
+#[derive(Debug, Clone, Default)]
+pub struct PerSamplerStats {
+    /// Memory accesses this sampler would have logged.
+    pub logged_mem: u64,
+    /// Function executions this sampler would have instrumented.
+    pub instrumented_entries: u64,
+}
+
+/// Output of a marked evaluation run.
+#[derive(Debug)]
+pub struct MultiSamplerOutput {
+    /// Full log; every memory record's mask says which samplers keep it.
+    pub log: EventLog,
+    /// Sampler names, index-aligned with mask bits.
+    pub sampler_names: Vec<String>,
+    /// Per-sampler counters, index-aligned with mask bits.
+    pub per_sampler: Vec<PerSamplerStats>,
+    /// Total memory accesses executed (the ESR denominator).
+    pub total_mem: u64,
+    /// Total function entries (dispatch checks per sampler).
+    pub func_entries: u64,
+}
+
+impl MultiSamplerOutput {
+    /// Effective sampling rate of sampler `i` (Table 3).
+    pub fn esr(&self, i: usize) -> f64 {
+        if self.total_mem == 0 {
+            return 0.0;
+        }
+        self.per_sampler[i].logged_mem as f64 / self.total_mem as f64
+    }
+}
+
+/// The marked-run observer: full logging + N simulated dispatch checks.
+pub struct MultiSamplerInstrumenter {
+    samplers: Vec<Box<dyn Sampler>>,
+    cfg: InstrumentConfig,
+    bank: TimestampBank,
+    log: EventLog,
+    /// Per-thread stack of per-frame masks.
+    frames: Vec<Vec<SamplerMask>>,
+    per_sampler: Vec<PerSamplerStats>,
+    total_mem: u64,
+    func_entries: u64,
+}
+
+impl std::fmt::Debug for MultiSamplerInstrumenter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSamplerInstrumenter")
+            .field("samplers", &self.samplers.len())
+            .field("log_len", &self.log.len())
+            .field("total_mem", &self.total_mem)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiSamplerInstrumenter {
+    /// Creates a marked-run observer over the given samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 samplers are supplied (mask width) or none.
+    pub fn new(samplers: Vec<Box<dyn Sampler>>, cfg: InstrumentConfig) -> MultiSamplerInstrumenter {
+        assert!(
+            !samplers.is_empty() && samplers.len() <= 32,
+            "need 1..=32 samplers, got {}",
+            samplers.len()
+        );
+        let n = samplers.len();
+        let bank = TimestampBank::with_counters(cfg.timestamp_counters);
+        MultiSamplerInstrumenter {
+            samplers,
+            cfg,
+            bank,
+            log: EventLog::new(),
+            frames: Vec::new(),
+            per_sampler: vec![PerSamplerStats::default(); n],
+            total_mem: 0,
+            func_entries: 0,
+        }
+    }
+
+    /// Finishes the run.
+    pub fn finish(self) -> MultiSamplerOutput {
+        MultiSamplerOutput {
+            log: self.log,
+            sampler_names: self
+                .samplers
+                .iter()
+                .map(|s| s.name().to_owned())
+                .collect(),
+            per_sampler: self.per_sampler,
+            total_mem: self.total_mem,
+            func_entries: self.func_entries,
+        }
+    }
+
+    fn frames_mut(&mut self, tid: ThreadId) -> &mut Vec<SamplerMask> {
+        let i = tid.index();
+        if i >= self.frames.len() {
+            self.frames.resize_with(i + 1, Vec::new);
+        }
+        &mut self.frames[i]
+    }
+}
+
+impl Observer for MultiSamplerInstrumenter {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::ThreadStart { tid, .. } => {
+                if self.cfg.log_markers {
+                    self.log.push(Record::ThreadBegin { tid });
+                }
+            }
+            Event::ThreadExit { tid } => {
+                if self.cfg.log_markers {
+                    self.log.push(Record::ThreadEnd { tid });
+                }
+            }
+            Event::FunctionEntry { tid, func } => {
+                self.func_entries += 1;
+                let mut mask = SamplerMask::EMPTY;
+                for (i, s) in self.samplers.iter_mut().enumerate() {
+                    if s.dispatch(tid, func).is_sampled() {
+                        mask = mask.union(SamplerMask::bit(i));
+                        self.per_sampler[i].instrumented_entries += 1;
+                    }
+                }
+                self.frames_mut(tid).push(mask);
+            }
+            Event::FunctionExit { tid, .. } => {
+                self.frames_mut(tid).pop();
+            }
+            Event::LoopIter { .. } => {}
+            Event::MemRead { tid, pc, addr } | Event::MemWrite { tid, pc, addr } => {
+                self.total_mem += 1;
+                let is_write = matches!(event, Event::MemWrite { .. });
+                let mask = self
+                    .frames_mut(tid)
+                    .last()
+                    .copied()
+                    .unwrap_or(SamplerMask::EMPTY);
+                for (i, st) in self.per_sampler.iter_mut().enumerate() {
+                    if mask.contains(i) {
+                        st.logged_mem += 1;
+                    }
+                }
+                // Full logging: the record is always written; the mask says
+                // which samplers keep it during subset detection.
+                self.log.push(Record::Mem {
+                    tid,
+                    pc,
+                    addr,
+                    is_write,
+                    mask,
+                });
+            }
+            Event::Sync { tid, pc, kind, var } => {
+                let timestamp = self.bank.stamp(tid, var);
+                self.log.push(Record::Sync {
+                    tid,
+                    pc,
+                    kind,
+                    var,
+                    timestamp,
+                });
+            }
+            Event::Alloc {
+                tid,
+                pc,
+                base,
+                words,
+            }
+            | Event::Free {
+                tid,
+                pc,
+                base,
+                words,
+            } => {
+                if self.cfg.alloc_sync {
+                    for page in pages_of(base, words) {
+                        let var = alloc_page_var(page);
+                        let timestamp = self.bank.stamp(tid, var);
+                        self.log.push(Record::Sync {
+                            tid,
+                            pc,
+                            kind: SyncOpKind::AllocPage,
+                            var,
+                            timestamp,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_samplers::SamplerKind;
+    use literace_sim::{
+        lower, Machine, MachineConfig, ProgramBuilder, RandomScheduler,
+    };
+
+    fn run_marked(
+        kinds: &[SamplerKind],
+        build: impl FnOnce(&mut ProgramBuilder),
+        seed: u64,
+    ) -> MultiSamplerOutput {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let compiled = lower(&b.build().unwrap());
+        let samplers = kinds.iter().map(|k| k.build(seed)).collect();
+        let mut obs = MultiSamplerInstrumenter::new(samplers, InstrumentConfig::default());
+        Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(seed), &mut obs)
+            .unwrap();
+        obs.finish()
+    }
+
+    fn hot_loop(b: &mut ProgramBuilder) {
+        let g = b.global_word("g");
+        let hot = b.function("hot", 0, move |f| {
+            f.read(g);
+        });
+        b.entry_fn("main", move |f| {
+            f.loop_(20_000, |f| {
+                f.call(hot);
+            });
+        });
+    }
+
+    #[test]
+    fn all_memory_records_are_logged_regardless_of_masks() {
+        let out = run_marked(&[SamplerKind::TlAdaptive, SamplerKind::Never], hot_loop, 0);
+        assert_eq!(out.log.mem_count() as u64, out.total_mem);
+        assert_eq!(out.total_mem, 20_000);
+    }
+
+    #[test]
+    fn subset_extraction_matches_per_sampler_counts() {
+        let out = run_marked(
+            &[SamplerKind::TlAdaptive, SamplerKind::Rnd10, SamplerKind::Always],
+            hot_loop,
+            1,
+        );
+        for i in 0..3 {
+            let subset = out.log.sampler_subset(i);
+            assert_eq!(
+                subset.mem_count() as u64,
+                out.per_sampler[i].logged_mem,
+                "sampler {i}"
+            );
+            // Sync records survive every subset.
+            assert_eq!(subset.sync_count(), out.log.sync_count());
+        }
+    }
+
+    #[test]
+    fn always_sampler_mask_covers_everything() {
+        let out = run_marked(&[SamplerKind::Always], hot_loop, 0);
+        assert_eq!(out.per_sampler[0].logged_mem, out.total_mem);
+        assert!((out.esr(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tl_ad_esr_is_far_below_random_10() {
+        let out = run_marked(&[SamplerKind::TlAdaptive, SamplerKind::Rnd10], hot_loop, 2);
+        let tl = out.esr(0);
+        let rnd = out.esr(1);
+        assert!(tl < 0.02, "TL-Ad esr {tl}");
+        assert!((rnd - 0.10).abs() < 0.02, "Rnd10 esr {rnd}");
+    }
+
+    #[test]
+    fn sampler_names_are_index_aligned() {
+        let out = run_marked(&[SamplerKind::GlobalFixed, SamplerKind::UnCold], hot_loop, 0);
+        assert_eq!(out.sampler_names, vec!["G-Fx", "UCP"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 samplers")]
+    fn too_many_samplers_rejected() {
+        let samplers: Vec<Box<dyn Sampler>> = (0..33)
+            .map(|_| SamplerKind::Always.build(0))
+            .collect();
+        let _ = MultiSamplerInstrumenter::new(samplers, InstrumentConfig::default());
+    }
+}

@@ -1,0 +1,437 @@
+//! The LiteRace instrumentation pass, as a simulator observer.
+//!
+//! In the paper, Phoenix rewrites each function into an instrumented and an
+//! uninstrumented copy plus a dispatch check (Figure 3). In our substrate
+//! the behaviour of both copies is identical — only what gets *logged* and
+//! what it *costs* differ — so the entire pass is an [`Observer`]:
+//!
+//! * at every `FunctionEntry` it runs the sampler (the dispatch check) and
+//!   remembers the decision for the frame;
+//! * memory accesses are logged only from instrumented frames;
+//! * synchronization operations are logged from **both** copies, with
+//!   logical timestamps (§4.2) — never sampling these is what guarantees no
+//!   false positives (Figure 2);
+//! * allocations and frees emit page-synchronization records (§4.3).
+
+use std::collections::HashMap;
+
+use literace_log::{EventLog, Record, SamplerMask};
+use literace_samplers::{BurstState, Sampler};
+use literace_sim::{alloc_page_var, pages_of, Event, Observer, Pc, SyncOpKind, SyncVar, ThreadId};
+
+use crate::config::{InstrStats, InstrumentConfig, LoopPolicy, OverheadBreakdown};
+use crate::timestamps::TimestampBank;
+
+/// Everything a LiteRace run produces.
+#[derive(Debug)]
+pub struct InstrumentOutput {
+    /// The event log (sync always; memory accesses as sampled).
+    pub log: EventLog,
+    /// Modeled overhead, decomposed as in Figure 6.
+    pub overhead: OverheadBreakdown,
+    /// Activity counters (ESR numerator/denominator etc.).
+    pub stats: InstrStats,
+    /// Fraction of timestamp stamps that were contended.
+    pub timestamp_contention: f64,
+    /// Average modeled cache-line transfers per stamp (the §4.2 cost of
+    /// sharing timestamp counters; ~threads−1 for a single global counter).
+    pub contention_units_per_stamp: f64,
+}
+
+#[derive(Debug)]
+struct FrameInfo {
+    instrumented: bool,
+    /// Whether the current loop iteration is sampled (always true at
+    /// function granularity).
+    iter_sampled: bool,
+    /// Per-loop-head back-off state (only under `LoopPolicy::AdaptiveLoops`).
+    loops: Option<HashMap<u64, BurstState>>,
+}
+
+/// The single-sampler instrumentation observer.
+#[derive(Debug)]
+pub struct Instrumenter<S> {
+    sampler: S,
+    cfg: InstrumentConfig,
+    bank: TimestampBank,
+    log: EventLog,
+    frames: Vec<Vec<FrameInfo>>,
+    stats: InstrStats,
+    overhead: OverheadBreakdown,
+}
+
+impl<S: Sampler> Instrumenter<S> {
+    /// Creates an instrumenter with the given sampler and configuration.
+    pub fn new(sampler: S, cfg: InstrumentConfig) -> Instrumenter<S> {
+        let bank = TimestampBank::with_counters(cfg.timestamp_counters);
+        Instrumenter {
+            sampler,
+            cfg,
+            bank,
+            log: EventLog::new(),
+            frames: Vec::new(),
+            stats: InstrStats::default(),
+            overhead: OverheadBreakdown::default(),
+        }
+    }
+
+    /// Finishes the run, returning the log, overhead and statistics.
+    pub fn finish(self) -> InstrumentOutput {
+        let units_per_stamp = if self.bank.total_stamps == 0 {
+            0.0
+        } else {
+            self.bank.contention_units as f64 / self.bank.total_stamps as f64
+        };
+        InstrumentOutput {
+            log: self.log,
+            overhead: self.overhead,
+            stats: self.stats,
+            timestamp_contention: self.bank.contention_rate(),
+            contention_units_per_stamp: units_per_stamp,
+        }
+    }
+
+    /// The sampler, for inspection.
+    pub fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    fn frames_mut(&mut self, tid: ThreadId) -> &mut Vec<FrameInfo> {
+        let i = tid.index();
+        if i >= self.frames.len() {
+            self.frames.resize_with(i + 1, Vec::new);
+        }
+        &mut self.frames[i]
+    }
+
+    fn log_sync(&mut self, tid: ThreadId, pc: Pc, kind: SyncOpKind, var: SyncVar, alloc: bool) {
+        if !self.cfg.sync_logging {
+            return;
+        }
+        let units_before = self.bank.contention_units;
+        let timestamp = self.bank.stamp(tid, var);
+        let transfer_units = self.bank.contention_units - units_before;
+        self.log.push(Record::Sync {
+            tid,
+            pc,
+            kind,
+            var,
+            timestamp,
+        });
+        self.stats.sync_records += 1;
+        let base = if alloc {
+            self.cfg.costs.alloc_sync
+        } else {
+            self.cfg.costs.sync_log
+        };
+        // A contended stamp pays one cache-line transfer, however many
+        // threads are queued behind it (the queueing itself is what the
+        // ablation's `contention_units` metric measures).
+        self.overhead.sync_logging += base
+            + if transfer_units > 0 {
+                self.cfg.costs.contended_stamp
+            } else {
+                0
+            };
+    }
+}
+
+impl<S: Sampler> Observer for Instrumenter<S> {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::ThreadStart { tid, .. } => {
+                if self.cfg.log_markers {
+                    self.log.push(Record::ThreadBegin { tid });
+                }
+            }
+            Event::ThreadExit { tid } => {
+                if self.cfg.log_markers {
+                    self.log.push(Record::ThreadEnd { tid });
+                }
+            }
+            Event::FunctionEntry { tid, func } => {
+                let decision = if self.cfg.dispatch_checks {
+                    self.stats.dispatch_checks += 1;
+                    self.overhead.dispatch += self.cfg.costs.dispatch_check;
+                    self.sampler.dispatch(tid, func).is_sampled()
+                } else {
+                    // Full logging: no dispatch, everything instrumented.
+                    true
+                };
+                if decision {
+                    self.stats.instrumented_entries += 1;
+                }
+                let loops = match (&self.cfg.loop_policy, decision) {
+                    (LoopPolicy::AdaptiveLoops(_), true) => Some(HashMap::new()),
+                    _ => None,
+                };
+                self.frames_mut(tid).push(FrameInfo {
+                    instrumented: decision,
+                    iter_sampled: true,
+                    loops,
+                });
+            }
+            Event::FunctionExit { tid, .. } => {
+                self.frames_mut(tid).pop();
+            }
+            Event::LoopIter { tid, head, .. } => {
+                let policy = self.cfg.loop_policy.clone();
+                if let LoopPolicy::AdaptiveLoops(schedule) = policy {
+                    if let Some(frame) = self.frames_mut(tid).last_mut() {
+                        if frame.instrumented {
+                            let loops = frame.loops.get_or_insert_with(HashMap::new);
+                            let st = loops.entry(head.0).or_insert_with(BurstState::new);
+                            frame.iter_sampled = st.step(&schedule);
+                        }
+                    }
+                }
+            }
+            Event::MemRead { tid, pc, addr } | Event::MemWrite { tid, pc, addr } => {
+                self.stats.total_mem += 1;
+                let is_write = matches!(event, Event::MemWrite { .. });
+                let sampled = self
+                    .frames_mut(tid)
+                    .last()
+                    .map(|f| f.instrumented && f.iter_sampled)
+                    .unwrap_or(false);
+                if sampled && self.cfg.access_policy.keeps(addr) {
+                    self.log.push(Record::Mem {
+                        tid,
+                        pc,
+                        addr,
+                        is_write,
+                        mask: SamplerMask::bit(0),
+                    });
+                    self.stats.logged_mem += 1;
+                    self.overhead.mem_logging += self.cfg.costs.mem_log;
+                }
+            }
+            Event::Sync { tid, pc, kind, var } => {
+                self.log_sync(tid, pc, kind, var, false);
+            }
+            Event::Alloc {
+                tid,
+                pc,
+                base,
+                words,
+            }
+            | Event::Free {
+                tid,
+                pc,
+                base,
+                words,
+            } => {
+                if self.cfg.alloc_sync {
+                    for page in pages_of(base, words) {
+                        self.log_sync(tid, pc, SyncOpKind::AllocPage, alloc_page_var(page), true);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_samplers::{AlwaysSampler, NeverSampler, SamplerKind};
+    use literace_sim::{
+        lower, Machine, MachineConfig, ProgramBuilder, RandomScheduler, Rvalue,
+    };
+
+    fn run<S: Sampler>(
+        sampler: S,
+        cfg: InstrumentConfig,
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (InstrumentOutput, literace_sim::RunSummary) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let compiled = lower(&b.build().unwrap());
+        let mut inst = Instrumenter::new(sampler, cfg);
+        let summary = Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(0), &mut inst)
+            .unwrap();
+        (inst.finish(), summary)
+    }
+
+    fn racy_two_threads(b: &mut ProgramBuilder) {
+        let g = b.global_word("g");
+        let m = b.mutex("m");
+        let w = b.function("w", 0, move |f| {
+            f.lock(m);
+            f.write(g);
+            f.unlock(m);
+            f.loop_(100, |f| {
+                f.read(g);
+            });
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+    }
+
+    #[test]
+    fn full_sampler_logs_every_access() {
+        let (out, summary) = run(AlwaysSampler, InstrumentConfig::default(), racy_two_threads);
+        assert_eq!(out.stats.total_mem, summary.data_accesses());
+        assert_eq!(out.stats.logged_mem, out.stats.total_mem);
+        assert!((out.stats.esr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_sampler_logs_sync_but_no_memory() {
+        let (out, summary) = run(NeverSampler, InstrumentConfig::default(), racy_two_threads);
+        assert_eq!(out.stats.logged_mem, 0);
+        assert_eq!(out.log.mem_count(), 0);
+        // All sync ops still logged: fork/start/exit/join + locks.
+        assert!(out.log.sync_count() as u64 >= summary.sync_ops);
+        assert!(out.overhead.mem_logging == 0);
+        assert!(out.overhead.sync_logging > 0);
+        assert!(out.overhead.dispatch > 0);
+    }
+
+    #[test]
+    fn sync_records_carry_monotonic_timestamps_per_var() {
+        let (out, _) = run(AlwaysSampler, InstrumentConfig::default(), racy_two_threads);
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for r in &out.log {
+            if let Record::Sync { var, timestamp, .. } = r {
+                let prev = last.entry(var.0).or_insert(0);
+                assert!(timestamp > prev, "timestamp regressed on {var}");
+                *prev = *timestamp;
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_cost_is_charged_per_function_entry() {
+        let (out, summary) = run(NeverSampler, InstrumentConfig::default(), racy_two_threads);
+        assert_eq!(out.stats.dispatch_checks, summary.func_entries);
+        assert_eq!(
+            out.overhead.dispatch,
+            summary.func_entries * InstrumentConfig::default().costs.dispatch_check
+        );
+    }
+
+    #[test]
+    fn full_logging_config_has_no_dispatch_cost() {
+        let (out, _) = run(
+            AlwaysSampler,
+            InstrumentConfig::full_logging(),
+            racy_two_threads,
+        );
+        assert_eq!(out.overhead.dispatch, 0);
+        assert_eq!(out.stats.dispatch_checks, 0);
+        assert!(out.stats.logged_mem > 0);
+    }
+
+    #[test]
+    fn alloc_free_emit_page_sync_records() {
+        let cfg = InstrumentConfig::default();
+        let (out, _) = run(AlwaysSampler, cfg, |b| {
+            b.entry_fn("main", |f| {
+                let p = f.alloc(600); // spans two 4 KiB pages (4800 bytes)
+                f.free(p);
+            });
+        });
+        let alloc_records = out
+            .log
+            .iter()
+            .filter(|r| matches!(r, Record::Sync { kind: SyncOpKind::AllocPage, .. }))
+            .count();
+        assert_eq!(alloc_records, 4, "two pages × (alloc + free)");
+    }
+
+    #[test]
+    fn alloc_sync_can_be_disabled_for_ablation() {
+        let cfg = InstrumentConfig {
+            alloc_sync: false,
+            ..InstrumentConfig::default()
+        };
+        let (out, _) = run(AlwaysSampler, cfg, |b| {
+            b.entry_fn("main", |f| {
+                let p = f.alloc(8);
+                f.free(p);
+            });
+        });
+        assert_eq!(
+            out.log
+                .iter()
+                .filter(|r| matches!(r, Record::Sync { kind: SyncOpKind::AllocPage, .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn tl_ad_sampler_logs_small_fraction_of_hot_loop() {
+        let (out, _) = run(
+            SamplerKind::TlAdaptive.build(0),
+            InstrumentConfig::default(),
+            |b| {
+                let g = b.global_word("g");
+                let hot = b.function("hot", 0, move |f| {
+                    f.read(g);
+                });
+                b.entry_fn("main", move |f| {
+                    f.loop_(20_000, |f| {
+                        f.call(hot);
+                    });
+                });
+            },
+        );
+        let esr = out.stats.esr();
+        assert!(esr < 0.05, "TL-Ad should back off, got esr {esr}");
+        assert!(out.stats.logged_mem >= 10, "bursts must still sample");
+    }
+
+    #[test]
+    fn adaptive_loop_policy_reduces_logging_within_one_call() {
+        // One function execution with a 50k-iteration loop: at function
+        // granularity everything is logged; with the loop policy the tail of
+        // the loop is suppressed.
+        let build = |b: &mut ProgramBuilder| {
+            let g = b.global_word("g");
+            b.entry_fn("main", move |f| {
+                f.loop_(50_000, |f| {
+                    f.read(g);
+                });
+            });
+        };
+        let (plain, _) = run(AlwaysSampler, InstrumentConfig::default(), build);
+        let cfg = InstrumentConfig {
+            loop_policy: LoopPolicy::AdaptiveLoops(
+                literace_samplers::BackoffSchedule::literace(),
+            ),
+            ..InstrumentConfig::default()
+        };
+        let (looped, _) = run(AlwaysSampler, cfg, build);
+        assert_eq!(plain.stats.logged_mem, 50_000);
+        assert!(
+            looped.stats.logged_mem < 5_000,
+            "loop back-off should suppress most iterations, logged {}",
+            looped.stats.logged_mem
+        );
+        assert!(looped.stats.logged_mem >= 10);
+    }
+
+    #[test]
+    fn markers_bracket_every_thread() {
+        let (out, summary) = run(AlwaysSampler, InstrumentConfig::default(), racy_two_threads);
+        let begins = out
+            .log
+            .iter()
+            .filter(|r| matches!(r, Record::ThreadBegin { .. }))
+            .count() as u64;
+        let ends = out
+            .log
+            .iter()
+            .filter(|r| matches!(r, Record::ThreadEnd { .. }))
+            .count() as u64;
+        assert_eq!(begins, summary.threads);
+        assert_eq!(ends, summary.threads);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for log encoding, decoding and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Result alias for log operations.
+pub type LogResult<T> = Result<T, LogError>;
+
+/// Errors produced while reading or writing event logs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LogError {
+    /// The byte stream is not a valid log.
+    Corrupt {
+        /// Description of the malformation.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl LogError {
+    pub(crate) fn corrupt(reason: impl Into<String>) -> LogError {
+        LogError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Corrupt { reason } => write!(f, "corrupt log: {reason}"),
+            LogError::Io(e) => write!(f, "log i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for LogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            LogError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> LogError {
+        LogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = LogError::corrupt("bad tag");
+        assert_eq!(e.to_string(), "corrupt log: bad tag");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: LogError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

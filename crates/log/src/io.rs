@@ -1,0 +1,172 @@
+//! Streaming log writer and reader over `std::io`.
+//!
+//! The paper writes its event stream to disk and detects offline (§4.4).
+//! [`LogWriter`] and [`LogReader`] provide the same capability for our logs;
+//! they also work over in-memory buffers, which is what the test suite uses.
+
+use std::io::{Read, Write};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::codec::{decode, encode};
+use crate::error::{LogError, LogResult};
+use crate::record::{EventLog, Record};
+
+/// Writes records to an underlying byte sink.
+///
+/// Pass a `&mut` reference if you need the writer back (readers and writers
+/// are taken by value per the standard-library convention).
+#[derive(Debug)]
+pub struct LogWriter<W> {
+    sink: W,
+    buf: BytesMut,
+    records_written: u64,
+    bytes_written: u64,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Creates a writer over `sink`.
+    pub fn new(sink: W) -> LogWriter<W> {
+        LogWriter {
+            sink,
+            buf: BytesMut::with_capacity(64 * 1024),
+            records_written: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink when the internal buffer flushes.
+    pub fn write_record(&mut self, record: &Record) -> LogResult<()> {
+        encode(record, &mut self.buf);
+        self.records_written += 1;
+        if self.buf.len() >= 48 * 1024 {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> LogResult<()> {
+        self.bytes_written += self.buf.len() as u64;
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes buffered bytes and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn finish(mut self) -> LogResult<W> {
+        self.flush_buf()?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Bytes written so far, including still-buffered bytes.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written + self.buf.len() as u64
+    }
+}
+
+/// Reads records from an underlying byte source.
+#[derive(Debug)]
+pub struct LogReader<R> {
+    source: R,
+}
+
+impl<R: Read> LogReader<R> {
+    /// Creates a reader over `source`.
+    pub fn new(source: R) -> LogReader<R> {
+        LogReader { source }
+    }
+
+    /// Reads the entire source into an [`EventLog`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] on read failure or [`LogError::Corrupt`] on
+    /// malformed bytes.
+    pub fn read_all(mut self) -> LogResult<EventLog> {
+        let mut raw = Vec::new();
+        self.source.read_to_end(&mut raw).map_err(LogError::Io)?;
+        let mut bytes = Bytes::from(raw);
+        let mut log = EventLog::new();
+        while !bytes.is_empty() {
+            log.push(decode(&mut bytes)?);
+        }
+        Ok(log)
+    }
+}
+
+/// Serializes a whole [`EventLog`] to bytes.
+pub fn log_to_bytes(log: &EventLog) -> Bytes {
+    crate::codec::encode_all(log.records())
+}
+
+/// Deserializes an [`EventLog`] from bytes.
+///
+/// # Errors
+///
+/// Returns [`LogError::Corrupt`] on malformed input.
+pub fn log_from_bytes(bytes: Bytes) -> LogResult<EventLog> {
+    Ok(crate::codec::decode_all(bytes)?.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_sim::{Addr, FuncId, Pc, ThreadId};
+
+    use crate::record::SamplerMask;
+
+    fn some_records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::Mem {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(FuncId::from_index(i % 5), i),
+                addr: Addr::global((i % 7) as u64),
+                is_write: i % 2 == 0,
+                mask: SamplerMask((i % 16) as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let records = some_records(10_000);
+        let mut w = LogWriter::new(Vec::new());
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        assert_eq!(w.records_written(), 10_000);
+        let bytes = w.finish().unwrap();
+        let log = LogReader::new(&bytes[..]).read_all().unwrap();
+        assert_eq!(log.records(), &records[..]);
+    }
+
+    #[test]
+    fn bytes_written_counts_buffered_bytes() {
+        let mut w = LogWriter::new(Vec::new());
+        let r = some_records(1);
+        w.write_record(&r[0]).unwrap();
+        assert_eq!(w.bytes_written(), crate::codec::MEM_RECORD_BYTES as u64);
+    }
+
+    #[test]
+    fn event_log_byte_round_trip() {
+        let log: EventLog = some_records(100).into_iter().collect();
+        let bytes = log_to_bytes(&log);
+        let back = log_from_bytes(bytes).unwrap();
+        assert_eq!(log, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! # literace-log
+//!
+//! The event-log substrate of the LiteRace reproduction: record types for
+//! synchronization operations and sampled memory accesses (§3.2 of the
+//! paper), a compact binary codec, streaming reader/writer, and log-volume
+//! statistics used by the Table 5 overhead model.
+//!
+//! ## Example
+//!
+//! ```
+//! use literace_log::{EventLog, Record, SamplerMask, log_to_bytes, log_from_bytes};
+//! use literace_sim::{Addr, FuncId, Pc, ThreadId};
+//!
+//! let mut log = EventLog::new();
+//! log.push(Record::Mem {
+//!     tid: ThreadId::MAIN,
+//!     pc: Pc::new(FuncId::from_index(0), 3),
+//!     addr: Addr::global(7),
+//!     is_write: true,
+//!     mask: SamplerMask::FULL,
+//! });
+//! let bytes = log_to_bytes(&log);
+//! let back = log_from_bytes(bytes)?;
+//! assert_eq!(log, back);
+//! # Ok::<(), literace_log::LogError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod dir;
+mod error;
+mod io;
+mod record;
+mod stats;
+
+pub use codec::{
+    decode, decode_all, encode, encode_all, encoded_len, MARKER_RECORD_BYTES, MEM_RECORD_BYTES,
+    SYNC_RECORD_BYTES,
+};
+pub use dir::{read_thread_logs, write_thread_logs};
+pub use error::{LogError, LogResult};
+pub use io::{log_from_bytes, log_to_bytes, LogReader, LogWriter};
+pub use record::{EventLog, Record, SamplerMask};
+pub use stats::LogStats;

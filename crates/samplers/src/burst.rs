@@ -1,0 +1,243 @@
+//! The bursty back-off state machine shared by the adaptive and fixed-rate
+//! samplers.
+//!
+//! The paper's samplers are *bursty*: "when they decide to sample a function,
+//! they do so for ten consecutive executions of that function" (§5.2). An
+//! *adaptive* sampler additionally reduces the sampling rate after every
+//! completed burst, following a back-off schedule, until a lower bound
+//! (§3.4). A *fixed* sampler uses a constant rate.
+//!
+//! For a burst length `B` and a current rate `r`, the gap between bursts is
+//! `B/r − B` skipped executions, so the long-run fraction of sampled
+//! executions converges to `r`.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's burst length: ten consecutive executions.
+pub const BURST_LEN: u32 = 10;
+
+/// A back-off schedule: the sampling rate to use after each completed burst.
+///
+/// `rate(n)` is the sampling rate in effect after `n` completed bursts; it
+/// is clamped to the final entry, which is the sampler's lower bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackoffSchedule {
+    rates: Vec<f64>,
+}
+
+impl BackoffSchedule {
+    /// Creates a schedule from an explicit rate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or contains a rate outside `(0, 1]`.
+    pub fn new(rates: Vec<f64>) -> BackoffSchedule {
+        assert!(!rates.is_empty(), "schedule must have at least one rate");
+        for &r in &rates {
+            assert!(r > 0.0 && r <= 1.0, "rate {r} outside (0, 1]");
+        }
+        BackoffSchedule { rates }
+    }
+
+    /// The paper's thread-local adaptive schedule: 100%, 10%, 1%, 0.1%
+    /// (Table 3, TL-Ad).
+    pub fn literace() -> BackoffSchedule {
+        BackoffSchedule::new(vec![1.0, 0.1, 0.01, 0.001])
+    }
+
+    /// The paper's global adaptive schedule: 100%, 50%, 25%, … halving down
+    /// to the 0.1% lower bound (Table 3, G-Ad).
+    pub fn halving() -> BackoffSchedule {
+        let mut rates = vec![1.0];
+        let mut r: f64 = 0.5;
+        while r > 0.001 {
+            rates.push(r);
+            r /= 2.0;
+        }
+        rates.push(0.001);
+        BackoffSchedule::new(rates)
+    }
+
+    /// A constant-rate schedule (the fixed samplers).
+    pub fn fixed(rate: f64) -> BackoffSchedule {
+        BackoffSchedule::new(vec![rate])
+    }
+
+    /// The rate in effect after `bursts_done` completed bursts.
+    pub fn rate(&self, bursts_done: u32) -> f64 {
+        let idx = (bursts_done as usize).min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    /// The lower bound (final) rate.
+    pub fn floor(&self) -> f64 {
+        *self.rates.last().expect("schedule is non-empty")
+    }
+}
+
+/// Per-region bursty sampling state.
+///
+/// One `BurstState` exists per sampled region — per `(thread, function)` for
+/// thread-local samplers, per function for global ones. Regions start inside
+/// a burst: the first [`BURST_LEN`] executions are always sampled, which is
+/// what makes cold regions fully covered (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstState {
+    sample_left: u32,
+    skip_left: u64,
+    bursts_done: u32,
+}
+
+impl BurstState {
+    /// A fresh region: mid-burst, nothing skipped yet.
+    pub fn new() -> BurstState {
+        BurstState {
+            sample_left: BURST_LEN,
+            skip_left: 0,
+            bursts_done: 0,
+        }
+    }
+
+    /// Number of completed bursts (drives the adaptive back-off).
+    pub fn bursts_done(&self) -> u32 {
+        self.bursts_done
+    }
+
+    /// Advances the state by one execution of the region and reports whether
+    /// that execution is sampled.
+    pub fn step(&mut self, schedule: &BackoffSchedule) -> bool {
+        if self.sample_left > 0 {
+            self.sample_left -= 1;
+            if self.sample_left == 0 {
+                self.bursts_done += 1;
+                let rate = schedule.rate(self.bursts_done);
+                self.skip_left = gap_for(BURST_LEN, rate);
+                if self.skip_left == 0 {
+                    self.sample_left = BURST_LEN;
+                }
+            }
+            true
+        } else {
+            debug_assert!(self.skip_left > 0, "neither sampling nor skipping");
+            self.skip_left -= 1;
+            if self.skip_left == 0 {
+                self.sample_left = BURST_LEN;
+            }
+            false
+        }
+    }
+}
+
+impl Default for BurstState {
+    fn default() -> BurstState {
+        BurstState::new()
+    }
+}
+
+/// Executions to skip between bursts so the long-run sampled fraction is
+/// `rate`: `B/rate − B`, rounded.
+fn gap_for(burst_len: u32, rate: f64) -> u64 {
+    let b = burst_len as f64;
+    ((b / rate) - b).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_burst_is_fully_sampled() {
+        let sched = BackoffSchedule::literace();
+        let mut st = BurstState::new();
+        for i in 0..BURST_LEN {
+            assert!(st.step(&sched), "execution {i} of the first burst");
+        }
+    }
+
+    #[test]
+    fn literace_schedule_backs_off_to_floor() {
+        let sched = BackoffSchedule::literace();
+        assert_eq!(sched.rate(0), 1.0);
+        assert_eq!(sched.rate(1), 0.1);
+        assert_eq!(sched.rate(2), 0.01);
+        assert_eq!(sched.rate(3), 0.001);
+        assert_eq!(sched.rate(99), 0.001);
+        assert_eq!(sched.floor(), 0.001);
+    }
+
+    #[test]
+    fn halving_schedule_descends_monotonically() {
+        let sched = BackoffSchedule::halving();
+        let mut prev = f64::INFINITY;
+        for n in 0..20 {
+            let r = sched.rate(n);
+            assert!(r <= prev, "rate must not increase");
+            prev = r;
+        }
+        assert_eq!(sched.floor(), 0.001);
+    }
+
+    #[test]
+    fn gap_matches_rate() {
+        assert_eq!(gap_for(10, 1.0), 0);
+        assert_eq!(gap_for(10, 0.1), 90);
+        assert_eq!(gap_for(10, 0.01), 990);
+        assert_eq!(gap_for(10, 0.001), 9990);
+        assert_eq!(gap_for(10, 0.05), 190);
+    }
+
+    #[test]
+    fn fixed_rate_long_run_fraction_converges() {
+        let sched = BackoffSchedule::fixed(0.05);
+        let mut st = BurstState::new();
+        let n = 1_000_000u64;
+        let sampled = (0..n).filter(|_| st.step(&sched)).count() as f64;
+        let esr = sampled / n as f64;
+        assert!((esr - 0.05).abs() < 0.005, "esr {esr} not near 0.05");
+    }
+
+    #[test]
+    fn adaptive_long_run_rate_approaches_floor() {
+        let sched = BackoffSchedule::literace();
+        let mut st = BurstState::new();
+        // Warm up far past the back-off phase.
+        for _ in 0..200_000 {
+            st.step(&sched);
+        }
+        let n = 1_000_000u64;
+        let sampled = (0..n).filter(|_| st.step(&sched)).count() as f64;
+        let esr = sampled / n as f64;
+        assert!((esr - 0.001).abs() < 0.0005, "tail esr {esr} not near floor");
+    }
+
+    #[test]
+    fn bursts_are_contiguous() {
+        let sched = BackoffSchedule::fixed(0.1);
+        let mut st = BurstState::new();
+        let decisions: Vec<bool> = (0..2_000).map(|_| st.step(&sched)).collect();
+        // Every run of `true` must have length exactly BURST_LEN.
+        let mut run = 0;
+        for &d in &decisions {
+            if d {
+                run += 1;
+            } else {
+                if run > 0 {
+                    assert_eq!(run, BURST_LEN, "short burst");
+                }
+                run = 0;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_rate_is_rejected() {
+        let _ = BackoffSchedule::new(vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_schedule_is_rejected() {
+        let _ = BackoffSchedule::new(vec![]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Global bursty samplers (G-Ad and G-Fx of Table 3).
+//!
+//! These maintain one burst state per *function*, shared by all threads —
+//! the SWAT-style design the paper compares against. Their weakness, which
+//! the evaluation demonstrates: a function made hot by one thread is no
+//! longer sampled when a different thread executes it for the first time,
+//! missing exactly the cold-path races LiteRace targets.
+
+use std::collections::HashMap;
+
+use literace_sim::{FuncId, ThreadId};
+
+use crate::burst::{BackoffSchedule, BurstState};
+use crate::sampler::{Dispatch, Sampler};
+
+/// A bursty sampler with one state per function, shared across threads.
+///
+/// # Examples
+///
+/// ```
+/// use literace_samplers::{GlobalSampler, Sampler};
+/// use literace_sim::{FuncId, ThreadId};
+///
+/// let mut s = GlobalSampler::adaptive();
+/// // One thread heats the function up…
+/// for _ in 0..100_000 {
+///     s.dispatch(ThreadId::from_index(0), FuncId::from_index(0));
+/// }
+/// // …and a brand-new thread is *not* treated as cold (the flaw TL-Ad
+/// // fixes):
+/// let fresh: usize = (0..10)
+///     .filter(|_| s
+///         .dispatch(ThreadId::from_index(1), FuncId::from_index(0))
+///         .is_sampled())
+///     .count();
+/// assert!(fresh < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalSampler {
+    name: String,
+    schedule: BackoffSchedule,
+    state: HashMap<u32, BurstState>,
+}
+
+impl GlobalSampler {
+    /// The paper's G-Ad: global adaptive back-off 100%, 50%, 25%, … 0.1%
+    /// (a higher-rate variant of SWAT's schedule; Table 3).
+    pub fn adaptive() -> GlobalSampler {
+        GlobalSampler::with_schedule("G-Ad", BackoffSchedule::halving())
+    }
+
+    /// The paper's G-Fx: fixed 10% per function, globally.
+    pub fn fixed_10pct() -> GlobalSampler {
+        GlobalSampler::with_schedule("G-Fx", BackoffSchedule::fixed(0.10))
+    }
+
+    /// A global bursty sampler with an arbitrary schedule.
+    pub fn with_schedule(name: &str, schedule: BackoffSchedule) -> GlobalSampler {
+        GlobalSampler {
+            name: name.to_owned(),
+            schedule,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Sampler for GlobalSampler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dispatch(&mut self, _tid: ThreadId, func: FuncId) -> Dispatch {
+        let st = self
+            .state
+            .entry(func.index() as u32)
+            .or_default();
+        st.step(&self.schedule).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BURST_LEN;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn heat_is_shared_across_threads() {
+        let mut s = GlobalSampler::adaptive();
+        // Thread 0 makes the function hot.
+        for _ in 0..200_000 {
+            s.dispatch(t(0), f(0));
+        }
+        // Thread 1's first executions are now mostly unsampled — the failure
+        // mode LiteRace's thread-local extension fixes.
+        let sampled = (0..BURST_LEN)
+            .filter(|_| s.dispatch(t(1), f(0)).is_sampled())
+            .count();
+        assert!(
+            sampled < BURST_LEN as usize,
+            "global sampler unexpectedly treated thread 1 as cold"
+        );
+    }
+
+    #[test]
+    fn first_executions_are_sampled() {
+        let mut s = GlobalSampler::adaptive();
+        for i in 0..BURST_LEN {
+            assert!(s.dispatch(t(i as usize % 3), f(0)).is_sampled());
+        }
+    }
+
+    #[test]
+    fn fixed_global_rate_converges() {
+        let mut s = GlobalSampler::fixed_10pct();
+        let n = 400_000;
+        let sampled = (0..n)
+            .filter(|i| s.dispatch(t(i % 4), f(0)).is_sampled())
+            .count();
+        let esr = sampled as f64 / n as f64;
+        assert!((esr - 0.10).abs() < 0.01, "esr {esr}");
+    }
+
+    #[test]
+    fn adaptive_backs_off_faster_than_fixed() {
+        let mut ad = GlobalSampler::adaptive();
+        let mut fx = GlobalSampler::fixed_10pct();
+        let n = 200_000;
+        let ad_sampled = (0..n).filter(|_| ad.dispatch(t(0), f(0)).is_sampled()).count();
+        let fx_sampled = (0..n).filter(|_| fx.dispatch(t(0), f(0)).is_sampled()).count();
+        assert!(ad_sampled < fx_sampled / 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Registry of the sampling strategies evaluated in the paper (Table 3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::global::GlobalSampler;
+use crate::random::RandomSampler;
+use crate::sampler::Sampler;
+use crate::thread_local::ThreadLocalSampler;
+use crate::uncold::{AlwaysSampler, NeverSampler, UnColdSampler};
+
+/// The sampling strategies of Table 3, plus the `Always`/`Never` endpoints
+/// used for ground truth and baseline overhead configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Thread-local adaptive (TL-Ad): LiteRace's proposed sampler.
+    TlAdaptive,
+    /// Thread-local fixed 5% (TL-Fx).
+    TlFixed,
+    /// Global adaptive (G-Ad), SWAT-style.
+    GlobalAdaptive,
+    /// Global fixed 10% (G-Fx).
+    GlobalFixed,
+    /// Random 10% of dynamic calls (Rnd10).
+    Rnd10,
+    /// Random 25% of dynamic calls (Rnd25).
+    Rnd25,
+    /// Un-Cold Region (UCP): everything except the first 10 calls per
+    /// function per thread.
+    UnCold,
+    /// Sample everything (full logging; ground truth).
+    Always,
+    /// Sample nothing (baseline; sync ops still logged).
+    Never,
+}
+
+impl SamplerKind {
+    /// The seven samplers compared in §5 of the paper, in Table 3 order.
+    pub fn paper_set() -> [SamplerKind; 7] {
+        [
+            SamplerKind::TlAdaptive,
+            SamplerKind::TlFixed,
+            SamplerKind::GlobalAdaptive,
+            SamplerKind::GlobalFixed,
+            SamplerKind::Rnd10,
+            SamplerKind::Rnd25,
+            SamplerKind::UnCold,
+        ]
+    }
+
+    /// Short name as used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SamplerKind::TlAdaptive => "TL-Ad",
+            SamplerKind::TlFixed => "TL-Fx",
+            SamplerKind::GlobalAdaptive => "G-Ad",
+            SamplerKind::GlobalFixed => "G-Fx",
+            SamplerKind::Rnd10 => "Rnd10",
+            SamplerKind::Rnd25 => "Rnd25",
+            SamplerKind::UnCold => "UCP",
+            SamplerKind::Always => "Full",
+            SamplerKind::Never => "None",
+        }
+    }
+
+    /// One-line description matching Table 3's Description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            SamplerKind::TlAdaptive => {
+                "adaptive back-off per function / per thread (100%, 10%, 1%, 0.1%); bursty"
+            }
+            SamplerKind::TlFixed => "fixed 5% per function / per thread; bursty",
+            SamplerKind::GlobalAdaptive => {
+                "adaptive back-off per function globally (100%, 50%, 25%, ..., 0.1%); bursty"
+            }
+            SamplerKind::GlobalFixed => "fixed 10% per function globally; bursty",
+            SamplerKind::Rnd10 => "random 10% of dynamic calls chosen for sampling",
+            SamplerKind::Rnd25 => "random 25% of dynamic calls chosen for sampling",
+            SamplerKind::UnCold => {
+                "first 10 calls per function / per thread are NOT sampled, all remaining calls are sampled"
+            }
+            SamplerKind::Always => "all calls sampled (full logging)",
+            SamplerKind::Never => "no calls sampled",
+        }
+    }
+
+    /// Instantiates the sampler. `seed` feeds the random samplers; the
+    /// deterministic samplers ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Sampler> {
+        match self {
+            SamplerKind::TlAdaptive => Box::new(ThreadLocalSampler::adaptive()),
+            SamplerKind::TlFixed => Box::new(ThreadLocalSampler::fixed_5pct()),
+            SamplerKind::GlobalAdaptive => Box::new(GlobalSampler::adaptive()),
+            SamplerKind::GlobalFixed => Box::new(GlobalSampler::fixed_10pct()),
+            SamplerKind::Rnd10 => Box::new(RandomSampler::rnd10(seed)),
+            SamplerKind::Rnd25 => Box::new(RandomSampler::rnd25(seed)),
+            SamplerKind::UnCold => Box::new(UnColdSampler::paper()),
+            SamplerKind::Always => Box::new(AlwaysSampler),
+            SamplerKind::Never => Box::new(NeverSampler),
+        }
+    }
+
+    /// Parses a short name (case-insensitive) back into a kind.
+    pub fn from_short_name(name: &str) -> Option<SamplerKind> {
+        let all = [
+            SamplerKind::TlAdaptive,
+            SamplerKind::TlFixed,
+            SamplerKind::GlobalAdaptive,
+            SamplerKind::GlobalFixed,
+            SamplerKind::Rnd10,
+            SamplerKind::Rnd25,
+            SamplerKind::UnCold,
+            SamplerKind::Always,
+            SamplerKind::Never,
+        ];
+        all.into_iter()
+            .find(|k| k.short_name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for SamplerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use literace_sim::{FuncId, ThreadId};
+
+    #[test]
+    fn paper_set_matches_table_3_order() {
+        let names: Vec<&str> = SamplerKind::paper_set()
+            .iter()
+            .map(|k| k.short_name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25", "UCP"]
+        );
+    }
+
+    #[test]
+    fn built_sampler_names_match_kind() {
+        for kind in SamplerKind::paper_set() {
+            let s = kind.build(0);
+            assert_eq!(s.name(), kind.short_name());
+        }
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for kind in SamplerKind::paper_set() {
+            assert_eq!(SamplerKind::from_short_name(kind.short_name()), Some(kind));
+        }
+        assert_eq!(SamplerKind::from_short_name("tl-ad"), Some(SamplerKind::TlAdaptive));
+        assert_eq!(SamplerKind::from_short_name("nope"), None);
+    }
+
+    #[test]
+    fn all_samplers_dispatch_without_panicking() {
+        for kind in [
+            SamplerKind::TlAdaptive,
+            SamplerKind::TlFixed,
+            SamplerKind::GlobalAdaptive,
+            SamplerKind::GlobalFixed,
+            SamplerKind::Rnd10,
+            SamplerKind::Rnd25,
+            SamplerKind::UnCold,
+            SamplerKind::Always,
+            SamplerKind::Never,
+        ] {
+            let mut s = kind.build(1);
+            for i in 0..100 {
+                let _ = s.dispatch(ThreadId::from_index(i % 3), FuncId::from_index(i % 7));
+            }
+        }
+    }
+}

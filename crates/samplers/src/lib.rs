@@ -1,0 +1,44 @@
+//! # literace-samplers
+//!
+//! The sampling strategies evaluated in the LiteRace paper (Table 3): the
+//! proposed **thread-local adaptive bursty sampler** (TL-Ad), its fixed-rate
+//! variant, the SWAT-style global samplers, naive random samplers, and the
+//! Un-Cold-Region control — plus `Always`/`Never` endpoints for ground truth
+//! and baseline runs.
+//!
+//! A [`Sampler`] answers one question, at every function entry: run the
+//! instrumented or the uninstrumented copy? (Figure 3 of the paper.) All
+//! samplers are deterministic given their construction parameters and call
+//! sequence, so any set of them can be evaluated against one execution.
+//!
+//! ## Example
+//!
+//! ```
+//! use literace_samplers::{Sampler, SamplerKind};
+//! use literace_sim::{FuncId, ThreadId};
+//!
+//! let mut tl_ad = SamplerKind::TlAdaptive.build(0);
+//! // Cold code is always sampled.
+//! assert!(tl_ad
+//!     .dispatch(ThreadId::MAIN, FuncId::from_index(0))
+//!     .is_sampled());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod burst;
+mod global;
+mod kind;
+mod random;
+mod sampler;
+mod thread_local;
+mod uncold;
+
+pub use burst::{BackoffSchedule, BurstState, BURST_LEN};
+pub use global::GlobalSampler;
+pub use kind::SamplerKind;
+pub use random::RandomSampler;
+pub use sampler::{Dispatch, Sampler};
+pub use thread_local::ThreadLocalSampler;
+pub use uncold::{AlwaysSampler, NeverSampler, UnColdSampler};

@@ -1,0 +1,118 @@
+//! The random per-call samplers (Rnd10 and Rnd25 of Table 3).
+//!
+//! Each dynamic function call is sampled independently with probability `p`;
+//! there is no burstiness and no per-region state. The paper uses these as
+//! the naive baseline: they log a lot yet miss most rare races, because the
+//! probability that *both* racing accesses fall in sampled executions decays
+//! quadratically (§1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use literace_sim::{FuncId, ThreadId};
+
+use crate::sampler::{Dispatch, Sampler};
+
+/// Samples each dynamic call independently with a fixed probability.
+#[derive(Debug, Clone)]
+pub struct RandomSampler {
+    name: String,
+    rate: f64,
+    rng: StdRng,
+}
+
+impl RandomSampler {
+    /// A random sampler with probability `rate`, deterministic from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> RandomSampler {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        RandomSampler {
+            name: format!("Rnd{}", (rate * 100.0).round() as u32),
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's Rnd10 (10% of dynamic calls).
+    pub fn rnd10(seed: u64) -> RandomSampler {
+        RandomSampler::new(0.10, seed)
+    }
+
+    /// The paper's Rnd25 (25% of dynamic calls).
+    pub fn rnd25(seed: u64) -> RandomSampler {
+        RandomSampler::new(0.25, seed)
+    }
+
+    /// The sampling probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sampler for RandomSampler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dispatch(&mut self, _tid: ThreadId, _func: FuncId) -> Dispatch {
+        Dispatch::from(self.rng.gen_bool(self.rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> FuncId {
+        FuncId::from_index(0)
+    }
+    fn t() -> ThreadId {
+        ThreadId::MAIN
+    }
+
+    #[test]
+    fn names_match_table_3() {
+        assert_eq!(RandomSampler::rnd10(0).name(), "Rnd10");
+        assert_eq!(RandomSampler::rnd25(0).name(), "Rnd25");
+    }
+
+    #[test]
+    fn rate_concentrates() {
+        let mut s = RandomSampler::rnd25(42);
+        let n = 200_000;
+        let sampled = (0..n).filter(|_| s.dispatch(t(), f()).is_sampled()).count();
+        let esr = sampled as f64 / n as f64;
+        assert!((esr - 0.25).abs() < 0.01, "esr {esr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = RandomSampler::rnd10(seed);
+            (0..1_000)
+                .map(|_| s.dispatch(t(), f()).is_sampled())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn extreme_rates_are_constant() {
+        let mut never = RandomSampler::new(0.0, 0);
+        let mut always = RandomSampler::new(1.0, 0);
+        for _ in 0..100 {
+            assert!(!never.dispatch(t(), f()).is_sampled());
+            assert!(always.dispatch(t(), f()).is_sampled());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_panics() {
+        let _ = RandomSampler::new(1.5, 0);
+    }
+}

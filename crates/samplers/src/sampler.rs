@@ -1,0 +1,108 @@
+//! The `Sampler` trait: the dispatch-check decision procedure.
+
+use std::fmt;
+
+use literace_sim::{FuncId, ThreadId};
+
+/// The outcome of a dispatch check at a function entry (§3.3, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dispatch {
+    /// Run the instrumented copy: memory accesses in this function execution
+    /// are logged.
+    Instrumented,
+    /// Run the uninstrumented copy: only synchronization operations are
+    /// logged (those are logged from both copies).
+    Uninstrumented,
+}
+
+impl Dispatch {
+    /// Whether this decision samples the execution.
+    pub fn is_sampled(self) -> bool {
+        matches!(self, Dispatch::Instrumented)
+    }
+}
+
+impl From<bool> for Dispatch {
+    fn from(sampled: bool) -> Dispatch {
+        if sampled {
+            Dispatch::Instrumented
+        } else {
+            Dispatch::Uninstrumented
+        }
+    }
+}
+
+impl fmt::Display for Dispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dispatch::Instrumented => "instrumented",
+            Dispatch::Uninstrumented => "uninstrumented",
+        })
+    }
+}
+
+/// A sampling strategy: decides at every function entry which copy of the
+/// function runs.
+///
+/// Implementations must be deterministic given their construction parameters
+/// and the sequence of `dispatch` calls — this is what allows several
+/// samplers to be evaluated against a single execution (§5.3).
+pub trait Sampler {
+    /// Short display name, e.g. `"TL-Ad"` (Table 3's Short Name column).
+    fn name(&self) -> &str;
+
+    /// Decides the dispatch for one entry of `func` by `tid`.
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch;
+}
+
+impl<S: Sampler + ?Sized> Sampler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch {
+        (**self).dispatch(tid, func)
+    }
+}
+
+impl<S: Sampler + ?Sized> Sampler for &mut S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch {
+        (**self).dispatch(tid, func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_from_bool() {
+        assert_eq!(Dispatch::from(true), Dispatch::Instrumented);
+        assert_eq!(Dispatch::from(false), Dispatch::Uninstrumented);
+        assert!(Dispatch::Instrumented.is_sampled());
+        assert!(!Dispatch::Uninstrumented.is_sampled());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        struct Always;
+        impl Sampler for Always {
+            fn name(&self) -> &str {
+                "Always"
+            }
+            fn dispatch(&mut self, _: ThreadId, _: FuncId) -> Dispatch {
+                Dispatch::Instrumented
+            }
+        }
+        let mut s: Box<dyn Sampler> = Box::new(Always);
+        assert_eq!(
+            s.dispatch(ThreadId::MAIN, FuncId::from_index(0)),
+            Dispatch::Instrumented
+        );
+        assert_eq!(s.name(), "Always");
+    }
+}

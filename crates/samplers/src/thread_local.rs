@@ -1,0 +1,162 @@
+//! Thread-local bursty samplers (TL-Ad and TL-Fx of Table 3).
+//!
+//! LiteRace's key extension over the SWAT-style global adaptive sampler is
+//! maintaining sampling state *per thread* (§3.4): a function that is hot
+//! globally is still sampled at 100% the first times a *new* thread executes
+//! it, because, per the cold-region hypothesis, races cluster where a thread
+//! executes code it rarely runs.
+
+use std::collections::HashMap;
+
+use literace_sim::{FuncId, ThreadId};
+
+use crate::burst::{BackoffSchedule, BurstState};
+use crate::sampler::{Dispatch, Sampler};
+
+/// A bursty sampler with independent state per `(thread, function)` pair.
+///
+/// With [`BackoffSchedule::literace`] this is **TL-Ad**, the paper's
+/// proposed sampler; with [`BackoffSchedule::fixed`] it is **TL-Fx**.
+///
+/// # Examples
+///
+/// ```
+/// use literace_samplers::{BackoffSchedule, Dispatch, Sampler, ThreadLocalSampler};
+/// use literace_sim::{FuncId, ThreadId};
+///
+/// let mut s = ThreadLocalSampler::adaptive();
+/// let f = FuncId::from_index(0);
+/// // The first executions of a function in a thread are always sampled.
+/// assert_eq!(s.dispatch(ThreadId::MAIN, f), Dispatch::Instrumented);
+/// // A different thread has its own cold state for the same function.
+/// assert_eq!(s.dispatch(ThreadId::from_index(1), f), Dispatch::Instrumented);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadLocalSampler {
+    name: String,
+    schedule: BackoffSchedule,
+    /// Per-thread maps from function index to burst state. Indexed by thread
+    /// id, mirroring the paper's per-thread buffer in thread-local storage.
+    state: Vec<HashMap<u32, BurstState>>,
+}
+
+impl ThreadLocalSampler {
+    /// The paper's TL-Ad: adaptive back-off 100% → 10% → 1% → 0.1%.
+    pub fn adaptive() -> ThreadLocalSampler {
+        ThreadLocalSampler::with_schedule("TL-Ad", BackoffSchedule::literace())
+    }
+
+    /// The paper's TL-Fx: fixed 5% per function per thread.
+    pub fn fixed_5pct() -> ThreadLocalSampler {
+        ThreadLocalSampler::with_schedule("TL-Fx", BackoffSchedule::fixed(0.05))
+    }
+
+    /// A thread-local bursty sampler with an arbitrary schedule.
+    pub fn with_schedule(name: &str, schedule: BackoffSchedule) -> ThreadLocalSampler {
+        ThreadLocalSampler {
+            name: name.to_owned(),
+            schedule,
+            state: Vec::new(),
+        }
+    }
+
+    /// Number of `(thread, function)` regions with live sampling state —
+    /// the memory footprint the paper pays in thread-local storage.
+    pub fn tracked_regions(&self) -> usize {
+        self.state.iter().map(|m| m.len()).sum()
+    }
+}
+
+impl Sampler for ThreadLocalSampler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch {
+        let ti = tid.index();
+        if ti >= self.state.len() {
+            self.state.resize_with(ti + 1, HashMap::new);
+        }
+        let st = self.state[ti]
+            .entry(func.index() as u32)
+            .or_default();
+        st.step(&self.schedule).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BURST_LEN;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn cold_function_is_fully_sampled_per_thread() {
+        let mut s = ThreadLocalSampler::adaptive();
+        for tid in 0..4 {
+            for _ in 0..BURST_LEN {
+                assert!(s.dispatch(t(tid), f(7)).is_sampled());
+            }
+        }
+    }
+
+    #[test]
+    fn hot_function_backs_off() {
+        let mut s = ThreadLocalSampler::adaptive();
+        let sampled = (0..100_000)
+            .filter(|_| s.dispatch(t(0), f(0)).is_sampled())
+            .count();
+        // 10 (100%) + 10 of the next 100 (10%) + ~10 per 1000 (1%) + tail at
+        // 0.1%: far below 1% of 100k overall.
+        assert!(sampled < 1_000, "sampled {sampled} of 100k");
+        assert!(sampled >= 30, "sampled only {sampled}; bursts missing");
+    }
+
+    #[test]
+    fn thread_going_hot_does_not_heat_other_threads() {
+        let mut s = ThreadLocalSampler::adaptive();
+        // Thread 0 hammers the function until it is thoroughly cold-blooded.
+        for _ in 0..50_000 {
+            s.dispatch(t(0), f(3));
+        }
+        // Thread 1 sees it for the first time: must be sampled.
+        for _ in 0..BURST_LEN {
+            assert!(s.dispatch(t(1), f(3)).is_sampled());
+        }
+    }
+
+    #[test]
+    fn functions_have_independent_state_within_a_thread() {
+        let mut s = ThreadLocalSampler::adaptive();
+        for _ in 0..50_000 {
+            s.dispatch(t(0), f(0));
+        }
+        for _ in 0..BURST_LEN {
+            assert!(s.dispatch(t(0), f(1)).is_sampled());
+        }
+    }
+
+    #[test]
+    fn fixed_sampler_rate_converges() {
+        let mut s = ThreadLocalSampler::fixed_5pct();
+        let n = 400_000;
+        let sampled = (0..n).filter(|_| s.dispatch(t(0), f(0)).is_sampled()).count();
+        let esr = sampled as f64 / n as f64;
+        assert!((esr - 0.05).abs() < 0.01, "esr {esr}");
+    }
+
+    #[test]
+    fn tracked_regions_counts_pairs() {
+        let mut s = ThreadLocalSampler::adaptive();
+        s.dispatch(t(0), f(0));
+        s.dispatch(t(0), f(1));
+        s.dispatch(t(1), f(0));
+        assert_eq!(s.tracked_regions(), 3);
+    }
+}

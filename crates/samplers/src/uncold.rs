@@ -1,0 +1,132 @@
+//! The Un-Cold-Region sampler (UCP of Table 3) and trivial samplers.
+//!
+//! UCP is the paper's control experiment for the cold-region hypothesis: it
+//! logs everything *except* the first ten calls of each function per thread
+//! — the exact complement of what the bursty samplers prioritize. Despite
+//! logging ~99% of memory operations, it finds only ~32% of races, which is
+//! the evidence that races concentrate in cold regions (§5.3).
+
+use std::collections::HashMap;
+
+use literace_sim::{FuncId, ThreadId};
+
+use crate::sampler::{Dispatch, Sampler};
+
+/// Logs all but the first `threshold` calls of each function per thread.
+#[derive(Debug, Clone)]
+pub struct UnColdSampler {
+    threshold: u64,
+    calls: Vec<HashMap<u32, u64>>,
+}
+
+impl UnColdSampler {
+    /// The paper's UCP: skip the first 10 calls per function per thread.
+    pub fn paper() -> UnColdSampler {
+        UnColdSampler::with_threshold(10)
+    }
+
+    /// Skip the first `threshold` calls per function per thread.
+    pub fn with_threshold(threshold: u64) -> UnColdSampler {
+        UnColdSampler {
+            threshold,
+            calls: Vec::new(),
+        }
+    }
+}
+
+impl Sampler for UnColdSampler {
+    fn name(&self) -> &str {
+        "UCP"
+    }
+
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch {
+        let ti = tid.index();
+        if ti >= self.calls.len() {
+            self.calls.resize_with(ti + 1, HashMap::new);
+        }
+        let count = self.calls[ti].entry(func.index() as u32).or_insert(0);
+        *count += 1;
+        Dispatch::from(*count > self.threshold)
+    }
+}
+
+/// Samples every call — full logging, the ground-truth configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysSampler;
+
+impl Sampler for AlwaysSampler {
+    fn name(&self) -> &str {
+        "Full"
+    }
+
+    fn dispatch(&mut self, _tid: ThreadId, _func: FuncId) -> Dispatch {
+        Dispatch::Instrumented
+    }
+}
+
+/// Samples nothing — the baseline configuration (sync ops are still logged
+/// by the instrumentation, as they are in every configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverSampler;
+
+impl Sampler for NeverSampler {
+    fn name(&self) -> &str {
+        "None"
+    }
+
+    fn dispatch(&mut self, _tid: ThreadId, _func: FuncId) -> Dispatch {
+        Dispatch::Uninstrumented
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn first_ten_calls_are_skipped_then_all_sampled() {
+        let mut s = UnColdSampler::paper();
+        for i in 0..10 {
+            assert!(!s.dispatch(t(0), f(0)).is_sampled(), "call {i}");
+        }
+        for i in 10..100 {
+            assert!(s.dispatch(t(0), f(0)).is_sampled(), "call {i}");
+        }
+    }
+
+    #[test]
+    fn threshold_is_per_thread() {
+        let mut s = UnColdSampler::paper();
+        for _ in 0..50 {
+            s.dispatch(t(0), f(0));
+        }
+        // A new thread starts cold (unsampled) again.
+        assert!(!s.dispatch(t(1), f(0)).is_sampled());
+    }
+
+    #[test]
+    fn threshold_is_per_function() {
+        let mut s = UnColdSampler::paper();
+        for _ in 0..50 {
+            s.dispatch(t(0), f(0));
+        }
+        assert!(!s.dispatch(t(0), f(1)).is_sampled());
+    }
+
+    #[test]
+    fn trivial_samplers() {
+        let mut a = AlwaysSampler;
+        let mut n = NeverSampler;
+        assert!(a.dispatch(t(0), f(0)).is_sampled());
+        assert!(!n.dispatch(t(0), f(0)).is_sampled());
+        assert_eq!(a.name(), "Full");
+        assert_eq!(n.name(), "None");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over the samplers: burst structure, rate convergence, and
+//! thread-locality invariants hold for arbitrary schedules and call
+//! sequences.
+
+use literace_samplers::{
+    BackoffSchedule, BurstState, Sampler, SamplerKind, ThreadLocalSampler, BURST_LEN,
+};
+use literace_sim::{FuncId, ThreadId};
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = BackoffSchedule> {
+    prop::collection::vec(0.001f64..=1.0, 1..6).prop_map(BackoffSchedule::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every maximal closed run of sampled executions is a whole number of
+    /// bursts (rates near 1.0 produce zero gaps, which legally concatenates
+    /// bursts back to back).
+    #[test]
+    fn sampled_runs_are_whole_bursts(schedule in arb_schedule(), n in 500usize..3000) {
+        let mut st = BurstState::new();
+        let decisions: Vec<bool> = (0..n).map(|_| st.step(&schedule)).collect();
+        let mut run = 0u32;
+        for (i, &d) in decisions.iter().enumerate() {
+            if d {
+                run += 1;
+            } else {
+                prop_assert_eq!(
+                    run % BURST_LEN, 0,
+                    "run of {} sampled executions closed at {}", run, i
+                );
+                run = 0;
+            }
+        }
+    }
+
+    /// The first BURST_LEN executions of any region are always sampled,
+    /// whatever the schedule — the cold-region guarantee.
+    #[test]
+    fn first_executions_always_sampled(schedule in arb_schedule()) {
+        let mut st = BurstState::new();
+        for i in 0..BURST_LEN {
+            prop_assert!(st.step(&schedule), "execution {i} unsampled");
+        }
+    }
+
+    /// A fixed-rate sampler's long-run fraction converges to its rate, up
+    /// to the quantization imposed by integer burst gaps: the achievable
+    /// rates are `B/(B+gap)` for integer `gap`, so compare against the
+    /// quantized value.
+    #[test]
+    fn fixed_rate_converges(rate in 0.01f64..=1.0) {
+        let b = BURST_LEN as f64;
+        let gap = ((b / rate) - b).round().max(0.0);
+        let quantized = b / (b + gap);
+        let schedule = BackoffSchedule::fixed(rate);
+        let mut st = BurstState::new();
+        let n = 200_000u64;
+        let sampled = (0..n).filter(|_| st.step(&schedule)).count() as f64;
+        let esr = sampled / n as f64;
+        prop_assert!(
+            (esr - quantized).abs() < 0.01,
+            "esr {esr} for rate {rate} (quantized {quantized})"
+        );
+    }
+
+    /// Thread-local samplers never let one thread's history affect whether
+    /// another thread's first executions are sampled.
+    #[test]
+    fn thread_locality(warm_calls in 0usize..20_000, victim_tid in 1usize..8) {
+        let mut s = ThreadLocalSampler::adaptive();
+        let f = FuncId::from_index(3);
+        for _ in 0..warm_calls {
+            s.dispatch(ThreadId::from_index(0), f);
+        }
+        for i in 0..BURST_LEN {
+            prop_assert!(
+                s.dispatch(ThreadId::from_index(victim_tid), f).is_sampled(),
+                "victim call {i} unsampled after {warm_calls} warm calls"
+            );
+        }
+    }
+
+    /// Dispatch decisions are a pure function of the call sequence: two
+    /// identically constructed samplers given the same sequence agree.
+    #[test]
+    fn determinism_across_instances(
+        kind_idx in 0usize..7,
+        calls in prop::collection::vec((0usize..6, 0usize..24), 1..400),
+        seed: u64,
+    ) {
+        let kind = SamplerKind::paper_set()[kind_idx];
+        let mut a = kind.build(seed);
+        let mut b = kind.build(seed);
+        for &(t, f) in &calls {
+            let da = a.dispatch(ThreadId::from_index(t), FuncId::from_index(f));
+            let db = b.dispatch(ThreadId::from_index(t), FuncId::from_index(f));
+            prop_assert_eq!(da, db);
+        }
+    }
+
+    /// The UCP sampler is the exact complement of cold-burst sampling on a
+    /// per-(thread, function) basis: it skips precisely the first 10 calls.
+    #[test]
+    fn ucp_complements_cold_sampling(calls in 11u64..200) {
+        let mut ucp = SamplerKind::UnCold.build(0);
+        let t = ThreadId::from_index(0);
+        let f = FuncId::from_index(0);
+        let decisions: Vec<bool> = (0..calls).map(|_| ucp.dispatch(t, f).is_sampled()).collect();
+        prop_assert!(decisions[..10].iter().all(|d| !d));
+        prop_assert!(decisions[10..].iter().all(|d| *d));
+    }
+}

@@ -1,0 +1,175 @@
+//! Simulated address space layout.
+//!
+//! The simulator gives every program a flat 64-bit address space partitioned
+//! into three regions. The partition matters to the reproduction for two
+//! reasons:
+//!
+//! * the paper classifies static races as *rare* by normalizing against
+//!   **non-stack** memory instructions (§5.3.1), so the detector must be able
+//!   to tell stack accesses apart, and
+//! * allocation-as-synchronization (§4.3) is performed at **page**
+//!   granularity, so heap addresses must map to pages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per simulated page, used by allocation-as-synchronization (§4.3).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Bytes per simulated machine word. All accesses are word sized.
+pub const WORD_BYTES: u64 = 8;
+
+/// Base address of the global (static data) region.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+
+/// Base address of the stack region; each thread gets a fixed-size window.
+pub const STACK_BASE: u64 = 0x8000_0000;
+
+/// Bytes of simulated stack reserved per thread.
+pub const STACK_BYTES_PER_THREAD: u64 = 0x10_0000;
+
+/// Classification of an address by the region it falls in.
+///
+/// # Examples
+///
+/// ```
+/// use literace_sim::{Addr, AddrClass};
+/// assert_eq!(Addr::global(0).class(), AddrClass::Global);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AddrClass {
+    /// Static data, shared by construction.
+    Global,
+    /// Dynamically allocated memory.
+    Heap,
+    /// Per-thread stack memory.
+    Stack,
+}
+
+impl AddrClass {
+    /// Whether accesses to this class count as "non-stack" for the rare-race
+    /// normalization of §5.3.1.
+    pub fn is_non_stack(self) -> bool {
+        !matches!(self, AddrClass::Stack)
+    }
+}
+
+impl fmt::Display for AddrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AddrClass::Global => "global",
+            AddrClass::Heap => "heap",
+            AddrClass::Stack => "stack",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A byte address in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Address of the `offset`-th word of the global region.
+    pub fn global(offset_words: u64) -> Addr {
+        Addr(GLOBAL_BASE + offset_words * WORD_BYTES)
+    }
+
+    /// Classifies the region this address falls in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies below [`GLOBAL_BASE`]; the simulator never
+    /// produces such addresses.
+    pub fn class(self) -> AddrClass {
+        match self.0 {
+            a if a >= STACK_BASE => AddrClass::Stack,
+            a if a >= HEAP_BASE => AddrClass::Heap,
+            a if a >= GLOBAL_BASE => AddrClass::Global,
+            a => panic!("address {a:#x} below the simulated address space"),
+        }
+    }
+
+    /// The page number containing this address (for §4.3 page-level sync).
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Byte offset of this address, as a raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this address displaced by a number of words.
+    pub fn offset_words(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Base address of a thread's stack window.
+pub fn stack_base(thread_index: usize) -> Addr {
+    Addr(STACK_BASE + thread_index as u64 * STACK_BYTES_PER_THREAD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(Addr::global(0).class(), AddrClass::Global);
+        assert_eq!(Addr(HEAP_BASE).class(), AddrClass::Heap);
+        assert_eq!(stack_base(0).class(), AddrClass::Stack);
+        assert_eq!(stack_base(31).class(), AddrClass::Stack);
+    }
+
+    #[test]
+    fn non_stack_predicate_matches_paper_definition() {
+        assert!(AddrClass::Global.is_non_stack());
+        assert!(AddrClass::Heap.is_non_stack());
+        assert!(!AddrClass::Stack.is_non_stack());
+    }
+
+    #[test]
+    fn pages_partition_the_heap() {
+        let a = Addr(HEAP_BASE);
+        let b = Addr(HEAP_BASE + PAGE_BYTES - 1);
+        let c = Addr(HEAP_BASE + PAGE_BYTES);
+        assert_eq!(a.page(), b.page());
+        assert_ne!(b.page(), c.page());
+    }
+
+    #[test]
+    fn stack_windows_do_not_overlap() {
+        let end_of_first = stack_base(0).raw() + STACK_BYTES_PER_THREAD;
+        assert_eq!(end_of_first, stack_base(1).raw());
+    }
+
+    #[test]
+    fn offset_words_advances_by_word_size() {
+        let a = Addr::global(0);
+        assert_eq!(a.offset_words(2).raw(), a.raw() + 2 * WORD_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the simulated address space")]
+    fn classifying_a_low_address_panics() {
+        let _ = Addr(0x10).class();
+    }
+}

@@ -1,0 +1,533 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use literace_sim::{ProgramBuilder, Rvalue};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let counter = b.global_word("counter");
+//! let lock = b.mutex("counter_lock");
+//! let worker = b.function("worker", 0, |f| {
+//!     f.lock(lock);
+//!     f.read(counter);
+//!     f.write(counter);
+//!     f.unlock(lock);
+//! });
+//! b.entry_fn("main", |f| {
+//!     let t1 = f.spawn(worker, Rvalue::Const(0));
+//!     let t2 = f.spawn(worker, Rvalue::Const(1));
+//!     f.join(t1);
+//!     f.join(t2);
+//! });
+//! let program = b.build()?;
+//! assert_eq!(program.functions().len(), 2);
+//! # Ok::<(), literace_sim::SimError>(())
+//! ```
+
+use crate::error::{SimError, SimResult};
+use crate::ids::{FuncId, LocalSlot, SyncId};
+use crate::op::{AddrExpr, Op, Rvalue, SyncRef};
+use crate::program::{Function, Program, SyncDecl, SyncKind};
+
+/// A named global word (or the base of a global array).
+///
+/// Converts into [`AddrExpr`] for use with [`FunctionBuilder::read`] and
+/// [`FunctionBuilder::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalVar {
+    offset: u64,
+    words: u64,
+}
+
+impl GlobalVar {
+    /// The address expression of the `i`-th word of this global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the declared extent.
+    pub fn at(self, i: u64) -> AddrExpr {
+        assert!(i < self.words, "global index {i} out of extent {}", self.words);
+        AddrExpr::Global {
+            offset: self.offset + i,
+        }
+    }
+
+    /// Word offset of this global in the global region.
+    pub fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Declared extent in words.
+    pub fn words(self) -> u64 {
+        self.words
+    }
+}
+
+impl From<GlobalVar> for AddrExpr {
+    fn from(g: GlobalVar) -> AddrExpr {
+        g.at(0)
+    }
+}
+
+/// Incrementally builds a [`Program`].
+///
+/// The terminal [`build`](ProgramBuilder::build) method validates the
+/// program (see [`Program::validate`]).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<Function>>,
+    names: Vec<String>,
+    syncs: Vec<SyncDecl>,
+    global_words: u64,
+    entry: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Reserves one global word; returns its handle.
+    pub fn global_word(&mut self, _name: &str) -> GlobalVar {
+        self.global_array(_name, 1)
+    }
+
+    /// Reserves `words` contiguous global words; returns the base handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn global_array(&mut self, _name: &str, words: u64) -> GlobalVar {
+        assert!(words > 0, "global array must have at least one word");
+        let offset = self.global_words;
+        self.global_words += words;
+        GlobalVar { offset, words }
+    }
+
+    /// Declares a mutex; returns its id.
+    pub fn mutex(&mut self, name: &str) -> SyncId {
+        self.sync(name, SyncKind::Mutex)
+    }
+
+    /// Declares `count` mutexes forming a stripe array; returns the base id.
+    pub fn mutex_stripes(&mut self, name: &str, count: u32) -> SyncId {
+        let base = self.mutex(&format!("{name}[0]"));
+        for i in 1..count {
+            self.mutex(&format!("{name}[{i}]"));
+        }
+        base
+    }
+
+    /// Declares a manual-reset event; returns its id.
+    pub fn event(&mut self, name: &str) -> SyncId {
+        self.sync(name, SyncKind::Event)
+    }
+
+    /// Declares a counting semaphore with the given initial count.
+    pub fn semaphore(&mut self, name: &str, initial: u32) -> SyncId {
+        self.sync(name, SyncKind::Semaphore { initial })
+    }
+
+    /// Declares a cyclic barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn barrier(&mut self, name: &str, parties: u32) -> SyncId {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.sync(name, SyncKind::Barrier { parties })
+    }
+
+    fn sync(&mut self, name: &str, kind: SyncKind) -> SyncId {
+        let id = SyncId::from_index(self.syncs.len());
+        self.syncs.push(SyncDecl {
+            name: name.to_owned(),
+            kind,
+        });
+        id
+    }
+
+    /// Declares a function without a body, for forward references
+    /// (mutually referencing spawn targets). Define it later with
+    /// [`define_function`](ProgramBuilder::define_function).
+    pub fn declare_function(&mut self, name: &str) -> FuncId {
+        let id = FuncId::from_index(self.functions.len());
+        self.functions.push(None);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Defines the body of a previously declared function.
+    ///
+    /// `args` leading local slots are reserved; slot 0 receives the call or
+    /// spawn argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function was already defined.
+    pub fn define_function(
+        &mut self,
+        id: FuncId,
+        args: u16,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) {
+        assert!(
+            self.functions[id.index()].is_none(),
+            "function `{}` defined twice",
+            self.names[id.index()]
+        );
+        let mut fb = FunctionBuilder::new(args);
+        body(&mut fb);
+        self.functions[id.index()] = Some(Function {
+            name: self.names[id.index()].clone(),
+            locals: fb.next_local,
+            body: fb.finish(),
+        });
+    }
+
+    /// Declares and defines a function in one step.
+    pub fn function(
+        &mut self,
+        name: &str,
+        args: u16,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) -> FuncId {
+        let id = self.declare_function(name);
+        self.define_function(id, args, body);
+        id
+    }
+
+    /// Declares and defines the entry function (no arguments) in one step.
+    pub fn entry_fn(&mut self, name: &str, body: impl FnOnce(&mut FunctionBuilder)) -> FuncId {
+        let id = self.function(name, 0, body);
+        self.entry = Some(id);
+        id
+    }
+
+    /// Marks an existing function as the entry point.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    /// Looks up a previously declared function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Total global words reserved so far.
+    pub fn global_words(&self) -> u64 {
+        self.global_words
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProgram`] if no entry was set, a declared
+    /// function is missing a definition, or validation fails.
+    pub fn build(self) -> SimResult<Program> {
+        let entry = self
+            .entry
+            .ok_or_else(|| SimError::invalid_program("no entry function set"))?;
+        let mut functions = Vec::with_capacity(self.functions.len());
+        for (i, f) in self.functions.into_iter().enumerate() {
+            match f {
+                Some(f) => functions.push(f),
+                None => {
+                    return Err(SimError::invalid_program(format!(
+                        "function `{}` declared but never defined",
+                        self.names[i]
+                    )))
+                }
+            }
+        }
+        let program = Program {
+            functions,
+            syncs: self.syncs,
+            global_words: self.global_words.max(1),
+            entry,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Builds one function body.
+///
+/// Obtained through [`ProgramBuilder::function`] and friends. Every method
+/// appends one operation; [`local`](FunctionBuilder::local) allocates a fresh
+/// local slot.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    ops: Vec<Op>,
+    next_local: u16,
+}
+
+impl FunctionBuilder {
+    fn new(args: u16) -> FunctionBuilder {
+        FunctionBuilder {
+            ops: Vec::new(),
+            next_local: args.max(1),
+        }
+    }
+
+    fn finish(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Allocates a fresh local slot.
+    pub fn local(&mut self) -> LocalSlot {
+        let slot = LocalSlot(self.next_local);
+        self.next_local += 1;
+        slot
+    }
+
+    /// The slot holding the function argument (slot 0).
+    pub fn arg(&self) -> LocalSlot {
+        LocalSlot(0)
+    }
+
+    /// Appends a raw operation.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends a read of `addr`.
+    pub fn read(&mut self, addr: impl Into<AddrExpr>) -> &mut Self {
+        self.push(Op::Read(addr.into()))
+    }
+
+    /// Appends a write of `addr`.
+    pub fn write(&mut self, addr: impl Into<AddrExpr>) -> &mut Self {
+        self.push(Op::Write(addr.into()))
+    }
+
+    /// Appends an atomic read-modify-write of `addr` (a sync op).
+    pub fn atomic_rmw(&mut self, addr: impl Into<AddrExpr>) -> &mut Self {
+        self.push(Op::AtomicRmw(addr.into()))
+    }
+
+    /// Appends a stack read at frame offset `offset`.
+    pub fn read_stack(&mut self, offset: u64) -> &mut Self {
+        self.push(Op::Read(AddrExpr::Stack { offset }))
+    }
+
+    /// Appends a stack write at frame offset `offset`.
+    pub fn write_stack(&mut self, offset: u64) -> &mut Self {
+        self.push(Op::Write(AddrExpr::Stack { offset }))
+    }
+
+    /// Appends a mutex acquire.
+    pub fn lock(&mut self, m: SyncId) -> &mut Self {
+        self.push(Op::Lock(SyncRef::Static(m)))
+    }
+
+    /// Appends a mutex release.
+    pub fn unlock(&mut self, m: SyncId) -> &mut Self {
+        self.push(Op::Unlock(SyncRef::Static(m)))
+    }
+
+    /// Appends a striped mutex acquire: lock `base + (locals[index] % count)`.
+    pub fn lock_striped(&mut self, base: SyncId, index: LocalSlot, count: u32) -> &mut Self {
+        self.push(Op::Lock(SyncRef::Striped { base, index, count }))
+    }
+
+    /// Appends a striped mutex release (same selection rule as
+    /// [`lock_striped`](FunctionBuilder::lock_striped)).
+    pub fn unlock_striped(&mut self, base: SyncId, index: LocalSlot, count: u32) -> &mut Self {
+        self.push(Op::Unlock(SyncRef::Striped { base, index, count }))
+    }
+
+    /// Appends an event wait.
+    pub fn wait(&mut self, e: SyncId) -> &mut Self {
+        self.push(Op::Wait(SyncRef::Static(e)))
+    }
+
+    /// Appends an event notify (signal).
+    pub fn notify(&mut self, e: SyncId) -> &mut Self {
+        self.push(Op::Notify(SyncRef::Static(e)))
+    }
+
+    /// Appends an event reset.
+    pub fn reset(&mut self, e: SyncId) -> &mut Self {
+        self.push(Op::Reset(SyncRef::Static(e)))
+    }
+
+    /// Appends a semaphore acquire (P).
+    pub fn sem_acquire(&mut self, s: SyncId) -> &mut Self {
+        self.push(Op::SemAcquire(SyncRef::Static(s)))
+    }
+
+    /// Appends a semaphore release (V).
+    pub fn sem_release(&mut self, s: SyncId) -> &mut Self {
+        self.push(Op::SemRelease(SyncRef::Static(s)))
+    }
+
+    /// Appends a barrier rendezvous.
+    pub fn barrier_wait(&mut self, b: SyncId) -> &mut Self {
+        self.push(Op::BarrierWait(SyncRef::Static(b)))
+    }
+
+    /// Appends a heap allocation of `words` words; returns the slot holding
+    /// the base address.
+    pub fn alloc(&mut self, words: u64) -> LocalSlot {
+        let dst = self.local();
+        self.push(Op::Alloc { words, dst });
+        dst
+    }
+
+    /// Appends a free of the allocation whose base is in `src`.
+    pub fn free(&mut self, src: LocalSlot) -> &mut Self {
+        self.push(Op::Free { src })
+    }
+
+    /// Appends a spawn of `func` with argument `arg`; returns the slot
+    /// holding the child thread id.
+    pub fn spawn(&mut self, func: FuncId, arg: Rvalue) -> LocalSlot {
+        let dst = self.local();
+        self.push(Op::Spawn {
+            func,
+            arg,
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Appends a detached spawn (no join handle kept).
+    pub fn spawn_detached(&mut self, func: FuncId, arg: Rvalue) -> &mut Self {
+        self.push(Op::Spawn {
+            func,
+            arg,
+            dst: None,
+        })
+    }
+
+    /// Appends a join on the thread id held in `src`.
+    pub fn join(&mut self, src: LocalSlot) -> &mut Self {
+        self.push(Op::Join { src })
+    }
+
+    /// Appends a call of `func` with argument 0.
+    pub fn call(&mut self, func: FuncId) -> &mut Self {
+        self.call_with(func, Rvalue::Const(0))
+    }
+
+    /// Appends a call of `func` with argument `arg`.
+    pub fn call_with(&mut self, func: FuncId, arg: Rvalue) -> &mut Self {
+        self.push(Op::Call { func, arg })
+    }
+
+    /// Appends pure computation of the given abstract cost.
+    pub fn compute(&mut self, cost: u32) -> &mut Self {
+        self.push(Op::Compute { cost })
+    }
+
+    /// Appends `locals[dst] = val`.
+    pub fn set_local(&mut self, dst: LocalSlot, val: Rvalue) -> &mut Self {
+        self.push(Op::SetLocal { dst, val })
+    }
+
+    /// Appends `locals[dst] += val` (wrapping).
+    pub fn add_local(&mut self, dst: LocalSlot, val: Rvalue) -> &mut Self {
+        self.push(Op::AddLocal { dst, val })
+    }
+
+    /// Appends a loop executing `body` `trips` times.
+    pub fn loop_(&mut self, trips: u32, body: impl FnOnce(&mut FunctionBuilder)) -> &mut Self {
+        let mut inner = FunctionBuilder {
+            ops: Vec::new(),
+            next_local: self.next_local,
+        };
+        body(&mut inner);
+        self.next_local = inner.next_local;
+        let body = inner.finish();
+        self.push(Op::Loop { trips, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_reserves_arg_slot_zero() {
+        let mut b = ProgramBuilder::new();
+        b.entry_fn("main", |f| {
+            assert_eq!(f.arg(), LocalSlot(0));
+            let l = f.local();
+            assert_eq!(l, LocalSlot(1));
+        });
+        b.build().unwrap();
+    }
+
+    #[test]
+    fn globals_are_laid_out_contiguously() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_word("a");
+        let arr = b.global_array("arr", 4);
+        let c = b.global_word("c");
+        assert_eq!(a.offset(), 0);
+        assert_eq!(arr.offset(), 1);
+        assert_eq!(c.offset(), 5);
+        assert_eq!(b.global_words(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn global_index_is_bounds_checked() {
+        let mut b = ProgramBuilder::new();
+        let arr = b.global_array("arr", 2);
+        let _ = arr.at(2);
+    }
+
+    #[test]
+    fn stripes_declare_count_objects() {
+        let mut b = ProgramBuilder::new();
+        let base = b.mutex_stripes("buckets", 8);
+        assert_eq!(base.index(), 0);
+        b.entry_fn("main", |f| {
+            f.compute(1);
+        });
+        let p = b.build().unwrap();
+        assert_eq!(p.syncs().len(), 8);
+    }
+
+    #[test]
+    fn undefined_declared_function_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.declare_function("ghost");
+        b.entry_fn("main", |f| {
+            f.compute(1);
+        });
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("never defined"), "{err}");
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let b = ProgramBuilder::new();
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("no entry"), "{err}");
+    }
+
+    #[test]
+    fn loop_bodies_share_the_local_namespace() {
+        let mut b = ProgramBuilder::new();
+        b.entry_fn("main", |f| {
+            let outer = f.local();
+            f.loop_(2, |f| {
+                let inner = f.local();
+                assert_ne!(outer, inner);
+            });
+            let after = f.local();
+            assert_eq!(after.index(), 3);
+        });
+        b.build().unwrap();
+    }
+}

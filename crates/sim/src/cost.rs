@@ -1,0 +1,123 @@
+//! The abstract instruction-cost model.
+//!
+//! The paper measures wall-clock slowdowns on real hardware (Table 5,
+//! Figure 6). Our substrate is a simulator, so execution time is modeled as
+//! *abstract instructions executed*: every simulated instruction has a fixed
+//! cost, and the instrumentation layers add their own costs on top (the
+//! dispatch check costs 8 instructions per §4.1; logging a record costs a
+//! configurable number of instructions). Slowdown figures are then ratios of
+//! modeled instruction counts, which reproduces the *structure* of the
+//! paper's overhead decomposition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lower::Instr;
+
+/// Per-instruction baseline costs, in abstract instructions.
+///
+/// The defaults are loosely calibrated to x86-ish costs: plain accesses are
+/// cheap, synchronization involves an atomic plus kernel bookkeeping, and
+/// allocation walks a free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of a data read.
+    pub read: u64,
+    /// Cost of a data write.
+    pub write: u64,
+    /// Cost of an atomic read-modify-write.
+    pub atomic_rmw: u64,
+    /// Cost of a mutex acquire (uncontended).
+    pub lock: u64,
+    /// Cost of a mutex release.
+    pub unlock: u64,
+    /// Cost of an event wait (once runnable).
+    pub wait: u64,
+    /// Cost of an event notify.
+    pub notify: u64,
+    /// Cost of a heap allocation.
+    pub alloc: u64,
+    /// Cost of a heap free.
+    pub free: u64,
+    /// Cost of spawning a thread.
+    pub spawn: u64,
+    /// Cost of joining a thread.
+    pub join: u64,
+    /// Cost of a function call (frame setup/teardown).
+    pub call: u64,
+    /// Cost of local-slot arithmetic and loop bookkeeping.
+    pub scalar: u64,
+}
+
+impl CostModel {
+    /// The default calibration used by all experiments.
+    pub const DEFAULT: CostModel = CostModel {
+        read: 1,
+        write: 1,
+        atomic_rmw: 30,
+        lock: 40,
+        unlock: 30,
+        wait: 120,
+        notify: 80,
+        alloc: 100,
+        free: 60,
+        spawn: 2_000,
+        join: 200,
+        call: 5,
+        scalar: 1,
+    };
+
+    /// Baseline cost of executing one instruction.
+    pub fn instr_cost(&self, instr: &Instr) -> u64 {
+        match instr {
+            Instr::Read(_) => self.read,
+            Instr::Write(_) => self.write,
+            Instr::AtomicRmw(_) => self.atomic_rmw,
+            Instr::Lock(_) => self.lock,
+            Instr::Unlock(_) => self.unlock,
+            Instr::Wait(_) => self.wait,
+            Instr::Notify(_) | Instr::Reset(_) => self.notify,
+            Instr::SemAcquire(_) => self.wait,
+            Instr::SemRelease(_) => self.notify,
+            Instr::BarrierWait(_) => self.wait,
+            Instr::Alloc { .. } => self.alloc,
+            Instr::Free { .. } => self.free,
+            Instr::Spawn { .. } => self.spawn,
+            Instr::Join { .. } => self.join,
+            Instr::Call { .. } => self.call,
+            Instr::Compute { cost } => *cost as u64,
+            Instr::SetLocal { .. }
+            | Instr::AddLocal { .. }
+            | Instr::LoopHead { .. }
+            | Instr::LoopBack { .. } => self.scalar,
+            Instr::Return => self.scalar,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::AddrExpr;
+
+    #[test]
+    fn compute_cost_is_the_declared_cost() {
+        let m = CostModel::default();
+        assert_eq!(m.instr_cost(&Instr::Compute { cost: 17 }), 17);
+    }
+
+    #[test]
+    fn sync_is_more_expensive_than_data_access() {
+        let m = CostModel::default();
+        let read = m.instr_cost(&Instr::Read(AddrExpr::Global { offset: 0 }));
+        let lock = m.instr_cost(&Instr::Lock(crate::op::SyncRef::Static(
+            crate::SyncId::from_index(0),
+        )));
+        assert!(lock > read);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{SyncId, ThreadId};
+
+/// Result alias used throughout the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced while building or running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program failed validation.
+    InvalidProgram {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Every live thread is blocked; no progress is possible.
+    Deadlock {
+        /// Threads that are blocked (with a description of what on).
+        blocked: Vec<(ThreadId, String)>,
+    },
+    /// The configured step limit was exhausted before the program finished.
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The configured thread limit was exceeded by a spawn.
+    ThreadLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A thread released a mutex it does not hold.
+    UnlockNotHeld {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The mutex.
+        sync: SyncId,
+    },
+    /// A runtime fault: bad pointer, double free, join on a bad handle…
+    Fault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl SimError {
+    pub(crate) fn invalid_program(reason: impl Into<String>) -> SimError {
+        SimError::InvalidProgram {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn fault(thread: ThreadId, reason: impl Into<String>) -> SimError {
+        SimError::Fault {
+            thread,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram { reason } => write!(f, "invalid program: {reason}"),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                for (i, (tid, what)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{tid} blocked on {what}")?;
+                }
+                Ok(())
+            }
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            SimError::ThreadLimitExceeded { limit } => {
+                write!(f, "thread limit of {limit} exceeded")
+            }
+            SimError::UnlockNotHeld { thread, sync } => {
+                write!(f, "{thread} released mutex {sync} it does not hold")
+            }
+            SimError::Fault { thread, reason } => write!(f, "fault in {thread}: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::invalid_program("bad thing");
+        assert_eq!(e.to_string(), "invalid program: bad thing");
+        let e = SimError::Deadlock {
+            blocked: vec![(ThreadId::MAIN, "mutex S0".into())],
+        };
+        assert!(e.to_string().contains("T0 blocked on mutex S0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,319 @@
+//! The runtime event stream and observer hook.
+//!
+//! The machine emits one [`Event`] for every observable action. Observers —
+//! the LiteRace instrumentation, the online detector, statistics collectors —
+//! receive events in the machine's global step order, which is a legal
+//! linearization of the execution: per-thread order is program order, and
+//! per-synchronization-variable order is the true synchronization order. The
+//! instrumentation layer relies on this to produce timestamps consistent with
+//! §4.2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::ids::{FuncId, Pc, SyncVar, ThreadId};
+
+/// The kind of synchronization operation, with its happens-before role.
+///
+/// *Release-like* operations publish the executing thread's history to the
+/// synchronization variable; *acquire-like* operations import it. Atomic
+/// read-modify-writes do both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncOpKind {
+    /// Mutex acquire (acquire role).
+    LockAcquire,
+    /// Mutex release (release role).
+    LockRelease,
+    /// Event signal (release role).
+    Notify,
+    /// Completed event wait (acquire role).
+    WaitReturn,
+    /// Event reset (no happens-before role; logged for completeness).
+    Reset,
+    /// Semaphore increment (release role).
+    SemRelease,
+    /// Completed semaphore decrement (acquire role).
+    SemAcquire,
+    /// Barrier arrival (release role on the barrier).
+    BarrierArrive,
+    /// Barrier departure (acquire role on the barrier) — the all-to-all
+    /// rendezvous edge comes from every arrival preceding every departure.
+    BarrierDepart,
+    /// Thread creation, in the parent (release role on the child's id).
+    Fork,
+    /// First action of a new thread (acquire role on its own id).
+    ThreadStart,
+    /// Last action of an exiting thread (release role on its own id).
+    ThreadExit,
+    /// Completed join (acquire role on the joined thread's id).
+    Join,
+    /// Atomic read-modify-write on a data address (acquire + release).
+    AtomicRmw,
+    /// Allocation-as-synchronization on a heap page, §4.3 (acquire+release).
+    AllocPage,
+}
+
+impl SyncOpKind {
+    /// Whether the operation imports history from the sync variable.
+    pub fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            SyncOpKind::LockAcquire
+                | SyncOpKind::WaitReturn
+                | SyncOpKind::SemAcquire
+                | SyncOpKind::BarrierDepart
+                | SyncOpKind::ThreadStart
+                | SyncOpKind::Join
+                | SyncOpKind::AtomicRmw
+                | SyncOpKind::AllocPage
+        )
+    }
+
+    /// Whether the operation publishes history to the sync variable.
+    pub fn is_release(self) -> bool {
+        matches!(
+            self,
+            SyncOpKind::LockRelease
+                | SyncOpKind::Notify
+                | SyncOpKind::SemRelease
+                | SyncOpKind::BarrierArrive
+                | SyncOpKind::Fork
+                | SyncOpKind::ThreadExit
+                | SyncOpKind::AtomicRmw
+                | SyncOpKind::AllocPage
+        )
+    }
+}
+
+/// One observable runtime action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A thread began executing (its entry function is about to run).
+    ThreadStart {
+        /// The new thread.
+        tid: ThreadId,
+        /// The spawning thread (`None` for the main thread).
+        parent: Option<ThreadId>,
+        /// The thread's entry function.
+        func: FuncId,
+    },
+    /// A thread finished (its entry function returned).
+    ThreadExit {
+        /// The exiting thread.
+        tid: ThreadId,
+    },
+    /// Control entered a function (the dispatch-check point, §3.3).
+    FunctionEntry {
+        /// Executing thread.
+        tid: ThreadId,
+        /// The function being entered.
+        func: FuncId,
+    },
+    /// Control left a function.
+    FunctionExit {
+        /// Executing thread.
+        tid: ThreadId,
+        /// The function being left.
+        func: FuncId,
+    },
+    /// A loop iteration began (emitted at loop entry and at each back-edge).
+    /// Supports the paper's §7 future-work extension: sampling at loop
+    /// granularity inside a single function execution.
+    LoopIter {
+        /// Executing thread.
+        tid: ThreadId,
+        /// The function containing the loop.
+        func: FuncId,
+        /// The loop-head instruction site (identifies the loop).
+        head: Pc,
+    },
+    /// A data read.
+    MemRead {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Static site of the access.
+        pc: Pc,
+        /// Target address.
+        addr: Addr,
+    },
+    /// A data write.
+    MemWrite {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Static site of the access.
+        pc: Pc,
+        /// Target address.
+        addr: Addr,
+    },
+    /// A synchronization operation (Table 1).
+    Sync {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Static site of the operation.
+        pc: Pc,
+        /// Kind and happens-before role.
+        kind: SyncOpKind,
+        /// The synchronization variable (Table 1 mapping).
+        var: SyncVar,
+    },
+    /// A heap allocation (also triggers §4.3 page synchronization, which the
+    /// instrumentation layer derives from this event).
+    Alloc {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Static site.
+        pc: Pc,
+        /// Base address of the allocation.
+        base: Addr,
+        /// Size in words.
+        words: u64,
+    },
+    /// A heap free.
+    Free {
+        /// Executing thread.
+        tid: ThreadId,
+        /// Static site.
+        pc: Pc,
+        /// Base address of the allocation.
+        base: Addr,
+        /// Size in words.
+        words: u64,
+    },
+}
+
+impl Event {
+    /// The thread that performed this event.
+    pub fn tid(&self) -> ThreadId {
+        match *self {
+            Event::ThreadStart { tid, .. }
+            | Event::ThreadExit { tid }
+            | Event::FunctionEntry { tid, .. }
+            | Event::FunctionExit { tid, .. }
+            | Event::LoopIter { tid, .. }
+            | Event::MemRead { tid, .. }
+            | Event::MemWrite { tid, .. }
+            | Event::Sync { tid, .. }
+            | Event::Alloc { tid, .. }
+            | Event::Free { tid, .. } => tid,
+        }
+    }
+
+    /// Whether this is a data memory access (the sampled event class).
+    pub fn is_data_access(&self) -> bool {
+        matches!(self, Event::MemRead { .. } | Event::MemWrite { .. })
+    }
+}
+
+/// Receives the event stream of a run.
+///
+/// Observers must not assume anything beyond the linearization guarantee
+/// documented at the module level. Multiple observers can be layered
+/// with [`ObserverPair`] or a `Vec<&mut dyn Observer>` of your own.
+pub trait Observer {
+    /// Called for every event, in the machine's global step order.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// An observer that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Fans one event stream out to two observers (first `a`, then `b`).
+#[derive(Debug)]
+pub struct ObserverPair<A, B> {
+    /// First observer.
+    pub a: A,
+    /// Second observer.
+    pub b: B,
+}
+
+impl<A, B> ObserverPair<A, B> {
+    /// Creates the pair.
+    pub fn new(a: A, b: B) -> ObserverPair<A, B> {
+        ObserverPair { a, b }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for ObserverPair<A, B> {
+    fn on_event(&mut self, event: &Event) {
+        self.a.on_event(event);
+        self.b.on_event(event);
+    }
+}
+
+/// An observer that buffers every event (useful in tests).
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    /// Events in arrival order.
+    pub events: Vec<Event>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roles_cover_every_kind() {
+        use SyncOpKind::*;
+        for kind in [
+            LockAcquire,
+            LockRelease,
+            Notify,
+            WaitReturn,
+            Reset,
+            SemRelease,
+            SemAcquire,
+            BarrierArrive,
+            BarrierDepart,
+            Fork,
+            ThreadStart,
+            ThreadExit,
+            Join,
+            AtomicRmw,
+            AllocPage,
+        ] {
+            // Reset is the only kind with no HB role at all.
+            if kind == Reset {
+                assert!(!kind.is_acquire() && !kind.is_release());
+            } else {
+                assert!(kind.is_acquire() || kind.is_release(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_acquire_pairs_match() {
+        assert!(SyncOpKind::LockRelease.is_release());
+        assert!(SyncOpKind::LockAcquire.is_acquire());
+        assert!(SyncOpKind::Fork.is_release());
+        assert!(SyncOpKind::ThreadStart.is_acquire());
+        assert!(SyncOpKind::AtomicRmw.is_acquire() && SyncOpKind::AtomicRmw.is_release());
+    }
+
+    #[test]
+    fn observer_pair_preserves_order() {
+        let mut pair = ObserverPair::new(RecordingObserver::default(), RecordingObserver::default());
+        let ev = Event::ThreadExit {
+            tid: ThreadId::MAIN,
+        };
+        pair.on_event(&ev);
+        assert_eq!(pair.a.events.len(), 1);
+        assert_eq!(pair.b.events.len(), 1);
+    }
+}

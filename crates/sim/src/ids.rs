@@ -1,0 +1,198 @@
+//! Identifier newtypes used throughout the simulator.
+//!
+//! All identifiers are small, `Copy`, and ordered so they can be used as map
+//! keys and sorted deterministically ([`C-NEWTYPE`]: static distinctions
+//! between thread ids, function ids and synchronization-object ids prevent a
+//! whole class of mix-ups in the instrumentation and detection layers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a simulated thread.
+///
+/// Thread ids are assigned densely in spawn order starting from `0` (the
+/// main thread), so they double as indices into per-thread state tables.
+///
+/// # Examples
+///
+/// ```
+/// use literace_sim::ThreadId;
+/// let main = ThreadId::MAIN;
+/// assert_eq!(main.index(), 0);
+/// assert_eq!(format!("{main}"), "T0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub(crate) u32);
+
+impl ThreadId {
+    /// The main thread, which executes the program entry function.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from a raw index.
+    pub fn from_index(index: usize) -> ThreadId {
+        ThreadId(index as u32)
+    }
+
+    /// Returns the dense index of this thread (spawn order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a function in a [`Program`](crate::Program).
+///
+/// Function ids are assigned densely in declaration order and index the
+/// program's function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    pub fn from_index(index: usize) -> FuncId {
+        FuncId(index as u32)
+    }
+
+    /// Returns the dense index of this function (declaration order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// Identifier of a statically declared synchronization object.
+///
+/// Synchronization objects (mutexes and events) are declared on the program
+/// and identified densely in declaration order. At runtime each object also
+/// has a [`SyncVar`] — the address-like value the paper logs to identify the
+/// object in the happens-before analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyncId(pub(crate) u32);
+
+impl SyncId {
+    /// Creates a sync-object id from a raw index.
+    pub fn from_index(index: usize) -> SyncId {
+        SyncId(index as u32)
+    }
+
+    /// Returns the dense index of this synchronization object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SyncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The value that uniquely identifies a synchronization object in the event
+/// log, mirroring Table 1 of the paper.
+///
+/// For lock/unlock this is the address of the lock object; for wait/notify
+/// the event handle; for fork/join the child thread id; for atomic machine
+/// operations the target memory address. All of these are representable as a
+/// single 64-bit value in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyncVar(pub u64);
+
+impl fmt::Display for SyncVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sv:{:#x}", self.0)
+    }
+}
+
+/// A program counter: a unique static identifier for one instruction site.
+///
+/// The detector groups dynamic races into *static* races by the pair of
+/// program counters involved, exactly as the paper does (§5.3). The value
+/// packs the function index in the high 32 bits and the instruction index in
+/// the low 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pc(pub u64);
+
+impl Pc {
+    /// Packs a function id and instruction offset into a program counter.
+    pub fn new(func: FuncId, offset: usize) -> Pc {
+        Pc(((func.0 as u64) << 32) | offset as u64)
+    }
+
+    /// The function component of this program counter.
+    pub fn func(self) -> FuncId {
+        FuncId((self.0 >> 32) as u32)
+    }
+
+    /// The instruction offset within the function.
+    pub fn offset(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.func(), self.offset())
+    }
+}
+
+/// Index of a local variable slot within a function frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalSlot(pub u16);
+
+impl LocalSlot {
+    /// Returns the dense index of this slot in the frame's local array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocalSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_round_trips_func_and_offset() {
+        let pc = Pc::new(FuncId::from_index(7), 42);
+        assert_eq!(pc.func(), FuncId::from_index(7));
+        assert_eq!(pc.offset(), 42);
+    }
+
+    #[test]
+    fn pc_is_unique_per_site() {
+        let a = Pc::new(FuncId::from_index(1), 0);
+        let b = Pc::new(FuncId::from_index(0), 1 << 32 >> 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_ids_are_dense() {
+        assert_eq!(ThreadId::MAIN.index(), 0);
+        assert_eq!(ThreadId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", ThreadId::MAIN), "T0");
+        assert_eq!(format!("{}", FuncId::from_index(2)), "F2");
+        assert_eq!(format!("{}", SyncId::from_index(1)), "S1");
+        assert_eq!(format!("{}", LocalSlot(4)), "l4");
+        assert_eq!(format!("{}", SyncVar(0x10)), "sv:0x10");
+    }
+}

@@ -1,0 +1,388 @@
+//! Lowering from the structured [`Op`] tree to a flat instruction stream.
+//!
+//! The machine interprets a linear array of [`Instr`]s per function. Loops
+//! are lowered to a `LoopHead`/`LoopBack` pair with explicit jump targets and
+//! an execution-time loop-counter stack, so stepping one instruction is O(1).
+//!
+//! The instruction index of each lowered instruction is the *program counter*
+//! ([`Pc`](crate::Pc)) used by the detector to group dynamic races into
+//! static races — it plays the role the x86 instruction address plays in the
+//! paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FuncId, LocalSlot};
+use crate::op::{AddrExpr, Op, Rvalue, SyncRef};
+use crate::program::Program;
+
+/// A flat, directly interpretable instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Read one word.
+    Read(AddrExpr),
+    /// Write one word.
+    Write(AddrExpr),
+    /// Atomic read-modify-write (synchronization operation).
+    AtomicRmw(AddrExpr),
+    /// Acquire a mutex.
+    Lock(SyncRef),
+    /// Release a mutex.
+    Unlock(SyncRef),
+    /// Wait on an event.
+    Wait(SyncRef),
+    /// Signal an event.
+    Notify(SyncRef),
+    /// Reset an event.
+    Reset(SyncRef),
+    /// Decrement a semaphore (P), blocking at zero.
+    SemAcquire(SyncRef),
+    /// Increment a semaphore (V).
+    SemRelease(SyncRef),
+    /// Barrier rendezvous.
+    BarrierWait(SyncRef),
+    /// Allocate heap words.
+    Alloc {
+        /// Number of words.
+        words: u64,
+        /// Destination slot for the base address.
+        dst: LocalSlot,
+    },
+    /// Free a heap allocation.
+    Free {
+        /// Slot holding the base address.
+        src: LocalSlot,
+    },
+    /// Spawn a thread.
+    Spawn {
+        /// Child entry function.
+        func: FuncId,
+        /// Argument value.
+        arg: Rvalue,
+        /// Optional destination slot for the child thread id.
+        dst: Option<LocalSlot>,
+    },
+    /// Join a thread.
+    Join {
+        /// Slot holding the child thread id.
+        src: LocalSlot,
+    },
+    /// Call a function.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument value.
+        arg: Rvalue,
+    },
+    /// Pure computation.
+    Compute {
+        /// Abstract instruction cost.
+        cost: u32,
+    },
+    /// `locals[dst] = val`.
+    SetLocal {
+        /// Destination slot.
+        dst: LocalSlot,
+        /// Source value.
+        val: Rvalue,
+    },
+    /// `locals[dst] += val` (wrapping).
+    AddLocal {
+        /// Destination slot.
+        dst: LocalSlot,
+        /// Addend.
+        val: Rvalue,
+    },
+    /// Loop entry: push `trips` onto the loop stack; if zero, jump to `exit`.
+    LoopHead {
+        /// Trip count.
+        trips: u32,
+        /// Index of the first instruction after the loop.
+        exit: usize,
+    },
+    /// Loop back-edge: decrement the top counter; jump to `body` while > 0,
+    /// otherwise pop and fall through.
+    LoopBack {
+        /// Index of the first body instruction.
+        body: usize,
+    },
+    /// Return from the current frame.
+    Return,
+}
+
+impl Instr {
+    /// Whether the instruction is a data memory access sampled by LiteRace.
+    pub fn is_data_access(&self) -> bool {
+        matches!(self, Instr::Read(_) | Instr::Write(_))
+    }
+
+    /// Whether the instruction is a synchronization operation (Table 1).
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Instr::AtomicRmw(_)
+                | Instr::Lock(_)
+                | Instr::Unlock(_)
+                | Instr::Wait(_)
+                | Instr::Notify(_)
+                | Instr::Reset(_)
+                | Instr::SemAcquire(_)
+                | Instr::SemRelease(_)
+                | Instr::BarrierWait(_)
+                | Instr::Spawn { .. }
+                | Instr::Join { .. }
+        )
+    }
+}
+
+/// One lowered function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledFunction {
+    /// Name copied from the source function.
+    pub name: String,
+    /// Number of local slots.
+    pub locals: u16,
+    /// Flat instruction stream, ending in [`Instr::Return`].
+    pub code: Vec<Instr>,
+    /// Count of static data-access sites (reads + writes) in this function.
+    pub data_access_sites: usize,
+    /// Count of static synchronization sites in this function.
+    pub sync_sites: usize,
+    /// Maximum loop-nesting depth (for pre-sizing loop stacks).
+    pub max_loop_depth: usize,
+}
+
+/// A lowered program, ready for execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// Lowered functions, indexed by [`FuncId`].
+    pub functions: Vec<CompiledFunction>,
+    /// Sync declarations copied from the source program.
+    pub syncs: Vec<crate::program::SyncDecl>,
+    /// Words of global data.
+    pub global_words: u64,
+    /// Entry function.
+    pub entry: FuncId,
+}
+
+impl CompiledProgram {
+    /// The lowered function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &CompiledFunction {
+        &self.functions[id.index()]
+    }
+
+    /// Total number of static data-access sites across all functions.
+    pub fn total_data_access_sites(&self) -> usize {
+        self.functions.iter().map(|f| f.data_access_sites).sum()
+    }
+}
+
+/// Lowers a validated [`Program`] into a [`CompiledProgram`].
+///
+/// # Examples
+///
+/// ```
+/// use literace_sim::{ProgramBuilder, lower};
+///
+/// let mut b = ProgramBuilder::new();
+/// let g = b.global_word("g");
+/// b.entry_fn("main", |f| {
+///     f.loop_(3, |f| {
+///         f.write(g);
+///     });
+/// });
+/// let program = b.build()?;
+/// let compiled = lower(&program);
+/// assert_eq!(compiled.functions.len(), 1);
+/// # Ok::<(), literace_sim::SimError>(())
+/// ```
+pub fn lower(program: &Program) -> CompiledProgram {
+    let functions = program
+        .functions()
+        .iter()
+        .map(|f| {
+            let mut code = Vec::new();
+            let mut max_depth = 0;
+            lower_block(&f.body, &mut code, 0, &mut max_depth);
+            code.push(Instr::Return);
+            let data_access_sites = code.iter().filter(|i| i.is_data_access()).count();
+            let sync_sites = code.iter().filter(|i| i.is_sync()).count();
+            CompiledFunction {
+                name: f.name.clone(),
+                locals: f.locals,
+                code,
+                data_access_sites,
+                sync_sites,
+                max_loop_depth: max_depth,
+            }
+        })
+        .collect();
+    CompiledProgram {
+        functions,
+        syncs: program.syncs().to_vec(),
+        global_words: program.global_words(),
+        entry: program.entry(),
+    }
+}
+
+fn lower_block(body: &[Op], code: &mut Vec<Instr>, depth: usize, max_depth: &mut usize) {
+    *max_depth = (*max_depth).max(depth);
+    for op in body {
+        match op {
+            Op::Read(a) => code.push(Instr::Read(*a)),
+            Op::Write(a) => code.push(Instr::Write(*a)),
+            Op::AtomicRmw(a) => code.push(Instr::AtomicRmw(*a)),
+            Op::Lock(s) => code.push(Instr::Lock(*s)),
+            Op::Unlock(s) => code.push(Instr::Unlock(*s)),
+            Op::Wait(s) => code.push(Instr::Wait(*s)),
+            Op::Notify(s) => code.push(Instr::Notify(*s)),
+            Op::Reset(s) => code.push(Instr::Reset(*s)),
+            Op::SemAcquire(s) => code.push(Instr::SemAcquire(*s)),
+            Op::SemRelease(s) => code.push(Instr::SemRelease(*s)),
+            Op::BarrierWait(s) => code.push(Instr::BarrierWait(*s)),
+            Op::Alloc { words, dst } => code.push(Instr::Alloc {
+                words: *words,
+                dst: *dst,
+            }),
+            Op::Free { src } => code.push(Instr::Free { src: *src }),
+            Op::Spawn { func, arg, dst } => code.push(Instr::Spawn {
+                func: *func,
+                arg: *arg,
+                dst: *dst,
+            }),
+            Op::Join { src } => code.push(Instr::Join { src: *src }),
+            Op::Call { func, arg } => code.push(Instr::Call {
+                func: *func,
+                arg: *arg,
+            }),
+            Op::Compute { cost } => code.push(Instr::Compute { cost: *cost }),
+            Op::SetLocal { dst, val } => code.push(Instr::SetLocal {
+                dst: *dst,
+                val: *val,
+            }),
+            Op::AddLocal { dst, val } => code.push(Instr::AddLocal {
+                dst: *dst,
+                val: *val,
+            }),
+            Op::Loop { trips, body } => {
+                let head = code.len();
+                // Placeholder exit; patched after the body is lowered.
+                code.push(Instr::LoopHead {
+                    trips: *trips,
+                    exit: 0,
+                });
+                let body_start = code.len();
+                lower_block(body, code, depth + 1, max_depth);
+                code.push(Instr::LoopBack { body: body_start });
+                let exit = code.len();
+                code[head] = Instr::LoopHead {
+                    trips: *trips,
+                    exit,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn compile(build: impl FnOnce(&mut ProgramBuilder)) -> CompiledProgram {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        lower(&b.build().unwrap())
+    }
+
+    #[test]
+    fn straightline_code_lowers_one_to_one_plus_return() {
+        let p = compile(|b| {
+            let g = b.global_word("g");
+            b.entry_fn("main", |f| {
+                f.read(g).write(g).compute(5);
+            });
+        });
+        let code = &p.function(p.entry).code;
+        assert_eq!(code.len(), 4);
+        assert!(matches!(code[0], Instr::Read(_)));
+        assert!(matches!(code[1], Instr::Write(_)));
+        assert!(matches!(code[2], Instr::Compute { cost: 5 }));
+        assert!(matches!(code[3], Instr::Return));
+    }
+
+    #[test]
+    fn loop_lowering_patches_exit_targets() {
+        let p = compile(|b| {
+            let g = b.global_word("g");
+            b.entry_fn("main", |f| {
+                f.loop_(3, |f| {
+                    f.write(g);
+                });
+                f.compute(1);
+            });
+        });
+        let code = &p.function(p.entry).code;
+        // LoopHead, Write, LoopBack, Compute, Return
+        assert_eq!(code.len(), 5);
+        match code[0] {
+            Instr::LoopHead { trips, exit } => {
+                assert_eq!(trips, 3);
+                assert_eq!(exit, 3);
+            }
+            ref other => panic!("expected LoopHead, got {other:?}"),
+        }
+        match code[2] {
+            Instr::LoopBack { body } => assert_eq!(body, 1),
+            ref other => panic!("expected LoopBack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loops_record_depth() {
+        let p = compile(|b| {
+            b.entry_fn("main", |f| {
+                f.loop_(2, |f| {
+                    f.loop_(2, |f| {
+                        f.compute(1);
+                    });
+                });
+            });
+        });
+        assert_eq!(p.function(p.entry).max_loop_depth, 2);
+    }
+
+    #[test]
+    fn site_counts_are_static_not_dynamic() {
+        let p = compile(|b| {
+            let g = b.global_word("g");
+            let m = b.mutex("m");
+            b.entry_fn("main", |f| {
+                f.loop_(1000, |f| {
+                    f.lock(m);
+                    f.read(g);
+                    f.write(g);
+                    f.unlock(m);
+                });
+            });
+        });
+        let f = p.function(p.entry);
+        assert_eq!(f.data_access_sites, 2);
+        assert_eq!(f.sync_sites, 2);
+    }
+
+    #[test]
+    fn empty_loop_body_still_lowers() {
+        let p = compile(|b| {
+            b.entry_fn("main", |f| {
+                f.loop_(0, |_| {});
+            });
+        });
+        let code = &p.function(p.entry).code;
+        assert!(matches!(code[0], Instr::LoopHead { trips: 0, exit: 2 }));
+        assert!(matches!(code[1], Instr::LoopBack { body: 1 }));
+    }
+}

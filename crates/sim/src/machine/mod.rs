@@ -1,0 +1,627 @@
+//! The execution engine.
+//!
+//! [`Machine::run`] interprets a [`CompiledProgram`] under a
+//! [`Scheduler`](crate::Scheduler), emitting an [`Event`] stream to an
+//! [`Observer`](crate::Observer) and collecting a [`RunSummary`]. Execution
+//! is deterministic given the program and the scheduler.
+
+mod memory;
+mod sync;
+mod thread;
+
+pub use memory::Heap;
+pub use sync::{sync_obj_addr, sync_obj_var, SYNC_OBJ_BASE, SYNC_OBJ_STRIDE};
+pub use thread::{BlockReason, Frame, ThreadState, ThreadStatus, FRAME_WORDS};
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, GLOBAL_BASE, WORD_BYTES};
+use crate::cost::CostModel;
+use crate::error::{SimError, SimResult};
+use crate::event::{Event, Observer, SyncOpKind};
+use crate::ids::{Pc, SyncId, SyncVar, ThreadId};
+use crate::lower::{CompiledProgram, Instr};
+use crate::op::{AddrExpr, Rvalue, SyncRef};
+use crate::program::SyncKind;
+use crate::sched::Scheduler;
+use crate::summary::RunSummary;
+
+use self::sync::SyncState;
+
+/// Limits and cost calibration for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Maximum live + exited threads (spawn beyond this errors).
+    pub max_threads: usize,
+    /// Maximum scheduler steps before aborting with
+    /// [`SimError::StepLimitExceeded`].
+    pub step_limit: u64,
+    /// Baseline instruction costs.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            max_threads: 512,
+            step_limit: 500_000_000,
+            cost: CostModel::DEFAULT,
+        }
+    }
+}
+
+/// The interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use literace_sim::{lower, Machine, MachineConfig, ProgramBuilder, RandomScheduler,
+///                    NullObserver};
+///
+/// let mut b = ProgramBuilder::new();
+/// let g = b.global_word("g");
+/// b.entry_fn("main", |f| {
+///     f.write(g);
+/// });
+/// let compiled = lower(&b.build()?);
+/// let mut machine = Machine::new(&compiled, MachineConfig::default());
+/// let summary = machine.run(&mut RandomScheduler::seeded(0), &mut NullObserver)?;
+/// assert_eq!(summary.mem_writes, 1);
+/// # Ok::<(), literace_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine<'p> {
+    prog: &'p CompiledProgram,
+    cfg: MachineConfig,
+    threads: Vec<ThreadState>,
+    /// Parent and started-flag per thread (parallel to `threads`).
+    meta: Vec<ThreadMeta>,
+    syncs: Vec<SyncState>,
+    heap: Heap,
+    summary: RunSummary,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadMeta {
+    parent: Option<ThreadId>,
+    started: bool,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine ready to run `prog` from its entry function.
+    pub fn new(prog: &'p CompiledProgram, cfg: MachineConfig) -> Machine<'p> {
+        let entry = prog.entry;
+        let locals = prog.function(entry).locals;
+        let main = ThreadState::new(ThreadId::MAIN, entry, locals, 0);
+        let syncs = prog
+            .syncs
+            .iter()
+            .map(|d| SyncState::new(d.kind))
+            .collect();
+        let mut summary = RunSummary {
+            per_func_entries: vec![0; prog.functions.len()],
+            per_thread_cost: vec![0],
+            threads: 1,
+            ..RunSummary::default()
+        };
+        summary.per_func_entries.iter_mut().for_each(|c| *c = 0);
+        Machine {
+            prog,
+            cfg,
+            threads: vec![main],
+            meta: vec![ThreadMeta {
+                parent: None,
+                started: false,
+            }],
+            syncs,
+            heap: Heap::new(),
+            summary,
+        }
+    }
+
+    /// Runs to completion (every thread exited).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if all live threads block,
+    /// [`SimError::StepLimitExceeded`] or [`SimError::ThreadLimitExceeded`]
+    /// when limits are hit, and [`SimError::Fault`] /
+    /// [`SimError::UnlockNotHeld`] on runtime misuse.
+    pub fn run<S: Scheduler, O: Observer>(
+        &mut self,
+        sched: &mut S,
+        obs: &mut O,
+    ) -> SimResult<RunSummary> {
+        let mut runnable: Vec<ThreadId> = Vec::new();
+        loop {
+            runnable.clear();
+            let mut any_live = false;
+            for t in &self.threads {
+                match t.status {
+                    ThreadStatus::Runnable => {
+                        runnable.push(t.tid);
+                        any_live = true;
+                    }
+                    ThreadStatus::Blocked(_) => any_live = true,
+                    ThreadStatus::Exited => {}
+                }
+            }
+            if runnable.is_empty() {
+                if !any_live {
+                    return Ok(std::mem::take(&mut self.summary));
+                }
+                let blocked = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.status {
+                        ThreadStatus::Blocked(reason) => Some((t.tid, reason.describe())),
+                        _ => None,
+                    })
+                    .collect();
+                return Err(SimError::Deadlock { blocked });
+            }
+            if self.summary.steps >= self.cfg.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.cfg.step_limit,
+                });
+            }
+            let tid = runnable[sched.pick(&runnable)];
+            self.summary.steps += 1;
+            self.step(tid, obs)?;
+        }
+    }
+
+    /// Executes one instruction of thread `tid`, which must be runnable.
+    fn step<O: Observer>(&mut self, tid: ThreadId, obs: &mut O) -> SimResult<()> {
+        let ti = tid.index();
+        if !self.meta[ti].started {
+            self.meta[ti].started = true;
+            let func = self.threads[ti].frame().func;
+            obs.on_event(&Event::ThreadStart {
+                tid,
+                parent: self.meta[ti].parent,
+                func,
+            });
+            if self.meta[ti].parent.is_some() {
+                self.emit_sync(obs, tid, Pc::new(func, 0), SyncOpKind::ThreadStart, thread_var(tid));
+            }
+            self.summary.func_entries += 1;
+            self.summary.per_func_entries[func.index()] += 1;
+            obs.on_event(&Event::FunctionEntry { tid, func });
+        }
+
+        let frame = self.threads[ti].frame();
+        let func = frame.func;
+        let pc_idx = frame.pc;
+        let instr = self.prog.function(func).code[pc_idx];
+        let pc = Pc::new(func, pc_idx);
+
+        // Blocking instructions charge no cost while parked; everything else
+        // is charged up front.
+        match instr {
+            Instr::Read(a) => {
+                let addr = self.resolve_addr(tid, &a)?;
+                self.charge(tid, self.cfg.cost.read);
+                self.summary.mem_reads += 1;
+                self.count_access_class(addr);
+                obs.on_event(&Event::MemRead { tid, pc, addr });
+                self.advance(tid);
+            }
+            Instr::Write(a) => {
+                let addr = self.resolve_addr(tid, &a)?;
+                self.charge(tid, self.cfg.cost.write);
+                self.summary.mem_writes += 1;
+                self.count_access_class(addr);
+                obs.on_event(&Event::MemWrite { tid, pc, addr });
+                self.advance(tid);
+            }
+            Instr::AtomicRmw(a) => {
+                let addr = self.resolve_addr(tid, &a)?;
+                self.charge(tid, self.cfg.cost.atomic_rmw);
+                self.emit_sync(obs, tid, pc, SyncOpKind::AtomicRmw, SyncVar(addr.raw()));
+                self.advance(tid);
+            }
+            Instr::Lock(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                debug_assert_eq!(st.kind, SyncKind::Mutex);
+                match st.owner {
+                    None => {
+                        st.owner = Some(tid);
+                        self.charge(tid, self.cfg.cost.lock);
+                        self.emit_sync(obs, tid, pc, SyncOpKind::LockAcquire, sync_obj_var(sid));
+                        self.advance(tid);
+                    }
+                    Some(owner) if owner == tid => {
+                        return Err(SimError::fault(
+                            tid,
+                            format!("recursive acquire of mutex {sid}"),
+                        ));
+                    }
+                    Some(_) => {
+                        st.waiters.push(tid);
+                        self.threads[ti].status =
+                            ThreadStatus::Blocked(BlockReason::Mutex(sid));
+                    }
+                }
+            }
+            Instr::Unlock(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                if st.owner != Some(tid) {
+                    return Err(SimError::UnlockNotHeld { thread: tid, sync: sid });
+                }
+                st.owner = None;
+                let waiters = st.take_waiters();
+                self.wake(&waiters);
+                self.charge(tid, self.cfg.cost.unlock);
+                self.emit_sync(obs, tid, pc, SyncOpKind::LockRelease, sync_obj_var(sid));
+                self.advance(tid);
+            }
+            Instr::Wait(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                debug_assert_eq!(st.kind, SyncKind::Event);
+                if st.signaled {
+                    self.charge(tid, self.cfg.cost.wait);
+                    self.emit_sync(obs, tid, pc, SyncOpKind::WaitReturn, sync_obj_var(sid));
+                    self.advance(tid);
+                } else {
+                    st.waiters.push(tid);
+                    self.threads[ti].status = ThreadStatus::Blocked(BlockReason::Event(sid));
+                }
+            }
+            Instr::Notify(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                st.signaled = true;
+                let waiters = st.take_waiters();
+                self.wake(&waiters);
+                self.charge(tid, self.cfg.cost.notify);
+                self.emit_sync(obs, tid, pc, SyncOpKind::Notify, sync_obj_var(sid));
+                self.advance(tid);
+            }
+            Instr::Reset(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                self.syncs[sid.index()].signaled = false;
+                self.charge(tid, self.cfg.cost.notify);
+                self.emit_sync(obs, tid, pc, SyncOpKind::Reset, sync_obj_var(sid));
+                self.advance(tid);
+            }
+            Instr::SemAcquire(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                debug_assert!(matches!(st.kind, SyncKind::Semaphore { .. }));
+                if st.count > 0 {
+                    st.count -= 1;
+                    self.charge(tid, self.cfg.cost.wait);
+                    self.emit_sync(obs, tid, pc, SyncOpKind::SemAcquire, sync_obj_var(sid));
+                    self.advance(tid);
+                } else {
+                    st.waiters.push(tid);
+                    self.threads[ti].status =
+                        ThreadStatus::Blocked(BlockReason::Semaphore(sid));
+                }
+            }
+            Instr::SemRelease(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let st = &mut self.syncs[sid.index()];
+                st.count += 1;
+                let waiters = st.take_waiters();
+                self.wake(&waiters);
+                self.charge(tid, self.cfg.cost.notify);
+                self.emit_sync(obs, tid, pc, SyncOpKind::SemRelease, sync_obj_var(sid));
+                self.advance(tid);
+            }
+            Instr::BarrierWait(s) => {
+                let sid = self.resolve_sync(tid, &s)?;
+                let parties = match self.syncs[sid.index()].kind {
+                    SyncKind::Barrier { parties } => parties,
+                    _ => unreachable!("validated as a barrier"),
+                };
+                let st = &mut self.syncs[sid.index()];
+                if let Some(i) = st.departing.iter().position(|&t| t == tid) {
+                    // Woken after a completed rendezvous: depart.
+                    st.departing.swap_remove(i);
+                    self.charge(tid, self.cfg.cost.wait);
+                    self.emit_sync(obs, tid, pc, SyncOpKind::BarrierDepart, sync_obj_var(sid));
+                    self.advance(tid);
+                } else {
+                    debug_assert!(
+                        !st.arrived.contains(&tid),
+                        "thread arrived twice at one rendezvous"
+                    );
+                    st.arrived.push(tid);
+                    self.emit_sync(obs, tid, pc, SyncOpKind::BarrierArrive, sync_obj_var(sid));
+                    let st = &mut self.syncs[sid.index()];
+                    if st.arrived.len() as u32 == parties {
+                        // Last arriver: open the barrier for this generation
+                        // and depart immediately.
+                        let mut departing = std::mem::take(&mut st.arrived);
+                        departing.retain(|&t| t != tid);
+                        let woken = st.take_waiters();
+                        st.departing = departing;
+                        self.wake(&woken);
+                        self.charge(tid, self.cfg.cost.wait);
+                        self.emit_sync(
+                            obs,
+                            tid,
+                            pc,
+                            SyncOpKind::BarrierDepart,
+                            sync_obj_var(sid),
+                        );
+                        self.advance(tid);
+                    } else {
+                        st.waiters.push(tid);
+                        self.threads[ti].status =
+                            ThreadStatus::Blocked(BlockReason::Barrier(sid));
+                    }
+                }
+            }
+            Instr::Alloc { words, dst } => {
+                let base = self.heap.alloc(words);
+                self.threads[ti].frame_mut().set_local(dst, base.raw());
+                self.charge(tid, self.cfg.cost.alloc);
+                self.summary.allocs += 1;
+                obs.on_event(&Event::Alloc {
+                    tid,
+                    pc,
+                    base,
+                    words,
+                });
+                self.advance(tid);
+            }
+            Instr::Free { src } => {
+                let base = Addr(self.threads[ti].frame().local(src));
+                let words = self.heap.free(tid, base)?;
+                self.charge(tid, self.cfg.cost.free);
+                self.summary.frees += 1;
+                obs.on_event(&Event::Free {
+                    tid,
+                    pc,
+                    base,
+                    words,
+                });
+                self.advance(tid);
+            }
+            Instr::Spawn { func, arg, dst } => {
+                if self.threads.len() >= self.cfg.max_threads {
+                    return Err(SimError::ThreadLimitExceeded {
+                        limit: self.cfg.max_threads,
+                    });
+                }
+                let child = ThreadId::from_index(self.threads.len());
+                let arg = self.eval(tid, arg);
+                let locals = self.prog.function(func).locals;
+                self.threads.push(ThreadState::new(child, func, locals, arg));
+                self.meta.push(ThreadMeta {
+                    parent: Some(tid),
+                    started: false,
+                });
+                self.summary.per_thread_cost.push(0);
+                self.summary.threads += 1;
+                if let Some(dst) = dst {
+                    self.threads[ti].frame_mut().set_local(dst, child.index() as u64);
+                }
+                self.charge(tid, self.cfg.cost.spawn);
+                self.emit_sync(obs, tid, pc, SyncOpKind::Fork, thread_var(child));
+                self.advance(tid);
+            }
+            Instr::Join { src } => {
+                let raw = self.threads[ti].frame().local(src);
+                let target = raw as usize;
+                if target >= self.threads.len() {
+                    return Err(SimError::fault(tid, format!("join of invalid thread {raw}")));
+                }
+                let target_tid = ThreadId::from_index(target);
+                if self.threads[target].status == ThreadStatus::Exited {
+                    self.charge(tid, self.cfg.cost.join);
+                    self.emit_sync(obs, tid, pc, SyncOpKind::Join, thread_var(target_tid));
+                    self.advance(tid);
+                } else {
+                    self.threads[ti].status =
+                        ThreadStatus::Blocked(BlockReason::Join(target_tid));
+                }
+            }
+            Instr::Call { func, arg } => {
+                let arg = self.eval(tid, arg);
+                self.charge(tid, self.cfg.cost.call);
+                self.threads[ti].frame_mut().pc += 1;
+                let locals = self.prog.function(func).locals;
+                self.threads[ti].frames.push(Frame::new(func, locals, arg));
+                self.summary.func_entries += 1;
+                self.summary.per_func_entries[func.index()] += 1;
+                obs.on_event(&Event::FunctionEntry { tid, func });
+            }
+            Instr::Compute { cost } => {
+                self.charge(tid, cost as u64);
+                self.advance(tid);
+            }
+            Instr::SetLocal { dst, val } => {
+                let v = self.eval(tid, val);
+                self.threads[ti].frame_mut().set_local(dst, v);
+                self.charge(tid, self.cfg.cost.scalar);
+                self.advance(tid);
+            }
+            Instr::AddLocal { dst, val } => {
+                let v = self.eval(tid, val);
+                let frame = self.threads[ti].frame_mut();
+                let cur = frame.local(dst);
+                frame.set_local(dst, cur.wrapping_add(v));
+                self.charge(tid, self.cfg.cost.scalar);
+                self.advance(tid);
+            }
+            Instr::LoopHead { trips, exit } => {
+                self.charge(tid, self.cfg.cost.scalar);
+                let frame = self.threads[ti].frame_mut();
+                if trips == 0 {
+                    frame.pc = exit;
+                } else {
+                    frame.loop_stack.push(trips);
+                    frame.pc += 1;
+                    obs.on_event(&Event::LoopIter {
+                        tid,
+                        func,
+                        head: pc,
+                    });
+                }
+            }
+            Instr::LoopBack { body } => {
+                self.charge(tid, self.cfg.cost.scalar);
+                let frame = self.threads[ti].frame_mut();
+                let top = frame
+                    .loop_stack
+                    .last_mut()
+                    .expect("LoopBack without live loop counter");
+                *top -= 1;
+                if *top > 0 {
+                    frame.pc = body;
+                    let head = Pc::new(func, body - 1);
+                    obs.on_event(&Event::LoopIter { tid, func, head });
+                } else {
+                    frame.loop_stack.pop();
+                    frame.pc += 1;
+                }
+            }
+            Instr::Return => {
+                self.charge(tid, self.cfg.cost.scalar);
+                let func = self.threads[ti].frame().func;
+                obs.on_event(&Event::FunctionExit { tid, func });
+                self.threads[ti].frames.pop();
+                if self.threads[ti].frames.is_empty() {
+                    self.threads[ti].status = ThreadStatus::Exited;
+                    self.emit_sync(
+                        obs,
+                        tid,
+                        Pc::new(func, pc_idx),
+                        SyncOpKind::ThreadExit,
+                        thread_var(tid),
+                    );
+                    obs.on_event(&Event::ThreadExit { tid });
+                    // Wake joiners.
+                    let joiners: Vec<ThreadId> = self
+                        .threads
+                        .iter()
+                        .filter(|t| {
+                            t.status == ThreadStatus::Blocked(BlockReason::Join(tid))
+                        })
+                        .map(|t| t.tid)
+                        .collect();
+                    self.wake(&joiners);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self, tid: ThreadId) {
+        self.threads[tid.index()].frame_mut().pc += 1;
+    }
+
+    fn charge(&mut self, tid: ThreadId, cost: u64) {
+        self.summary.baseline_cost += cost;
+        self.summary.per_thread_cost[tid.index()] += cost;
+    }
+
+    fn wake(&mut self, tids: &[ThreadId]) {
+        for &t in tids {
+            self.threads[t.index()].status = ThreadStatus::Runnable;
+        }
+    }
+
+    fn count_access_class(&mut self, addr: Addr) {
+        if addr.class().is_non_stack() {
+            self.summary.non_stack_accesses += 1;
+        } else {
+            self.summary.stack_accesses += 1;
+        }
+    }
+
+    fn emit_sync<O: Observer>(
+        &mut self,
+        obs: &mut O,
+        tid: ThreadId,
+        pc: Pc,
+        kind: SyncOpKind,
+        var: SyncVar,
+    ) {
+        self.summary.sync_ops += 1;
+        obs.on_event(&Event::Sync { tid, pc, kind, var });
+    }
+
+    fn eval(&self, tid: ThreadId, val: Rvalue) -> u64 {
+        let frame = self.threads[tid.index()].frame();
+        match val {
+            Rvalue::Const(c) => c,
+            Rvalue::Local(s) => frame.local(s),
+            Rvalue::LocalPlus(s, k) => frame.local(s).wrapping_add(k),
+        }
+    }
+
+    fn resolve_addr(&self, tid: ThreadId, a: &AddrExpr) -> SimResult<Addr> {
+        let t = &self.threads[tid.index()];
+        match *a {
+            AddrExpr::Global { offset } => Ok(Addr::global(offset)),
+            AddrExpr::Stack { offset } => Ok(t.stack_addr(offset)),
+            AddrExpr::Indirect { base, offset } => {
+                let p = t.frame().local(base);
+                if p < GLOBAL_BASE {
+                    return Err(SimError::fault(
+                        tid,
+                        format!("indirect access through bad pointer {p:#x}"),
+                    ));
+                }
+                Ok(Addr(p + offset * WORD_BYTES))
+            }
+            AddrExpr::IndirectIndexed {
+                base,
+                index,
+                modulus,
+            } => {
+                let p = t.frame().local(base);
+                if p < GLOBAL_BASE {
+                    return Err(SimError::fault(
+                        tid,
+                        format!("indexed access through bad pointer {p:#x}"),
+                    ));
+                }
+                let i = t.frame().local(index) % modulus;
+                Ok(Addr(p + i * WORD_BYTES))
+            }
+        }
+    }
+
+    fn resolve_sync(&self, tid: ThreadId, s: &SyncRef) -> SimResult<SyncId> {
+        match *s {
+            SyncRef::Static(id) => Ok(id),
+            SyncRef::Striped { base, index, count } => {
+                let i = self.threads[tid.index()].frame().local(index) % count as u64;
+                let id = SyncId::from_index(base.index() + i as usize);
+                if id.index() >= self.syncs.len() {
+                    return Err(SimError::fault(tid, format!("stripe {id} out of range")));
+                }
+                Ok(id)
+            }
+        }
+    }
+}
+
+/// The `SyncVar` for fork/join edges: the child thread id (Table 1).
+pub fn thread_var(tid: ThreadId) -> SyncVar {
+    SyncVar(tid.index() as u64)
+}
+
+/// The `SyncVar` for allocation-as-synchronization on a heap page (§4.3).
+///
+/// Tagged with the top bit so page variables can never collide with
+/// address-based or thread-id-based `SyncVar`s.
+pub fn alloc_page_var(page: u64) -> SyncVar {
+    SyncVar(page | (1 << 63))
+}
+
+/// The pages overlapped by an allocation of `words` words at `base`.
+pub fn pages_of(base: Addr, words: u64) -> std::ops::RangeInclusive<u64> {
+    let first = base.page();
+    let last = Addr(base.raw() + words * WORD_BYTES - 1).page();
+    first..=last
+}

@@ -1,0 +1,217 @@
+//! The structured operation language programs are written in.
+//!
+//! A [`Function`](crate::Function) body is a tree of [`Op`]s; loops nest.
+//! Before execution the tree is lowered to a flat instruction stream (see
+//! [`lower`](crate::lower)), which is what the machine actually interprets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FuncId, LocalSlot, SyncId};
+
+/// A value operand: either a constant or the contents of a local slot,
+/// optionally displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rvalue {
+    /// A constant word.
+    Const(u64),
+    /// The current value of a local slot.
+    Local(LocalSlot),
+    /// `locals[slot] + offset` — handy for walking allocated buffers.
+    LocalPlus(LocalSlot, u64),
+}
+
+/// An address expression naming the target of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrExpr {
+    /// The `offset`-th word of the global region.
+    Global {
+        /// Word offset within the global region.
+        offset: u64,
+    },
+    /// The `offset`-th word of the current frame's stack window.
+    Stack {
+        /// Word offset within the frame's stack window.
+        offset: u64,
+    },
+    /// `locals[base] + offset*WORD_BYTES`: an indirect access through a
+    /// pointer held in a local (e.g. a heap allocation).
+    Indirect {
+        /// Local slot holding the base pointer.
+        base: LocalSlot,
+        /// Word offset from the base pointer.
+        offset: u64,
+    },
+    /// Like [`AddrExpr::Indirect`] but the word offset is taken from a second
+    /// local, modulo `modulus` — used to stride over buffers inside loops.
+    IndirectIndexed {
+        /// Local slot holding the base pointer.
+        base: LocalSlot,
+        /// Local slot holding the index.
+        index: LocalSlot,
+        /// The index is reduced modulo this value (must be non-zero).
+        modulus: u64,
+    },
+}
+
+/// A reference to a synchronization object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncRef {
+    /// A statically declared object.
+    Static(SyncId),
+    /// One of a contiguous run of statically declared objects, selected by a
+    /// local value modulo `count` — models lock striping (e.g. LKRHash).
+    Striped {
+        /// First object of the stripe array.
+        base: SyncId,
+        /// Local slot whose value selects the stripe.
+        index: LocalSlot,
+        /// Number of stripes (must be non-zero).
+        count: u32,
+    },
+}
+
+/// One structured operation.
+///
+/// Memory operations are word-granular. `Lock`/`Unlock` are mutual-exclusion
+/// locks; `Wait`/`Notify` are manual-reset events; `Spawn`/`Join` are
+/// fork/join; `AtomicRmw` models an interlocked machine instruction (a
+/// synchronization operation per Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read one word.
+    Read(AddrExpr),
+    /// Write one word.
+    Write(AddrExpr),
+    /// Atomic read-modify-write (e.g. compare-and-exchange). Counts as a
+    /// synchronization operation on the target address.
+    AtomicRmw(AddrExpr),
+    /// Acquire a mutex, blocking while it is held by another thread.
+    Lock(SyncRef),
+    /// Release a mutex held by the current thread.
+    Unlock(SyncRef),
+    /// Block until the referenced event is signaled.
+    Wait(SyncRef),
+    /// Signal the referenced event, waking all waiters.
+    Notify(SyncRef),
+    /// Reset the referenced event to unsignaled.
+    Reset(SyncRef),
+    /// Decrement the referenced semaphore, blocking while it is zero (P).
+    SemAcquire(SyncRef),
+    /// Increment the referenced semaphore, waking a blocked acquirer (V).
+    SemRelease(SyncRef),
+    /// Block until all parties of the referenced barrier have arrived.
+    BarrierWait(SyncRef),
+    /// Allocate `words` words of heap; the base address is stored in `dst`.
+    Alloc {
+        /// Number of words to allocate (must be non-zero).
+        words: u64,
+        /// Local slot receiving the base address.
+        dst: LocalSlot,
+    },
+    /// Free the allocation whose base address is in `src`.
+    Free {
+        /// Local slot holding the base address of a live allocation.
+        src: LocalSlot,
+    },
+    /// Spawn a thread running `func` with `arg` as its argument; the child's
+    /// thread id is stored in `dst` when present.
+    Spawn {
+        /// Entry function of the child thread.
+        func: FuncId,
+        /// Argument value delivered in the child's local slot 0.
+        arg: Rvalue,
+        /// Local slot receiving the child thread id (for a later `Join`).
+        dst: Option<LocalSlot>,
+    },
+    /// Block until the thread whose id is in `src` has exited.
+    Join {
+        /// Local slot holding a thread id produced by `Spawn`.
+        src: LocalSlot,
+    },
+    /// Call `func` with `arg` delivered in the callee's local slot 0.
+    Call {
+        /// The callee.
+        func: FuncId,
+        /// Argument value.
+        arg: Rvalue,
+    },
+    /// Pure computation costing `cost` abstract instructions.
+    Compute {
+        /// Cost in abstract instructions (the cost model multiplies this).
+        cost: u32,
+    },
+    /// Store a value into a local slot.
+    SetLocal {
+        /// Destination slot.
+        dst: LocalSlot,
+        /// Value to store.
+        val: Rvalue,
+    },
+    /// Add a value into a local slot (wrapping) — loop induction variables.
+    AddLocal {
+        /// Destination slot (also the left operand).
+        dst: LocalSlot,
+        /// Value to add.
+        val: Rvalue,
+    },
+    /// Execute `body` `trips` times.
+    Loop {
+        /// Trip count; a count of zero skips the body entirely.
+        trips: u32,
+        /// Loop body.
+        body: Vec<Op>,
+    },
+}
+
+impl Op {
+    /// Whether this op (ignoring any nested body) performs a data memory
+    /// access that the instrumented copy of a function would log.
+    pub fn is_data_access(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+
+    /// Whether this op is a synchronization operation per Table 1.
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Op::AtomicRmw(_)
+                | Op::Lock(_)
+                | Op::Unlock(_)
+                | Op::Wait(_)
+                | Op::Notify(_)
+                | Op::Reset(_)
+                | Op::SemAcquire(_)
+                | Op::SemRelease(_)
+                | Op::BarrierWait(_)
+                | Op::Spawn { .. }
+                | Op::Join { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_access_classification() {
+        assert!(Op::Read(AddrExpr::Global { offset: 0 }).is_data_access());
+        assert!(Op::Write(AddrExpr::Stack { offset: 0 }).is_data_access());
+        assert!(!Op::Compute { cost: 1 }.is_data_access());
+        // Atomic RMW is a *sync* op, not a sampled data access.
+        assert!(!Op::AtomicRmw(AddrExpr::Global { offset: 0 }).is_data_access());
+    }
+
+    #[test]
+    fn sync_classification_matches_table_1() {
+        let s = SyncRef::Static(SyncId::from_index(0));
+        assert!(Op::Lock(s).is_sync());
+        assert!(Op::Unlock(s).is_sync());
+        assert!(Op::Wait(s).is_sync());
+        assert!(Op::Notify(s).is_sync());
+        assert!(Op::AtomicRmw(AddrExpr::Global { offset: 0 }).is_sync());
+        assert!(Op::Join { src: LocalSlot(0) }.is_sync());
+        assert!(!Op::Read(AddrExpr::Global { offset: 0 }).is_sync());
+        assert!(!Op::Compute { cost: 3 }.is_sync());
+    }
+}

@@ -1,0 +1,162 @@
+//! Static program statistics.
+//!
+//! [`ProgramStats`] summarizes a compiled program the way `size(1)` or
+//! `objdump -h` summarize a binary: how much code there is, of what kind —
+//! useful for the CLI's `inspect` command and for sanity-checking generated
+//! workloads against Table 2's populations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lower::{CompiledProgram, Instr};
+use crate::program::SyncKind;
+
+/// Static counts over a compiled program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Total lowered instructions (including returns and loop bookkeeping).
+    pub instructions: usize,
+    /// Static data-access sites (reads + writes).
+    pub data_access_sites: usize,
+    /// Static synchronization sites.
+    pub sync_sites: usize,
+    /// Static call sites.
+    pub call_sites: usize,
+    /// Static loop heads.
+    pub loops: usize,
+    /// Declared mutexes.
+    pub mutexes: usize,
+    /// Declared events.
+    pub events: usize,
+    /// Declared semaphores.
+    pub semaphores: usize,
+    /// Declared barriers.
+    pub barriers: usize,
+    /// Words of global data.
+    pub global_words: u64,
+}
+
+impl ProgramStats {
+    /// Computes statistics for a compiled program.
+    pub fn of(program: &CompiledProgram) -> ProgramStats {
+        let mut s = ProgramStats {
+            functions: program.functions.len(),
+            global_words: program.global_words,
+            ..ProgramStats::default()
+        };
+        for f in &program.functions {
+            s.instructions += f.code.len();
+            s.data_access_sites += f.data_access_sites;
+            s.sync_sites += f.sync_sites;
+            for instr in &f.code {
+                match instr {
+                    Instr::Call { .. } => s.call_sites += 1,
+                    Instr::LoopHead { .. } => s.loops += 1,
+                    _ => {}
+                }
+            }
+        }
+        for d in &program.syncs {
+            match d.kind {
+                SyncKind::Mutex => s.mutexes += 1,
+                SyncKind::Event => s.events += 1,
+                SyncKind::Semaphore { .. } => s.semaphores += 1,
+                SyncKind::Barrier { .. } => s.barriers += 1,
+            }
+        }
+        s
+    }
+
+    /// Mean instructions per function.
+    pub fn mean_function_size(&self) -> f64 {
+        if self.functions == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.functions as f64
+    }
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "functions          : {}", self.functions)?;
+        writeln!(
+            f,
+            "instructions       : {} ({:.1} per function)",
+            self.instructions,
+            self.mean_function_size()
+        )?;
+        writeln!(f, "data access sites  : {}", self.data_access_sites)?;
+        writeln!(f, "sync sites         : {}", self.sync_sites)?;
+        writeln!(f, "call sites         : {}", self.call_sites)?;
+        writeln!(f, "loops              : {}", self.loops)?;
+        writeln!(
+            f,
+            "sync objects       : {} mutexes, {} events, {} semaphores, {} barriers",
+            self.mutexes, self.events, self.semaphores, self.barriers
+        )?;
+        write!(f, "global data        : {} words", self.global_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lower, ProgramBuilder, Rvalue};
+
+    #[test]
+    fn counts_every_category() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_array("g", 4);
+        let m = b.mutex("m");
+        let e = b.event("e");
+        let sem = b.semaphore("s", 1);
+        let bar = b.barrier("b", 2);
+        let leaf = b.function("leaf", 0, move |f| {
+            f.read(g.at(0));
+            f.write(g.at(1));
+            f.lock(m);
+            f.unlock(m);
+        });
+        b.entry_fn("main", move |f| {
+            f.loop_(3, |f| {
+                f.call(leaf);
+            });
+            f.notify(e);
+            f.sem_acquire(sem);
+            f.sem_release(sem);
+            f.barrier_wait(bar);
+            let t = f.spawn(leaf, Rvalue::Const(0));
+            f.join(t);
+        });
+        let stats = ProgramStats::of(&lower(&b.build().unwrap()));
+        assert_eq!(stats.functions, 2);
+        assert_eq!(stats.data_access_sites, 2);
+        assert_eq!(stats.call_sites, 1);
+        assert_eq!(stats.loops, 1);
+        assert_eq!(stats.mutexes, 1);
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.semaphores, 1);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.global_words, 4);
+        // leaf: read, write, lock, unlock + ret = 5; sync sites: lock,
+        // unlock (leaf) + notify, P, V, barrier, spawn, join (main).
+        assert_eq!(stats.sync_sites, 2 + 6);
+        assert!(stats.mean_function_size() > 1.0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let mut b = ProgramBuilder::new();
+        b.entry_fn("main", |f| {
+            f.compute(1);
+        });
+        let stats = ProgramStats::of(&lower(&b.build().unwrap()));
+        let text = stats.to_string();
+        for needle in ["functions", "instructions", "sync objects", "global data"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+}

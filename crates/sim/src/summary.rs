@@ -1,0 +1,76 @@
+//! Aggregate statistics of one run.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected by the machine over one run.
+///
+/// These are the *baseline* quantities: what the uninstrumented program did.
+/// Instrumentation overhead is accounted separately by the instrumentation
+/// layer, so dividing its modeled cost by [`RunSummary::baseline_cost`]
+/// yields the slowdown figures of Table 5 / Figure 6.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Instructions stepped (scheduler decisions taken).
+    pub steps: u64,
+    /// Modeled baseline cost, in abstract instructions.
+    pub baseline_cost: u64,
+    /// Modeled baseline cost per thread, indexed by thread id.
+    pub per_thread_cost: Vec<u64>,
+    /// Data reads executed.
+    pub mem_reads: u64,
+    /// Data writes executed.
+    pub mem_writes: u64,
+    /// Data accesses to non-stack (global/heap) addresses.
+    pub non_stack_accesses: u64,
+    /// Data accesses to stack addresses.
+    pub stack_accesses: u64,
+    /// Synchronization operations executed (Table 1 classes).
+    pub sync_ops: u64,
+    /// Heap allocations executed.
+    pub allocs: u64,
+    /// Heap frees executed.
+    pub frees: u64,
+    /// Function entries (dispatch-check executions), total.
+    pub func_entries: u64,
+    /// Function entries per function, indexed by function id.
+    pub per_func_entries: Vec<u64>,
+    /// Threads created (including the main thread).
+    pub threads: u64,
+}
+
+impl RunSummary {
+    /// Total data memory accesses (the ESR denominator of Table 3).
+    pub fn data_accesses(&self) -> u64 {
+        self.mem_reads + self.mem_writes
+    }
+
+    /// Ratio of synchronization operations to data accesses — high for the
+    /// paper's micro-benchmarks (LKRHash, LFList), low for Dryad/Apache.
+    pub fn sync_density(&self) -> f64 {
+        if self.data_accesses() == 0 {
+            return 0.0;
+        }
+        self.sync_ops as f64 / self.data_accesses() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_accesses_sums_reads_and_writes() {
+        let s = RunSummary {
+            mem_reads: 3,
+            mem_writes: 4,
+            ..RunSummary::default()
+        };
+        assert_eq!(s.data_accesses(), 7);
+    }
+
+    #[test]
+    fn sync_density_handles_zero_accesses() {
+        let s = RunSummary::default();
+        assert_eq!(s.sync_density(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests over randomly generated single-threaded programs:
+//! lowering must produce well-formed code and execution must perform
+//! exactly the statically predicted work.
+
+use literace_sim::{
+    lower, Instr, Machine, MachineConfig, NullObserver, ProgramBuilder, RandomScheduler,
+};
+use proptest::prelude::*;
+
+/// A generated structured body and its predicted dynamic counts.
+#[derive(Debug, Clone)]
+struct GenBody {
+    ops: Vec<GenOp>,
+}
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Read,
+    Write,
+    Stack,
+    Compute(u32),
+    Loop(u32, Vec<GenOp>),
+}
+
+fn arb_ops(depth: u32) -> impl Strategy<Value = Vec<GenOp>> {
+    let leaf = prop_oneof![
+        Just(GenOp::Read),
+        Just(GenOp::Write),
+        Just(GenOp::Stack),
+        (1u32..50).prop_map(GenOp::Compute),
+    ];
+    
+    if depth == 0 {
+        prop::collection::vec(leaf, 0..6).boxed()
+    } else {
+        prop::collection::vec(
+            prop_oneof![
+                4 => leaf,
+                1 => (0u32..5, arb_ops_boxed(depth - 1)).prop_map(|(n, b)| GenOp::Loop(n, b)),
+            ],
+            0..6,
+        )
+        .boxed()
+    }
+}
+
+fn arb_ops_boxed(depth: u32) -> BoxedStrategy<Vec<GenOp>> {
+    arb_ops(depth).boxed()
+}
+
+fn arb_body() -> impl Strategy<Value = GenBody> {
+    arb_ops(3).prop_map(|ops| GenBody { ops })
+}
+
+/// Predicted dynamic (reads, writes, stack accesses).
+fn predict(ops: &[GenOp]) -> (u64, u64, u64) {
+    let mut r = 0;
+    let mut w = 0;
+    let mut s = 0;
+    for op in ops {
+        match op {
+            GenOp::Read => r += 1,
+            GenOp::Write => w += 1,
+            GenOp::Stack => s += 1,
+            GenOp::Compute(_) => {}
+            GenOp::Loop(n, body) => {
+                let (br, bw, bs) = predict(body);
+                r += *n as u64 * br;
+                w += *n as u64 * bw;
+                s += *n as u64 * bs;
+            }
+        }
+    }
+    (r, w, s)
+}
+
+fn emit(f: &mut literace_sim::FunctionBuilder, ops: &[GenOp], g: literace_sim::GlobalVar) {
+    for op in ops {
+        match op {
+            GenOp::Read => {
+                f.read(g);
+            }
+            GenOp::Write => {
+                f.write(g);
+            }
+            GenOp::Stack => {
+                f.write_stack(2);
+            }
+            GenOp::Compute(c) => {
+                f.compute(*c);
+            }
+            GenOp::Loop(n, body) => {
+                f.loop_(*n, |f| emit(f, body, g));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lowered jump targets are always in range, every function ends with
+    /// Return, and loop heads/backs pair up.
+    #[test]
+    fn lowering_is_well_formed(body in arb_body()) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        b.entry_fn("main", |f| emit(f, &body.ops, g));
+        let compiled = lower(&b.build().unwrap());
+        for f in &compiled.functions {
+            prop_assert!(matches!(f.code.last(), Some(Instr::Return)));
+            let mut heads = 0i64;
+            for (i, instr) in f.code.iter().enumerate() {
+                match instr {
+                    Instr::LoopHead { exit, .. } => {
+                        heads += 1;
+                        prop_assert!(*exit <= f.code.len(), "exit target escapes");
+                        prop_assert!(*exit > i, "exit must jump forward");
+                    }
+                    Instr::LoopBack { body } => {
+                        heads -= 1;
+                        prop_assert!(*body <= i, "back-edge must jump backward");
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(heads, 0, "unbalanced loop structure");
+        }
+    }
+
+    /// Executing the program performs exactly the statically predicted
+    /// number of reads, writes and stack accesses.
+    #[test]
+    fn execution_matches_static_prediction(body in arb_body()) {
+        let (r, w, s) = predict(&body.ops);
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        b.entry_fn("main", |f| emit(f, &body.ops, g));
+        let compiled = lower(&b.build().unwrap());
+        let summary = Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(0), &mut NullObserver)
+            .unwrap();
+        prop_assert_eq!(summary.mem_reads, r);
+        prop_assert_eq!(summary.mem_writes, w + s);
+        prop_assert_eq!(summary.stack_accesses, s);
+        prop_assert_eq!(summary.non_stack_accesses, r + w);
+    }
+
+    /// Runs are bit-identical across repeated executions.
+    #[test]
+    fn execution_is_reproducible(body in arb_body(), seed: u64) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        b.entry_fn("main", |f| emit(f, &body.ops, g));
+        let compiled = lower(&b.build().unwrap());
+        let run = || {
+            Machine::new(&compiled, MachineConfig::default())
+                .run(&mut RandomScheduler::seeded(seed), &mut NullObserver)
+                .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The validator accepts everything the generator produces (the
+    /// builder API cannot express invalid programs of this shape).
+    #[test]
+    fn generated_programs_always_validate(body in arb_body()) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        b.entry_fn("main", |f| emit(f, &body.ops, g));
+        prop_assert!(b.build().is_ok());
+    }
+}
+
+/// Deep nesting exercises the loop-stack bookkeeping.
+#[test]
+fn deeply_nested_loops_execute_correctly() {
+    let mut b = ProgramBuilder::new();
+    let g = b.global_word("g");
+    b.entry_fn("main", |f| {
+        f.loop_(2, |f| {
+            f.loop_(2, |f| {
+                f.loop_(2, |f| {
+                    f.loop_(2, |f| {
+                        f.loop_(2, |f| {
+                            f.write(g);
+                        });
+                    });
+                });
+            });
+        });
+    });
+    let compiled = lower(&b.build().unwrap());
+    let summary = Machine::new(&compiled, MachineConfig::default())
+        .run(&mut RandomScheduler::seeded(0), &mut NullObserver)
+        .unwrap();
+    assert_eq!(summary.mem_writes, 32);
+    assert_eq!(compiled.function(compiled.entry).max_loop_depth, 5);
+}

@@ -1,0 +1,255 @@
+//! Integration tests for the semaphore and barrier primitives, and their
+//! happens-before edges as seen by the detector layers.
+
+use literace_sim::{
+    lower, CompiledProgram, Event, Machine, MachineConfig, ProgramBuilder, RandomScheduler,
+    RecordingObserver, RunSummary, Rvalue, SimError, SyncOpKind,
+};
+
+fn build(b: impl FnOnce(&mut ProgramBuilder)) -> CompiledProgram {
+    let mut pb = ProgramBuilder::new();
+    b(&mut pb);
+    lower(&pb.build().expect("program validates"))
+}
+
+fn run(compiled: &CompiledProgram, seed: u64) -> Result<(RunSummary, Vec<Event>), SimError> {
+    let mut obs = RecordingObserver::default();
+    let summary = Machine::new(compiled, MachineConfig::default())
+        .run(&mut RandomScheduler::seeded(seed), &mut obs)?;
+    Ok((summary, obs.events))
+}
+
+#[test]
+fn semaphore_bounds_concurrent_holders() {
+    // A binary semaphore acting as a lock: 4 threads each do P; write; V.
+    let p = build(|b| {
+        let g = b.global_word("g");
+        let sem = b.semaphore("sem", 1);
+        let w = b.function("w", 0, move |f| {
+            f.sem_acquire(sem);
+            f.write(g);
+            f.sem_release(sem);
+        });
+        b.entry_fn("main", move |f| {
+            let hs: Vec<_> = (0..4).map(|_| f.spawn(w, Rvalue::Const(0))).collect();
+            for h in hs {
+                f.join(h);
+            }
+        });
+    });
+    for seed in 0..20 {
+        let (summary, events) = run(&p, seed).unwrap();
+        assert_eq!(summary.mem_writes, 4);
+        // P/V must alternate like lock/unlock for a binary semaphore.
+        let mut held = 0i32;
+        for e in &events {
+            if let Event::Sync { kind, .. } = e {
+                match kind {
+                    SyncOpKind::SemAcquire => {
+                        held += 1;
+                        assert!(held <= 1, "binary semaphore over-admitted (seed {seed})");
+                    }
+                    SyncOpKind::SemRelease => held -= 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn semaphore_with_zero_initial_blocks_until_released() {
+    let p = build(|b| {
+        let g = b.global_word("g");
+        let sem = b.semaphore("handoff", 0);
+        let consumer = b.function("consumer", 0, move |f| {
+            f.sem_acquire(sem);
+            f.read(g);
+        });
+        b.entry_fn("main", move |f| {
+            let t = f.spawn(consumer, Rvalue::Const(0));
+            f.write(g);
+            f.sem_release(sem);
+            f.join(t);
+        });
+    });
+    for seed in 0..10 {
+        let (_, events) = run(&p, seed).unwrap();
+        let write = events
+            .iter()
+            .position(|e| matches!(e, Event::MemWrite { .. }))
+            .unwrap();
+        let read = events
+            .iter()
+            .position(|e| matches!(e, Event::MemRead { .. }))
+            .unwrap();
+        assert!(write < read, "seed {seed}: P must gate the read");
+    }
+}
+
+#[test]
+fn semaphore_deadlocks_when_never_released() {
+    let p = build(|b| {
+        let sem = b.semaphore("empty", 0);
+        b.entry_fn("main", move |f| {
+            f.sem_acquire(sem);
+        });
+    });
+    let err = run(&p, 0).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }));
+    assert!(err.to_string().contains("semaphore"), "{err}");
+}
+
+#[test]
+fn counting_semaphore_admits_up_to_count() {
+    // Semaphore of 2: both threads can hold simultaneously; no deadlock
+    // even though neither releases before acquiring.
+    let p = build(|b| {
+        let sem = b.semaphore("pool", 2);
+        let w = b.function("w", 0, move |f| {
+            f.sem_acquire(sem);
+            f.compute(50);
+            f.sem_release(sem);
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+    });
+    run(&p, 3).unwrap();
+}
+
+#[test]
+fn barrier_releases_all_parties_together() {
+    let p = build(|b| {
+        let g = b.global_array("g", 4);
+        let bar = b.barrier("phase", 3);
+        let w = b.function("w", 1, move |f| {
+            f.write_stack(0);
+            f.barrier_wait(bar);
+            f.read(g.at(0));
+        });
+        b.entry_fn("main", move |f| {
+            let hs: Vec<_> = (0..3)
+                .map(|i| f.spawn(w, Rvalue::Const(i)))
+                .collect();
+            for h in hs {
+                f.join(h);
+            }
+        });
+    });
+    for seed in 0..15 {
+        let (summary, events) = run(&p, seed).unwrap();
+        assert_eq!(summary.mem_reads, 3, "seed {seed}");
+        // All three arrivals precede all three departures.
+        let last_arrive = events
+            .iter()
+            .rposition(|e| {
+                matches!(
+                    e,
+                    Event::Sync {
+                        kind: SyncOpKind::BarrierArrive,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        let first_depart = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    Event::Sync {
+                        kind: SyncOpKind::BarrierDepart,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert!(
+            last_arrive < first_depart,
+            "seed {seed}: departures before the rendezvous completed"
+        );
+        let departs = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Sync {
+                        kind: SyncOpKind::BarrierDepart,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(departs, 3, "seed {seed}");
+    }
+}
+
+#[test]
+fn barrier_with_missing_party_deadlocks() {
+    let p = build(|b| {
+        let bar = b.barrier("phase", 3);
+        let w = b.function("w", 0, move |f| {
+            f.barrier_wait(bar);
+        });
+        b.entry_fn("main", move |f| {
+            // Only two of the three parties ever arrive.
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+    });
+    let err = run(&p, 0).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }));
+    assert!(err.to_string().contains("barrier"), "{err}");
+}
+
+#[test]
+fn cyclic_barrier_is_reusable_across_generations() {
+    let p = build(|b| {
+        let bar = b.barrier("phase", 2);
+        let w = b.function("w", 0, move |f| {
+            f.loop_(5, |f| {
+                f.compute(3);
+                f.barrier_wait(bar);
+            });
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+    });
+    for seed in 0..10 {
+        let (_, events) = run(&p, seed).unwrap();
+        let departs = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Sync {
+                        kind: SyncOpKind::BarrierDepart,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(departs, 10, "seed {seed}: 5 generations × 2 parties");
+    }
+}
+
+#[test]
+fn kind_mismatch_is_rejected_at_build_time() {
+    let mut pb = ProgramBuilder::new();
+    let sem = pb.semaphore("s", 1);
+    pb.entry_fn("main", move |f| {
+        f.lock(sem);
+    });
+    let err = pb.build().unwrap_err();
+    assert!(err.to_string().contains("cannot target"), "{err}");
+}

@@ -1,0 +1,175 @@
+//! The Apache web-server benchmarks (Table 2).
+//!
+//! The paper drives Apache with two inputs: **Apache-1** mixes small static
+//! pages, larger pages and CGI requests; **Apache-2** is 10,000 requests
+//! for one small static page. We model a worker pool: each worker parses a
+//! request (stack traffic), updates shared server statistics under a lock,
+//! and writes the response body into a per-worker buffer; CGI workers
+//! additionally allocate a per-request environment and burn CPU. Apache-2
+//! has more, lighter requests, so a larger share of its baseline is memory
+//! accesses — reproducing its much higher full-logging log rate
+//! (Table 5: 260.7 vs. 41.9 MB/s).
+
+use literace_sim::{AddrExpr, ProgramBuilder, Rvalue};
+
+use crate::common::{cold_library, Gadgets};
+use crate::spec::{Scale, WorkloadId};
+use crate::workload::Workload;
+
+/// Builds the Apache workload; `mixed` selects Apache-1 (static + CGI).
+pub fn build(scale: Scale, mixed: bool) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let static_workers: u32 = if mixed { 10 } else { 12 };
+    let cgi_workers: u32 = if mixed { 3 } else { 0 };
+    let requests = if mixed {
+        scale.hot(580)
+    } else {
+        scale.hot(1_200)
+    };
+    let response_words: u64 = if mixed { 48 } else { 24 };
+
+    let request_service_cost: u32 = if mixed { 10_000 } else { 1_100 };
+    let stats = pb.global_array("server_stats", 8);
+    let stats_lock = pb.mutex("stats_lock");
+    let response_bufs: Vec<_> = (0..static_workers + cgi_workers)
+        .map(|w| pb.global_array(&format!("resp_buf{w}"), response_words))
+        .collect();
+
+    let mut g = Gadgets::new(&mut pb);
+    // Apache-1: 17 races = rare 8 (1 IR + 4 CR + 3 PR) + frequent 9.
+    // Apache-2: 16 races = rare 9 (1 IR + 5 CR + 3 PR) + frequent 7.
+    let (n_cr, n_pr, n_hr_callin, n_whr) = if mixed { (4, 3, 5, 4) } else { (5, 3, 4, 3) };
+    let ir = g.init_race("apache0");
+    let crs: Vec<_> = (0..n_cr)
+        .map(|i| g.cold_racer(&format!("apache{i}"), scale.hot(4_000)))
+        .collect();
+    let prs: Vec<_> = (0..n_pr)
+        .map(|i| g.phase_race(&format!("apache{i}"), scale.hot(3_000)))
+        .collect();
+    let hrs: Vec<_> = (0..n_hr_callin)
+        .map(|i| g.hot_race_fn(&format!("apache{i}")))
+        .collect();
+    let whrs: Vec<_> = (0..n_whr)
+        .map(|i| g.windowed_hot_race(&format!("apache{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    // Request parsing: header scan over the connection's stack buffer.
+    let parse_request = pb.function("parse_request", 0, |f| {
+        f.loop_(6, |f| {
+            f.read_stack(4);
+            f.write_stack(5);
+            f.compute(2);
+        });
+    });
+
+    // Each worker writes its own response buffer; a shared function cannot
+    // index globals by argument, so each worker is its own small function
+    // closing over its buffer (this also gives Apache a realistic spread of
+    // moderately hot functions).
+    let mut worker_wrappers = Vec::new();
+    for (w, buf) in response_bufs.iter().enumerate() {
+        let buf = *buf;
+        let hrs3 = hrs.to_vec();
+        let is_cgi = (w as u32) >= static_workers;
+        let handle_request = pb.function(&format!("handle_request{w}"), 0, move |f| {
+            f.call(parse_request);
+            f.lock(stats_lock);
+            f.read(stats.at(0));
+            f.write(stats.at(0));
+            f.write(stats.at(1));
+            f.unlock(stats_lock);
+            for i in 0..response_words {
+                f.write(buf.at(i));
+            }
+            if is_cgi {
+                // CGI: per-request environment allocation + CPU burn.
+                let env = f.alloc(32);
+                for i in 0..8 {
+                    f.write(AddrExpr::Indirect {
+                        base: env,
+                        offset: i,
+                    });
+                }
+                f.compute(150);
+                f.free(env);
+            }
+            for hr in &hrs3 {
+                f.call(*hr);
+            }
+            // Request service time (network, filesystem): dominates the
+                // mixed workload, thinner for the small-static-page one.
+                f.compute(request_service_cost);
+        });
+        let wrapper = pb.function(&format!("worker{w}"), 0, move |f| {
+            f.loop_(requests, |f| {
+                f.call(handle_request);
+            });
+        });
+        worker_wrappers.push(wrapper);
+    }
+
+    let mut bodies = Vec::new();
+    bodies.push((ir, 0));
+    bodies.push((ir, 1));
+    for w in &worker_wrappers {
+        bodies.push((*w, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.hot_thread, 0));
+    }
+    for w in &whrs {
+        bodies.push((*w, 0));
+        bodies.push((*w, 1));
+    }
+    for pr in &prs {
+        bodies.push((pr.producer, 0));
+        bodies.push((pr.consumer, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.cold_thread, 0));
+    }
+
+    let cold_count = match scale {
+        Scale::Paper => 2_000,
+        Scale::Smoke => 130,
+    };
+    let cold_driver = cold_library(&mut pb, "apache", cold_count, 0xA9AC4E);
+    pb.entry_fn("main", move |f| {
+        f.call(cold_driver);
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    let id = if mixed {
+        WorkloadId::Apache1
+    } else {
+        WorkloadId::Apache2
+    };
+    Workload::new(id, pb.build().expect("apache validates"), planted, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apache1_race_counts_match_table_4() {
+        let w = build(Scale::Smoke, true);
+        assert_eq!(w.planted.total(), 17);
+        assert_eq!(w.planted.rare(), 8);
+        assert_eq!(w.planted.frequent(), 9);
+    }
+
+    #[test]
+    fn apache2_race_counts_match_table_4() {
+        let w = build(Scale::Smoke, false);
+        assert_eq!(w.planted.total(), 16);
+        assert_eq!(w.planted.rare(), 9);
+        assert_eq!(w.planted.frequent(), 7);
+    }
+}

@@ -1,0 +1,335 @@
+//! Building blocks shared by the benchmark generators.
+//!
+//! # Race gadgets
+//!
+//! Every planted static race is one of four *gadgets*, chosen to reproduce
+//! the sampler-separation structure of Figures 4 and 5:
+//!
+//! | Gadget | Dynamic shape | Rarity | Caught by |
+//! |---|---|---|---|
+//! | **init** | two one-shot threads race at start-up | rare | thread-local *and* global samplers (the function is globally cold too) |
+//! | **cold** | a hot thread hammers a function; a late thread calls the *same* function once | rare | thread-local samplers only — the function is globally hot by then, so global samplers have backed off and UCP skips the newcomer's first call |
+//! | **hot** | two worker threads race continuously in a hot function | frequent | essentially every sampler, including random ones |
+//! | **phase** | after an event hand-off, one *single* late execution of a hot function races with a one-shot consumer | rare | almost nobody — both endpoints are individually unlikely to be sampled; these bound every sampler's detection rate below 100% |
+//!
+//! Each gadget contributes exactly one static race (a unique pair of
+//! instruction sites), and its dynamic accesses are, by construction, never
+//! ordered by any other synchronization in the benchmark — so ground-truth
+//! (full-logging) detection finds every planted race deterministically.
+//!
+//! # Cold-code libraries
+//!
+//! [`cold_library`] generates the large population of rarely executed
+//! functions that gives each benchmark its Table 2 function count and makes
+//! the adaptive samplers' per-function state meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use literace_sim::{FuncId, ProgramBuilder, Rvalue};
+
+use crate::spec::PlantedRaces;
+
+/// Handles returned by gadget constructors that the benchmark's `main`
+/// must wire up (spawn/join or call from a hot loop).
+#[derive(Debug, Clone, Copy)]
+pub struct ColdRacer {
+    /// Thread body: calls the shared racy function in a tight hot loop.
+    pub hot_thread: FuncId,
+    /// Thread body: calls the same racy function exactly once, after some
+    /// cold local warm-up. Spawn this one *after* the hot thread.
+    pub cold_thread: FuncId,
+}
+
+/// Handles for a phase race.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseRace {
+    /// Thread body: hot loop, event notify, then one final racy call.
+    pub producer: FuncId,
+    /// Thread body: waits for the event, then performs the racy access.
+    pub consumer: FuncId,
+}
+
+/// Gadget factory writing into a [`ProgramBuilder`] and tallying planted
+/// races.
+#[derive(Debug)]
+pub struct Gadgets<'a> {
+    /// The underlying program builder.
+    pub pb: &'a mut ProgramBuilder,
+    planted: PlantedRaces,
+}
+
+impl<'a> Gadgets<'a> {
+    /// Wraps a program builder.
+    pub fn new(pb: &'a mut ProgramBuilder) -> Gadgets<'a> {
+        Gadgets {
+            pb,
+            planted: PlantedRaces::default(),
+        }
+    }
+
+    /// Deterministic per-gadget jitter added to trip counts, so the call
+    /// index of one-shot racy accesses does not land at a fixed phase of
+    /// the bursty samplers' deterministic sample/skip cycle (trip counts
+    /// that are multiples of the cycle length would otherwise make e.g.
+    /// G-Fx's 10% sampling hit the cold call every time).
+    fn jitter(tag: &str) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for b in tag.bytes() {
+            h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+        }
+        h % 97
+    }
+
+    /// The races planted so far.
+    pub fn planted(&self) -> PlantedRaces {
+        self.planted
+    }
+
+    /// **Init race**: returns one thread-body function; spawn it twice at
+    /// start-up. Each instance writes a dedicated global once with no
+    /// synchronization, so the two instances always race (one static race).
+    pub fn init_race(&mut self, tag: &str) -> FuncId {
+        let x = self.pb.global_word(&format!("init_race.{tag}"));
+        self.planted.init += 1;
+        self.pb.function(&format!("init_{tag}"), 0, move |f| {
+            // Cold-path local warm-up before the racy store. The racy site
+            // is the single write: both spawned instances execute it, so the
+            // static race is the (write, write) pair at one instruction.
+            f.write_stack(0);
+            f.compute(20);
+            f.write(x);
+        })
+    }
+
+    /// **Cold racer**: the thread-local vs. global discriminator. One
+    /// static race inside the shared function.
+    pub fn cold_racer(&mut self, tag: &str, hot_trips: u32) -> ColdRacer {
+        let hot_trips = hot_trips + Self::jitter(tag);
+        let x = self.pb.global_word(&format!("cold_racer.{tag}"));
+        self.planted.cold += 1;
+        let shared = self.pb.function(&format!("cr_shared_{tag}"), 0, move |f| {
+            f.compute(3);
+            f.write(x);
+        });
+        let hot_thread = self
+            .pb
+            .function(&format!("cr_hot_{tag}"), 0, move |f| {
+                f.loop_(hot_trips, |f| {
+                    f.call(shared);
+                });
+            });
+        let cold_thread = self
+            .pb
+            .function(&format!("cr_cold_{tag}"), 0, move |f| {
+                // A pure-compute delay tuned to outlast the hot thread under
+                // any fair scheduler (4× its step count). No memory accesses
+                // (they would be fully logged — this function runs once) and
+                // no synchronization (the racy call must stay happens-before
+                // concurrent with every hot access). The single racy call
+                // then manifests ~once: a *rare* race per §5.3.1.
+                f.loop_(hot_trips.saturating_mul(4), |f| {
+                    f.compute(4);
+                });
+                f.call(shared);
+            });
+        ColdRacer {
+            hot_thread,
+            cold_thread,
+        }
+    }
+
+    /// **Hot race**: returns a function that races on a dedicated global;
+    /// call it from the hot loops of at least two different worker threads.
+    /// One static race, manifesting many times (frequent).
+    pub fn hot_race_fn(&mut self, tag: &str) -> FuncId {
+        let z = self.pb.global_word(&format!("hot_race.{tag}"));
+        self.planted.hot += 1;
+        self.pb.function(&format!("hr_{tag}"), 0, move |f| {
+            f.compute(1);
+            f.write(z);
+        })
+    }
+
+    /// **Windowed hot race**: returns a thread body to spawn twice. Each
+    /// instance loops `trips` times doing `write Z; lock m; unlock m`, so an
+    /// instance's k-th write is happens-before-ordered with the other
+    /// instance's writes two-or-more lock hand-offs later — only temporally
+    /// adjacent executions race. One static race, manifesting ~`trips`
+    /// times (frequent for large `trips`, borderline for small).
+    pub fn windowed_hot_race(&mut self, tag: &str, trips: u32) -> FuncId {
+        let trips = trips + Self::jitter(tag);
+        let z = self.pb.global_word(&format!("whr.{tag}"));
+        let m = self.pb.mutex(&format!("whr_lock.{tag}"));
+        self.planted.hot += 1;
+        let step = self.pb.function(&format!("whr_step_{tag}"), 0, move |f| {
+            f.write(z);
+            f.lock(m);
+            f.unlock(m);
+            f.compute(4);
+        });
+        self.pb.function(&format!("whr_{tag}"), 0, move |f| {
+            f.loop_(trips, |f| {
+                f.call(step);
+            });
+        })
+    }
+
+    /// **Phase race**: one static race between the producer's single
+    /// post-notify execution and the consumer's one-shot access.
+    pub fn phase_race(&mut self, tag: &str, hot_trips: u32) -> PhaseRace {
+        let hot_trips = hot_trips + Self::jitter(tag);
+        let y = self.pb.global_word(&format!("phase_race.{tag}"));
+        let e = self.pb.event(&format!("phase_ev.{tag}"));
+        self.planted.phase += 1;
+        let racy = self.pb.function(&format!("pr_shared_{tag}"), 0, move |f| {
+            f.compute(2);
+            f.write(y);
+        });
+        let producer = self
+            .pb
+            .function(&format!("pr_producer_{tag}"), 0, move |f| {
+                f.loop_(hot_trips, |f| {
+                    f.call(racy);
+                });
+                f.notify(e);
+                // The single post-handoff execution: the hard-to-sample
+                // endpoint.
+                f.call(racy);
+            });
+        let consumer = self
+            .pb
+            .function(&format!("pr_consumer_{tag}"), 0, move |f| {
+                f.wait(e);
+                f.read(y);
+            });
+        PhaseRace { producer, consumer }
+    }
+}
+
+/// Generates `count` cold functions with small randomized bodies (stack
+/// traffic, a little compute, the occasional read of a private global) and
+/// returns a driver function that calls each of them once.
+///
+/// This is what gives a benchmark its Table 2 function population: the
+/// driver models start-up/configuration code where most functions execute
+/// once or twice.
+pub fn cold_library(pb: &mut ProgramBuilder, prefix: &str, count: u32, seed: u64) -> FuncId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let privates = pb.global_array(&format!("{prefix}.privates"), count.max(1) as u64);
+    let mut funcs = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let body_kind = rng.gen_range(0..4u32);
+        let my_global = privates.at(i as u64);
+        let f = pb.function(&format!("{prefix}_cold_{i}"), 0, move |f| {
+            match body_kind {
+                0 => {
+                    f.write_stack(0);
+                    f.read_stack(0);
+                    f.compute(5);
+                }
+                1 => {
+                    f.compute(12);
+                    f.write(my_global);
+                }
+                2 => {
+                    f.read(my_global);
+                    f.write_stack(2);
+                    f.compute(3);
+                }
+                _ => {
+                    f.loop_(3, |f| {
+                        f.read_stack(1);
+                        f.compute(2);
+                    });
+                }
+            };
+        });
+        funcs.push(f);
+    }
+    pb.function(&format!("{prefix}_cold_driver"), 0, move |f| {
+        for func in &funcs {
+            f.call(*func);
+        }
+    })
+}
+
+/// Spawns each listed thread body and joins them all, as the benchmark's
+/// `main`. Bodies are spawned in order, then joined in order.
+pub fn spawn_all_and_join(pb: &mut ProgramBuilder, name: &str, bodies: Vec<(FuncId, u64)>) {
+    pb.entry_fn(name, move |f| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scale;
+    use literace_sim::{
+        lower, Machine, MachineConfig, NullObserver, ProgramBuilder, RandomScheduler,
+    };
+
+    fn run(pb: ProgramBuilder) -> literace_sim::RunSummary {
+        let compiled = lower(&pb.build().unwrap());
+        Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(0), &mut NullObserver)
+            .unwrap()
+    }
+
+    #[test]
+    fn gadget_tallies_accumulate() {
+        let mut pb = ProgramBuilder::new();
+        let mut g = Gadgets::new(&mut pb);
+        g.init_race("a");
+        g.cold_racer("b", 100);
+        g.hot_race_fn("c");
+        g.phase_race("d", 100);
+        let p = g.planted();
+        assert_eq!(p.total(), 4);
+        assert_eq!(p.rare(), 3);
+        assert_eq!(p.frequent(), 1);
+    }
+
+    #[test]
+    fn cold_library_generates_runnable_driver() {
+        let mut pb = ProgramBuilder::new();
+        let driver = cold_library(&mut pb, "lib", 50, 7);
+        pb.entry_fn("main", |f| {
+            f.call(driver);
+        });
+        let summary = run(pb);
+        // driver + 50 cold functions + main.
+        assert_eq!(summary.func_entries, 52);
+    }
+
+    #[test]
+    fn gadget_wiring_runs_to_completion() {
+        let mut pb = ProgramBuilder::new();
+        let mut g = Gadgets::new(&mut pb);
+        let init = g.init_race("i");
+        let cr = g.cold_racer("c", Scale::Smoke.hot(400));
+        let pr = g.phase_race("p", Scale::Smoke.hot(400));
+        spawn_all_and_join(
+            &mut pb,
+            "main",
+            vec![
+                (init, 0),
+                (init, 1),
+                (cr.hot_thread, 0),
+                (cr.cold_thread, 0),
+                (pr.producer, 0),
+                (pr.consumer, 0),
+            ],
+        );
+        let summary = run(pb);
+        assert_eq!(summary.threads, 7);
+        assert!(summary.sync_ops > 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The ConcRT concurrency-runtime benchmarks (Table 2).
+//!
+//! Two test inputs, as in the paper:
+//!
+//! * **Messaging** — agent pairs exchange payloads through a strict
+//!   request/acknowledge event protocol. Compute-heavy per round, so the
+//!   instrumentation overhead stays small (Table 5: 1.03× / 1.08×).
+//! * **Explicit Scheduling** — a work-queue hammered by small tasks: tiny
+//!   critical sections plus an interlocked steal counter, i.e. the highest
+//!   proportion of synchronization operations among the real applications
+//!   (Table 5: 2.4× / 9.1×).
+
+use literace_sim::{ProgramBuilder, Rvalue};
+
+use crate::common::{cold_library, Gadgets};
+use crate::spec::{Scale, WorkloadId};
+use crate::workload::Workload;
+
+/// Builds the ConcRT Messaging workload.
+pub fn build_messaging(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let pairs = 6u32;
+    let rounds = scale.hot(2_500);
+    let payload = 8u64;
+
+    let mut g = Gadgets::new(&mut pb);
+    // 10 races: rare 6 = 1 IR + 3 CR + 2 PR; frequent 4 = 2 call-in + 2 windowed.
+    let ir = g.init_race("concrt_m0");
+    let crs: Vec<_> = (0..3)
+        .map(|i| g.cold_racer(&format!("concrt_m{i}"), scale.hot(2_500)))
+        .collect();
+    let prs: Vec<_> = (0..2)
+        .map(|i| g.phase_race(&format!("concrt_m{i}"), scale.hot(2_000)))
+        .collect();
+    let hrs: Vec<_> = (0..2)
+        .map(|i| g.hot_race_fn(&format!("concrt_m{i}")))
+        .collect();
+    let whrs: Vec<_> = (0..2)
+        .map(|i| g.windowed_hot_race(&format!("concrt_m{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    let mut bodies = Vec::new();
+    bodies.push((ir, 0));
+    bodies.push((ir, 1));
+    for p in 0..pairs {
+        let mailbox_req = pb.global_array(&format!("mb_req{p}"), payload);
+        let mailbox_ack = pb.global_array(&format!("mb_ack{p}"), payload);
+        let ev_req = pb.event(&format!("ev_req{p}"));
+        let ev_ack = pb.event(&format!("ev_ack{p}"));
+        let hrs2 = hrs.to_vec();
+        let send_round = pb.function(&format!("send_round{p}"), 0, move |f| {
+            for i in 0..payload {
+                f.write(mailbox_req.at(i));
+            }
+            // Agent think-time dominates the messaging test's runtime.
+            f.compute(8_000);
+            f.notify(ev_req);
+            f.wait(ev_ack);
+            f.reset(ev_ack);
+            for i in 0..2 {
+                f.read(mailbox_ack.at(i));
+            }
+            for hr in &hrs2 {
+                f.call(*hr);
+            }
+        });
+        let producer = pb.function(&format!("agent_send{p}"), 0, move |f| {
+            f.loop_(rounds, |f| {
+                f.call(send_round);
+            });
+        });
+        let recv_round = pb.function(&format!("recv_round{p}"), 0, move |f| {
+            f.wait(ev_req);
+            f.reset(ev_req);
+            for i in 0..payload {
+                f.read(mailbox_req.at(i));
+            }
+            f.compute(8_000);
+            for i in 0..2 {
+                f.write(mailbox_ack.at(i));
+            }
+            f.notify(ev_ack);
+        });
+        let consumer = pb.function(&format!("agent_recv{p}"), 0, move |f| {
+            f.loop_(rounds, |f| {
+                f.call(recv_round);
+            });
+        });
+        bodies.push((producer, 0));
+        bodies.push((consumer, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.hot_thread, 0));
+    }
+    for w in &whrs {
+        bodies.push((*w, 0));
+        bodies.push((*w, 1));
+    }
+    for pr in &prs {
+        bodies.push((pr.producer, 0));
+        bodies.push((pr.consumer, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.cold_thread, 0));
+    }
+
+    let cold_count = match scale {
+        Scale::Paper => 1_700,
+        Scale::Smoke => 110,
+    };
+    let cold_driver = cold_library(&mut pb, "concrt_m", cold_count, 0xC0C47);
+    pb.entry_fn("main", move |f| {
+        f.call(cold_driver);
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::ConcrtMessaging,
+        pb.build().expect("concrt messaging validates"),
+        planted,
+        scale,
+    )
+}
+
+/// Builds the ConcRT Explicit Scheduling workload.
+pub fn build_scheduling(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let workers = 8u32;
+    let tasks = scale.hot(8_000);
+
+    let queue = pb.global_array("task_queue", 64);
+    let queue_lock = pb.mutex("queue_lock");
+    let steal_counter = pb.global_word("steal_counter");
+
+    let mut g = Gadgets::new(&mut pb);
+    // 11 races: rare 6 = 1 IR + 3 CR + 2 PR; frequent 5 = 3 call-in + 2 windowed.
+    let ir = g.init_race("concrt_s0");
+    let crs: Vec<_> = (0..3)
+        .map(|i| g.cold_racer(&format!("concrt_s{i}"), scale.hot(6_000)))
+        .collect();
+    let prs: Vec<_> = (0..2)
+        .map(|i| g.phase_race(&format!("concrt_s{i}"), scale.hot(5_000)))
+        .collect();
+    let hrs: Vec<_> = (0..3)
+        .map(|i| g.hot_race_fn(&format!("concrt_s{i}")))
+        .collect();
+    let whrs: Vec<_> = (0..2)
+        .map(|i| g.windowed_hot_race(&format!("concrt_s{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    // The scheduler hot path: tiny critical section + interlocked op,
+    // one task per call.
+    let hrs2 = hrs.to_vec();
+    let run_task = pb.function("run_task", 0, move |f| {
+        f.lock(queue_lock);
+        for i in 0..6 {
+            f.read(literace_sim::AddrExpr::Global {
+                offset: queue.offset() + i,
+            });
+        }
+        for i in 0..6 {
+            f.write(literace_sim::AddrExpr::Global {
+                offset: queue.offset() + 8 + i,
+            });
+        }
+        f.unlock(queue_lock);
+        f.atomic_rmw(steal_counter);
+        f.compute(2);
+        for hr in &hrs2 {
+            f.call(*hr);
+        }
+    });
+    let worker = pb.function("sched_worker", 1, move |f| {
+        f.loop_(tasks, |f| {
+            f.call(run_task);
+        });
+    });
+
+    let mut bodies = Vec::new();
+    bodies.push((ir, 0));
+    bodies.push((ir, 1));
+    for w in 0..workers {
+        bodies.push((worker, w as u64));
+    }
+    for cr in &crs {
+        bodies.push((cr.hot_thread, 0));
+    }
+    for w in &whrs {
+        bodies.push((*w, 0));
+        bodies.push((*w, 1));
+    }
+    for pr in &prs {
+        bodies.push((pr.producer, 0));
+        bodies.push((pr.consumer, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.cold_thread, 0));
+    }
+
+    let cold_count = match scale {
+        Scale::Paper => 1_700,
+        Scale::Smoke => 110,
+    };
+    let cold_driver = cold_library(&mut pb, "concrt_s", cold_count, 0xC0C48);
+    pb.entry_fn("main", move |f| {
+        f.call(cold_driver);
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::ConcrtScheduling,
+        pb.build().expect("concrt scheduling validates"),
+        planted,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messaging_builds_with_expected_races() {
+        let w = build_messaging(Scale::Smoke);
+        assert_eq!(w.planted.total(), 10);
+        assert_eq!(w.planted.rare(), 6);
+    }
+
+    #[test]
+    fn scheduling_builds_with_expected_races() {
+        let w = build_scheduling(Scale::Smoke);
+        assert_eq!(w.planted.total(), 11);
+        assert_eq!(w.planted.frequent(), 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! The Dryad shared-memory channel benchmark (Table 2).
+//!
+//! The paper's test exercises the channel library Dryad uses for
+//! communication between computing nodes. We model `CHANNELS` bounded
+//! producer/consumer channels: each producer fills a buffer under the
+//! channel lock, signals the consumer, and allocates/frees a per-message
+//! scratch buffer (exercising §4.3 allocation synchronization through
+//! address reuse across threads); consumers drain the buffer under the lock.
+//!
+//! The `+stdlib` variant statically links a "standard library": thousands of
+//! extra cold functions plus hot `memcpy`-style helpers called from the
+//! channel inner loop, and many more planted cold races (Table 4: 19 races,
+//! 17 of them rare, versus 8/3 without the stdlib).
+
+use literace_sim::{AddrExpr, ProgramBuilder, Rvalue};
+
+use crate::common::{cold_library, Gadgets};
+use crate::spec::{Scale, WorkloadId};
+use crate::workload::Workload;
+
+const CHANNELS: u32 = 4;
+const SLOTS: u64 = 16;
+
+/// Builds the Dryad channel workload.
+pub fn build(scale: Scale, with_stdlib: bool) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let iters = scale.hot(4_000);
+
+    // Channel state: per-channel buffer, lock, data-ready event.
+    let buffers: Vec<_> = (0..CHANNELS)
+        .map(|c| pb.global_array(&format!("chan{c}.buf"), SLOTS))
+        .collect();
+    let locks: Vec<_> = (0..CHANNELS)
+        .map(|c| pb.mutex(&format!("chan{c}.lock")))
+        .collect();
+    let ready: Vec<_> = (0..CHANNELS)
+        .map(|c| pb.event(&format!("chan{c}.ready")))
+        .collect();
+
+    let mut g = Gadgets::new(&mut pb);
+    // Table 4: Dryad 8 races (3 rare / 5 frequent); +stdlib 19 (17 / 2).
+    let (crs, prs, irs, hot_callins, whrs) = if with_stdlib {
+        (9, 6, 2, 1, 1) // rare: 2 IR + 9 CR + 6 PR = 17; freq: 2
+    } else {
+        (2, 1, 0, 3, 2) // rare: 2 CR + 1 PR = 3; freq: 5
+    };
+    let cold_racers: Vec<_> = (0..crs)
+        .map(|i| g.cold_racer(&format!("dryad{i}"), scale.hot(3_000)))
+        .collect();
+    let phase_races: Vec<_> = (0..prs)
+        .map(|i| g.phase_race(&format!("dryad{i}"), scale.hot(2_500)))
+        .collect();
+    let init_races: Vec<_> = (0..irs)
+        .map(|i| g.init_race(&format!("dryad{i}")))
+        .collect();
+    let hr_fns: Vec<_> = (0..hot_callins)
+        .map(|i| g.hot_race_fn(&format!("dryad{i}")))
+        .collect();
+    let windowed: Vec<_> = (0..whrs)
+        .map(|i| g.windowed_hot_race(&format!("dryad{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    // Optional "stdlib" helpers, hot because the channel loop calls them.
+    // Instrumenting the statically linked library multiplies the logged
+    // accesses per message without adding much execution time — which is
+    // why the paper's +stdlib full-logging slowdown (1.8x) exceeds the
+    // plain one (1.14x).
+    let memcpy8 = with_stdlib.then(|| {
+        pb.function("std_buffer_ops", 1, |f| {
+            let dst = f.arg();
+            f.loop_(6, |f| {
+                for i in 0..8 {
+                    f.write(AddrExpr::Indirect {
+                        base: dst,
+                        offset: i,
+                    });
+                }
+            });
+        })
+    });
+
+    // Per-channel message functions: one send/receive per call, so the
+    // adaptive sampler can observe them as (initially cold, soon hot)
+    // regions. Producers fill the buffer under the lock, signal, and churn
+    // a per-message scratch allocation (§4.3 reuse pressure).
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for c in 0..CHANNELS as usize {
+        let buf = buffers[c];
+        let lock = locks[c];
+        let ev = ready[c];
+        let hr = hr_fns.to_vec();
+        let send_msg = pb.function(&format!("send_msg{c}"), 0, move |f| {
+            f.lock(lock);
+            for s in 0..SLOTS {
+                f.write(buf.at(s));
+            }
+            f.unlock(lock);
+            f.notify(ev);
+            let scratch = f.alloc(24);
+            for i in 0..4 {
+                f.write(AddrExpr::Indirect {
+                    base: scratch,
+                    offset: i,
+                });
+            }
+            if let Some(mc) = memcpy8 {
+                f.push(literace_sim::Op::Call {
+                    func: mc,
+                    arg: Rvalue::Local(scratch),
+                });
+            }
+            f.free(scratch);
+            for hr_fn in &hr {
+                f.call(*hr_fn);
+            }
+            // Channel transfer latency: the paper's Dryad time is dominated
+            // by the data movement itself, not by instrumentable code.
+            f.compute(9_000);
+        });
+        let producer = pb.function(&format!("producer{c}"), 0, move |f| {
+            f.loop_(iters, |f| {
+                f.call(send_msg);
+            });
+        });
+        producers.push(producer);
+
+        let hr = hr_fns.to_vec();
+        let recv_msg = pb.function(&format!("recv_msg{c}"), 0, move |f| {
+            f.lock(lock);
+            for s in 0..SLOTS {
+                f.read(buf.at(s));
+            }
+            f.unlock(lock);
+            for hr_fn in &hr {
+                f.call(*hr_fn);
+            }
+            f.compute(2_500);
+        });
+        let consumer = pb.function(&format!("consumer{c}"), 0, move |f| {
+            f.wait(ev);
+            f.loop_(iters, |f| {
+                f.call(recv_msg);
+            });
+        });
+        consumers.push(consumer);
+    }
+
+    // Cold function population (Table 2: 4788 functions for Dryad).
+    let cold_count = match (scale, with_stdlib) {
+        (Scale::Paper, true) => 4_600,
+        (Scale::Paper, false) => 4_300,
+        (Scale::Smoke, true) => 300,
+        (Scale::Smoke, false) => 270,
+    };
+    let cold_driver = cold_library(&mut pb, "dryad", cold_count, 0xD47AD);
+
+    let entry_bodies = {
+        let mut v: Vec<(literace_sim::FuncId, u64)> = Vec::new();
+        for ir in &init_races {
+            v.push((*ir, 0));
+            v.push((*ir, 1));
+        }
+        for (p, c) in producers.iter().zip(&consumers) {
+            v.push((*p, 0));
+            v.push((*c, 0));
+        }
+        for cr in &cold_racers {
+            v.push((cr.hot_thread, 0));
+        }
+        for w in &windowed {
+            v.push((*w, 0));
+            v.push((*w, 1));
+        }
+        for pr in &phase_races {
+            v.push((pr.producer, 0));
+            v.push((pr.consumer, 0));
+        }
+        // Cold racers' one-shot threads spawn last so their racy call lands
+        // mid-run, after the shared functions have gone hot.
+        for cr in &cold_racers {
+            v.push((cr.cold_thread, 0));
+        }
+        v
+    };
+    pb.entry_fn("main", move |f| {
+        f.call(cold_driver);
+        let handles: Vec<_> = entry_bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+
+    let id = if with_stdlib {
+        WorkloadId::DryadStdlib
+    } else {
+        WorkloadId::Dryad
+    };
+    Workload::new(id, pb.build().expect("dryad workload validates"), planted, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_build_and_validate() {
+        let plain = build(Scale::Smoke, false);
+        let std = build(Scale::Smoke, true);
+        assert_eq!(plain.planted.total(), 8);
+        assert_eq!(plain.planted.rare(), 3);
+        assert_eq!(plain.planted.frequent(), 5);
+        assert_eq!(std.planted.total(), 19);
+        assert_eq!(std.planted.rare(), 17);
+        assert_eq!(std.planted.frequent(), 2);
+        assert!(std.program.functions().len() > plain.program.functions().len());
+    }
+
+    #[test]
+    fn paper_scale_function_count_matches_table_2_order_of_magnitude() {
+        let w = build(Scale::Paper, true);
+        let n = w.program.functions().len();
+        assert!((4_000..6_000).contains(&n), "function count {n}");
+    }
+}

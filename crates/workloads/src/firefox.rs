@@ -1,0 +1,234 @@
+//! The Firefox benchmarks (Table 2).
+//!
+//! * **Start** — browser start-up: overwhelmingly *cold* code. Six module
+//!   loader threads each walk a large library of once-executed functions;
+//!   there is only a small hot event loop. Because nearly everything is
+//!   cold, the thread-local samplers log a large fraction of the (small)
+//!   access stream, which is why the paper's LiteRace overhead is highest
+//!   among the real applications here (1.44×).
+//! * **Render** — laying out 2500 positioned DIVs: a small set of extremely
+//!   hot layout/style functions striding over big heap arrays, with almost
+//!   no compute per access. Full logging drowns (33.5× in the paper) while
+//!   the adaptive sampler backs off to a tiny ESR (1.3×).
+
+use literace_sim::{AddrExpr, ProgramBuilder, Rvalue};
+
+use crate::common::{cold_library, Gadgets};
+use crate::spec::{Scale, WorkloadId};
+use crate::workload::Workload;
+
+/// Builds the Firefox start-up workload.
+pub fn build_start(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let loaders = 6u32;
+
+    let mut g = Gadgets::new(&mut pb);
+    // 12 races = rare 5 (1 IR + 2 CR + 2 PR) + frequent 7 (3 call-in + 4 windowed).
+    let ir = g.init_race("ff_start0");
+    let crs: Vec<_> = (0..2)
+        .map(|i| g.cold_racer(&format!("ff_start{i}"), scale.hot(2_000)))
+        .collect();
+    let prs: Vec<_> = (0..2)
+        .map(|i| g.phase_race(&format!("ff_start{i}"), scale.hot(1_500)))
+        .collect();
+    let hrs: Vec<_> = (0..3)
+        .map(|i| g.hot_race_fn(&format!("ff_start{i}")))
+        .collect();
+    let whrs: Vec<_> = (0..4)
+        .map(|i| g.windowed_hot_race(&format!("ff_start{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    // Six per-module cold libraries, each driven by its own loader thread.
+    let per_lib = match scale {
+        Scale::Paper => 1_300,
+        Scale::Smoke => 80,
+    };
+    let mut loader_bodies = Vec::new();
+    for l in 0..loaders {
+        let driver = cold_library(&mut pb, &format!("ff_mod{l}"), per_lib, 0xF1FE + l as u64);
+        let state = pb.global_array(&format!("ff_pump_state{l}"), 4);
+        let hr = hrs[l as usize % hrs.len()];
+        let pump = pb.function(&format!("pump_events{l}"), 0, move |f| {
+            // Module-private event-queue state: hot, non-racy traffic that
+            // gives start-up its (modest) access volume.
+            f.read(state.at(0));
+            f.read(state.at(1));
+            f.write(state.at(2));
+            f.write(state.at(3));
+            f.call(hr);
+            f.compute(12);
+        });
+        let body = pb.function(&format!("loader{l}"), 0, move |f| {
+            f.call(driver);
+            // The post-load event loop: hot relative to the cold modules.
+            f.loop_(scale.hot(24_000), |f| {
+                f.call(pump);
+            });
+        });
+        loader_bodies.push(body);
+    }
+
+    let mut bodies = Vec::new();
+    bodies.push((ir, 0));
+    bodies.push((ir, 1));
+    for b in &loader_bodies {
+        bodies.push((*b, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.hot_thread, 0));
+    }
+    for w in &whrs {
+        bodies.push((*w, 0));
+        bodies.push((*w, 1));
+    }
+    for pr in &prs {
+        bodies.push((pr.producer, 0));
+        bodies.push((pr.consumer, 0));
+    }
+    for cr in &crs {
+        bodies.push((cr.cold_thread, 0));
+    }
+    pb.entry_fn("main", move |f| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|(func, arg)| f.spawn(*func, Rvalue::Const(*arg)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::FirefoxStart,
+        pb.build().expect("firefox start validates"),
+        planted,
+        scale,
+    )
+}
+
+/// Builds the Firefox render workload (2500 positioned DIVs).
+pub fn build_render(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let renderers = 4u32;
+    let divs: u64 = 2_500;
+    let passes = scale.hot(60);
+
+    let mut g = Gadgets::new(&mut pb);
+    // 16 races = rare 10 (1 IR + 5 CR + 4 PR) + frequent 6 (3 call-in + 3 windowed).
+    let ir = g.init_race("ff_render0");
+    let crs: Vec<_> = (0..5)
+        .map(|i| g.cold_racer(&format!("ff_render{i}"), scale.hot(5_000)))
+        .collect();
+    let prs: Vec<_> = (0..4)
+        .map(|i| g.phase_race(&format!("ff_render{i}"), scale.hot(4_000)))
+        .collect();
+    let hrs: Vec<_> = (0..3)
+        .map(|i| g.hot_race_fn(&format!("ff_render{i}")))
+        .collect();
+    let whrs: Vec<_> = (0..3)
+        .map(|i| g.windowed_hot_race(&format!("ff_render{i}"), scale.hot(900)))
+        .collect();
+    let planted = g.planted();
+
+    // The layout step: one DIV per call — read its style word, write its
+    // layout word, with nearly no compute per access. The argument is the
+    // DIV's address inside the caller's tree.
+    // Five DIVs per call, so the call overhead amortizes as it would in a
+    // real layout engine's per-subtree traversal.
+    let layout_divs = pb.function("layout_divs", 1, |f| {
+        let div = f.arg();
+        for d in 0..5 {
+            f.read(AddrExpr::Indirect {
+                base: div,
+                offset: d * 2,
+            });
+            f.write(AddrExpr::Indirect {
+                base: div,
+                offset: d * 2 + 1,
+            });
+        }
+    });
+    // Each renderer lays out its own copy of the DIV tree (allocated at
+    // thread start — tab isolation).
+    let hrs2 = hrs.to_vec();
+    let render_pass = pb.function("render_pass", 0, move |f| {
+        let base = f.alloc(divs * 2);
+        let cursor = f.local();
+        f.loop_(passes, |f| {
+            f.set_local(cursor, literace_sim::Rvalue::Local(base));
+            f.loop_(divs as u32 / 5, |f| {
+                f.call_with(layout_divs, literace_sim::Rvalue::Local(cursor));
+                f.add_local(cursor, literace_sim::Rvalue::Const(80));
+            });
+            for hr in &hrs2 {
+                f.call(*hr);
+            }
+        });
+        f.free(base);
+    });
+
+    // The same 8192-function binary is instrumented for both Firefox
+    // inputs (Table 2); rendering just exercises a tiny hot subset of it.
+    let cold_count = match scale {
+        Scale::Paper => 7_500,
+        Scale::Smoke => 80,
+    };
+    let cold_driver = cold_library(&mut pb, "ff_render", cold_count, 0xF1F0);
+
+    let crs2 = crs.clone();
+    let prs2 = prs.clone();
+    let whrs2 = whrs.clone();
+    pb.entry_fn("main", move |f| {
+        f.call(cold_driver);
+        let mut handles = Vec::new();
+        handles.push(f.spawn(ir, Rvalue::Const(0)));
+        handles.push(f.spawn(ir, Rvalue::Const(1)));
+        for _ in 0..renderers {
+            handles.push(f.spawn(render_pass, Rvalue::Const(0)));
+        }
+        for cr in &crs2 {
+            handles.push(f.spawn(cr.hot_thread, Rvalue::Const(0)));
+        }
+        for w in &whrs2 {
+            handles.push(f.spawn(*w, Rvalue::Const(0)));
+            handles.push(f.spawn(*w, Rvalue::Const(1)));
+        }
+        for pr in &prs2 {
+            handles.push(f.spawn(pr.producer, Rvalue::Const(0)));
+            handles.push(f.spawn(pr.consumer, Rvalue::Const(0)));
+        }
+        for cr in &crs2 {
+            handles.push(f.spawn(cr.cold_thread, Rvalue::Const(0)));
+        }
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::FirefoxRender,
+        pb.build().expect("firefox render validates"),
+        planted,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_race_counts_match_table_4() {
+        let w = build_start(Scale::Smoke);
+        assert_eq!(w.planted.total(), 12);
+        assert_eq!(w.planted.rare(), 5);
+        assert_eq!(w.planted.frequent(), 7);
+    }
+
+    #[test]
+    fn render_race_counts_match_table_4() {
+        let w = build_render(Scale::Smoke);
+        assert_eq!(w.planted.total(), 16);
+        assert_eq!(w.planted.rare(), 10);
+        assert_eq!(w.planted.frequent(), 6);
+    }
+}

@@ -1,0 +1,95 @@
+//! # literace-workloads
+//!
+//! Generated analogs of the LiteRace paper's benchmarks (Table 2): the
+//! Dryad channel test (± statically linked stdlib), the two ConcRT tests,
+//! two Apache request mixes, Firefox start-up and rendering, and the
+//! LKRHash / LFList micro-benchmarks — each with a calibrated population of
+//! hot and cold functions, realistic synchronization density, and a planted
+//! set of static data races matching Table 4's counts and rare/frequent
+//! split.
+//!
+//! Also provides random race-free / racy program generators for
+//! property-based testing ([`synthetic`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use literace_workloads::{build, Scale, WorkloadId};
+//!
+//! let w = build(WorkloadId::Dryad, Scale::Smoke);
+//! assert_eq!(w.planted.total(), 8); // Table 4: 8 static races
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apache;
+pub mod common;
+mod concrt;
+mod dryad;
+mod firefox;
+mod micro;
+mod spec;
+pub mod synthetic;
+mod workload;
+
+pub use spec::{spec, PaperNumbers, PlantedRaces, Scale, WorkloadId, WorkloadSpec};
+pub use workload::{build, Workload};
+
+#[cfg(test)]
+mod shape_tests {
+    //! Distribution-shape checks over the generated workloads: the cold
+    //! libraries give a heavy-tailed function-entry profile (most functions
+    //! run once), which is the premise the adaptive sampler exploits.
+
+    use crate::{build, Scale, WorkloadId};
+    use literace_sim::{
+        lower, Machine, MachineConfig, NullObserver, RandomScheduler,
+    };
+
+    #[test]
+    fn function_entry_profile_is_heavy_tailed() {
+        let w = build(WorkloadId::Apache1, Scale::Smoke);
+        let compiled = lower(&w.program);
+        let summary = Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(1), &mut NullObserver)
+            .unwrap();
+        let entries = &summary.per_func_entries;
+        let once = entries.iter().filter(|&&c| c == 1).count();
+        let hot = entries.iter().filter(|&&c| c >= 100).count();
+        // The cold library dominates the static population…
+        assert!(
+            once * 2 > entries.len(),
+            "{} of {} functions ran once",
+            once,
+            entries.len()
+        );
+        // …while a small hot set dominates the dynamic count.
+        assert!(hot > 0 && hot * 5 < entries.len(), "hot set size {hot}");
+        let hot_entries: u64 = entries.iter().filter(|&&c| c >= 100).sum();
+        assert!(
+            hot_entries * 10 > summary.func_entries * 8,
+            "hot functions should carry most dynamic entries"
+        );
+    }
+
+    #[test]
+    fn sync_density_ordering_matches_table_5_story() {
+        let density = |id: WorkloadId| {
+            let w = build(id, Scale::Smoke);
+            let compiled = lower(&w.program);
+            Machine::new(&compiled, MachineConfig::default())
+                .run(&mut RandomScheduler::seeded(1), &mut NullObserver)
+                .unwrap()
+                .sync_density()
+        };
+        let lflist = density(WorkloadId::LfList);
+        let scheduling = density(WorkloadId::ConcrtScheduling);
+        let dryad = density(WorkloadId::Dryad);
+        let render = density(WorkloadId::FirefoxRender);
+        // Micro-benchmarks > scheduler > channel library > rendering.
+        assert!(lflist > scheduling, "{lflist} vs {scheduling}");
+        assert!(scheduling > dryad, "{scheduling} vs {dryad}");
+        assert!(dryad > render, "{dryad} vs {render}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The synchronization-intensive micro-benchmarks of §5.4.
+//!
+//! LKRHash models a high-performance hash table combining interlocked
+//! operations with striped bucket locks; LFList models a lock-free linked
+//! list where every traversal step is a CAS. Both execute synchronization
+//! operations every few instructions — the adverse case for LiteRace, since
+//! synchronization is never sampled (Table 5: 2.4× and 2.1× slowdown, vs
+//! ~1.0–1.4× for the real applications).
+
+use literace_sim::{AddrExpr, ProgramBuilder, Rvalue};
+
+use crate::common::Gadgets;
+use crate::spec::{Scale, WorkloadId};
+use crate::workload::Workload;
+
+const STRIPES: u32 = 64;
+
+/// Builds the LKRHash micro-benchmark.
+pub fn build_lkrhash(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let threads = 8u32;
+    let ops = scale.hot(2_500);
+    let table_words: u64 = 1_024;
+
+    let table = pb.global_array("hash_table", table_words);
+    let versions = pb.global_array("bucket_versions", STRIPES as u64);
+    let stripes = pb.mutex_stripes("bucket_locks", STRIPES);
+
+    let mut g = Gadgets::new(&mut pb);
+    // One deliberately planted frequent race: a "lock-free" statistics
+    // counter that skips the bucket lock.
+    let hr = g.hot_race_fn("lkrhash_stats");
+    let planted = g.planted();
+
+    // One hash operation per call: interlocked bump of the table version,
+    // then the bucket probe under its striped lock. The bucket update
+    // itself is interlocked (the "lock-free techniques" part of LKRHash),
+    // so cross-stripe writers do not race on it.
+    let hash_op = pb.function("hash_op", 1, move |f| {
+        let key = f.arg();
+        f.atomic_rmw(versions.at(0));
+        f.lock_striped(stripes, key, STRIPES);
+        for probe in 0..20 {
+            f.read(AddrExpr::Global {
+                offset: table.offset() + probe,
+            });
+        }
+        f.atomic_rmw(AddrExpr::Global {
+            offset: table.offset() + 3,
+        });
+        f.unlock_striped(stripes, key, STRIPES);
+        f.call(hr);
+        f.compute(3);
+    });
+    let worker = pb.function("hash_worker", 1, move |f| {
+        let key = f.arg();
+        f.loop_(ops, |f| {
+            f.add_local(key, Rvalue::Const(0x9E37));
+            f.call_with(hash_op, Rvalue::Local(key));
+        });
+    });
+
+
+    pb.entry_fn("main", move |f| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| f.spawn(worker, Rvalue::Const(t as u64 * 7 + 1)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::LkrHash,
+        pb.build().expect("lkrhash validates"),
+        planted,
+        scale,
+    )
+}
+
+/// Builds the LFList micro-benchmark.
+pub fn build_lflist(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let threads = 6u32;
+    let ops = scale.hot(3_500);
+
+    let head = pb.global_word("list_head");
+    let nodes = pb.global_array("nodes", 256);
+
+    let mut g = Gadgets::new(&mut pb);
+    // One planted frequent race: an unsynchronized length hint.
+    let hr = g.hot_race_fn("lflist_len");
+    let planted = g.planted();
+
+    // One list operation per call: CAS on the head, then a short traversal
+    // with a CAS per hop — the lock-free insert/delete protocol.
+    let list_op = pb.function("list_op", 1, move |f| {
+        f.atomic_rmw(head);
+        f.loop_(6, |f| {
+            f.read(AddrExpr::Global {
+                offset: nodes.offset(),
+            });
+            f.read(AddrExpr::Global {
+                offset: nodes.offset() + 2,
+            });
+            f.read(AddrExpr::Global {
+                offset: nodes.offset() + 3,
+            });
+            f.atomic_rmw(AddrExpr::Global {
+                offset: nodes.offset() + 1,
+            });
+        });
+        f.call(hr);
+        f.compute(2);
+    });
+    let worker = pb.function("list_worker", 1, move |f| {
+        let cursor = f.arg();
+        f.loop_(ops, |f| {
+            f.add_local(cursor, Rvalue::Const(13));
+            f.call_with(list_op, Rvalue::Local(cursor));
+        });
+    });
+
+    pb.entry_fn("main", move |f| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| f.spawn(worker, Rvalue::Const(t as u64 + 1)))
+            .collect();
+        for h in handles {
+            f.join(h);
+        }
+    });
+    Workload::new(
+        WorkloadId::LfList,
+        pb.build().expect("lflist validates"),
+        planted,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_benchmarks_build() {
+        let lkr = build_lkrhash(Scale::Smoke);
+        let lfl = build_lflist(Scale::Smoke);
+        assert_eq!(lkr.planted.total(), 1);
+        assert_eq!(lfl.planted.total(), 1);
+    }
+}

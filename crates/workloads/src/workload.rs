@@ -1,0 +1,53 @@
+//! The `Workload` type and the build dispatcher.
+
+use literace_sim::Program;
+
+use crate::spec::{spec, PlantedRaces, Scale, WorkloadId, WorkloadSpec};
+
+/// A generated benchmark: the program plus everything known about it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Identity and paper reference numbers.
+    pub spec: WorkloadSpec,
+    /// The generated program, ready to lower and run.
+    pub program: Program,
+    /// The statically planted races (ground truth should find these).
+    pub planted: PlantedRaces,
+    /// The scale it was generated at.
+    pub scale: Scale,
+}
+
+impl Workload {
+    pub(crate) fn new(
+        id: WorkloadId,
+        program: Program,
+        planted: PlantedRaces,
+        scale: Scale,
+    ) -> Workload {
+        Workload {
+            spec: spec(id),
+            program,
+            planted,
+            scale,
+        }
+    }
+}
+
+/// Builds the named workload at the given scale.
+///
+/// Generation is deterministic: the same `(id, scale)` produces an identical
+/// program (the internal RNG seeds are fixed per workload).
+pub fn build(id: WorkloadId, scale: Scale) -> Workload {
+    match id {
+        WorkloadId::DryadStdlib => crate::dryad::build(scale, true),
+        WorkloadId::Dryad => crate::dryad::build(scale, false),
+        WorkloadId::ConcrtMessaging => crate::concrt::build_messaging(scale),
+        WorkloadId::ConcrtScheduling => crate::concrt::build_scheduling(scale),
+        WorkloadId::Apache1 => crate::apache::build(scale, true),
+        WorkloadId::Apache2 => crate::apache::build(scale, false),
+        WorkloadId::FirefoxStart => crate::firefox::build_start(scale),
+        WorkloadId::FirefoxRender => crate::firefox::build_render(scale),
+        WorkloadId::LkrHash => crate::micro::build_lkrhash(scale),
+        WorkloadId::LfList => crate::micro::build_lflist(scale),
+    }
+}

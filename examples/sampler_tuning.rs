@@ -1,0 +1,82 @@
+//! The paper's "knob" (§3.1, §8): trade runtime overhead for race coverage
+//! by adjusting the sampler's back-off schedule. This example sweeps
+//! schedules from aggressive to generous on one workload and prints the
+//! resulting (overhead, coverage) frontier.
+//!
+//! ```sh
+//! cargo run --release --example sampler_tuning
+//! ```
+
+use literace::detector::HbDetector;
+use literace::instrument::{InstrumentConfig, Instrumenter};
+use literace::prelude::*;
+use literace::samplers::{BackoffSchedule, ThreadLocalSampler};
+use literace::sim::{lower, ChunkedRandomScheduler, Machine, MachineConfig};
+use literace::tables::{pct, slowdown, Table};
+
+fn main() -> Result<(), SimError> {
+    let workload = build(WorkloadId::Dryad, Scale::Smoke);
+    let compiled = lower(&workload.program);
+
+    // Ground truth from one full-logging run on the same interleaving seed.
+    let truth = run_with(
+        &compiled,
+        ThreadLocalSampler::with_schedule("Full", BackoffSchedule::fixed(1.0)),
+    )?;
+
+    let schedules: Vec<(&str, BackoffSchedule)> = vec![
+        ("floor 1e-4", BackoffSchedule::new(vec![1.0, 0.01, 0.0001])),
+        ("paper (1e-3)", BackoffSchedule::literace()),
+        ("floor 1e-2", BackoffSchedule::new(vec![1.0, 0.1, 0.01])),
+        ("floor 5e-2", BackoffSchedule::new(vec![1.0, 0.2, 0.05])),
+        ("fixed 25%", BackoffSchedule::fixed(0.25)),
+        ("always", BackoffSchedule::fixed(1.0)),
+    ];
+
+    let mut t = Table::new(
+        "overhead/coverage knob (thread-local bursty sampler)",
+        &["schedule", "ESR", "slowdown", "detection rate"],
+    );
+    for (name, schedule) in schedules {
+        let out = run_with(
+            &compiled,
+            ThreadLocalSampler::with_schedule(name, schedule),
+        )?;
+        let rate = out.report.detection_rate_against(&truth.report);
+        t.row(vec![
+            name.to_owned(),
+            pct(out.esr),
+            slowdown(out.slowdown),
+            pct(rate),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "(ground truth: {} static races under full logging)",
+        truth.report.static_count()
+    );
+    Ok(())
+}
+
+struct Run {
+    esr: f64,
+    slowdown: f64,
+    report: RaceReport,
+}
+
+fn run_with(
+    compiled: &literace::sim::CompiledProgram,
+    sampler: ThreadLocalSampler,
+) -> Result<Run, SimError> {
+    let mut inst = Instrumenter::new(sampler, InstrumentConfig::default());
+    let summary = Machine::new(compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(7, 64), &mut inst)?;
+    let out = inst.finish();
+    let mut det = HbDetector::new();
+    det.process_log(&out.log);
+    Ok(Run {
+        esr: out.stats.esr(),
+        slowdown: out.overhead.slowdown(summary.baseline_cost),
+        report: det.finish(summary.non_stack_accesses),
+    })
+}

@@ -1,0 +1,286 @@
+//! A corpus of classic concurrency-bug patterns, each expressed in the
+//! simulator's IR, with the detector verdict the pattern deserves and —
+//! where the pattern matches the paper's cold-region hypothesis — the
+//! sampler behaviour one should expect.
+
+use literace::prelude::*;
+use literace::sim::{AddrExpr, ProgramBuilder};
+
+fn truth(program: &Program, seed: u64) -> RaceReport {
+    run_literace(program, SamplerKind::Always, &RunConfig::seeded(seed))
+        .expect("program runs")
+        .report
+}
+
+/// Broken double-checked locking: the fast-path read of `initialized` is
+/// not synchronized with the slow path's write under the lock.
+#[test]
+fn double_checked_locking_fast_path_races() {
+    let mut b = ProgramBuilder::new();
+    let initialized = b.global_word("initialized");
+    let singleton = b.global_word("singleton");
+    let lock = b.mutex("init_lock");
+    let get_instance = b.function("get_instance", 0, move |f| {
+        // Fast path: unsynchronized read of the flag.
+        f.read(initialized);
+        // Slow path (unconditional here — the IR has no branches, which
+        // over-approximates: every caller also runs the locked path).
+        f.lock(lock);
+        f.read(initialized);
+        f.write(singleton);
+        f.write(initialized);
+        f.unlock(lock);
+    });
+    b.entry_fn("main", move |f| {
+        let t1 = f.spawn(get_instance, Rvalue::Const(0));
+        let t2 = f.spawn(get_instance, Rvalue::Const(0));
+        f.join(t1);
+        f.join(t2);
+    });
+    let program = b.build().unwrap();
+    let report = truth(&program, 3);
+    // The fast-path read races with the locked write of `initialized`.
+    assert!(
+        report.static_count() >= 1,
+        "DCL fast path must be reported"
+    );
+    let initialized_addr = literace::sim::Addr::global(0);
+    assert!(
+        report
+            .static_races
+            .iter()
+            .any(|r| r.example_addr == initialized_addr),
+        "the race must involve the flag"
+    );
+}
+
+/// Correct lazy init via a binary semaphore held across the whole accessor:
+/// no races.
+#[test]
+fn fully_locked_lazy_init_is_clean() {
+    let mut b = ProgramBuilder::new();
+    let singleton = b.global_word("singleton");
+    let sem = b.semaphore("init_sem", 1);
+    let get_instance = b.function("get_instance", 0, move |f| {
+        f.sem_acquire(sem);
+        f.read(singleton);
+        f.write(singleton);
+        f.sem_release(sem);
+    });
+    b.entry_fn("main", move |f| {
+        let hs: Vec<_> = (0..4).map(|_| f.spawn(get_instance, Rvalue::Const(0))).collect();
+        for h in hs {
+            f.join(h);
+        }
+    });
+    let program = b.build().unwrap();
+    assert_eq!(truth(&program, 1).static_count(), 0);
+}
+
+/// A stop-flag polled without synchronization: the classic "it works on
+/// x86" bug. Reported as a (write, read) race.
+#[test]
+fn unsynchronized_stop_flag_races() {
+    let mut b = ProgramBuilder::new();
+    let stop = b.global_word("stop");
+    let worker = b.function("worker", 0, move |f| {
+        f.loop_(500, |f| {
+            f.read(stop); // polled without any ordering
+            f.compute(5);
+        });
+    });
+    b.entry_fn("main", move |f| {
+        let t = f.spawn(worker, Rvalue::Const(0));
+        f.loop_(100, |f| {
+            f.compute(10);
+        });
+        f.write(stop); // the unsynchronized store
+        f.join(t);
+    });
+    let program = b.build().unwrap();
+    let report = truth(&program, 5);
+    assert_eq!(report.static_count(), 1);
+    let r = &report.static_races[0];
+    assert!(!r.pcs.0.eq(&r.pcs.1), "write and read are distinct sites");
+}
+
+/// The same stop flag communicated through an atomic RMW: clean.
+#[test]
+fn atomic_stop_flag_is_clean() {
+    let mut b = ProgramBuilder::new();
+    let stop = b.global_word("stop");
+    let worker = b.function("worker", 0, move |f| {
+        f.loop_(500, |f| {
+            f.atomic_rmw(stop);
+            f.compute(5);
+        });
+    });
+    b.entry_fn("main", move |f| {
+        let t = f.spawn(worker, Rvalue::Const(0));
+        f.atomic_rmw(stop);
+        f.join(t);
+    });
+    let program = b.build().unwrap();
+    assert_eq!(truth(&program, 5).static_count(), 0);
+}
+
+/// Producer/consumer sharing a ring index where the producer's index store
+/// is protected but the consumer's load is not (asymmetric locking).
+#[test]
+fn asymmetric_locking_races() {
+    let mut b = ProgramBuilder::new();
+    let head = b.global_word("head");
+    let lock = b.mutex("ring_lock");
+    let producer = b.function("producer", 0, move |f| {
+        f.loop_(200, |f| {
+            f.lock(lock);
+            f.write(head);
+            f.unlock(lock);
+        });
+    });
+    let consumer = b.function("consumer", 0, move |f| {
+        f.loop_(200, |f| {
+            f.read(head); // forgot the lock
+            f.compute(3);
+        });
+    });
+    b.entry_fn("main", move |f| {
+        let t1 = f.spawn(producer, Rvalue::Const(0));
+        let t2 = f.spawn(consumer, Rvalue::Const(0));
+        f.join(t1);
+        f.join(t2);
+    });
+    let program = b.build().unwrap();
+    assert_eq!(truth(&program, 2).static_count(), 1);
+}
+
+/// Cache fill where every worker writes the shared cache slot before
+/// publishing via the lock — the write outside the critical section races,
+/// the one inside does not; the detector must tell them apart.
+#[test]
+fn detector_separates_adjacent_protected_and_unprotected_sites() {
+    let mut b = ProgramBuilder::new();
+    let scratch = b.global_word("scratch");
+    let cache = b.global_word("cache");
+    let lock = b.mutex("cache_lock");
+    let fill = b.function("fill", 0, move |f| {
+        f.write(scratch); // racy staging write
+        f.lock(lock);
+        f.write(cache); // properly published
+        f.unlock(lock);
+    });
+    b.entry_fn("main", move |f| {
+        let t1 = f.spawn(fill, Rvalue::Const(0));
+        let t2 = f.spawn(fill, Rvalue::Const(0));
+        f.join(t1);
+        f.join(t2);
+    });
+    let program = b.build().unwrap();
+    let report = truth(&program, 7);
+    assert_eq!(report.static_count(), 1);
+    assert_eq!(
+        report.static_races[0].example_addr,
+        literace::sim::Addr::global(0),
+        "only the staging write races"
+    );
+}
+
+/// Tear-down use-after-handoff: a worker writes a buffer after signalling
+/// completion; the waiter reads it after the wait. The post-signal write
+/// races with the reader (the pre-signal writes do not).
+#[test]
+fn post_signal_write_races_with_waiter() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.global_word("buf");
+    let done = b.event("done");
+    let worker = b.function("worker", 0, move |f| {
+        f.write(buf); // ordered: before the signal
+        f.notify(done);
+        f.write(buf); // bug: written after claiming completion
+    });
+    b.entry_fn("main", move |f| {
+        let t = f.spawn(worker, Rvalue::Const(0));
+        f.wait(done);
+        f.read(buf);
+        f.join(t);
+    });
+    let program = b.build().unwrap();
+    let report = truth(&program, 1);
+    assert_eq!(report.static_count(), 1);
+}
+
+/// Per-thread arenas indexed by thread argument: no sharing, no races —
+/// guards against over-reporting on heavily parallel but disjoint data.
+#[test]
+fn disjoint_arenas_are_clean() {
+    let mut b = ProgramBuilder::new();
+    let worker = b.function("worker", 1, move |f| {
+        let arena = f.alloc(64);
+        let idx = f.local();
+        f.loop_(64, |f| {
+            f.write(AddrExpr::IndirectIndexed {
+                base: arena,
+                index: idx,
+                modulus: 64,
+            });
+            f.add_local(idx, Rvalue::Const(1));
+        });
+        f.free(arena);
+    });
+    b.entry_fn("main", move |f| {
+        let hs: Vec<_> = (0..6).map(|i| f.spawn(worker, Rvalue::Const(i))).collect();
+        for h in hs {
+            f.join(h);
+        }
+    });
+    let program = b.build().unwrap();
+    assert_eq!(truth(&program, 4).static_count(), 0);
+}
+
+/// The cold-path pattern the whole paper is about: a rarely-run error
+/// handler touches a hot structure without the lock. TL-Ad finds it because
+/// the handler's first execution is always sampled.
+#[test]
+fn cold_error_handler_is_caught_by_tl_ad() {
+    let mut b = ProgramBuilder::new();
+    let counter = b.global_word("counter");
+    let lock = b.mutex("counter_lock");
+    let bump = b.function("bump", 0, move |f| {
+        f.lock(lock);
+        f.read(counter);
+        f.write(counter);
+        f.unlock(lock);
+    });
+    let hot = b.function("hot", 0, move |f| {
+        f.loop_(3_000, |f| {
+            f.call(bump);
+        });
+    });
+    let error_handler = b.function("error_handler", 0, move |f| {
+        f.loop_(30_000, |f| {
+            f.compute(4);
+        });
+        f.write(counter); // no lock in the panic path
+    });
+    b.entry_fn("main", move |f| {
+        let t1 = f.spawn(hot, Rvalue::Const(0));
+        let t2 = f.spawn(hot, Rvalue::Const(0));
+        let t3 = f.spawn(error_handler, Rvalue::Const(0));
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+    });
+    let program = b.build().unwrap();
+    let full = truth(&program, 6);
+    // One static race: the handler's write vs. the hot write (each bump's
+    // read is pruned from the frontier by its own same-epoch write).
+    assert_eq!(full.static_count(), 1);
+    let sampled = run_literace(&program, SamplerKind::TlAdaptive, &RunConfig::seeded(6))
+        .unwrap()
+        .report;
+    assert_eq!(
+        sampled.static_keys(),
+        full.static_keys(),
+        "TL-Ad catches the cold-path bug at a fraction of the logging"
+    );
+}

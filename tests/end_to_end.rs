@@ -1,0 +1,123 @@
+//! End-to-end pipeline tests over every generated benchmark workload.
+
+use literace::prelude::*;
+
+/// Ground truth (full logging) finds exactly the planted static races on
+/// every benchmark — the gadgets are constructed so their races always
+/// manifest and nothing else in the benchmarks races.
+#[test]
+fn ground_truth_finds_exactly_the_planted_races() {
+    for id in WorkloadId::all() {
+        let w = build(id, Scale::Smoke);
+        for seed in [1, 2] {
+            let out = run_literace(&w.program, SamplerKind::Always, &RunConfig::seeded(seed))
+                .unwrap_or_else(|e| panic!("{id} failed under seed {seed}: {e}"));
+            assert_eq!(
+                out.report.static_count() as u32,
+                w.planted.total(),
+                "{id} seed {seed}: expected {} static races, found {:?}",
+                w.planted.total(),
+                out.report.static_races,
+            );
+        }
+    }
+}
+
+/// The never-sampling configuration reports nothing (sync-only logs carry
+/// no accesses to race).
+#[test]
+fn never_sampler_reports_nothing_on_all_workloads() {
+    for id in WorkloadId::detection_set() {
+        let w = build(id, Scale::Smoke);
+        let out = run_literace(&w.program, SamplerKind::Never, &RunConfig::seeded(1)).unwrap();
+        assert_eq!(out.report.static_count(), 0, "{id}");
+        assert_eq!(out.instrumented.stats.logged_mem, 0, "{id}");
+    }
+}
+
+/// The TL-Ad sampler's report is always a subset of ground truth and it
+/// always catches something on the racy benchmarks.
+#[test]
+fn tl_ad_report_is_sound_and_nonempty() {
+    for id in WorkloadId::detection_set() {
+        let w = build(id, Scale::Smoke);
+        let cfg = RunConfig::seeded(3);
+        let truth = run_literace(&w.program, SamplerKind::Always, &cfg).unwrap();
+        let sampled = run_literace(&w.program, SamplerKind::TlAdaptive, &cfg).unwrap();
+        let truth_keys = truth.report.static_keys();
+        for r in &sampled.report.static_races {
+            assert!(
+                truth_keys.contains(&r.pcs),
+                "{id}: sampled run reported {r} missing from ground truth (false positive)"
+            );
+        }
+        assert!(
+            sampled.report.static_count() > 0,
+            "{id}: TL-Ad found nothing"
+        );
+        assert!(sampled.esr() < truth.esr(), "{id}: sampling did not sample");
+    }
+}
+
+/// Interleavings differ across seeds but planted races are found under all
+/// of them (full logging), matching the gadgets' schedule-independence.
+#[test]
+fn planted_races_are_schedule_independent() {
+    let w = build(WorkloadId::ConcrtScheduling, Scale::Smoke);
+    for seed in 0..6 {
+        let out = run_literace(&w.program, SamplerKind::Always, &RunConfig::seeded(seed)).unwrap();
+        assert_eq!(out.report.static_count() as u32, w.planted.total(), "seed {seed}");
+    }
+}
+
+/// Function-count sanity against Table 2's populations (smoke scale keeps
+/// the same ordering: Firefox largest, ConcRT smallest of the apps).
+#[test]
+fn function_populations_are_ordered_like_table_2() {
+    let dryad = build(WorkloadId::Dryad, Scale::Smoke).program.functions().len();
+    let concrt = build(WorkloadId::ConcrtMessaging, Scale::Smoke)
+        .program
+        .functions()
+        .len();
+    let firefox = build(WorkloadId::FirefoxStart, Scale::Smoke)
+        .program
+        .functions()
+        .len();
+    assert!(firefox > dryad, "firefox {firefox} vs dryad {dryad}");
+    assert!(dryad > concrt, "dryad {dryad} vs concrt {concrt}");
+}
+
+/// The micro-benchmarks have a much higher sync density than the real
+/// applications — the premise of the §5.4 adverse-case analysis.
+#[test]
+fn micro_benchmarks_are_sync_dense() {
+    let micro = run_literace(
+        &build(WorkloadId::LkrHash, Scale::Smoke).program,
+        SamplerKind::Never,
+        &RunConfig::seeded(1),
+    )
+    .unwrap();
+    let app = run_literace(
+        &build(WorkloadId::Apache1, Scale::Smoke).program,
+        SamplerKind::Never,
+        &RunConfig::seeded(1),
+    )
+    .unwrap();
+    assert!(
+        micro.summary.sync_density() > 2.0 * app.summary.sync_density(),
+        "micro {} vs app {}",
+        micro.summary.sync_density(),
+        app.summary.sync_density()
+    );
+}
+
+/// The whole pipeline is deterministic given the seed.
+#[test]
+fn pipeline_is_deterministic() {
+    let w = build(WorkloadId::Apache2, Scale::Smoke);
+    let a = run_literace(&w.program, SamplerKind::TlAdaptive, &RunConfig::seeded(9)).unwrap();
+    let b = run_literace(&w.program, SamplerKind::TlAdaptive, &RunConfig::seeded(9)).unwrap();
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.instrumented.log, b.instrumented.log);
+    assert_eq!(a.report, b.report);
+}

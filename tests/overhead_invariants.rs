@@ -1,0 +1,113 @@
+//! Invariants of the Table 5 / Figure 6 overhead model, checked across all
+//! ten workloads.
+
+use literace::overhead::measure_overhead;
+use literace::prelude::*;
+
+/// Figure 6's stacking: baseline < +dispatch < +sync < full LiteRace, and
+/// Table 5's comparison: LiteRace < full logging, on every workload.
+#[test]
+fn overhead_configurations_stack_monotonically_everywhere() {
+    for id in WorkloadId::all() {
+        let w = build(id, Scale::Smoke);
+        let r = measure_overhead(&w.program, &RunConfig::seeded(4)).unwrap();
+        assert!(r.baseline_cost > 0, "{id}");
+        assert!(
+            r.dispatch_only.total_cost > r.baseline_cost,
+            "{id}: dispatch adds cost"
+        );
+        assert!(
+            r.dispatch_sync.total_cost > r.dispatch_only.total_cost,
+            "{id}: sync logging adds cost"
+        );
+        assert!(
+            r.literace.total_cost >= r.dispatch_sync.total_cost,
+            "{id}: memory logging adds cost"
+        );
+        assert!(
+            r.full_logging_slowdown() > r.literace_slowdown(),
+            "{id}: full {} <= literace {}",
+            r.full_logging_slowdown(),
+            r.literace_slowdown()
+        );
+        assert!(
+            r.full_logging.log_bytes > r.literace.log_bytes,
+            "{id}: full logging writes more"
+        );
+    }
+}
+
+/// The sync-intensive micro-benchmarks have the largest LiteRace slowdowns,
+/// and Firefox Render the largest full-logging slowdown among the
+/// applications (Table 5's shape).
+#[test]
+fn overhead_shape_matches_table_5() {
+    let slow = |id: WorkloadId| {
+        let w = build(id, Scale::Smoke);
+        let r = measure_overhead(&w.program, &RunConfig::seeded(4)).unwrap();
+        (r.literace_slowdown(), r.full_logging_slowdown())
+    };
+    let (lkr_lr, _) = slow(WorkloadId::LkrHash);
+    let (lfl_lr, _) = slow(WorkloadId::LfList);
+    let (dryad_lr, dryad_full) = slow(WorkloadId::Dryad);
+    let (apache_lr, _) = slow(WorkloadId::Apache1);
+    let (_, render_full) = slow(WorkloadId::FirefoxRender);
+    let (msg_lr, msg_full) = slow(WorkloadId::ConcrtMessaging);
+
+    // Micro-benchmarks pay the most for LiteRace (they must log every sync).
+    assert!(lkr_lr > 1.8, "LKRHash {lkr_lr}");
+    assert!(lfl_lr > 1.8, "LFList {lfl_lr}");
+    // Realistic applications stay cheap.
+    assert!(dryad_lr < 1.25, "Dryad {dryad_lr}");
+    assert!(apache_lr < 1.35, "Apache {apache_lr}");
+    assert!(msg_lr < 1.25, "Messaging {msg_lr}");
+    assert!(msg_full < 1.6, "Messaging full {msg_full}");
+    // Access-dense rendering drowns under full logging.
+    assert!(
+        render_full > 3.0 * dryad_full,
+        "render {render_full} vs dryad {dryad_full}"
+    );
+}
+
+/// The ESR of the TL-Ad configuration drives its memory-logging overhead:
+/// near-zero on hot workloads, large on cold-dominated ones.
+#[test]
+fn esr_tracks_workload_temperature() {
+    let esr = |id: WorkloadId| {
+        let w = build(id, Scale::Smoke);
+        measure_overhead(&w.program, &RunConfig::seeded(4))
+            .unwrap()
+            .literace_esr
+    };
+    let render = esr(WorkloadId::FirefoxRender);
+    let start = esr(WorkloadId::FirefoxStart);
+    assert!(
+        start > render,
+        "cold start-up should sample more: start {start} vs render {render}"
+    );
+}
+
+/// Baseline execution statistics are identical across instrumentation
+/// configurations — observation never perturbs the run.
+#[test]
+fn observation_does_not_perturb_execution() {
+    let w = build(WorkloadId::Apache2, Scale::Smoke);
+    let cfg = RunConfig::seeded(6);
+    let a = run_baseline(&w.program, &cfg).unwrap();
+    let b = run_literace(&w.program, SamplerKind::TlAdaptive, &cfg).unwrap();
+    let c = run_literace(&w.program, SamplerKind::Always, &cfg).unwrap();
+    assert_eq!(a, b.summary);
+    assert_eq!(a, c.summary);
+}
+
+/// Log MB/s figures are finite, positive for logging configurations, and
+/// ordered LiteRace < full logging.
+#[test]
+fn log_rates_are_sane() {
+    let w = build(WorkloadId::FirefoxRender, Scale::Smoke);
+    let r = measure_overhead(&w.program, &RunConfig::seeded(4)).unwrap();
+    let lr = r.literace.log_mb_per_s();
+    let full = r.full_logging.log_mb_per_s();
+    assert!(lr.is_finite() && lr > 0.0);
+    assert!(full.is_finite() && full > lr);
+}
