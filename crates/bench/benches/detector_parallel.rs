@@ -1,0 +1,50 @@
+//! Criterion benches for the address-sharded parallel detector: sequential
+//! vs sharded throughput at 2, 4 and 8 workers over full workload logs.
+//!
+//! Sharded output is byte-identical to sequential (see
+//! `tests/sharded_equivalence.rs`), so this bench measures pure detection
+//! cost — any gap is scheduling overhead or parallel speedup, never a
+//! different answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use literace::detector::{detect, detect_sharded, DetectConfig};
+use literace::instrument::{InstrumentConfig, Instrumenter};
+use literace::log::EventLog;
+use literace::samplers::SamplerKind;
+use literace::sim::{lower, ChunkedRandomScheduler, Machine, MachineConfig};
+use literace::workloads::{build, Scale, WorkloadId};
+
+fn workload_log(id: WorkloadId) -> (EventLog, u64) {
+    let w = build(id, Scale::Smoke);
+    let compiled = lower(&w.program);
+    let mut inst = Instrumenter::new(SamplerKind::Always.build(1), InstrumentConfig::default());
+    let summary = Machine::new(&compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(1, 64), &mut inst)
+        .expect("workload runs");
+    (inst.finish().log, summary.non_stack_accesses)
+}
+
+fn bench_parallel_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_parallel");
+    for id in [WorkloadId::Apache1, WorkloadId::Dryad] {
+        let (log, non_stack) = workload_log(id);
+        group.throughput(Throughput::Elements(log.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", id.name()),
+            &log,
+            |b, log| b.iter(|| detect(log, non_stack)),
+        );
+        for threads in [2usize, 4, 8] {
+            let cfg = DetectConfig::with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded-{threads}"), id.name()),
+                &log,
+                |b, log| b.iter(|| detect_sharded(log, non_stack, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_detector);
+criterion_main!(benches);

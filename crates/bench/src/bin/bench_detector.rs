@@ -1,0 +1,488 @@
+//! Measures offline-detector throughput and writes `BENCH_detector.json`
+//! so future PRs can track the hot path.
+//!
+//! Three configurations are timed over identical full-logging event logs:
+//!
+//! * **seed** — a faithful replica of the original sequential detector
+//!   (one full `VectorClock` clone per memory access, clone-heavy
+//!   acquire/release, SipHash maps, double-resolving increment);
+//! * **sequential** — today's `detect` (clone-free accesses, fast hasher);
+//! * **sharded-N** — `detect_sharded` at 2, 4 and 8 worker threads.
+//!
+//! Events/sec counts *log records processed*. Numbers are best-of-`repeats`
+//! wall-clock; on a single-core host the sharded rows measure scheduling
+//! overhead rather than parallel speedup, so the honest headline there is
+//! sharded vs the seed path (both reported).
+//!
+//! Usage: `bench_detector [--scale smoke|paper] [--seeds N]
+//! [--workloads a,b,c] [--out PATH] [--repeats N]`
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use literace::detector::{
+    detect, detect_sharded, DetectConfig, DynamicRace, RaceReport, VectorClock,
+};
+use literace::instrument::{InstrumentConfig, Instrumenter};
+use literace::log::{EventLog, Record};
+use literace::prelude::*;
+use literace::sim::{
+    lower, Addr, ChunkedRandomScheduler, Machine, MachineConfig, Pc, SyncOpKind, SyncVar,
+    ThreadId,
+};
+
+/// The seed detector, reproduced from the repository's initial commit so
+/// the baseline stays measurable after the hot path changed. Every memory
+/// access clones the thread's full vector clock; acquire and release clone
+/// through the borrow checker; all maps use the std SipHash hasher.
+mod seed {
+    use super::*;
+
+    #[derive(Clone, Copy)]
+    struct Access {
+        tid: ThreadId,
+        epoch: u64,
+        pc: Pc,
+        is_write: bool,
+    }
+
+    #[derive(Default)]
+    struct LocState {
+        reads: Vec<Access>,
+        writes: Vec<Access>,
+    }
+
+    const MAX_HISTORY: usize = 128;
+    const MAX_DYNAMIC_PER_PAIR: usize = 1 << 20;
+    const COMPACT_INTERVAL: u64 = 1 << 18;
+
+    #[derive(Default)]
+    pub struct SeedDetector {
+        threads: Vec<VectorClock>,
+        retired: Vec<bool>,
+        syncvars: HashMap<SyncVar, VectorClock>,
+        locations: HashMap<u64, LocState>,
+        races: Vec<DynamicRace>,
+        overflow: HashMap<(Pc, Pc), u64>,
+        pair_counts: HashMap<(Pc, Pc), u64>,
+        last_ts: HashMap<SyncVar, u64>,
+        records_since_compact: u64,
+    }
+
+    impl SeedDetector {
+        fn clock_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+            let i = tid.index();
+            if i >= self.threads.len() {
+                for j in self.threads.len()..=i {
+                    let mut c = VectorClock::new();
+                    c.set(ThreadId::from_index(j), 1);
+                    self.threads.push(c);
+                }
+            }
+            &mut self.threads[i]
+        }
+
+        fn sync(&mut self, tid: ThreadId, kind: SyncOpKind, var: SyncVar) {
+            if kind == SyncOpKind::Fork {
+                let child = ThreadId::from_index(var.0 as usize);
+                let _ = self.clock_mut(child);
+            }
+            let acquire = kind.is_acquire();
+            let release = kind.is_release();
+            if acquire {
+                if let Some(l) = self.syncvars.get(&var) {
+                    let l = l.clone();
+                    self.clock_mut(tid).join(&l);
+                } else {
+                    let _ = self.clock_mut(tid);
+                }
+            }
+            if release {
+                let c = self.clock_mut(tid).clone();
+                self.syncvars.entry(var).or_default().join(&c);
+                // The seed's increment resolved the index twice (get + set).
+                let clock = self.clock_mut(tid);
+                let cur = clock.get(tid);
+                clock.set(tid, cur + 1);
+            }
+        }
+
+        fn access(&mut self, tid: ThreadId, pc: Pc, addr: Addr, is_write: bool) {
+            let clock = self.clock_mut(tid).clone();
+            let epoch = clock.get(tid);
+            let current = Access {
+                tid,
+                epoch,
+                pc,
+                is_write,
+            };
+            let loc = self.locations.entry(addr.raw()).or_default();
+            let mut conflicts: Vec<Access> = Vec::new();
+            for w in &loc.writes {
+                if w.tid != tid && clock.get(w.tid) < w.epoch {
+                    conflicts.push(*w);
+                }
+            }
+            if is_write {
+                for r in &loc.reads {
+                    if r.tid != tid && clock.get(r.tid) < r.epoch {
+                        conflicts.push(*r);
+                    }
+                }
+            }
+            if is_write {
+                loc.writes.retain(|w| clock.get(w.tid) < w.epoch);
+                loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
+                loc.writes.push(current);
+                cap(&mut loc.writes, MAX_HISTORY);
+            } else {
+                loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
+                loc.reads.push(current);
+                cap(&mut loc.reads, MAX_HISTORY);
+            }
+            for prior in conflicts {
+                let race = DynamicRace {
+                    first_pc: prior.pc,
+                    second_pc: pc,
+                    addr,
+                    first_tid: prior.tid,
+                    second_tid: tid,
+                    first_is_write: prior.is_write,
+                    second_is_write: is_write,
+                };
+                let key = race.static_key();
+                let n = self.pair_counts.entry(key).or_insert(0);
+                *n += 1;
+                if (*n as usize) <= MAX_DYNAMIC_PER_PAIR {
+                    self.races.push(race);
+                } else {
+                    *self.overflow.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        fn compact(&mut self) {
+            let live: Vec<&VectorClock> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.retired.get(*i).copied().unwrap_or(false))
+                .map(|(_, c)| c)
+                .collect();
+            let covered =
+                |a: &Access| -> bool { live.iter().all(|c| c.get(a.tid) >= a.epoch) };
+            self.locations.retain(|_, loc| {
+                loc.reads.retain(|r| !covered(r));
+                loc.writes.retain(|w| !covered(w));
+                !(loc.reads.is_empty() && loc.writes.is_empty())
+            });
+        }
+
+        pub fn process_log(&mut self, log: &EventLog) {
+            for record in log {
+                match *record {
+                    Record::Sync {
+                        tid,
+                        kind,
+                        var,
+                        timestamp,
+                        ..
+                    } => {
+                        let last = self.last_ts.entry(var).or_insert(0);
+                        *last = (*last).max(timestamp);
+                        self.sync(tid, kind, var);
+                    }
+                    Record::Mem {
+                        tid,
+                        pc,
+                        addr,
+                        is_write,
+                        ..
+                    } => self.access(tid, pc, addr, is_write),
+                    Record::ThreadBegin { .. } => {}
+                    Record::ThreadEnd { tid } => {
+                        let i = tid.index();
+                        if i >= self.retired.len() {
+                            self.retired.resize(i + 1, false);
+                        }
+                        self.retired[i] = true;
+                        self.records_since_compact = 0;
+                        self.compact();
+                    }
+                }
+                self.records_since_compact += 1;
+                if self.records_since_compact >= COMPACT_INTERVAL {
+                    self.records_since_compact = 0;
+                    self.compact();
+                }
+            }
+        }
+
+        /// Static race count, to sanity-check agreement with today's path.
+        pub fn static_count(&self, non_stack: u64) -> usize {
+            RaceReport::from_dynamic(self.races.clone(), non_stack).static_count()
+        }
+    }
+
+    fn cap(v: &mut Vec<Access>, max: usize) {
+        if v.len() > max {
+            let excess = v.len() - max;
+            v.drain(0..excess);
+        }
+    }
+}
+
+fn workload_log(id: WorkloadId, scale: Scale, seed: u64) -> (EventLog, u64) {
+    let w = build(id, scale);
+    let compiled = lower(&w.program);
+    let mut inst =
+        Instrumenter::new(SamplerKind::Always.build(seed), InstrumentConfig::default());
+    let summary = Machine::new(&compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(seed, 64), &mut inst)
+        .expect("workload runs");
+    (inst.finish().log, summary.non_stack_accesses)
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn events_per_sec(records: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        records as f64 / secs
+    }
+}
+
+struct Row {
+    name: String,
+    records: usize,
+    mem_records: usize,
+    seed_eps: f64,
+    sequential_eps: f64,
+    sharded_eps: Vec<(usize, f64)>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_detector.json".to_owned();
+    let mut repeats = 5usize;
+    let mut scale = Scale::Smoke;
+    let mut seeds = vec![1u64];
+    let mut workloads: Option<Vec<WorkloadId>> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out expects a path").clone();
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--repeats expects a number");
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("--scale expects smoke|paper, got {other:?}"),
+                };
+            }
+            "--seeds" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds expects a number");
+                seeds = (1..=n).collect();
+            }
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).expect("--workloads expects a list");
+                workloads = Some(
+                    list.split(',')
+                        .map(|s| {
+                            literace_bench::parse_workload(s)
+                                .unwrap_or_else(|| panic!("unknown workload {s}"))
+                        })
+                        .collect(),
+                );
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    let workloads = workloads.unwrap_or_else(|| {
+        vec![
+            WorkloadId::Apache1,
+            WorkloadId::Apache2,
+            WorkloadId::Dryad,
+            WorkloadId::DryadStdlib,
+        ]
+    });
+    let thread_counts = [2usize, 4, 8];
+
+    let mut rows = Vec::new();
+    for &id in &workloads {
+        // Concatenate one full log per seed so the measured stream is big
+        // enough to dominate timer noise.
+        let mut log = EventLog::new();
+        let mut non_stack = 0u64;
+        for &seed in &seeds {
+            let (l, ns) = workload_log(id, scale, seed);
+            for r in &l {
+                log.push(*r);
+            }
+            non_stack += ns;
+        }
+        let records = log.len();
+        let mem_records = log
+            .iter()
+            .filter(|r| matches!(r, Record::Mem { .. }))
+            .count();
+
+        eprintln!("[bench_detector] {id}: {records} records…");
+        let mut seed_det_races = 0usize;
+        let seed_secs = time_best(repeats, || {
+            let mut d = seed::SeedDetector::default();
+            d.process_log(&log);
+            seed_det_races = d.static_count(non_stack);
+        });
+        let mut seq_report: Option<RaceReport> = None;
+        let seq_secs = time_best(repeats, || {
+            seq_report = Some(detect(&log, non_stack));
+        });
+        let seq_report = seq_report.expect("sequential ran");
+        assert_eq!(
+            seed_det_races,
+            seq_report.static_count(),
+            "{id}: seed replica and current detector must agree"
+        );
+
+        let mut sharded_eps = Vec::new();
+        for &threads in &thread_counts {
+            let cfg = DetectConfig::with_threads(threads);
+            let mut sharded_report: Option<RaceReport> = None;
+            let secs = time_best(repeats, || {
+                sharded_report = Some(detect_sharded(&log, non_stack, &cfg));
+            });
+            assert_eq!(
+                seq_report,
+                sharded_report.expect("sharded ran"),
+                "{id}: sharded({threads}) must be byte-identical"
+            );
+            sharded_eps.push((threads, events_per_sec(records, secs)));
+        }
+
+        rows.push(Row {
+            name: id.name().to_owned(),
+            records,
+            mem_records,
+            seed_eps: events_per_sec(records, seed_secs),
+            sequential_eps: events_per_sec(records, seq_secs),
+            sharded_eps,
+        });
+    }
+
+    // Hand-rolled JSON: the vendored serde stand-in doesn't serialize.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"detector\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(&format!("  \"seeds\": {},\n", seeds.len()));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(
+        "  \"notes\": \"events/sec over identical full logs; best of N runs. \
+         'seed' replicates the original clone-per-access sequential detector; \
+         'sequential' is today's clone-free hot path; sharded rows add \
+         address-sharded workers (byte-identical output, asserted during the \
+         run). On a 1-CPU host sharded speedup over 'sequential' is not \
+         expected — track sharded vs 'seed'.\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (wi, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"workload\": \"{}\",\n", row.name));
+        json.push_str(&format!("      \"records\": {},\n", row.records));
+        json.push_str(&format!("      \"mem_records\": {},\n", row.mem_records));
+        json.push_str(&format!(
+            "      \"seed_events_per_sec\": {},\n",
+            json_f64(row.seed_eps)
+        ));
+        json.push_str(&format!(
+            "      \"sequential_events_per_sec\": {},\n",
+            json_f64(row.sequential_eps)
+        ));
+        json.push_str("      \"sharded_events_per_sec\": {");
+        for (ti, (threads, eps)) in row.sharded_eps.iter().enumerate() {
+            json.push_str(&format!("\"{threads}\": {}", json_f64(*eps)));
+            if ti + 1 < row.sharded_eps.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("},\n");
+        let sharded4 = row
+            .sharded_eps
+            .iter()
+            .find(|(t, _)| *t == 4)
+            .map_or(0.0, |(_, e)| *e);
+        json.push_str(&format!(
+            "      \"speedup_sequential_vs_seed\": {},\n",
+            json_f64(row.sequential_eps / row.seed_eps)
+        ));
+        json.push_str(&format!(
+            "      \"speedup_sharded4_vs_seed\": {}\n",
+            json_f64(sharded4 / row.seed_eps)
+        ));
+        json.push_str("    }");
+        if wi + 1 < rows.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("output file is writable");
+    eprintln!("[bench_detector] wrote {out_path}");
+    for row in &rows {
+        let sharded4 = row
+            .sharded_eps
+            .iter()
+            .find(|(t, _)| *t == 4)
+            .map_or(0.0, |(_, e)| *e);
+        println!(
+            "{:<16} seed {:>12.0} ev/s   sequential {:>12.0} ev/s ({:.2}x)   sharded@4 {:>12.0} ev/s ({:.2}x vs seed)",
+            row.name,
+            row.seed_eps,
+            row.sequential_eps,
+            row.sequential_eps / row.seed_eps,
+            sharded4,
+            sharded4 / row.seed_eps,
+        );
+    }
+}

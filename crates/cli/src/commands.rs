@@ -31,8 +31,10 @@ USAGE:
       Print the workload's Table 5 row and Figure 6 decomposition.
 
   literace detect --log <file> [--detector hb|fasttrack|lockset]
-                  [--non-stack <count>]
-      Run offline detection over a previously written event log.
+                  [--non-stack <count>] [--threads N]
+      Run offline detection over a previously written event log. With
+      --threads N ≥ 2, the hb detector shards accesses across N workers
+      (byte-identical output).
 
   literace log-stats --log <file>
       Print log composition and encoded size.
@@ -276,15 +278,28 @@ pub fn detect(args: &[String]) -> ExitCode {
 }
 
 fn detect_inner(args: &[String]) -> Result<(), String> {
+    use literace::detector::{detect_sharded, DetectConfig};
+
     let flags = crate::args::Flags::parse(args)?;
     let path = flags.require("log")?;
     let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
+    let threads: usize = flags.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    // Chunked decoding: peak memory is the decoded log plus one chunk,
+    // not the whole encoded file.
     let log = LogReader::new(file)
-        .read_all()
+        .read_chunked(literace::log::DEFAULT_CHUNK_BYTES)
         .map_err(|e| format!("read {path}: {e}"))?;
     let report = match flags.get("detector") {
-        None | Some("hb") => literace::detector::detect(&log, non_stack),
+        None | Some("hb") => {
+            detect_sharded(&log, non_stack, &DetectConfig::with_threads(threads))
+        }
+        Some(other) if threads > 1 => {
+            return Err(format!("--threads only applies to the hb detector, not `{other}`"))
+        }
         Some("fasttrack") => detect_fasttrack(&log, non_stack),
         Some("lockset") => detect_lockset(&log, non_stack),
         Some(other) => return Err(format!("unknown detector `{other}`")),
@@ -474,6 +489,36 @@ mod tests {
             .map(|s| (*s).to_string())
             .collect();
         assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn detect_command_round_trips_with_threads() {
+        // run --log writes an event log; detect --threads re-detects it
+        // with the sharded detector. Both must succeed.
+        let dir = std::env::temp_dir();
+        let path = dir.join("literace_cli_detect_test.lrlog");
+        let path_s = path.to_str().unwrap().to_string();
+        let run_args: Vec<String> =
+            ["--workload", "lflist", "--seed", "2", "--log", &path_s]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect();
+        assert_eq!(run(&run_args), std::process::ExitCode::SUCCESS);
+        for threads in ["1", "4"] {
+            let detect_args: Vec<String> =
+                ["--log", &path_s, "--threads", threads, "--non-stack", "100"]
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect();
+            assert_eq!(detect(&detect_args), std::process::ExitCode::SUCCESS);
+        }
+        let bad_args: Vec<String> =
+            ["--log", &path_s, "--threads", "2", "--detector", "lockset"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect();
+        assert_eq!(detect(&bad_args), std::process::ExitCode::FAILURE);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

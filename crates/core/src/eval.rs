@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use literace_detector::{HbDetector, RaceReport};
+use literace_detector::{detect_sharded, DetectConfig, RaceReport};
 use literace_instrument::{InstrumentConfig, MultiSamplerInstrumenter};
 use literace_samplers::SamplerKind;
 use literace_sim::{
@@ -30,6 +30,9 @@ pub struct EvalConfig {
     pub machine: MachineConfig,
     /// Instrumentation knobs (alloc-sync etc.).
     pub instrument: InstrumentConfig,
+    /// Worker threads for each offline detection pass (1 = sequential;
+    /// sharded detection is byte-identical, so results don't change).
+    pub detect_threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -40,6 +43,7 @@ impl Default for EvalConfig {
             sched_quantum: 64,
             machine: MachineConfig::default(),
             instrument: InstrumentConfig::default(),
+            detect_threads: 1,
         }
     }
 }
@@ -131,7 +135,7 @@ pub fn evaluate_program(program: &Program, cfg: &EvalConfig) -> Result<ProgramEv
         non_stack += summary.non_stack_accesses;
 
         // Ground truth: full log.
-        let truth = detect_log(&out.log, summary.non_stack_accesses);
+        let truth = detect_log(&out.log, summary.non_stack_accesses, cfg.detect_threads);
         let (truth_rare, truth_freq) = truth.split_by_rarity();
         let rare_keys: HashSet<(Pc, Pc)> = truth_rare.iter().map(|s| s.pcs).collect();
         let freq_keys: HashSet<(Pc, Pc)> = truth_freq.iter().map(|s| s.pcs).collect();
@@ -142,7 +146,7 @@ pub fn evaluate_program(program: &Program, cfg: &EvalConfig) -> Result<ProgramEv
         for i in 0..n {
             per_sampler_logged[i] += out.per_sampler[i].logged_mem;
             let subset = out.log.sampler_subset(i);
-            let found = detect_log(&subset, summary.non_stack_accesses);
+            let found = detect_log(&subset, summary.non_stack_accesses, cfg.detect_threads);
             let rate = found.detection_rate_against(&truth);
             per_sampler_det[i] += rate;
             per_sampler_det_min[i] = per_sampler_det_min[i].min(rate);
@@ -198,10 +202,8 @@ fn ratio((found, total): (u64, u64)) -> f64 {
     }
 }
 
-fn detect_log(log: &literace_log::EventLog, non_stack: u64) -> RaceReport {
-    let mut det = HbDetector::new();
-    det.process_log(log);
-    det.finish(non_stack)
+fn detect_log(log: &literace_log::EventLog, non_stack: u64, threads: usize) -> RaceReport {
+    detect_sharded(log, non_stack, &DetectConfig::with_threads(threads))
 }
 
 #[cfg(test)]

@@ -153,10 +153,29 @@ pub fn run_sampler_study_parallel(
     seeds: &[u64],
     workloads: &[WorkloadId],
 ) -> Result<SamplerStudy, SimError> {
+    run_sampler_study_parallel_threads(scale, seeds, workloads, 1)
+}
+
+/// Like [`run_sampler_study_parallel`], additionally sharding each offline
+/// detection pass across `detect_threads` workers (see
+/// [`literace_detector::detect_sharded`]). Sharded detection is
+/// byte-identical to sequential, so results still match
+/// [`run_sampler_study_on`].
+///
+/// # Errors
+///
+/// Propagates the first simulator error from any workload.
+pub fn run_sampler_study_parallel_threads(
+    scale: Scale,
+    seeds: &[u64],
+    workloads: &[WorkloadId],
+    detect_threads: usize,
+) -> Result<SamplerStudy, SimError> {
     let samplers = SamplerKind::paper_set().to_vec();
     let cfg = EvalConfig {
         seeds: seeds.to_vec(),
         samplers: samplers.clone(),
+        detect_threads,
         ..EvalConfig::default()
     };
     // Slot per workload, filled from worker threads; parking_lot's mutex is
@@ -632,6 +651,10 @@ mod tests {
         let par = run_sampler_study_parallel(Scale::Smoke, &[1], &ids).unwrap();
         assert_eq!(seq.table3().to_string(), par.table3().to_string());
         assert_eq!(seq.fig4().to_string(), par.fig4().to_string());
+        // Sharded offline detection inside the study changes nothing either.
+        let sharded = run_sampler_study_parallel_threads(Scale::Smoke, &[1], &ids, 4).unwrap();
+        assert_eq!(seq.table4().to_string(), sharded.table4().to_string());
+        assert_eq!(seq.fig4().to_string(), sharded.fig4().to_string());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The end-to-end LiteRace pipeline: instrument → execute → log → detect.
 
-use literace_detector::{HbConfig, HbDetector, RaceReport};
+use literace_detector::{detect_sharded, DetectConfig, HbConfig, RaceReport};
 use literace_instrument::{InstrumentConfig, InstrumentOutput, Instrumenter};
 use literace_samplers::SamplerKind;
 use literace_sim::{
@@ -21,6 +21,9 @@ pub struct RunConfig {
     pub instrument: InstrumentConfig,
     /// Offline detector configuration.
     pub detector: HbConfig,
+    /// Offline detection worker threads (1 = sequential; N ≥ 2 shards
+    /// accesses across N workers with byte-identical output).
+    pub detect_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -31,6 +34,7 @@ impl Default for RunConfig {
             machine: MachineConfig::default(),
             instrument: InstrumentConfig::default(),
             detector: HbConfig::default(),
+            detect_threads: 1,
         }
     }
 }
@@ -41,6 +45,14 @@ impl RunConfig {
         RunConfig {
             seed,
             ..RunConfig::default()
+        }
+    }
+
+    /// The offline-detection config implied by this run config.
+    pub fn detect_config(&self) -> DetectConfig {
+        DetectConfig {
+            threads: self.detect_threads,
+            hb: self.detector,
         }
     }
 }
@@ -85,9 +97,11 @@ pub fn run_literace(
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
     let instrumented = inst.finish();
-    let mut det = HbDetector::with_config(cfg.detector);
-    det.process_log(&instrumented.log);
-    let report = det.finish(summary.non_stack_accesses);
+    let report = detect_sharded(
+        &instrumented.log,
+        summary.non_stack_accesses,
+        &cfg.detect_config(),
+    );
     Ok(RunOutcome {
         summary,
         instrumented,
@@ -154,6 +168,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.report.static_count(), 1, "both accesses are cold");
+    }
+
+    #[test]
+    fn parallel_detection_matches_sequential_pipeline() {
+        let seq = run_literace(&racy_program(), SamplerKind::Always, &RunConfig::seeded(3))
+            .unwrap();
+        let mut cfg = RunConfig::seeded(3);
+        cfg.detect_threads = 4;
+        let par = run_literace(&racy_program(), SamplerKind::Always, &cfg).unwrap();
+        assert_eq!(seq.report, par.report);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! A fast, non-cryptographic hasher for the detector's hot maps.
+//!
+//! Every memory access costs at least one `locations` map probe, so the
+//! default SipHash's per-lookup cost is pure overhead here: keys are
+//! program-internal addresses and PCs, not attacker-controlled input, so
+//! HashDoS resistance buys nothing. This is the familiar multiply-rotate
+//! scheme (as used by rustc's FxHash): fold each 64-bit word in with a
+//! rotate, xor and multiply by a large odd constant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: a large odd constant with well-mixed bits (2^64 / φ).
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The hasher state. Use via [`FastMap`] or `BuildHasherDefault`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(b));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut b = [0u8; 8];
+            b[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            let mut h = FastHasher::default();
+            h.write_u64(k);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on sequential keys");
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for k in 0..1_000u64 {
+            m.insert(k, k * 2);
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(m[&k], k * 2);
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_alignment_only() {
+        // Not required to match `write_u64`, but must be deterministic.
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FastHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

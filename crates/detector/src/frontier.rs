@@ -1,0 +1,138 @@
+//! Per-address access frontiers: the state the happens-before detector
+//! keeps between accesses, factored out so the sequential core and the
+//! sharded workers (see [`sharded`](crate::sharded)) drive identical
+//! machinery.
+//!
+//! For each address the table remembers an antichain of accesses not yet
+//! ordered before a later write. [`Frontier::access`] scans and updates
+//! that antichain in a **single pass**: the same `clock.get(tid) < epoch`
+//! comparison decides both "does the remembered access race with this
+//! one?" and "does it stay in the frontier?", so no access is examined
+//! twice and no intermediate conflict vector is allocated.
+
+use literace_sim::{Pc, ThreadId};
+
+use crate::fast_hash::FastMap;
+use crate::vector_clock::VectorClock;
+
+/// One remembered access in a location's frontier. Whether it was a read
+/// or a write is encoded by which frontier vector it lives in.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    /// Accessing thread.
+    pub tid: ThreadId,
+    /// The accessing thread's own clock component at the access.
+    pub epoch: u64,
+    /// Instruction site.
+    pub pc: Pc,
+}
+
+#[derive(Debug, Default)]
+struct LocState {
+    reads: Vec<Access>,
+    writes: Vec<Access>,
+}
+
+/// The per-address frontier table.
+#[derive(Debug)]
+pub(crate) struct Frontier {
+    max_history: usize,
+    /// Probed once per access, so it uses the crate's fast hasher (see
+    /// [`fast_hash`](crate::fast_hash)).
+    locations: FastMap<u64, LocState>,
+}
+
+impl Frontier {
+    /// Creates a table bounding each location's remembered accesses (per
+    /// kind) at `max_history`.
+    pub fn new(max_history: usize) -> Frontier {
+        Frontier {
+            max_history,
+            locations: FastMap::default(),
+        }
+    }
+
+    /// Scans and updates the frontier for one access, invoking `conflict`
+    /// for every remembered access racing with it.
+    ///
+    /// Conflicts are reported in the sequential detector's canonical order:
+    /// remembered writes first, then (for a write) remembered reads, each
+    /// in frontier order. An access races with a remembered one iff it is
+    /// by a different thread and not ordered after it (`clock.get(tid) <
+    /// epoch`); a write additionally supersedes everything ordered before
+    /// it, a read supersedes only reads ordered before it.
+    #[inline]
+    pub fn access(
+        &mut self,
+        tid: ThreadId,
+        pc: Pc,
+        addr_raw: u64,
+        is_write: bool,
+        clock: &VectorClock,
+        mut conflict: impl FnMut(Access),
+    ) {
+        let current = Access {
+            tid,
+            epoch: clock.get(tid),
+            pc,
+        };
+        let loc = self.locations.entry(addr_raw).or_default();
+        if is_write {
+            loc.writes.retain(|w| {
+                let keep = clock.get(w.tid) < w.epoch;
+                if keep && w.tid != tid {
+                    conflict(*w);
+                }
+                keep
+            });
+            loc.reads.retain(|r| {
+                let keep = clock.get(r.tid) < r.epoch;
+                if keep && r.tid != tid {
+                    conflict(*r);
+                }
+                keep
+            });
+            loc.writes.push(current);
+            cap(&mut loc.writes, self.max_history);
+        } else {
+            // A read never evicts writes; it only scans them for conflicts.
+            for w in &loc.writes {
+                if w.tid != tid && clock.get(w.tid) < w.epoch {
+                    conflict(*w);
+                }
+            }
+            loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
+            loc.reads.push(current);
+            cap(&mut loc.reads, self.max_history);
+        }
+    }
+
+    /// Reclaims accesses that can never race again: an access is dead once
+    /// **every** clock in `live` already covers it (all future accesses
+    /// inherit those clocks, so they would be ordered after it). Locations
+    /// whose frontier empties are dropped entirely.
+    ///
+    /// Returns the number of locations dropped.
+    pub fn compact(&mut self, live: &[&VectorClock]) -> usize {
+        let covered = |a: &Access| -> bool { live.iter().all(|c| c.get(a.tid) >= a.epoch) };
+        let before = self.locations.len();
+        self.locations.retain(|_, loc| {
+            loc.reads.retain(|r| !covered(r));
+            loc.writes.retain(|w| !covered(w));
+            !(loc.reads.is_empty() && loc.writes.is_empty())
+        });
+        before - self.locations.len()
+    }
+
+    /// Number of addresses with live frontier state (memory footprint).
+    pub fn tracked_locations(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+fn cap(v: &mut Vec<Access>, max: usize) {
+    if v.len() > max {
+        let excess = v.len() - max;
+        v.drain(0..excess);
+    }
+}

@@ -22,7 +22,9 @@ use std::collections::HashMap;
 use literace_log::{EventLog, Record};
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
-use crate::report::{DynamicRace, RaceReport};
+use crate::fast_hash::{FastMap, FastSet};
+use crate::frontier::Frontier;
+use crate::report::{RaceReport, StaticRace};
 use crate::vector_clock::VectorClock;
 
 /// Tuning knobs for the happens-before core.
@@ -47,18 +49,20 @@ impl Default for HbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Access {
-    tid: ThreadId,
-    epoch: u64,
-    pc: Pc,
-    is_write: bool,
-}
-
-#[derive(Debug, Default)]
-struct LocState {
-    reads: Vec<Access>,
-    writes: Vec<Access>,
+/// Running aggregate for one static pair — the report row built *online*,
+/// as races are detected, instead of by a separate grouping pass over a
+/// stored race vector at `finish` time (that pass used to cost as much as
+/// detection itself on race-heavy logs).
+#[derive(Debug)]
+struct PairAgg {
+    /// Dynamic occurrences stored (capped at `max_dynamic_per_pair`).
+    stored: u64,
+    /// Occurrences beyond the cap (counted, not stored).
+    overflow: u64,
+    /// Address of the first stored occurrence.
+    example_addr: Addr,
+    /// Distinct addresses among stored occurrences.
+    addrs: FastSet<Addr>,
 }
 
 /// The reusable happens-before engine.
@@ -68,12 +72,11 @@ pub struct HbCore {
     threads: Vec<VectorClock>,
     /// Threads known to have exited (excluded from the compaction bound).
     retired: Vec<bool>,
-    syncvars: HashMap<SyncVar, VectorClock>,
-    locations: HashMap<u64, LocState>,
-    races: Vec<DynamicRace>,
-    /// Dynamic races beyond the stored cap, per static pair.
-    overflow: HashMap<(Pc, Pc), u64>,
-    pair_counts: HashMap<(Pc, Pc), u64>,
+    syncvars: FastMap<SyncVar, VectorClock>,
+    /// Per-address frontier state.
+    frontier: Frontier,
+    /// Per-static-pair aggregates, maintained online.
+    pairs: FastMap<(Pc, Pc), PairAgg>,
 }
 
 impl HbCore {
@@ -83,15 +86,15 @@ impl HbCore {
             cfg,
             threads: Vec::new(),
             retired: Vec::new(),
-            syncvars: HashMap::new(),
-            locations: HashMap::new(),
-            races: Vec::new(),
-            overflow: HashMap::new(),
-            pair_counts: HashMap::new(),
+            syncvars: FastMap::default(),
+            frontier: Frontier::new(cfg.max_history_per_location),
+            pairs: FastMap::default(),
         }
     }
 
-    fn clock_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+    /// Makes sure `tid`'s clock (and those of all lower thread ids) is
+    /// materialized, and returns its index into `threads`.
+    fn ensure_thread(&mut self, tid: ThreadId) -> usize {
         let i = tid.index();
         if i >= self.threads.len() {
             for j in self.threads.len()..=i {
@@ -100,7 +103,7 @@ impl HbCore {
                 self.threads.push(c);
             }
         }
-        &mut self.threads[i]
+        i
     }
 
     /// Processes one synchronization operation.
@@ -111,86 +114,61 @@ impl HbCore {
             // the child will begin from the parent's *fork-time* snapshot,
             // which may be older than every live thread's current clock.
             let child = ThreadId::from_index(var.0 as usize);
-            let _ = self.clock_mut(child);
+            self.ensure_thread(child);
         }
+        // Materialize up front so the paths below can borrow `threads`
+        // directly alongside `syncvars` (disjoint fields) without cloning.
+        let i = self.ensure_thread(tid);
         let acquire = kind.is_acquire();
         let release = kind.is_release();
         if acquire {
             if let Some(l) = self.syncvars.get(&var) {
-                let l = l.clone();
-                self.clock_mut(tid).join(&l);
-            } else {
-                // Still materialize the thread clock.
-                let _ = self.clock_mut(tid);
+                self.threads[i].join(l);
             }
         }
         if release {
-            let c = self.clock_mut(tid).clone();
-            self.syncvars.entry(var).or_default().join(&c);
-            self.clock_mut(tid).increment(tid);
+            self.syncvars
+                .entry(var)
+                .or_default()
+                .join(&self.threads[i]);
+            self.threads[i].increment(tid);
         }
     }
 
     /// Processes one data access.
     pub fn access(&mut self, tid: ThreadId, pc: Pc, addr: Addr, is_write: bool) {
-        let clock = self.clock_mut(tid).clone();
-        let epoch = clock.get(tid);
-        let current = Access {
-            tid,
-            epoch,
-            pc,
-            is_write,
-        };
-
-        let loc = self.locations.entry(addr.raw()).or_default();
-
-        // Collect conflicts first (borrow discipline), then record.
-        let mut conflicts: Vec<Access> = Vec::new();
-        for w in &loc.writes {
-            if w.tid != tid && clock.get(w.tid) < w.epoch {
-                conflicts.push(*w);
-            }
-        }
-        if is_write {
-            for r in &loc.reads {
-                if r.tid != tid && clock.get(r.tid) < r.epoch {
-                    conflicts.push(*r);
-                }
-            }
-        }
-
-        // Update the frontier: a write supersedes everything ordered before
-        // it; a read supersedes only reads ordered before it.
-        if is_write {
-            loc.writes.retain(|w| clock.get(w.tid) < w.epoch);
-            loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
-            loc.writes.push(current);
-            cap(&mut loc.writes, self.cfg.max_history_per_location);
-        } else {
-            loc.reads.retain(|r| clock.get(r.tid) < r.epoch);
-            loc.reads.push(current);
-            cap(&mut loc.reads, self.cfg.max_history_per_location);
-        }
-
-        for prior in conflicts {
-            let race = DynamicRace {
-                first_pc: prior.pc,
-                second_pc: pc,
-                addr,
-                first_tid: prior.tid,
-                second_tid: tid,
-                first_is_write: prior.is_write,
-                second_is_write: is_write,
-            };
-            let key = race.static_key();
-            let n = self.pair_counts.entry(key).or_insert(0);
-            *n += 1;
-            if (*n as usize) <= self.cfg.max_dynamic_per_pair {
-                self.races.push(race);
+        let i = self.ensure_thread(tid);
+        // The access doesn't modify the clock, so a shared borrow suffices
+        // — no per-access clone (`threads`, `frontier` and `pairs` are
+        // disjoint fields).
+        let HbCore {
+            cfg,
+            threads,
+            frontier,
+            pairs,
+            ..
+        } = self;
+        let clock = &threads[i];
+        let max_pair = cfg.max_dynamic_per_pair as u64;
+        frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
+            let key = if prior.pc <= pc {
+                (prior.pc, pc)
             } else {
-                *self.overflow.entry(key).or_insert(0) += 1;
+                (pc, prior.pc)
+            };
+            let agg = pairs.entry(key).or_insert_with(|| PairAgg {
+                stored: 0,
+                overflow: 0,
+                example_addr: addr,
+                addrs: FastSet::default(),
+            });
+            if agg.stored < max_pair {
+                agg.stored += 1;
+                agg.addrs.insert(addr);
+            } else {
+                agg.overflow += 1;
             }
-        }
+        });
     }
 
     /// Marks a thread as exited: it will make no further accesses, so it no
@@ -221,16 +199,7 @@ impl HbCore {
             .filter(|(i, _)| !self.retired.get(*i).copied().unwrap_or(false))
             .map(|(_, c)| c)
             .collect();
-        let covered = |a: &Access| -> bool {
-            live.iter().all(|c| c.get(a.tid) >= a.epoch)
-        };
-        let before = self.locations.len();
-        self.locations.retain(|_, loc| {
-            loc.reads.retain(|r| !covered(r));
-            loc.writes.retain(|w| !covered(w));
-            !(loc.reads.is_empty() && loc.writes.is_empty())
-        });
-        before - self.locations.len()
+        self.frontier.compact(&live)
     }
 
     /// Consumes the core, producing the race report.
@@ -238,36 +207,46 @@ impl HbCore {
     /// `non_stack_accesses` is the rarity denominator of §5.3.1 — the number
     /// of non-stack memory instructions *executed* in the run (not merely
     /// logged).
+    ///
+    /// The per-pair aggregates already hold every report field, so this is
+    /// a linear emit-and-sort — there is no grouping pass over stored
+    /// dynamic races. A pair with occurrences but nothing stored (possible
+    /// only when `max_dynamic_per_pair` is 0) is omitted entirely.
     pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
-        let mut report = RaceReport::from_dynamic(self.races, non_stack_accesses);
-        // Fold overflowed occurrences back into the per-static counts.
-        for sr in &mut report.static_races {
-            if let Some(extra) = self.overflow.get(&sr.pcs) {
-                sr.count += extra;
-                report.dynamic_races += extra;
-            }
+        let mut dynamic_races = 0;
+        let mut static_races: Vec<StaticRace> = self
+            .pairs
+            .into_iter()
+            .filter(|(_, agg)| agg.stored > 0)
+            .map(|(pcs, agg)| {
+                let count = agg.stored + agg.overflow;
+                dynamic_races += count;
+                StaticRace {
+                    pcs,
+                    count,
+                    example_addr: agg.example_addr,
+                    distinct_addrs: agg.addrs.len() as u64,
+                }
+            })
+            .collect();
+        static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+        RaceReport {
+            static_races,
+            dynamic_races,
+            non_stack_accesses,
         }
-        report.static_races.sort_by(|a, b| {
-            b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs))
-        });
-        report
     }
 
     /// Number of addresses with live frontier state (memory footprint).
     pub fn tracked_locations(&self) -> usize {
-        self.locations.len()
+        self.frontier.tracked_locations()
     }
 }
 
-fn cap(v: &mut Vec<Access>, max: usize) {
-    if v.len() > max {
-        let excess = v.len() - max;
-        v.drain(0..excess);
-    }
-}
-
-/// Records between automatic frontier compactions in [`HbDetector`].
-const COMPACT_INTERVAL: u64 = 1 << 18;
+/// Records between automatic frontier compactions in [`HbDetector`] (and
+/// in each shard of the sharded detector, which counts *all* records —
+/// owned or not — so compaction triggers at the same stream positions).
+pub(crate) const COMPACT_INTERVAL: u64 = 1 << 18;
 
 /// Offline happens-before detector over an event log (§4.4: the paper's
 /// primary mode — write the log to disk, analyze later).

@@ -11,6 +11,8 @@
 //!   full detector;
 //! * [`LocksetDetector`] — an Eraser-style baseline that demonstrates the
 //!   false positives the paper's design avoids;
+//! * [`detect_sharded`] — address-sharded parallel offline detection,
+//!   byte-identical to [`detect`] (see [`sharded`]);
 //! * [`merge`] utilities reconstructing a global order from per-thread logs
 //!   using the §4.2 logical timestamps.
 //!
@@ -38,12 +40,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fast_hash;
 mod fasttrack;
+mod frontier;
 mod hb;
 mod lockset;
 pub mod merge;
 mod online;
 mod report;
+pub mod sharded;
 mod suppress;
 mod vector_clock;
 
@@ -51,6 +56,7 @@ pub use fasttrack::{detect_fasttrack, FastTrackDetector};
 pub use hb::{detect, HbConfig, HbCore, HbDetector};
 pub use lockset::{detect_lockset, LocksetDetector};
 pub use online::OnlineDetector;
+pub use sharded::{detect_sharded, DetectConfig};
 pub use report::{DynamicRace, RaceReport, StaticRace};
 pub use suppress::Suppressions;
 pub use vector_clock::VectorClock;

@@ -1,0 +1,627 @@
+//! Address-sharded parallel offline detection.
+//!
+//! LiteRace logs are asymmetric: synchronization records are a tiny
+//! fraction of the stream (the paper's whole premise — sync is never
+//! sampled away, data accesses are), while memory-access records dominate.
+//! This module exploits that split with a two-phase plan:
+//!
+//! * **Sync timeline (sequential pre-pass)** — synchronization records are
+//!   replayed exactly once, producing a [`Timeline`]: for every thread, the
+//!   sequence of generation-stamped vector-clock snapshots it held over the
+//!   run. Thread clocks are mutated *only* by sync operations, so a new
+//!   snapshot is pushed only when a sync op changes a clock; each
+//!   memory-access record is stamped with the generation its thread held at
+//!   that point and routed by address hash to exactly one shard's event
+//!   stream. The snapshots are immutable once pushed — workers share them
+//!   by reference, which is what eliminates the per-access
+//!   `VectorClock::clone()` of the naive parallelization (each worker
+//!   rebuilding clock state for itself).
+//! * **Access sharding (parallel phase)** — each worker owns the private
+//!   per-address frontier for its addresses and replays only its own
+//!   pre-partitioned stream of accesses, resolving each access's clock by
+//!   generation lookup. Since all accesses to a given address land in one
+//!   shard with the very clock values the sequential pass would see, that
+//!   shard's frontier for the address is bit-for-bit the sequential
+//!   frontier, and every dynamic race is detected in exactly one shard.
+//!   Compaction points (with the live-clock set at each) are precomputed in
+//!   the pre-pass and broadcast into every stream, so frontier reclamation
+//!   — which interacts with the history cap — also happens at identical
+//!   stream positions with identical clock bounds.
+//!
+//! **Byte-identical merge.** Workers record every conflict uncapped, tagged
+//! with the global record index at which it manifested. The merge sorts
+//! each static pair's occurrences by that tag — recovering the sequential
+//! per-pair detection order — then re-applies the sequential cap/overflow
+//! accounting (stored occurrences are the first `max_dynamic_per_pair`,
+//! the example address is the first stored one, distinct addresses count
+//! stored occurrences only). The result is equal to the sequential
+//! [`detect`](crate::detect) output on every input, which also means the
+//! no-false-positive invariant carries over unchanged (property-tested in
+//! `tests/sharded_equivalence.rs`).
+
+use literace_log::{EventLog, Record};
+use literace_sim::{Addr, FuncId, Pc, SyncOpKind, SyncVar, ThreadId};
+
+use crate::fast_hash::{FastMap, FastSet};
+use crate::frontier::Frontier;
+use crate::hb::{HbConfig, HbDetector, COMPACT_INTERVAL};
+use crate::report::{RaceReport, StaticRace};
+use crate::vector_clock::VectorClock;
+
+/// Configuration for offline detection, sequential or sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectConfig {
+    /// Worker threads. `0` and `1` both mean the sequential detector;
+    /// `N ≥ 2` shards accesses across N workers.
+    pub threads: usize,
+    /// Happens-before core tuning, applied identically to every shard.
+    pub hb: HbConfig,
+}
+
+impl Default for DetectConfig {
+    fn default() -> DetectConfig {
+        DetectConfig {
+            threads: 1,
+            hb: HbConfig::default(),
+        }
+    }
+}
+
+impl DetectConfig {
+    /// A config running `threads` workers with default core tuning.
+    pub fn with_threads(threads: usize) -> DetectConfig {
+        DetectConfig {
+            threads,
+            ..DetectConfig::default()
+        }
+    }
+}
+
+/// Routes an address to its owning shard. Multiplicative hash so that
+/// structured address spaces (consecutive globals, page-aligned heap)
+/// spread evenly rather than striping.
+#[inline]
+fn shard_of(addr: Addr, shards: usize) -> usize {
+    let h = addr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    // Multiply-shift range reduction (maps the 32-bit hash uniformly onto
+    // `0..shards`): runs once per memory record, and a hardware divide
+    // there is measurable, so avoid `%`.
+    ((h * shards as u64) >> 32) as usize
+}
+
+/// The copy-on-write clock history produced by the sync pre-pass: every
+/// clock value any thread ever held, immutable and shared read-only by all
+/// workers. A `(thread, generation)` pair names one snapshot.
+#[derive(Debug, Default)]
+struct Timeline {
+    /// `versions[t][g]` = thread `t`'s clock at generation `g`. Generation
+    /// 0 is the initial `{t: 1}` clock; a new generation is pushed each
+    /// time a sync operation changes the clock.
+    versions: Vec<Vec<VectorClock>>,
+    /// For each compaction point, the live-clock set at that moment as
+    /// `(thread index, generation)` pairs — threads materialized by then
+    /// and not yet retired, exactly the sequential compaction bound.
+    compact_live: Vec<Vec<(usize, u32)>>,
+}
+
+/// One entry in a shard's pre-partitioned event stream. Self-contained
+/// (32 bytes) so workers stream their own partition sequentially instead
+/// of chasing record indices back into the shared log — the access fields
+/// are copied out once, in the pre-pass, which reads the log linearly
+/// anyway.
+#[derive(Debug, Clone, Copy)]
+struct ShardEvent {
+    /// Global record index of an owned access, or [`COMPACT`].
+    pos: u32,
+    /// For an access: the accessing thread's clock generation at that
+    /// point. For a compaction: the index into [`Timeline::compact_live`].
+    generation: u32,
+    tid: ThreadId,
+    is_write: bool,
+    pc: Pc,
+    addr: Addr,
+}
+
+/// Sentinel `pos` marking a frontier-compaction event. Broadcast to every
+/// shard so reclamation happens at the same stream positions as in the
+/// sequential detector. Logs long enough to collide with the sentinel
+/// fall back to sequential detection (see [`detect_sharded`]).
+const COMPACT: u32 = u32::MAX;
+
+/// Clock state during the pre-pass: per thread, the frozen generations so
+/// far plus a mutable working clock. The working clock is generation
+/// `frozen.len()`; it is cloned into `frozen` **only** when it has been
+/// referenced (stamped onto an access, or pinned by a compaction snapshot)
+/// and is about to be mutated — true copy-on-write, so sync bursts with no
+/// intervening accesses by the same thread cost zero clones.
+#[derive(Debug, Default)]
+struct ClockState {
+    frozen: Vec<Vec<VectorClock>>,
+    current: Vec<VectorClock>,
+    /// Whether `current[t]`'s value has been referenced at its generation.
+    referenced: Vec<bool>,
+}
+
+impl ClockState {
+    /// Materializes `tid`'s clock (and those of all lower thread ids), as
+    /// `HbCore::ensure_thread` does, and returns its index.
+    fn ensure_thread(&mut self, tid: ThreadId) -> usize {
+        let i = tid.index();
+        while self.current.len() <= i {
+            let mut c = VectorClock::new();
+            c.set(ThreadId::from_index(self.current.len()), 1);
+            self.current.push(c);
+            self.frozen.push(Vec::new());
+            self.referenced.push(false);
+        }
+        i
+    }
+
+    /// Snapshots thread `i`'s working clock if its current generation has
+    /// been referenced. Must run before any mutation of `current[i]`.
+    fn freeze_if_referenced(&mut self, i: usize) {
+        if self.referenced[i] {
+            self.frozen[i].push(self.current[i].clone());
+            self.referenced[i] = false;
+        }
+    }
+
+    /// The generation naming `current[i]`'s present value.
+    fn generation(&self, i: usize) -> u32 {
+        self.frozen[i].len() as u32
+    }
+}
+
+/// Sequential pre-pass: replay sync records once, building the clock
+/// timeline and each shard's event stream. Mirrors [`HbCore`]'s clock
+/// algebra (including thread materialization order) and
+/// [`HbDetector`]'s compaction cadence exactly.
+///
+/// [`HbCore`]: crate::HbCore
+fn build_plan(records: &[Record], shards: usize) -> (Timeline, Vec<Vec<ShardEvent>>) {
+    let mut clocks = ClockState::default();
+    let mut compact_live: Vec<Vec<(usize, u32)>> = Vec::new();
+    let mut streams: Vec<Vec<ShardEvent>> = (0..shards)
+        .map(|_| Vec::with_capacity(records.len() / shards + 16))
+        .collect();
+    let mut syncvars: FastMap<SyncVar, VectorClock> = FastMap::default();
+    let mut retired: Vec<bool> = Vec::new();
+    let mut since_compact = 0u64;
+
+    fn emit_compact(
+        clocks: &mut ClockState,
+        compact_live: &mut Vec<Vec<(usize, u32)>>,
+        streams: &mut [Vec<ShardEvent>],
+        retired: &[bool],
+    ) {
+        let snapshot: Vec<(usize, u32)> = (0..clocks.current.len())
+            .filter(|i| !retired.get(*i).copied().unwrap_or(false))
+            .map(|i| {
+                // The snapshot pins the working clock's present value, so
+                // a later mutation must freeze it first.
+                clocks.referenced[i] = true;
+                (i, clocks.generation(i))
+            })
+            .collect();
+        let idx = compact_live.len() as u32;
+        compact_live.push(snapshot);
+        for stream in streams.iter_mut() {
+            stream.push(ShardEvent {
+                pos: COMPACT,
+                generation: idx,
+                tid: ThreadId::from_index(0),
+                is_write: false,
+                pc: Pc::new(FuncId::from_index(0), 0),
+                addr: Addr(0),
+            });
+        }
+    }
+
+    for (pos, record) in records.iter().enumerate() {
+        match *record {
+            Record::Sync { tid, kind, var, .. } => {
+                if kind == SyncOpKind::Fork {
+                    // The child's (empty) clock must pin the compaction
+                    // bound from the fork on, as in `HbCore::sync`.
+                    clocks.ensure_thread(ThreadId::from_index(var.0 as usize));
+                }
+                let i = clocks.ensure_thread(tid);
+                let joins = kind.is_acquire() && syncvars.contains_key(&var);
+                if joins || kind.is_release() {
+                    clocks.freeze_if_referenced(i);
+                }
+                if joins {
+                    clocks.current[i].join(&syncvars[&var]);
+                }
+                if kind.is_release() {
+                    syncvars.entry(var).or_default().join(&clocks.current[i]);
+                    clocks.current[i].increment(tid);
+                }
+            }
+            Record::Mem {
+                tid,
+                pc,
+                addr,
+                is_write,
+                ..
+            } => {
+                let i = clocks.ensure_thread(tid);
+                clocks.referenced[i] = true;
+                streams[shard_of(addr, shards)].push(ShardEvent {
+                    pos: pos as u32,
+                    generation: clocks.generation(i),
+                    tid,
+                    is_write,
+                    pc,
+                    addr,
+                });
+            }
+            Record::ThreadBegin { .. } => {}
+            Record::ThreadEnd { tid } => {
+                let i = tid.index();
+                if i >= retired.len() {
+                    retired.resize(i + 1, false);
+                }
+                retired[i] = true;
+                since_compact = 0;
+                emit_compact(&mut clocks, &mut compact_live, &mut streams, &retired);
+            }
+        }
+        since_compact += 1;
+        if since_compact >= COMPACT_INTERVAL {
+            since_compact = 0;
+            emit_compact(&mut clocks, &mut compact_live, &mut streams, &retired);
+        }
+    }
+
+    // Seal the timeline: every thread's working clock becomes its final
+    // frozen generation, so every stamped generation resolves.
+    let versions = clocks
+        .frozen
+        .into_iter()
+        .zip(clocks.current)
+        .map(|(mut f, c)| {
+            f.push(c);
+            f
+        })
+        .collect();
+    (
+        Timeline {
+            versions,
+            compact_live,
+        },
+        streams,
+    )
+}
+
+/// Per-static-pair conflict occurrences found by one shard, each tagged
+/// with the global record index and the racing address. Within one pair
+/// the vector is position-sorted by construction (the shard replays its
+/// stream in order).
+type ShardPairs = FastMap<(Pc, Pc), Vec<(u64, Addr)>>;
+
+/// One worker: replays its own pre-partitioned access stream against the
+/// shared clock timeline. Pure frontier work — no sync replay, no clock
+/// mutation, no cloning.
+fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> ShardPairs {
+    let mut frontier = Frontier::new(max_history);
+    let mut pairs = ShardPairs::default();
+    let mut live: Vec<&VectorClock> = Vec::new();
+    for ev in events {
+        if ev.pos == COMPACT {
+            live.clear();
+            live.extend(
+                timeline.compact_live[ev.generation as usize]
+                    .iter()
+                    .map(|&(t, g)| &timeline.versions[t][g as usize]),
+            );
+            frontier.compact(&live);
+            continue;
+        }
+        let ShardEvent {
+            pos,
+            generation,
+            tid,
+            is_write,
+            pc,
+            addr,
+        } = *ev;
+        let clock = &timeline.versions[tid.index()][generation as usize];
+        frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
+            let key = if prior.pc <= pc {
+                (prior.pc, pc)
+            } else {
+                (pc, prior.pc)
+            };
+            pairs.entry(key).or_default().push((u64::from(pos), addr));
+        });
+    }
+    pairs
+}
+
+/// Runs every shard stream, spreading the shards over `workers` scoped OS
+/// threads (the calling thread works the first chunk itself). Shards are
+/// fully independent, so any worker/shard assignment produces the same
+/// per-shard outputs; results are returned in shard order regardless.
+fn run_shards(
+    streams: &[Vec<ShardEvent>],
+    timeline: &Timeline,
+    max_history: usize,
+    workers: usize,
+) -> Vec<ShardPairs> {
+    let each = |events: &Vec<ShardEvent>| run_shard(events, timeline, max_history);
+    if workers <= 1 {
+        return streams.iter().map(each).collect();
+    }
+    let chunk = streams.len().div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .chunks(chunk)
+            .skip(1)
+            .map(|group| s.spawn(move |_| group.iter().map(each).collect::<Vec<ShardPairs>>()))
+            .collect();
+        let mut all: Vec<ShardPairs> = streams
+            .chunks(chunk)
+            .next()
+            .unwrap_or(&[])
+            .iter()
+            .map(each)
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("shard worker panicked"));
+        }
+        all
+    })
+    .expect("detection scope panicked")
+}
+
+/// Detects races with the configured number of worker threads, producing
+/// a report byte-identical to the sequential [`detect`](crate::detect).
+///
+/// # Examples
+///
+/// ```
+/// use literace_detector::{detect, detect_sharded, DetectConfig};
+/// use literace_log::EventLog;
+///
+/// let log = EventLog::new();
+/// let seq = detect(&log, 0);
+/// let par = detect_sharded(&log, 0, &DetectConfig::with_threads(4));
+/// assert_eq!(seq, par);
+/// ```
+pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfig) -> RaceReport {
+    let shards = cfg.threads.max(1);
+    // Stream entries pack record indices into u32; logs anywhere near that
+    // bound don't fit in memory here anyway, but stay correct regardless.
+    if shards == 1 || log.len() >= COMPACT as usize {
+        let mut d = HbDetector::with_config(cfg.hb);
+        d.process_log(log);
+        return d.finish(non_stack_accesses);
+    }
+
+    let (timeline, streams) = build_plan(log.records(), shards);
+    // Shard count is a logical partition; OS threads are capped by the
+    // hardware so narrow machines don't pay scheduling overhead for
+    // parallelism they can't realize.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(shards);
+    let shard_pairs = run_shards(&streams, &timeline, cfg.hb.max_history_per_location, workers);
+
+    // Merge: occurrences of one pair may come from several shards
+    // (different addresses); re-interleave each pair by global position,
+    // then apply the sequential cap/overflow accounting. A pair with
+    // nothing stored (cap 0) is omitted, matching `HbCore::finish`.
+    let mut by_pair = ShardPairs::default();
+    for shard in shard_pairs {
+        for (key, mut races) in shard {
+            match by_pair.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(races);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().append(&mut races);
+                }
+            }
+        }
+    }
+    let cap = cfg.hb.max_dynamic_per_pair;
+    let mut dynamic_races = 0;
+    let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
+    for (pcs, mut races) in by_pair {
+        races.sort_unstable_by_key(|&(pos, _)| pos);
+        let stored = races.len().min(cap);
+        if stored == 0 {
+            continue;
+        }
+        let count = races.len() as u64;
+        dynamic_races += count;
+        let addrs: FastSet<Addr> = races[..stored].iter().map(|&(_, a)| a).collect();
+        static_races.push(StaticRace {
+            pcs,
+            count,
+            example_addr: races[0].1,
+            distinct_addrs: addrs.len() as u64,
+        });
+    }
+    static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+    RaceReport {
+        static_races,
+        dynamic_races,
+        non_stack_accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect;
+    use literace_log::SamplerMask;
+    use literace_sim::{FuncId, SyncOpKind, SyncVar, ThreadId};
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+    fn pc(i: usize) -> Pc {
+        Pc::new(FuncId::from_index(0), i)
+    }
+
+    fn mem(tid: ThreadId, pcv: usize, addr: u64, w: bool) -> Record {
+        Record::Mem {
+            tid,
+            pc: pc(pcv),
+            addr: Addr::global(addr),
+            is_write: w,
+            mask: SamplerMask::FULL,
+        }
+    }
+
+    fn sync(tid: ThreadId, kind: SyncOpKind, var: u64, ts: u64) -> Record {
+        Record::Sync {
+            tid,
+            pc: pc(99),
+            kind,
+            var: SyncVar(var),
+            timestamp: ts,
+        }
+    }
+
+    /// A log exercising races on many addresses plus lock edges, so races
+    /// land in several shards and some pairs are HB-ordered.
+    fn mixed_log() -> EventLog {
+        let mut records = Vec::new();
+        for round in 0..50u64 {
+            for addr in 0..16u64 {
+                records.push(mem(t(0), 1 + addr as usize, addr, true));
+                records.push(mem(t(1), 100 + addr as usize, addr, round % 3 == 0));
+            }
+            records.push(sync(t(0), SyncOpKind::LockRelease, 7, 2 * round + 1));
+            records.push(sync(t(1), SyncOpKind::LockAcquire, 7, 2 * round + 2));
+        }
+        records.into_iter().collect()
+    }
+
+    #[test]
+    fn empty_log_matches_sequential() {
+        let log = EventLog::new();
+        for threads in [2, 4, 8] {
+            let cfg = DetectConfig::with_threads(threads);
+            assert_eq!(detect_sharded(&log, 0, &cfg), detect(&log, 0));
+        }
+    }
+
+    #[test]
+    fn single_thread_config_is_sequential() {
+        let log = mixed_log();
+        let cfg = DetectConfig::with_threads(1);
+        assert_eq!(detect_sharded(&log, 10, &cfg), detect(&log, 10));
+    }
+
+    #[test]
+    fn mixed_log_is_byte_identical_across_thread_counts() {
+        let log = mixed_log();
+        let seq = detect(&log, 1000);
+        assert!(seq.static_count() > 0, "log should race");
+        for threads in [2, 3, 4, 8] {
+            let cfg = DetectConfig::with_threads(threads);
+            assert_eq!(detect_sharded(&log, 1000, &cfg), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cap_and_overflow_match_sequential() {
+        let log = mixed_log();
+        let hb = HbConfig {
+            max_dynamic_per_pair: 3,
+            ..HbConfig::default()
+        };
+        let seq = {
+            let mut d = HbDetector::with_config(hb);
+            d.process_log(&log);
+            d.finish(1000)
+        };
+        let cfg = DetectConfig { threads: 4, hb };
+        assert_eq!(detect_sharded(&log, 1000, &cfg), seq);
+    }
+
+    #[test]
+    fn zero_cap_omits_every_pair_like_sequential() {
+        let log = mixed_log();
+        let hb = HbConfig {
+            max_dynamic_per_pair: 0,
+            ..HbConfig::default()
+        };
+        let seq = {
+            let mut d = HbDetector::with_config(hb);
+            d.process_log(&log);
+            d.finish(1000)
+        };
+        assert_eq!(seq.static_count(), 0);
+        let cfg = DetectConfig { threads: 4, hb };
+        assert_eq!(detect_sharded(&log, 1000, &cfg), seq);
+    }
+
+    #[test]
+    fn timeline_freezes_lazily_on_reference() {
+        // t0: release, access, release, access. The first release mutates
+        // an unreferenced clock (no snapshot); the second must freeze the
+        // accessed generation before mutating. Two generations total — not
+        // one per sync op.
+        let records: Vec<Record> = vec![
+            sync(t(0), SyncOpKind::LockRelease, 7, 1),
+            mem(t(0), 1, 0, true),
+            sync(t(0), SyncOpKind::LockRelease, 7, 2),
+            mem(t(0), 2, 0, true),
+        ];
+        let (timeline, streams) = build_plan(&records, 1);
+        assert_eq!(timeline.versions[0].len(), 2);
+        let gens: Vec<u32> = streams[0]
+            .iter()
+            .filter(|ev| ev.pos != COMPACT)
+            .map(|ev| ev.generation)
+            .collect();
+        assert_eq!(gens, vec![0, 1]);
+        assert!(timeline.versions[0][0].get(t(0)) < timeline.versions[0][1].get(t(0)));
+    }
+
+    #[test]
+    fn sync_bursts_without_accesses_cost_no_snapshots() {
+        // 100 release operations with a single access at the end: only the
+        // sealed working clock exists — zero copy-on-write freezes.
+        let mut records: Vec<Record> = (0..100)
+            .map(|ts| sync(t(0), SyncOpKind::LockRelease, 7, ts + 1))
+            .collect();
+        records.push(mem(t(0), 1, 0, true));
+        let (timeline, _) = build_plan(&records, 2);
+        assert_eq!(timeline.versions[0].len(), 1);
+        assert_eq!(timeline.versions[0][0].get(t(0)), 101);
+    }
+
+    #[test]
+    fn worker_pool_matches_single_threaded_shard_runs() {
+        // Force the scoped-thread pool (narrow CI hosts would otherwise
+        // cap workers at 1): per-shard outputs must not depend on how
+        // shards are spread over OS threads.
+        let log = mixed_log();
+        let (timeline, streams) = build_plan(log.records(), 4);
+        let base = run_shards(&streams, &timeline, 128, 1);
+        for workers in [2, 3, 4, 8] {
+            let pooled = run_shards(&streams, &timeline, 128, workers);
+            assert_eq!(pooled.len(), base.len());
+            for (a, b) in pooled.iter().zip(&base) {
+                assert_eq!(a.len(), b.len(), "workers={workers}");
+                for (key, races) in a {
+                    assert_eq!(races, &b[key], "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_covers_all_shards() {
+        let hits: std::collections::HashSet<usize> =
+            (0..1000u64).map(|a| shard_of(Addr::global(a), 4)).collect();
+        assert_eq!(hits.len(), 4);
+    }
+}

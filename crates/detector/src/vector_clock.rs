@@ -43,18 +43,29 @@ impl VectorClock {
 
     /// Increments the component for `tid` and returns the new value.
     pub fn increment(&mut self, tid: ThreadId) -> u64 {
-        let cur = self.get(tid);
-        self.set(tid, cur + 1);
-        cur + 1
+        let i = tid.index();
+        if i >= self.components.len() {
+            self.components.resize(i + 1, 0);
+        }
+        let slot = &mut self.components[i];
+        *slot += 1;
+        *slot
     }
 
     /// Pointwise maximum: afterwards `self` knows everything `other` knew.
     pub fn join(&mut self, other: &VectorClock) {
-        if other.components.len() > self.components.len() {
-            self.components.resize(other.components.len(), 0);
-        }
-        for (s, &o) in self.components.iter_mut().zip(&other.components) {
+        let overlap = self.components.len().min(other.components.len());
+        for (s, &o) in self.components[..overlap]
+            .iter_mut()
+            .zip(&other.components[..overlap])
+        {
             *s = (*s).max(o);
+        }
+        // Joining into the larger clock (the common case on the detector
+        // hot path) ends here; otherwise adopt other's tail outright — the
+        // max against our implicit zeros is just a copy.
+        if other.components.len() > overlap {
+            self.components.extend_from_slice(&other.components[overlap..]);
         }
     }
 
@@ -135,6 +146,20 @@ mod tests {
         let mut a = vc(&[1, 5, 0]);
         a.join(&vc(&[3, 2, 0, 7]));
         assert_eq!(a, vc(&[3, 5, 0, 7]));
+    }
+
+    #[test]
+    fn join_into_larger_keeps_tail() {
+        let mut a = vc(&[1, 5, 2, 9]);
+        a.join(&vc(&[3, 2]));
+        assert_eq!(a, vc(&[3, 5, 2, 9]));
+    }
+
+    #[test]
+    fn join_from_empty_copies() {
+        let mut a = VectorClock::new();
+        a.join(&vc(&[4, 0, 7]));
+        assert_eq!(a, vc(&[4, 0, 7]));
     }
 
     #[test]

@@ -118,13 +118,25 @@ pub fn encoded_len(record: &Record) -> usize {
     }
 }
 
+/// The encoded size (including the tag byte) of a record starting with the
+/// given tag, or `None` for an unknown tag. Lets chunked readers know how
+/// many bytes to buffer before decoding.
+pub fn tag_len(tag: u8) -> Option<usize> {
+    match tag {
+        TAG_SYNC => Some(SYNC_RECORD_BYTES),
+        TAG_MEM => Some(MEM_RECORD_BYTES),
+        TAG_THREAD_BEGIN | TAG_THREAD_END => Some(MARKER_RECORD_BYTES),
+        _ => None,
+    }
+}
+
 /// Decodes one record from the front of `buf`, consuming its bytes.
 ///
 /// # Errors
 ///
 /// Returns [`LogError::Corrupt`] on an unknown tag, a truncated record, or
 /// an invalid field value.
-pub fn decode(buf: &mut Bytes) -> LogResult<Record> {
+pub fn decode<B: Buf>(buf: &mut B) -> LogResult<Record> {
     if buf.remaining() < 1 {
         return Err(LogError::corrupt("empty buffer"));
     }

@@ -8,9 +8,13 @@ use std::io::{Read, Write};
 
 use bytes::{Bytes, BytesMut};
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode, tag_len};
 use crate::error::{LogError, LogResult};
 use crate::record::{EventLog, Record};
+
+/// Default chunk size for [`LogReader::read_chunked`] and
+/// [`LogReader::records`].
+pub const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
 
 /// Writes records to an underlying byte sink.
 ///
@@ -92,19 +96,136 @@ impl<R: Read> LogReader<R> {
 
     /// Reads the entire source into an [`EventLog`].
     ///
+    /// Decodes in fixed-size chunks (see [`read_chunked`]); peak memory is
+    /// the decoded log plus one chunk, never the whole encoded stream.
+    ///
     /// # Errors
     ///
     /// Returns [`LogError::Io`] on read failure or [`LogError::Corrupt`] on
     /// malformed bytes.
-    pub fn read_all(mut self) -> LogResult<EventLog> {
-        let mut raw = Vec::new();
-        self.source.read_to_end(&mut raw).map_err(LogError::Io)?;
-        let mut bytes = Bytes::from(raw);
+    ///
+    /// [`read_chunked`]: LogReader::read_chunked
+    pub fn read_all(self) -> LogResult<EventLog> {
+        self.read_chunked(DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Reads the source into an [`EventLog`] using `chunk_bytes`-sized reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] on read failure or [`LogError::Corrupt`] on
+    /// malformed bytes.
+    pub fn read_chunked(self, chunk_bytes: usize) -> LogResult<EventLog> {
         let mut log = EventLog::new();
-        while !bytes.is_empty() {
-            log.push(decode(&mut bytes)?);
+        for record in self.records(chunk_bytes) {
+            log.push(record?);
         }
         Ok(log)
+    }
+
+    /// Returns a streaming record iterator over the source.
+    ///
+    /// Records are decoded out of a reusable `chunk_bytes`-sized buffer;
+    /// a record spanning a chunk boundary is carried over to the next fill.
+    pub fn records(self, chunk_bytes: usize) -> ChunkedRecords<R> {
+        ChunkedRecords {
+            source: self.source,
+            buf: Vec::with_capacity(chunk_bytes.max(1)),
+            pos: 0,
+            chunk_bytes: chunk_bytes.max(1),
+            eof: false,
+            done: false,
+        }
+    }
+}
+
+/// Streaming record iterator produced by [`LogReader::records`].
+///
+/// Yields `LogResult<Record>`; iteration fuses after the first error.
+#[derive(Debug)]
+pub struct ChunkedRecords<R> {
+    source: R,
+    /// Undecoded bytes: `buf[pos..]` is pending input, `buf[..pos]` is
+    /// already consumed and reclaimed on the next refill.
+    buf: Vec<u8>,
+    pos: usize,
+    chunk_bytes: usize,
+    eof: bool,
+    done: bool,
+}
+
+impl<R: Read> ChunkedRecords<R> {
+    /// Pulls one more chunk from the source, compacting consumed bytes
+    /// first so a partial record at the tail survives the refill.
+    fn refill(&mut self) -> LogResult<()> {
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        let old = self.buf.len();
+        self.buf.resize(old + self.chunk_bytes, 0);
+        let mut filled = old;
+        while filled < self.buf.len() {
+            match self.source.read(&mut self.buf[filled..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.buf.truncate(filled);
+                    return Err(LogError::Io(e));
+                }
+            }
+        }
+        self.buf.truncate(filled);
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for ChunkedRecords<R> {
+    type Item = LogResult<Record>;
+
+    fn next(&mut self) -> Option<LogResult<Record>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let avail = self.buf.len() - self.pos;
+            // How many buffered bytes the next record needs: at least the
+            // tag, then the tag's fixed record length. Unknown tags fall
+            // through to decode, which reports them as corrupt.
+            let need = match self.buf.get(self.pos).copied().map(tag_len) {
+                None => 1,
+                Some(Some(len)) => len,
+                Some(None) => {
+                    self.done = true;
+                    let mut slice = &self.buf[self.pos..];
+                    return Some(decode(&mut slice));
+                }
+            };
+            if avail < need {
+                if self.eof {
+                    self.done = true;
+                    if avail == 0 {
+                        return None;
+                    }
+                    let mut slice = &self.buf[self.pos..];
+                    return Some(decode(&mut slice));
+                }
+                if let Err(e) = self.refill() {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                continue;
+            }
+            let mut slice = &self.buf[self.pos..self.pos + need];
+            let record = decode(&mut slice);
+            self.pos += need;
+            if record.is_err() {
+                self.done = true;
+            }
+            return Some(record);
+        }
     }
 }
 
@@ -168,5 +289,73 @@ mod tests {
         let bytes = log_to_bytes(&log);
         let back = log_from_bytes(bytes).unwrap();
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn chunked_read_splits_records_across_chunk_boundaries() {
+        let records = some_records(1_000);
+        let mut w = LogWriter::new(Vec::new());
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        // Chunk sizes that never align with the 26-byte Mem record force a
+        // carried-over partial record on almost every refill.
+        for chunk in [1, 7, 25, 26, 27, 1024] {
+            let log = LogReader::new(&bytes[..]).read_chunked(chunk).unwrap();
+            assert_eq!(log.records(), &records[..], "chunk={chunk}");
+        }
+    }
+
+    /// A reader that returns at most one byte per `read` call, exercising
+    /// short reads inside a single refill.
+    struct TrickleReader<'a>(&'a [u8]);
+    impl std::io::Read for TrickleReader<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn chunked_read_tolerates_short_reads() {
+        let records = some_records(50);
+        let bytes = log_to_bytes(&records.iter().cloned().collect::<EventLog>());
+        let log = LogReader::new(TrickleReader(&bytes))
+            .read_chunked(64)
+            .unwrap();
+        assert_eq!(log.records(), &records[..]);
+    }
+
+    #[test]
+    fn chunked_iterator_reports_truncation_and_fuses() {
+        let records = some_records(4);
+        let bytes = log_to_bytes(&records.iter().cloned().collect::<EventLog>());
+        let cut = &bytes[..bytes.len() - 3];
+        let mut it = LogReader::new(cut).records(16);
+        for expected in &records[..3] {
+            assert_eq!(&it.next().unwrap().unwrap(), expected);
+        }
+        let err = it.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert!(it.next().is_none(), "iterator must fuse after an error");
+    }
+
+    #[test]
+    fn chunked_iterator_reports_unknown_tag() {
+        let mut bytes = log_to_bytes(&some_records(2).into_iter().collect::<EventLog>())
+            .as_slice()
+            .to_vec();
+        bytes.push(0xFF);
+        let errs: Vec<_> = LogReader::new(&bytes[..])
+            .records(8)
+            .filter_map(Result::err)
+            .collect();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("unknown record tag"), "{}", errs[0]);
     }
 }

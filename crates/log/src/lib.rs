@@ -36,11 +36,13 @@ mod record;
 mod stats;
 
 pub use codec::{
-    decode, decode_all, encode, encode_all, encoded_len, MARKER_RECORD_BYTES, MEM_RECORD_BYTES,
-    SYNC_RECORD_BYTES,
+    decode, decode_all, encode, encode_all, encoded_len, tag_len, MARKER_RECORD_BYTES,
+    MEM_RECORD_BYTES, SYNC_RECORD_BYTES,
 };
 pub use dir::{read_thread_logs, write_thread_logs};
 pub use error::{LogError, LogResult};
-pub use io::{log_from_bytes, log_to_bytes, LogReader, LogWriter};
+pub use io::{
+    log_from_bytes, log_to_bytes, ChunkedRecords, LogReader, LogWriter, DEFAULT_CHUNK_BYTES,
+};
 pub use record::{EventLog, Record, SamplerMask};
 pub use stats::LogStats;

@@ -79,7 +79,7 @@ fn large_race_free_program_is_clean() {
     let cfg = SyntheticConfig {
         threads: 8,
         globals: 12,
-        iterations: 120,
+        iterations: 220,
         actions_per_iteration: 10,
         seed: 0xC1EA4,
     };
@@ -96,37 +96,50 @@ fn large_race_free_program_is_clean() {
 /// synchronization.
 #[test]
 fn dropping_sync_records_creates_false_positives() {
-    let cfg = SyntheticConfig {
-        threads: 4,
-        globals: 3,
-        iterations: 60,
-        actions_per_iteration: 6,
-        seed: 7,
-    };
-    let program = race_free(cfg);
-    let out = run_literace(&program, SamplerKind::Always, &RunConfig::seeded(7)).unwrap();
-    assert_eq!(out.report.static_count(), 0, "sanity: clean with full sync");
+    // A single unlucky seed can produce a schedule whose remaining
+    // spawn/join and atomic edges happen to order every conflicting pair,
+    // so check a handful of seeds: the clean run must be clean for every
+    // one of them, and stripping locks must manufacture false races in at
+    // least half.
+    const SEEDS: u64 = 6;
+    let mut manufactured = 0usize;
+    for seed in 0..SEEDS {
+        let cfg = SyntheticConfig {
+            threads: 4,
+            globals: 3,
+            iterations: 60,
+            actions_per_iteration: 6,
+            seed,
+        };
+        let program = race_free(cfg);
+        let out = run_literace(&program, SamplerKind::Always, &RunConfig::seeded(seed)).unwrap();
+        assert_eq!(out.report.static_count(), 0, "sanity: clean with full sync");
 
-    // Strip lock acquire/release records, as a sync-sampling tool would.
-    let crippled: EventLog = out
-        .instrumented
-        .log
-        .iter()
-        .filter(|r| {
-            !matches!(
-                r,
-                Record::Sync {
-                    kind: literace::sim::SyncOpKind::LockAcquire
-                        | literace::sim::SyncOpKind::LockRelease,
-                    ..
-                }
-            )
-        })
-        .copied()
-        .collect();
-    let report = detect(&crippled, out.summary.non_stack_accesses);
+        // Strip lock acquire/release records, as a sync-sampling tool would.
+        let crippled: EventLog = out
+            .instrumented
+            .log
+            .iter()
+            .filter(|r| {
+                !matches!(
+                    r,
+                    Record::Sync {
+                        kind: literace::sim::SyncOpKind::LockAcquire
+                            | literace::sim::SyncOpKind::LockRelease,
+                        ..
+                    }
+                )
+            })
+            .copied()
+            .collect();
+        let report = detect(&crippled, out.summary.non_stack_accesses);
+        if report.static_count() > 0 {
+            manufactured += 1;
+        }
+    }
     assert!(
-        report.static_count() > 0,
-        "dropping sync records should manufacture false races (Figure 2)"
+        manufactured >= SEEDS as usize / 2,
+        "dropping sync records should manufacture false races (Figure 2); \
+         only {manufactured} of {SEEDS} seeds did"
     );
 }

@@ -1,0 +1,118 @@
+//! Sharded-detector equivalence: `detect_sharded` must be *byte-identical*
+//! to the sequential detector — same static races in the same order, same
+//! dynamic counts, same overflow accounting — for every thread count, on
+//! racy and race-free programs alike, and on every benchmark workload.
+//!
+//! This is the contract that makes `--threads N` safe to default on: the
+//! merge step re-applies the sequential per-pair cap in global record
+//! order, so no schedule of shard completion can change the report.
+
+use literace::detector::{detect, detect_sharded, DetectConfig, RaceReport};
+use literace::instrument::{InstrumentConfig, Instrumenter};
+use literace::log::EventLog;
+use literace::prelude::*;
+use literace::sim::{lower, ChunkedRandomScheduler, Machine, MachineConfig, Program};
+use literace::workloads::synthetic::{race_free, racy, SyntheticConfig};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Runs `program` once under full logging and returns the event log plus
+/// the non-stack access count the detector needs for rarity splits.
+fn full_log(program: &Program, seed: u64) -> (EventLog, u64) {
+    let compiled = lower(program);
+    let mut inst = Instrumenter::new(
+        SamplerKind::Always.build(seed),
+        InstrumentConfig::default(),
+    );
+    let summary = Machine::new(&compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(seed, 48), &mut inst)
+        .expect("program runs");
+    (inst.finish().log, summary.non_stack_accesses)
+}
+
+/// Asserts sequential and sharded detection agree exactly, including the
+/// rendered form (catches ordering differences `PartialEq` would too, but
+/// the string diff is far more readable on failure).
+fn assert_byte_identical(log: &EventLog, non_stack: u64, context: &str) {
+    let sequential = detect(log, non_stack);
+    for threads in THREAD_COUNTS {
+        let sharded = detect_sharded(log, non_stack, &DetectConfig::with_threads(threads));
+        assert_eq!(
+            sequential, sharded,
+            "{context}: sharded({threads}) diverged from sequential"
+        );
+        assert_eq!(
+            format!("{sequential:?}"),
+            format!("{sharded:?}"),
+            "{context}: sharded({threads}) renders differently"
+        );
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (2u32..6, 2u32..6, 5u32..20, 3u32..8, any::<u64>()).prop_map(
+        |(threads, globals, iterations, actions, seed)| SyntheticConfig {
+            threads,
+            globals,
+            iterations,
+            actions_per_iteration: actions,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random racy programs: sharded == sequential for 2, 4 and 8 workers.
+    #[test]
+    fn sharded_matches_sequential_on_racy_programs(cfg in arb_config()) {
+        let (program, _) = racy(cfg);
+        let (log, non_stack) = full_log(&program, cfg.seed);
+        assert_byte_identical(&log, non_stack, &format!("racy {cfg:?}"));
+    }
+
+    /// Random race-free programs: all variants agree the log is clean.
+    #[test]
+    fn sharded_matches_sequential_on_race_free_programs(cfg in arb_config()) {
+        let program = race_free(cfg);
+        let (log, non_stack) = full_log(&program, cfg.seed);
+        let sequential = detect(&log, non_stack);
+        prop_assert_eq!(sequential.static_count(), 0, "race_free must be clean");
+        assert_byte_identical(&log, non_stack, &format!("race_free {cfg:?}"));
+    }
+}
+
+/// Every benchmark workload (Table 2), smoke scale: the acceptance
+/// criterion for the parallel detector.
+#[test]
+fn sharded_is_byte_identical_on_every_workload() {
+    for id in WorkloadId::all() {
+        let w = build(id, Scale::Smoke);
+        let (log, non_stack) = full_log(&w.program, 1);
+        assert_byte_identical(&log, non_stack, &format!("workload {id}"));
+    }
+}
+
+/// A degenerate single-address log: every access lands in one shard while
+/// the other workers only see sync traffic.
+#[test]
+fn sharded_handles_single_address_hotspot() {
+    use literace::log::{Record, SamplerMask};
+    use literace::sim::{Addr, FuncId, Pc, ThreadId};
+
+    let mut log = EventLog::new();
+    for i in 0..200usize {
+        log.push(Record::Mem {
+            tid: ThreadId::from_index(i % 3),
+            pc: Pc::new(FuncId::from_index(0), i % 4),
+            addr: Addr::global(42),
+            is_write: true,
+            mask: SamplerMask::FULL,
+        });
+    }
+    assert_byte_identical(&log, 200, "single-address hotspot");
+    let report: RaceReport = detect(&log, 200);
+    assert!(report.static_count() > 0, "hotspot log must race");
+}

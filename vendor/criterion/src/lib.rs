@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the criterion API subset the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple
+//! median-of-samples wall-clock harness. No statistical analysis, HTML
+//! reports, or baseline comparison; each benchmark prints one line:
+//!
+//! ```text
+//! group/name  median 12.345 µs  (34 samples)  81.0 Melem/s
+//! ```
+//!
+//! The harness honors `--bench` (ignored filter compatibility with the
+//! cargo bench runner) and `--test` / `CRITERION_QUICK=1` (run each
+//! benchmark once, for CI smoke coverage).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-rate annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let runs = if self.quick { 1 } else { self.sample_size };
+        self.samples.reserve(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-rate annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Allows longer measurement; sample count already bounds runtime here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark taking no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            quick: self.criterion.quick,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            quick: self.criterion.quick,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let Some(median) = b.median() else {
+            println!("{}/{id}  (no samples)", self.name);
+            return;
+        };
+        let rate = self.throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!("  {}elem/s", si(per_sec(n))),
+                Throughput::Bytes(n) => format!("  {}B/s", si(per_sec(n))),
+            }
+        });
+        println!(
+            "{}/{id}  median {}  ({} samples){}",
+            self.name,
+            fmt_duration(median),
+            b.samples.len(),
+            rate.unwrap_or_default(),
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test --benches` passes --test; honor it (and an env knob)
+        // by running each routine once so benches double as smoke tests.
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 24,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.2} ")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("in", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build container cannot reach crates.io. The workspace only uses
+//! `crossbeam::thread::scope` + `Scope::spawn`, which the standard library
+//! has provided natively since Rust 1.63 — so this vendored crate is a
+//! thin adapter exposing the crossbeam scoped-thread API surface over
+//! [`std::thread::scope`]. Panic propagation matches crossbeam: a panic in
+//! any spawned thread surfaces as the `Err` of [`thread::scope`].
+
+/// Scoped threads (crossbeam-utils `thread` module stand-in).
+pub mod thread {
+    use std::any::Any;
+
+    /// The error half of [`scope`]'s result: the payload of a panicking
+    /// spawned thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawned closures receive a fresh `&Scope` so nested
+    /// spawning works as in crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> std::fmt::Debug for Scope<'scope, 'env> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Scope")
+        }
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> std::fmt::Debug for ScopedJoinHandle<'scope, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("ScopedJoinHandle")
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` (which
+        /// this adapter also supports for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` with the panic payload if any
+    /// spawned thread (or the closure itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<u64> = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

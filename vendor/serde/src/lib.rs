@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, and nothing in this
+//! workspace serializes through serde (no `serde_json` dependency exists);
+//! the `#[derive(Serialize, Deserialize)]` annotations are forward-looking
+//! API surface only. This stub keeps them compiling: the traits are
+//! markers with blanket impls, and the derives (re-exported from the
+//! sibling `serde_derive` stub) emit nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real `serde`/`serde_derive` cannot be fetched. Nothing in the
+//! workspace actually serializes through serde (there is no `serde_json`
+//! in the tree); the derives only need to *resolve*. These macros accept
+//! the same syntax (including `#[serde(...)]` helper attributes) and emit
+//! no code — the matching `serde` stub crate provides blanket trait impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
