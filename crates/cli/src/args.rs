@@ -12,6 +12,13 @@ impl Flags {
     /// Parses `--key value` pairs; returns an error message on stray or
     /// dangling arguments.
     pub fn parse(args: &[String]) -> Result<Flags, String> {
+        Flags::parse_with_switches(args, &[])
+    }
+
+    /// Like [`parse`](Flags::parse), but the named `switches` are bare
+    /// boolean flags that take no value (query them with
+    /// [`is_set`](Flags::is_set)).
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Flags, String> {
         let mut values = HashMap::new();
         let mut i = 0;
         while i < args.len() {
@@ -19,6 +26,11 @@ impl Flags {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected a --flag, got `{key}`"));
             };
+            if switches.contains(&name) {
+                values.insert(name.to_owned(), "true".to_owned());
+                i += 1;
+                continue;
+            }
             let Some(value) = args.get(i + 1) else {
                 return Err(format!("flag --{name} is missing its value"));
             };
@@ -26,6 +38,11 @@ impl Flags {
             i += 2;
         }
         Ok(Flags { values })
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 
     /// The raw value of a flag, if present.
@@ -70,6 +87,19 @@ mod tests {
     fn rejects_danglers_and_positional() {
         assert!(Flags::parse(&sv(&["--seed"])).is_err());
         assert!(Flags::parse(&sv(&["seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(
+            &sv(&["--streaming", "--seed", "7"]),
+            &["streaming"],
+        )
+        .unwrap();
+        assert!(f.is_set("streaming"));
+        assert_eq!(f.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        let f = Flags::parse_with_switches(&sv(&["--seed", "7"]), &["streaming"]).unwrap();
+        assert!(!f.is_set("streaming"));
     }
 
     #[test]

@@ -3,9 +3,13 @@
 use std::fs::File;
 use std::process::ExitCode;
 
-use literace::detector::{detect_fasttrack, detect_lockset};
+use literace::detector::{detect_fasttrack, detect_lockset, detect_stream};
 use literace::eval::{evaluate_program, EvalConfig};
-use literace::log::{LogReader, LogStats, LogWriter};
+use literace::instrument::{V1Sink, V2Sink};
+use literace::log::{
+    read_log_auto, LogFormat, LogStats, LogWriter, LogWriterV2, RecordBlocks, RecordStream,
+    DEFAULT_STREAM_DEPTH,
+};
 use literace::overhead::measure_overhead;
 use literace::prelude::*;
 use literace::tables::{mb_s, pct, slowdown, Table};
@@ -20,9 +24,15 @@ USAGE:
       List the benchmark workloads.
 
   literace run --workload <name> [--sampler tl-ad] [--seed 1]
-               [--scale smoke|paper] [--log <file>] [--suppress pat1,pat2]
-      Instrument, execute, and detect. Optionally write the event log and
-      suppress races in functions matching the given name patterns.
+               [--scale smoke|paper] [--log <file>] [--format v1|v2]
+               [--streaming] [--threads N] [--suppress pat1,pat2]
+      Instrument, execute, and detect. Optionally write the event log
+      (compact v2 blocks by default; --format v1 for the legacy
+      fixed-width format) and suppress races in functions matching the
+      given name patterns. With --streaming and --log, records stream to
+      disk as the program runs (the log is never materialized in memory)
+      and detection streams the file back; --streaming alone feeds the
+      in-memory log to the detector block by block.
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
       Compare all Table 3 samplers on identical interleavings (§5.3).
@@ -31,13 +41,15 @@ USAGE:
       Print the workload's Table 5 row and Figure 6 decomposition.
 
   literace detect --log <file> [--detector hb|fasttrack|lockset]
-                  [--non-stack <count>] [--threads N]
-      Run offline detection over a previously written event log. With
-      --threads N ≥ 2, the hb detector shards accesses across N workers
-      (byte-identical output).
+                  [--non-stack <count>] [--threads N] [--streaming]
+      Run offline detection over a previously written event log (v1 or
+      v2; the format is auto-detected). With --threads N ≥ 2, the hb
+      detector shards accesses across N workers (byte-identical output).
+      With --streaming, decoded blocks flow straight from a decoder
+      thread into the hb workers and the log is never materialized.
 
   literace log-stats --log <file>
-      Print log composition and encoded size.
+      Print log composition and encoded size (either format).
 
   literace inspect --workload <name> [--function <substring>]
       Show a workload's structure; with --function, disassemble matching
@@ -80,6 +92,45 @@ fn parse_scale(flags: &crate::args::Flags) -> Result<Scale, String> {
     }
 }
 
+fn parse_format(flags: &crate::args::Flags) -> Result<LogFormat, String> {
+    match flags.get("format") {
+        None => Ok(LogFormat::V2),
+        Some(name) => LogFormat::from_name(name)
+            .ok_or_else(|| format!("--format expects v1|v2, got `{name}`")),
+    }
+}
+
+/// Writes a materialized log to `path` in the requested format, returning
+/// the record count.
+fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let written = match format {
+        LogFormat::V1 => {
+            let mut writer = LogWriter::new(file);
+            for record in log {
+                writer
+                    .write_record(record)
+                    .map_err(|e| format!("write {path}: {e}"))?;
+            }
+            let n = writer.records_written();
+            writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
+            n
+        }
+        LogFormat::V2 => {
+            let mut writer = LogWriterV2::new(file);
+            for record in log {
+                writer
+                    .write_record(record)
+                    .map_err(|e| format!("write {path}: {e}"))?;
+            }
+            let n = writer.records_written();
+            writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
+            n
+        }
+    };
+    Ok(written)
+}
+
 /// `literace workloads`
 pub fn workloads() -> ExitCode {
     let mut t = Table::new(
@@ -120,10 +171,16 @@ pub fn run(args: &[String]) -> ExitCode {
 }
 
 fn run_inner(args: &[String]) -> Result<(), String> {
-    let flags = crate::args::Flags::parse(args)?;
+    let flags = crate::args::Flags::parse_with_switches(args, &["streaming"])?;
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
     let seed: u64 = flags.get_parsed("seed", 1)?;
+    let threads: usize = flags.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let streaming = flags.is_set("streaming");
+    let format = parse_format(&flags)?;
     let sampler = match flags.get("sampler") {
         None => SamplerKind::TlAdaptive,
         Some(name) => SamplerKind::from_short_name(name)
@@ -131,17 +188,85 @@ fn run_inner(args: &[String]) -> Result<(), String> {
     };
 
     let w = build(id, scale);
-    let outcome = run_literace(&w.program, sampler, &RunConfig::seeded(seed))
-        .map_err(|e| e.to_string())?;
+    let mut cfg = RunConfig::seeded(seed);
+    cfg.detect_threads = threads;
+
+    let (summary, stats, overhead, report, log_note) = if streaming {
+        if let Some(path) = flags.get("log") {
+            // Zero-materialization: records stream to disk in encoded
+            // blocks as the program runs, then the file streams back
+            // through the detector. The decoded log never sits in memory.
+            let file =
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let (summary, stats, overhead, written) = match format {
+                LogFormat::V2 => {
+                    let (summary, out) =
+                        run_literace_with_sink(&w.program, sampler, &cfg, V2Sink::new(file))
+                            .map_err(|e| e.to_string())?;
+                    let written = out.log.records_written();
+                    out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    (summary, out.stats, out.overhead, written)
+                }
+                LogFormat::V1 => {
+                    let (summary, out) =
+                        run_literace_with_sink(&w.program, sampler, &cfg, V1Sink::new(file))
+                            .map_err(|e| e.to_string())?;
+                    let written = out.log.records_written();
+                    out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    (summary, out.stats, out.overhead, written)
+                }
+            };
+            let file = File::open(path).map_err(|e| format!("cannot reopen {path}: {e}"))?;
+            let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let report = detect_stream(blocks, summary.non_stack_accesses, &cfg.detect_config())
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let note = format!("wrote {written} records to {path} ({format} format, streamed)");
+            let non_stack = summary.non_stack_accesses;
+            (summary, stats, overhead, report, Some((note, non_stack)))
+        } else {
+            // No file: stream the in-memory log to the detector block by
+            // block instead of handing it over whole.
+            cfg.streaming_detect = true;
+            let outcome =
+                run_literace(&w.program, sampler, &cfg).map_err(|e| e.to_string())?;
+            (
+                outcome.summary,
+                outcome.instrumented.stats,
+                outcome.instrumented.overhead,
+                outcome.report,
+                None,
+            )
+        }
+    } else {
+        let outcome = run_literace(&w.program, sampler, &cfg).map_err(|e| e.to_string())?;
+        let note = match flags.get("log") {
+            None => None,
+            Some(path) => {
+                let written = write_log(path, format, &outcome.instrumented.log)?;
+                Some((
+                    format!("wrote {written} records to {path} ({format} format)"),
+                    outcome.summary.non_stack_accesses,
+                ))
+            }
+        };
+        (
+            outcome.summary,
+            outcome.instrumented.stats,
+            outcome.instrumented.overhead,
+            outcome.report,
+            note,
+        )
+    };
 
     // Optional benign-race suppressions: --suppress pat1,pat2 filters out
     // static races whose functions match any pattern.
     let (report, suppressed) = match flags.get("suppress") {
-        None => (outcome.report.clone(), 0),
+        None => (report, 0),
         Some(list) => {
             let rules =
                 literace::detector::Suppressions::from_patterns(list.split(','));
-            rules.apply(&outcome.report, &w.program)
+            rules.apply(&report, &w.program)
         }
     };
 
@@ -149,36 +274,25 @@ fn run_inner(args: &[String]) -> Result<(), String> {
     println!("sampler            : {}", sampler.short_name());
     println!(
         "memory accesses    : {} executed, {} logged (ESR {})",
-        outcome.instrumented.stats.total_mem,
-        outcome.instrumented.stats.logged_mem,
-        pct(outcome.esr()),
+        stats.total_mem,
+        stats.logged_mem,
+        pct(stats.esr()),
     );
+    println!("sync records       : {}", stats.sync_records);
     println!(
-        "sync records       : {}",
-        outcome.instrumented.stats.sync_records
+        "modeled slowdown   : {}",
+        slowdown(overhead.slowdown(summary.baseline_cost))
     );
-    println!("modeled slowdown   : {}", slowdown(outcome.slowdown()));
     if suppressed > 0 {
         println!("suppressed races   : {suppressed}");
     }
     println!();
     print!("{}", literace::render::render_report(&report, &w.program));
 
-    if let Some(path) = flags.get("log") {
-        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        let mut writer = LogWriter::new(file);
-        for record in &outcome.instrumented.log {
-            writer
-                .write_record(record)
-                .map_err(|e| format!("write {path}: {e}"))?;
-        }
-        let n = writer.records_written();
-        writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
-        println!("wrote {n} records to {path}");
-        println!(
-            "(redetect with: literace detect --log {path} --non-stack {})",
-            outcome.summary.non_stack_accesses
-        );
+    if let Some((note, non_stack)) = log_note {
+        let path = flags.get("log").expect("note implies --log");
+        println!("{note}");
+        println!("(redetect with: literace detect --log {path} --non-stack {non_stack})");
     }
     Ok(())
 }
@@ -280,34 +394,55 @@ pub fn detect(args: &[String]) -> ExitCode {
 fn detect_inner(args: &[String]) -> Result<(), String> {
     use literace::detector::{detect_sharded, DetectConfig};
 
-    let flags = crate::args::Flags::parse(args)?;
+    let flags = crate::args::Flags::parse_with_switches(args, &["streaming"])?;
     let path = flags.require("log")?;
     let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
     let threads: usize = flags.get_parsed("threads", 1)?;
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let streaming = flags.is_set("streaming");
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    // Chunked decoding: peak memory is the decoded log plus one chunk,
-    // not the whole encoded file.
-    let log = LogReader::new(file)
-        .read_chunked(literace::log::DEFAULT_CHUNK_BYTES)
-        .map_err(|e| format!("read {path}: {e}"))?;
-    let report = match flags.get("detector") {
-        None | Some("hb") => {
-            detect_sharded(&log, non_stack, &DetectConfig::with_threads(threads))
+    let (report, heading) = if streaming {
+        match flags.get("detector") {
+            None | Some("hb") => {}
+            Some(other) => {
+                return Err(format!(
+                    "--streaming only applies to the hb detector, not `{other}`"
+                ))
+            }
         }
-        Some(other) if threads > 1 => {
-            return Err(format!("--threads only applies to the hb detector, not `{other}`"))
-        }
-        Some("fasttrack") => detect_fasttrack(&log, non_stack),
-        Some("lockset") => detect_lockset(&log, non_stack),
-        Some(other) => return Err(format!("unknown detector `{other}`")),
+        // Decoded blocks flow from the decoder thread straight into the
+        // sharded workers; the log is never materialized.
+        let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        let format = blocks.format();
+        let report = detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
+            .map_err(|e| format!("read {path}: {e}"))?;
+        (report, format!("{format} log (streamed)"))
+    } else {
+        // Auto-detecting chunked decoding: peak memory is the decoded log
+        // plus one encoded chunk, whichever the on-disk format.
+        let log = read_log_auto(file).map_err(|e| format!("read {path}: {e}"))?;
+        let report = match flags.get("detector") {
+            None | Some("hb") => {
+                detect_sharded(&log, non_stack, &DetectConfig::with_threads(threads))
+            }
+            Some(other) if threads > 1 => {
+                return Err(format!(
+                    "--threads only applies to the hb detector, not `{other}`"
+                ))
+            }
+            Some("fasttrack") => detect_fasttrack(&log, non_stack),
+            Some("lockset") => detect_lockset(&log, non_stack),
+            Some(other) => return Err(format!("unknown detector `{other}`")),
+        };
+        (report, format!("{} records", log.len()))
     };
     println!(
-        "{}: {} records, {} static races ({} dynamic)",
+        "{}: {}, {} static races ({} dynamic)",
         path,
-        log.len(),
+        heading,
         report.static_count(),
         report.dynamic_races
     );
@@ -445,17 +580,25 @@ pub fn log_stats(args: &[String]) -> ExitCode {
 fn log_stats_inner(args: &[String]) -> Result<(), String> {
     let flags = crate::args::Flags::parse(args)?;
     let path = flags.require("log")?;
+    let on_disk = std::fs::metadata(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?
+        .len();
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let log = LogReader::new(file)
-        .read_all()
-        .map_err(|e| format!("read {path}: {e}"))?;
+    let blocks = RecordBlocks::open(file).map_err(|e| format!("read {path}: {e}"))?;
+    let format = blocks.format();
+    let mut log = EventLog::new();
+    for block in blocks {
+        log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
+    }
     let stats = LogStats::of(&log);
     println!("{path}:");
+    println!("  format           : {format}");
     println!("  records          : {}", stats.records);
     println!("  memory accesses  : {}", stats.mem_records);
     println!("  synchronization  : {}", stats.sync_records);
     println!("  thread markers   : {}", stats.marker_records);
-    println!("  encoded size     : {} bytes", stats.bytes);
+    println!("  on-disk size     : {on_disk} bytes");
+    println!("  size as v1       : {} bytes", stats.bytes);
     Ok(())
 }
 
@@ -519,6 +662,68 @@ mod tests {
                 .collect();
         assert_eq!(detect(&bad_args), std::process::ExitCode::FAILURE);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_format_and_streaming_round_trip() {
+        // run --format v1 writes the legacy format; run --streaming --log
+        // writes v2 without materializing; detect handles both, with and
+        // without --streaming (formats are auto-detected).
+        let dir = std::env::temp_dir();
+        let v1 = dir.join("literace_cli_v1_test.lrlog");
+        let v2 = dir.join("literace_cli_v2_stream_test.lrlog");
+        let v1_s = v1.to_str().unwrap().to_string();
+        let v2_s = v2.to_str().unwrap().to_string();
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        let run_v1 = sv(&[
+            "--workload", "lflist", "--seed", "2", "--format", "v1", "--log", &v1_s,
+        ]);
+        assert_eq!(run(&run_v1), std::process::ExitCode::SUCCESS);
+        let run_v2 = sv(&[
+            "--workload", "lflist", "--seed", "2", "--streaming", "--threads", "2",
+            "--log", &v2_s,
+        ]);
+        assert_eq!(run(&run_v2), std::process::ExitCode::SUCCESS);
+        // v2 must be the smaller encoding of the identical record stream.
+        let (v1_len, v2_len) = (
+            std::fs::metadata(&v1).unwrap().len(),
+            std::fs::metadata(&v2).unwrap().len(),
+        );
+        assert!(v2_len < v1_len, "v2 {v2_len} bytes vs v1 {v1_len} bytes");
+        for path in [&v1_s, &v2_s] {
+            assert_eq!(
+                detect(&sv(&["--log", path, "--threads", "2"])),
+                std::process::ExitCode::SUCCESS
+            );
+            assert_eq!(
+                detect(&sv(&["--log", path, "--streaming", "--threads", "2"])),
+                std::process::ExitCode::SUCCESS
+            );
+            assert_eq!(
+                log_stats(&sv(&["--log", path])),
+                std::process::ExitCode::SUCCESS
+            );
+        }
+        assert_eq!(
+            detect(&sv(&["--log", &v2_s, "--streaming", "--detector", "lockset"])),
+            std::process::ExitCode::FAILURE
+        );
+        let bad_format = sv(&["--workload", "lflist", "--format", "v3"]);
+        assert_eq!(run(&bad_format), std::process::ExitCode::FAILURE);
+        let _ = std::fs::remove_file(&v1);
+        let _ = std::fs::remove_file(&v2);
+    }
+
+    #[test]
+    fn streaming_run_without_log_uses_in_memory_blocks() {
+        let args: Vec<String> =
+            ["--workload", "lflist", "--seed", "2", "--streaming", "--threads", "2"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect();
+        assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use literace_detector::{detect_sharded, DetectConfig, RaceReport};
+use literace_detector::{DetectConfig, RaceReport};
 use literace_instrument::{InstrumentConfig, MultiSamplerInstrumenter};
 use literace_samplers::SamplerKind;
 use literace_sim::{
@@ -33,6 +33,10 @@ pub struct EvalConfig {
     /// Worker threads for each offline detection pass (1 = sequential;
     /// sharded detection is byte-identical, so results don't change).
     pub detect_threads: usize,
+    /// Use the streaming detection path for each pass (byte-identical to
+    /// the materialized path; see
+    /// [`detect_stream`](literace_detector::detect_stream)).
+    pub streaming_detect: bool,
 }
 
 impl Default for EvalConfig {
@@ -44,6 +48,7 @@ impl Default for EvalConfig {
             machine: MachineConfig::default(),
             instrument: InstrumentConfig::default(),
             detect_threads: 1,
+            streaming_detect: false,
         }
     }
 }
@@ -135,7 +140,7 @@ pub fn evaluate_program(program: &Program, cfg: &EvalConfig) -> Result<ProgramEv
         non_stack += summary.non_stack_accesses;
 
         // Ground truth: full log.
-        let truth = detect_log(&out.log, summary.non_stack_accesses, cfg.detect_threads);
+        let truth = detect_log(&out.log, summary.non_stack_accesses, cfg);
         let (truth_rare, truth_freq) = truth.split_by_rarity();
         let rare_keys: HashSet<(Pc, Pc)> = truth_rare.iter().map(|s| s.pcs).collect();
         let freq_keys: HashSet<(Pc, Pc)> = truth_freq.iter().map(|s| s.pcs).collect();
@@ -146,7 +151,7 @@ pub fn evaluate_program(program: &Program, cfg: &EvalConfig) -> Result<ProgramEv
         for i in 0..n {
             per_sampler_logged[i] += out.per_sampler[i].logged_mem;
             let subset = out.log.sampler_subset(i);
-            let found = detect_log(&subset, summary.non_stack_accesses, cfg.detect_threads);
+            let found = detect_log(&subset, summary.non_stack_accesses, cfg);
             let rate = found.detection_rate_against(&truth);
             per_sampler_det[i] += rate;
             per_sampler_det_min[i] = per_sampler_det_min[i].min(rate);
@@ -202,8 +207,13 @@ fn ratio((found, total): (u64, u64)) -> f64 {
     }
 }
 
-fn detect_log(log: &literace_log::EventLog, non_stack: u64, threads: usize) -> RaceReport {
-    detect_sharded(log, non_stack, &DetectConfig::with_threads(threads))
+fn detect_log(log: &literace_log::EventLog, non_stack: u64, cfg: &EvalConfig) -> RaceReport {
+    crate::pipeline::detect_event_log(
+        log,
+        non_stack,
+        &DetectConfig::with_threads(cfg.detect_threads),
+        cfg.streaming_detect,
+    )
 }
 
 #[cfg(test)]

@@ -83,7 +83,9 @@ pub mod prelude {
         run_overhead_study, run_sampler_study, OverheadStudy, SamplerStudy,
     };
     pub use crate::overhead::{measure_overhead, OverheadReport};
-    pub use crate::pipeline::{run_baseline, run_literace, RunConfig, RunOutcome};
+    pub use crate::pipeline::{
+        run_baseline, run_literace, run_literace_with_sink, RunConfig, RunOutcome,
+    };
     pub use literace_detector::{detect, HbDetector, RaceReport, StaticRace};
     pub use literace_instrument::{InstrumentConfig, Instrumenter};
     pub use literace_log::{EventLog, Record, SamplerMask};

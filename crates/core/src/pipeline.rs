@@ -1,7 +1,8 @@
 //! The end-to-end LiteRace pipeline: instrument → execute → log → detect.
 
-use literace_detector::{detect_sharded, DetectConfig, HbConfig, RaceReport};
-use literace_instrument::{InstrumentConfig, InstrumentOutput, Instrumenter};
+use literace_detector::{detect_sharded, detect_stream, DetectConfig, HbConfig, RaceReport};
+use literace_instrument::{InstrumentConfig, InstrumentOutput, Instrumenter, RecordSink};
+use literace_log::EventLog;
 use literace_samplers::SamplerKind;
 use literace_sim::{
     lower, ChunkedRandomScheduler, Machine, MachineConfig, Program, RunSummary, SimError,
@@ -24,6 +25,11 @@ pub struct RunConfig {
     /// Offline detection worker threads (1 = sequential; N ≥ 2 shards
     /// accesses across N workers with byte-identical output).
     pub detect_threads: usize,
+    /// Use the streaming detection path
+    /// ([`detect_stream`](literace_detector::detect_stream)): the log is
+    /// fed to the sharded workers block-by-block, overlapping routing and
+    /// replay. Output is byte-identical either way.
+    pub streaming_detect: bool,
 }
 
 impl Default for RunConfig {
@@ -35,6 +41,7 @@ impl Default for RunConfig {
             instrument: InstrumentConfig::default(),
             detector: HbConfig::default(),
             detect_threads: 1,
+            streaming_detect: false,
         }
     }
 }
@@ -97,16 +104,58 @@ pub fn run_literace(
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
     let instrumented = inst.finish();
-    let report = detect_sharded(
+    let report = detect_event_log(
         &instrumented.log,
         summary.non_stack_accesses,
         &cfg.detect_config(),
+        cfg.streaming_detect,
     );
     Ok(RunOutcome {
         summary,
         instrumented,
         report,
     })
+}
+
+/// Detects over an in-memory log via either the materialized sharded path
+/// or the streaming path (byte-identical results).
+pub(crate) fn detect_event_log(
+    log: &EventLog,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+    streaming: bool,
+) -> RaceReport {
+    if streaming {
+        let blocks = log.records().chunks(4096).map(|c| Ok(c.to_vec()));
+        detect_stream(blocks, non_stack_accesses, cfg)
+            .expect("in-memory blocks cannot fail to decode")
+    } else {
+        detect_sharded(log, non_stack_accesses, cfg)
+    }
+}
+
+/// Runs instrumentation and execution, emitting records into `sink` as
+/// they are produced — with a [`V2Sink`](literace_instrument::V2Sink)
+/// over a file, the event log streams to disk in compact v2 blocks and is
+/// never materialized in memory. No detection is performed; callers
+/// typically re-open the written log and stream-detect it (see the
+/// `literace run --streaming` command).
+///
+/// # Errors
+///
+/// Propagates simulator errors. Sink I/O errors surface from the sink's
+/// own `finish`, on the returned output's `log`.
+pub fn run_literace_with_sink<L: RecordSink>(
+    program: &Program,
+    sampler: SamplerKind,
+    cfg: &RunConfig,
+    sink: L,
+) -> Result<(RunSummary, InstrumentOutput<L>), SimError> {
+    let compiled = lower(program);
+    let mut inst = Instrumenter::with_sink(sampler.build(cfg.seed), cfg.instrument.clone(), sink);
+    let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
+    let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
+    Ok((summary, inst.finish()))
 }
 
 /// Runs the program uninstrumented, returning baseline statistics only.
@@ -178,6 +227,38 @@ mod tests {
         cfg.detect_threads = 4;
         let par = run_literace(&racy_program(), SamplerKind::Always, &cfg).unwrap();
         assert_eq!(seq.report, par.report);
+    }
+
+    #[test]
+    fn streaming_detection_matches_materialized_pipeline() {
+        let base = run_literace(&racy_program(), SamplerKind::Always, &RunConfig::seeded(5))
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let mut cfg = RunConfig::seeded(5);
+            cfg.detect_threads = threads;
+            cfg.streaming_detect = true;
+            let streamed =
+                run_literace(&racy_program(), SamplerKind::Always, &cfg).unwrap();
+            assert_eq!(streamed.report, base.report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sink_run_writes_a_log_equal_to_the_materialized_one() {
+        let cfg = RunConfig::seeded(2);
+        let materialized =
+            run_literace(&racy_program(), SamplerKind::Always, &cfg).unwrap();
+        let (summary, out) = run_literace_with_sink(
+            &racy_program(),
+            SamplerKind::Always,
+            &cfg,
+            literace_instrument::V2Sink::new(Vec::new()),
+        )
+        .unwrap();
+        assert_eq!(summary, materialized.summary);
+        let bytes = out.log.finish().unwrap();
+        let log = literace_log::read_log_auto(&bytes[..]).unwrap();
+        assert_eq!(log, materialized.instrumented.log);
     }
 
     #[test]

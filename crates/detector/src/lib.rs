@@ -13,6 +13,9 @@
 //!   false positives the paper's design avoids;
 //! * [`detect_sharded`] — address-sharded parallel offline detection,
 //!   byte-identical to [`detect`] (see [`sharded`]);
+//! * [`detect_stream`] — the same sharded detection fed block-by-block
+//!   from a decoding log stream, overlapping decode, routing, and replay
+//!   without materializing the log;
 //! * [`merge`] utilities reconstructing a global order from per-thread logs
 //!   using the §4.2 logical timestamps.
 //!
@@ -49,6 +52,7 @@ pub mod merge;
 mod online;
 mod report;
 pub mod sharded;
+mod streaming;
 mod suppress;
 mod vector_clock;
 
@@ -57,6 +61,7 @@ pub use hb::{detect, HbConfig, HbCore, HbDetector};
 pub use lockset::{detect_lockset, LocksetDetector};
 pub use online::OnlineDetector;
 pub use sharded::{detect_sharded, DetectConfig};
+pub use streaming::detect_stream;
 pub use report::{DynamicRace, RaceReport, StaticRace};
 pub use suppress::Suppressions;
 pub use vector_clock::VectorClock;

@@ -81,7 +81,7 @@ impl DetectConfig {
 /// structured address spaces (consecutive globals, page-aligned heap)
 /// spread evenly rather than striping.
 #[inline]
-fn shard_of(addr: Addr, shards: usize) -> usize {
+pub(crate) fn shard_of(addr: Addr, shards: usize) -> usize {
     let h = addr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
     // Multiply-shift range reduction (maps the 32-bit hash uniformly onto
     // `0..shards`): runs once per memory record, and a hardware divide
@@ -298,7 +298,60 @@ fn build_plan(records: &[Record], shards: usize) -> (Timeline, Vec<Vec<ShardEven
 /// with the global record index and the racing address. Within one pair
 /// the vector is position-sorted by construction (the shard replays its
 /// stream in order).
-type ShardPairs = FastMap<(Pc, Pc), Vec<(u64, Addr)>>;
+pub(crate) type ShardPairs = FastMap<(Pc, Pc), Vec<(u64, Addr)>>;
+
+/// Merges per-shard conflict maps into the final report. Occurrences of
+/// one static pair may come from several shards (different addresses);
+/// re-interleave each pair by global position, then apply the sequential
+/// cap/overflow accounting (stored occurrences are the first `cap`, the
+/// example address is the first stored one, distinct addresses count
+/// stored occurrences only). A pair with nothing stored (cap 0) is
+/// omitted, matching `HbCore::finish`. Shared by [`detect_sharded`] and
+/// [`detect_stream`](crate::detect_stream), which is what makes the two
+/// byte-identical to each other and to the sequential detector.
+pub(crate) fn merge_pairs(
+    shard_pairs: Vec<ShardPairs>,
+    cap: usize,
+    non_stack_accesses: u64,
+) -> RaceReport {
+    let mut by_pair = ShardPairs::default();
+    for shard in shard_pairs {
+        for (key, mut races) in shard {
+            match by_pair.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(races);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().append(&mut races);
+                }
+            }
+        }
+    }
+    let mut dynamic_races = 0;
+    let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
+    for (pcs, mut races) in by_pair {
+        races.sort_unstable_by_key(|&(pos, _)| pos);
+        let stored = races.len().min(cap);
+        if stored == 0 {
+            continue;
+        }
+        let count = races.len() as u64;
+        dynamic_races += count;
+        let addrs: FastSet<Addr> = races[..stored].iter().map(|&(_, a)| a).collect();
+        static_races.push(StaticRace {
+            pcs,
+            count,
+            example_addr: races[0].1,
+            distinct_addrs: addrs.len() as u64,
+        });
+    }
+    static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+    RaceReport {
+        static_races,
+        dynamic_races,
+        non_stack_accesses,
+    }
+}
 
 /// One worker: replays its own pre-partitioned access stream against the
 /// shared clock timeline. Pure frontier work — no sync replay, no clock
@@ -408,49 +461,7 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
         .unwrap_or(1)
         .min(shards);
     let shard_pairs = run_shards(&streams, &timeline, cfg.hb.max_history_per_location, workers);
-
-    // Merge: occurrences of one pair may come from several shards
-    // (different addresses); re-interleave each pair by global position,
-    // then apply the sequential cap/overflow accounting. A pair with
-    // nothing stored (cap 0) is omitted, matching `HbCore::finish`.
-    let mut by_pair = ShardPairs::default();
-    for shard in shard_pairs {
-        for (key, mut races) in shard {
-            match by_pair.entry(key) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(races);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().append(&mut races);
-                }
-            }
-        }
-    }
-    let cap = cfg.hb.max_dynamic_per_pair;
-    let mut dynamic_races = 0;
-    let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
-    for (pcs, mut races) in by_pair {
-        races.sort_unstable_by_key(|&(pos, _)| pos);
-        let stored = races.len().min(cap);
-        if stored == 0 {
-            continue;
-        }
-        let count = races.len() as u64;
-        dynamic_races += count;
-        let addrs: FastSet<Addr> = races[..stored].iter().map(|&(_, a)| a).collect();
-        static_races.push(StaticRace {
-            pcs,
-            count,
-            example_addr: races[0].1,
-            distinct_addrs: addrs.len() as u64,
-        });
-    }
-    static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
-    RaceReport {
-        static_races,
-        dynamic_races,
-        non_stack_accesses,
-    }
+    merge_pairs(shard_pairs, cfg.hb.max_dynamic_per_pair, non_stack_accesses)
 }
 
 #[cfg(test)]

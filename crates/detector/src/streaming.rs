@@ -1,0 +1,517 @@
+//! Streaming sharded detection: decode, sync pre-pass, and shard replay
+//! overlapped in time.
+//!
+//! [`detect_sharded`](crate::detect_sharded) needs the whole decoded
+//! [`EventLog`](literace_log::EventLog) up front: its pre-pass builds the
+//! complete clock timeline and every shard's full event stream before any
+//! worker starts. [`detect_stream`] removes both the materialization and
+//! the barrier. It consumes *blocks* of records — typically from a
+//! [`RecordStream`](literace_log::RecordStream) whose decoder thread is
+//! still running — routes each block's accesses to per-shard bounded
+//! channels as it goes, and lets shard workers replay concurrently with
+//! the routing and the decode. Peak memory is bounded by the channel
+//! depths, not the log size.
+//!
+//! **Eager clock freezing.** The materialized pre-pass freezes a thread's
+//! working clock lazily — only when a referenced generation is about to be
+//! mutated — because workers resolve `(thread, generation)` stamps against
+//! the finished timeline. Workers here start before the timeline is
+//! finished, so the router instead freezes *eagerly*: the first time a
+//! thread's clock is referenced at its current generation (an access stamp
+//! or a compaction pin), the value is cloned once into an
+//! `Arc<VectorClock>` and that `Arc` is shared until the next sync
+//! mutation invalidates it. Clocks change only at sync operations, so the
+//! value captured at first reference is exactly the value the lazy freeze
+//! would later snapshot — same clocks, same per-shard streams, same
+//! compaction bounds, and therefore (through the shared
+//! [`merge_pairs`](crate::sharded::merge_pairs) accounting) output
+//! byte-identical to both `detect_sharded` and the sequential detector.
+//! Per access this costs one atomic refcount bump instead of the clock
+//! clone the sharded design was built to avoid.
+//!
+//! Positions are carried as `u64` and compaction is its own message
+//! variant, so — unlike `detect_sharded`'s packed `u32`-with-sentinel
+//! stream entries — the streaming path has no log-length ceiling.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+
+use literace_log::{LogResult, Record};
+use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
+
+use crate::fast_hash::FastMap;
+use crate::frontier::Frontier;
+use crate::hb::{HbDetector, COMPACT_INTERVAL};
+use crate::report::RaceReport;
+use crate::sharded::{merge_pairs, shard_of, DetectConfig, ShardPairs};
+use crate::vector_clock::VectorClock;
+
+/// Accesses buffered per shard before a batch is sent. Large enough to
+/// amortize channel synchronization, small enough that in-flight batches
+/// stay a rounding error next to the frontier state.
+const BATCH_RECORDS: usize = 4096;
+
+/// Bound (in messages) of each shard channel. With `BATCH_RECORDS`-sized
+/// batches this caps per-shard in-flight memory at a few hundred KiB.
+const CHANNEL_DEPTH: usize = 4;
+
+/// One routed access, self-contained: the clock is resolved at routing
+/// time (an `Arc` share of the eager freeze), not looked up by the worker.
+struct StreamEvent {
+    /// Global record index — the merge sort key.
+    pos: u64,
+    tid: ThreadId,
+    is_write: bool,
+    pc: Pc,
+    addr: Addr,
+    clock: Arc<VectorClock>,
+}
+
+/// What flows to a shard worker.
+enum ShardMsg {
+    /// A batch of owned accesses, in global order.
+    Batch(Vec<StreamEvent>),
+    /// A frontier-compaction point with the live-clock set at that moment.
+    /// Broadcast to every shard after all earlier accesses have been
+    /// flushed, so reclamation happens at the sequential stream positions.
+    Compact(Arc<[Arc<VectorClock>]>),
+}
+
+/// Per-thread clock state with eager copy-on-reference freezing.
+#[derive(Default)]
+struct StreamClocks {
+    current: Vec<VectorClock>,
+    /// `cached[t]` is the shared snapshot of `current[t]`'s present value,
+    /// populated at first reference, cleared by the next mutation.
+    cached: Vec<Option<Arc<VectorClock>>>,
+}
+
+impl StreamClocks {
+    /// Materializes `tid`'s clock (and those of all lower thread ids), as
+    /// `HbCore::ensure_thread` does, and returns its index.
+    fn ensure_thread(&mut self, tid: ThreadId) -> usize {
+        let i = tid.index();
+        while self.current.len() <= i {
+            let mut c = VectorClock::new();
+            c.set(ThreadId::from_index(self.current.len()), 1);
+            self.current.push(c);
+            self.cached.push(None);
+        }
+        i
+    }
+
+    /// Returns a shared snapshot of thread `i`'s present clock value,
+    /// cloning it at most once per generation.
+    fn pin(&mut self, i: usize) -> Arc<VectorClock> {
+        self.cached[i]
+            .get_or_insert_with(|| Arc::new(self.current[i].clone()))
+            .clone()
+    }
+
+    /// Forgets the snapshot before a mutation of `current[i]`; the next
+    /// reference re-clones the post-mutation value.
+    fn invalidate(&mut self, i: usize) {
+        self.cached[i] = None;
+    }
+}
+
+/// The routing half of the streaming pipeline: replays sync records,
+/// stamps and batches accesses, and broadcasts compaction points. Owns
+/// the shard senders; dropping it closes every channel.
+struct Router {
+    shards: usize,
+    clocks: StreamClocks,
+    syncvars: FastMap<SyncVar, VectorClock>,
+    retired: Vec<bool>,
+    since_compact: u64,
+    pos: u64,
+    buffers: Vec<Vec<StreamEvent>>,
+    senders: Vec<SyncSender<ShardMsg>>,
+}
+
+impl Router {
+    fn new(senders: Vec<SyncSender<ShardMsg>>) -> Router {
+        Router {
+            shards: senders.len(),
+            clocks: StreamClocks::default(),
+            syncvars: FastMap::default(),
+            retired: Vec::new(),
+            since_compact: 0,
+            pos: 0,
+            buffers: (0..senders.len())
+                .map(|_| Vec::with_capacity(BATCH_RECORDS))
+                .collect(),
+            senders,
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.buffers[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(BATCH_RECORDS),
+        );
+        // A send fails only if the worker panicked; the panic resurfaces
+        // when the worker is joined, so losing the batch here is moot.
+        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+    }
+
+    /// Flushes every buffer, then broadcasts a compaction point pinning
+    /// the live-clock set — the same bound, at the same stream position,
+    /// as the sequential detector's compaction.
+    fn emit_compact(&mut self) {
+        for shard in 0..self.shards {
+            self.flush(shard);
+        }
+        let live: Arc<[Arc<VectorClock>]> = (0..self.clocks.current.len())
+            .filter(|i| !self.retired.get(*i).copied().unwrap_or(false))
+            .map(|i| self.clocks.pin(i))
+            .collect();
+        for sender in &self.senders {
+            let _ = sender.send(ShardMsg::Compact(live.clone()));
+        }
+    }
+
+    /// Processes one record; mirrors the sharded pre-pass record loop.
+    fn route(&mut self, record: &Record) {
+        match *record {
+            Record::Sync { tid, kind, var, .. } => {
+                if kind == SyncOpKind::Fork {
+                    // The child's (empty) clock must pin the compaction
+                    // bound from the fork on, as in `HbCore::sync`.
+                    self.clocks.ensure_thread(ThreadId::from_index(var.0 as usize));
+                }
+                let i = self.clocks.ensure_thread(tid);
+                let joins = kind.is_acquire() && self.syncvars.contains_key(&var);
+                if joins || kind.is_release() {
+                    self.clocks.invalidate(i);
+                }
+                if joins {
+                    self.clocks.current[i].join(&self.syncvars[&var]);
+                }
+                if kind.is_release() {
+                    self.syncvars
+                        .entry(var)
+                        .or_default()
+                        .join(&self.clocks.current[i]);
+                    self.clocks.current[i].increment(tid);
+                }
+            }
+            Record::Mem {
+                tid,
+                pc,
+                addr,
+                is_write,
+                ..
+            } => {
+                let i = self.clocks.ensure_thread(tid);
+                let clock = self.clocks.pin(i);
+                let shard = shard_of(addr, self.shards);
+                self.buffers[shard].push(StreamEvent {
+                    pos: self.pos,
+                    tid,
+                    is_write,
+                    pc,
+                    addr,
+                    clock,
+                });
+                if self.buffers[shard].len() >= BATCH_RECORDS {
+                    self.flush(shard);
+                }
+            }
+            Record::ThreadBegin { .. } => {}
+            Record::ThreadEnd { tid } => {
+                let i = tid.index();
+                if i >= self.retired.len() {
+                    self.retired.resize(i + 1, false);
+                }
+                self.retired[i] = true;
+                self.since_compact = 0;
+                self.emit_compact();
+            }
+        }
+        self.pos += 1;
+        self.since_compact += 1;
+        if self.since_compact >= COMPACT_INTERVAL {
+            self.since_compact = 0;
+            self.emit_compact();
+        }
+    }
+
+    /// Flushes whatever is still buffered; call once at end of input.
+    fn finish(mut self) {
+        for shard in 0..self.shards {
+            self.flush(shard);
+        }
+        // Dropping `self` drops the senders, closing every channel.
+    }
+}
+
+/// One shard worker: drains its channel, replaying batches against its
+/// private frontier. Pure frontier work, same as the materialized shard
+/// loop — only the clock arrives via `Arc` instead of a timeline lookup.
+fn run_stream_shard(rx: Receiver<ShardMsg>, max_history: usize) -> ShardPairs {
+    let mut frontier = Frontier::new(max_history);
+    let mut pairs = ShardPairs::default();
+    for msg in rx {
+        match msg {
+            ShardMsg::Compact(clocks) => {
+                let live: Vec<&VectorClock> = clocks.iter().map(Arc::as_ref).collect();
+                frontier.compact(&live);
+            }
+            ShardMsg::Batch(events) => {
+                for ev in &events {
+                    frontier.access(
+                        ev.tid,
+                        ev.pc,
+                        ev.addr.raw(),
+                        ev.is_write,
+                        &ev.clock,
+                        |prior| {
+                            let key = if prior.pc <= ev.pc {
+                                (prior.pc, ev.pc)
+                            } else {
+                                (ev.pc, prior.pc)
+                            };
+                            pairs.entry(key).or_default().push((ev.pos, ev.addr));
+                        },
+                    );
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Detects races from a stream of record blocks without materializing an
+/// event log, producing a report byte-identical to the sequential
+/// [`detect`](crate::detect) (and hence to
+/// [`detect_sharded`](crate::detect_sharded)).
+///
+/// `blocks` is any iterator of decoded record blocks — most usefully a
+/// [`RecordStream`](literace_log::RecordStream), in which case decoding,
+/// routing, and shard replay all overlap. With `cfg.threads <= 1` the
+/// records are fed straight through the sequential detector, still
+/// block-at-a-time.
+///
+/// # Errors
+///
+/// Returns the first decode/I-O error the stream yields. Shard workers
+/// are joined (and their partial work discarded) before the error is
+/// returned, so no threads leak.
+///
+/// # Examples
+///
+/// ```
+/// use literace_detector::{detect, detect_stream, DetectConfig};
+/// use literace_log::{encode_v2, EventLog, RecordStream};
+///
+/// let log = EventLog::new();
+/// let bytes = encode_v2(log.records()).to_vec();
+/// let stream = RecordStream::spawn(std::io::Cursor::new(bytes), 8)?;
+/// let report = detect_stream(stream, 0, &DetectConfig::with_threads(4))?;
+/// assert_eq!(report, detect(&log, 0));
+/// # Ok::<(), literace_log::LogError>(())
+/// ```
+pub fn detect_stream<I>(
+    blocks: I,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+) -> LogResult<RaceReport>
+where
+    I: IntoIterator<Item = LogResult<Vec<Record>>>,
+{
+    let shards = cfg.threads.max(1);
+    if shards == 1 {
+        let mut detector = HbDetector::with_config(cfg.hb);
+        for block in blocks {
+            for record in &block? {
+                detector.process(record);
+            }
+        }
+        return Ok(detector.finish(non_stack_accesses));
+    }
+
+    let max_history = cfg.hb.max_history_per_location;
+    std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("literace-shard-{shard}"))
+                    .spawn_scoped(s, move || run_stream_shard(rx, max_history))
+                    .expect("spawning shard worker"),
+            );
+        }
+
+        let mut router = Router::new(senders);
+        let mut stream_err = None;
+        for block in blocks {
+            match block {
+                Ok(records) => {
+                    for record in &records {
+                        router.route(record);
+                    }
+                }
+                Err(e) => {
+                    stream_err = Some(e);
+                    break;
+                }
+            }
+        }
+        router.finish();
+
+        let shard_pairs: Vec<ShardPairs> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stream shard worker panicked"))
+            .collect();
+        match stream_err {
+            Some(e) => Err(e),
+            None => Ok(merge_pairs(
+                shard_pairs,
+                cfg.hb.max_dynamic_per_pair,
+                non_stack_accesses,
+            )),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect, detect_sharded};
+    use literace_log::{encode_v2, EventLog, RecordStream, SamplerMask};
+    use literace_sim::FuncId;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+    fn pc(i: usize) -> Pc {
+        Pc::new(FuncId::from_index(0), i)
+    }
+
+    fn mem(tid: ThreadId, pcv: usize, addr: u64, w: bool) -> Record {
+        Record::Mem {
+            tid,
+            pc: pc(pcv),
+            addr: Addr::global(addr),
+            is_write: w,
+            mask: SamplerMask::FULL,
+        }
+    }
+
+    fn sync(tid: ThreadId, kind: SyncOpKind, var: u64, ts: u64) -> Record {
+        Record::Sync {
+            tid,
+            pc: pc(99),
+            kind,
+            var: SyncVar(var),
+            timestamp: ts,
+        }
+    }
+
+    /// Races on many addresses plus lock edges and a thread retirement,
+    /// so shards, HB edges, and compaction all get exercised.
+    fn mixed_log() -> EventLog {
+        let mut records = Vec::new();
+        records.push(Record::ThreadBegin { tid: t(2) });
+        for round in 0..50u64 {
+            for addr in 0..16u64 {
+                records.push(mem(t(0), 1 + addr as usize, addr, true));
+                records.push(mem(t(1), 100 + addr as usize, addr, round % 3 == 0));
+                records.push(mem(t(2), 200 + addr as usize, addr + 100, true));
+            }
+            records.push(sync(t(0), SyncOpKind::LockRelease, 7, 2 * round + 1));
+            records.push(sync(t(1), SyncOpKind::LockAcquire, 7, 2 * round + 2));
+        }
+        records.push(Record::ThreadEnd { tid: t(2) });
+        for addr in 0..16u64 {
+            records.push(mem(t(0), 300 + addr as usize, addr + 100, true));
+        }
+        records.into_iter().collect()
+    }
+
+    fn blocks_of(log: &EventLog, block: usize) -> Vec<LogResult<Vec<Record>>> {
+        log.records()
+            .chunks(block.max(1))
+            .map(|c| Ok(c.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_stream_matches_sequential() {
+        for threads in [1, 2, 4, 8] {
+            let cfg = DetectConfig::with_threads(threads);
+            let report = detect_stream(Vec::new(), 5, &cfg).unwrap();
+            assert_eq!(report, detect(&EventLog::new(), 5));
+        }
+    }
+
+    #[test]
+    fn streamed_blocks_are_byte_identical_across_thread_counts() {
+        let log = mixed_log();
+        let seq = detect(&log, 1000);
+        assert!(seq.static_count() > 0, "log should race");
+        for threads in [1, 2, 3, 4, 8] {
+            for block in [1, 7, 4096] {
+                let cfg = DetectConfig::with_threads(threads);
+                let report = detect_stream(blocks_of(&log, block), 1000, &cfg).unwrap();
+                assert_eq!(report, seq, "threads={threads} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_matches_sharded_with_caps() {
+        let log = mixed_log();
+        for cap in [0, 3] {
+            let hb = crate::HbConfig {
+                max_dynamic_per_pair: cap,
+                ..crate::HbConfig::default()
+            };
+            let cfg = DetectConfig { threads: 4, hb };
+            let streamed = detect_stream(blocks_of(&log, 512), 9, &cfg).unwrap();
+            assert_eq!(streamed, detect_sharded(&log, 9, &cfg), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn consumes_a_record_stream_end_to_end() {
+        let log = mixed_log();
+        let bytes = encode_v2(log.records()).to_vec();
+        let stream = RecordStream::spawn(std::io::Cursor::new(bytes), 8).unwrap();
+        let cfg = DetectConfig::with_threads(4);
+        let report = detect_stream(stream, 77, &cfg).unwrap();
+        assert_eq!(report, detect(&log, 77));
+    }
+
+    #[test]
+    fn decode_error_propagates_and_joins_workers() {
+        let log = mixed_log();
+        let mut bytes = encode_v2(log.records()).to_vec();
+        bytes.truncate(bytes.len() / 2); // mid-block truncation
+        let stream = RecordStream::spawn(std::io::Cursor::new(bytes), 8).unwrap();
+        let cfg = DetectConfig::with_threads(4);
+        let err = detect_stream(stream, 0, &cfg).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn eager_freeze_shares_one_arc_per_generation() {
+        let mut clocks = StreamClocks::default();
+        let i = clocks.ensure_thread(t(0));
+        let a = clocks.pin(i);
+        let b = clocks.pin(i);
+        assert!(Arc::ptr_eq(&a, &b), "same generation must share one Arc");
+        clocks.invalidate(i);
+        clocks.current[i].increment(t(0));
+        let c = clocks.pin(i);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c.get(t(0)) > a.get(t(0)));
+    }
+}

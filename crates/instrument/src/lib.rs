@@ -35,6 +35,7 @@
 mod config;
 mod multi;
 mod observer;
+mod sink;
 mod timestamps;
 
 pub use config::{
@@ -42,4 +43,5 @@ pub use config::{
 };
 pub use multi::{MultiSamplerInstrumenter, MultiSamplerOutput, PerSamplerStats};
 pub use observer::{InstrumentOutput, Instrumenter};
+pub use sink::{RecordSink, V1Sink, V2Sink};
 pub use timestamps::{TimestampBank, PAPER_COUNTER_COUNT};

@@ -20,13 +20,16 @@ use literace_samplers::{BurstState, Sampler};
 use literace_sim::{alloc_page_var, pages_of, Event, Observer, Pc, SyncOpKind, SyncVar, ThreadId};
 
 use crate::config::{InstrStats, InstrumentConfig, LoopPolicy, OverheadBreakdown};
+use crate::sink::RecordSink;
 use crate::timestamps::TimestampBank;
 
-/// Everything a LiteRace run produces.
+/// Everything a LiteRace run produces. Generic over the record
+/// destination: the default materializes an [`EventLog`]; a streaming
+/// sink (see [`V2Sink`](crate::V2Sink)) holds a log writer instead.
 #[derive(Debug)]
-pub struct InstrumentOutput {
-    /// The event log (sync always; memory accesses as sampled).
-    pub log: EventLog,
+pub struct InstrumentOutput<L = EventLog> {
+    /// The record destination (sync always; memory accesses as sampled).
+    pub log: L,
     /// Modeled overhead, decomposed as in Figure 6.
     pub overhead: OverheadBreakdown,
     /// Activity counters (ESR numerator/denominator etc.).
@@ -48,27 +51,38 @@ struct FrameInfo {
     loops: Option<HashMap<u64, BurstState>>,
 }
 
-/// The single-sampler instrumentation observer.
+/// The single-sampler instrumentation observer, generic over where its
+/// records go (`L`, default [`EventLog`]).
 #[derive(Debug)]
-pub struct Instrumenter<S> {
+pub struct Instrumenter<S, L = EventLog> {
     sampler: S,
     cfg: InstrumentConfig,
     bank: TimestampBank,
-    log: EventLog,
+    log: L,
     frames: Vec<Vec<FrameInfo>>,
     stats: InstrStats,
     overhead: OverheadBreakdown,
 }
 
 impl<S: Sampler> Instrumenter<S> {
-    /// Creates an instrumenter with the given sampler and configuration.
+    /// Creates an instrumenter materializing its records in an
+    /// [`EventLog`].
     pub fn new(sampler: S, cfg: InstrumentConfig) -> Instrumenter<S> {
+        Instrumenter::with_sink(sampler, cfg, EventLog::new())
+    }
+}
+
+impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
+    /// Creates an instrumenter emitting records into `sink` as they are
+    /// produced — e.g. a [`V2Sink`](crate::V2Sink) writing compact v2 log
+    /// blocks straight to a file, with no in-memory log.
+    pub fn with_sink(sampler: S, cfg: InstrumentConfig, sink: L) -> Instrumenter<S, L> {
         let bank = TimestampBank::with_counters(cfg.timestamp_counters);
         Instrumenter {
             sampler,
             cfg,
             bank,
-            log: EventLog::new(),
+            log: sink,
             frames: Vec::new(),
             stats: InstrStats::default(),
             overhead: OverheadBreakdown::default(),
@@ -76,7 +90,7 @@ impl<S: Sampler> Instrumenter<S> {
     }
 
     /// Finishes the run, returning the log, overhead and statistics.
-    pub fn finish(self) -> InstrumentOutput {
+    pub fn finish(self) -> InstrumentOutput<L> {
         let units_per_stamp = if self.bank.total_stamps == 0 {
             0.0
         } else {
@@ -136,7 +150,7 @@ impl<S: Sampler> Instrumenter<S> {
     }
 }
 
-impl<S: Sampler> Observer for Instrumenter<S> {
+impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
     fn on_event(&mut self, event: &Event) {
         match *event {
             Event::ThreadStart { tid, .. } => {

@@ -16,6 +16,19 @@ pub enum LogError {
         /// Description of the malformation.
         reason: String,
     },
+    /// The stream claims to be a versioned log but the magic bytes are
+    /// wrong (e.g. a truncated header or an unrelated file).
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: Vec<u8>,
+    },
+    /// The stream is a versioned log of a version this build cannot read.
+    UnsupportedVersion {
+        /// The version byte found in the header.
+        found: u8,
+        /// The highest version this reader supports.
+        supported: u8,
+    },
     /// An underlying I/O failure.
     Io(io::Error),
 }
@@ -32,6 +45,13 @@ impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogError::Corrupt { reason } => write!(f, "corrupt log: {reason}"),
+            LogError::BadMagic { found } => {
+                write!(f, "bad log magic: expected a log header, found {found:02X?}")
+            }
+            LogError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported log version {found} (this reader supports up to v{supported})"
+            ),
             LogError::Io(e) => write!(f, "log i/o error: {e}"),
         }
     }
@@ -41,7 +61,9 @@ impl Error for LogError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             LogError::Io(e) => Some(e),
-            LogError::Corrupt { .. } => None,
+            LogError::Corrupt { .. }
+            | LogError::BadMagic { .. }
+            | LogError::UnsupportedVersion { .. } => None,
         }
     }
 }

@@ -20,9 +20,14 @@ pub const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
 ///
 /// Pass a `&mut` reference if you need the writer back (readers and writers
 /// are taken by value per the standard-library convention).
+///
+/// Buffered bytes are flushed by [`finish`](LogWriter::finish) — which is
+/// the only place flush *errors* are observable — or, best-effort, on
+/// drop, so a writer that goes out of scope early cannot silently truncate
+/// the log.
 #[derive(Debug)]
-pub struct LogWriter<W> {
-    sink: W,
+pub struct LogWriter<W: Write> {
+    sink: Option<W>,
     buf: BytesMut,
     records_written: u64,
     bytes_written: u64,
@@ -32,7 +37,7 @@ impl<W: Write> LogWriter<W> {
     /// Creates a writer over `sink`.
     pub fn new(sink: W) -> LogWriter<W> {
         LogWriter {
-            sink,
+            sink: Some(sink),
             buf: BytesMut::with_capacity(64 * 1024),
             records_written: 0,
             bytes_written: 0,
@@ -54,8 +59,9 @@ impl<W: Write> LogWriter<W> {
     }
 
     fn flush_buf(&mut self) -> LogResult<()> {
+        let sink = self.sink.as_mut().expect("writer not finished");
+        sink.write_all(&self.buf)?;
         self.bytes_written += self.buf.len() as u64;
-        self.sink.write_all(&self.buf)?;
         self.buf.clear();
         Ok(())
     }
@@ -67,8 +73,9 @@ impl<W: Write> LogWriter<W> {
     /// Propagates I/O errors from the final flush.
     pub fn finish(mut self) -> LogResult<W> {
         self.flush_buf()?;
-        self.sink.flush()?;
-        Ok(self.sink)
+        let mut sink = self.sink.take().expect("writer not finished");
+        sink.flush()?;
+        Ok(sink)
     }
 
     /// Records written so far.
@@ -79,6 +86,20 @@ impl<W: Write> LogWriter<W> {
     /// Bytes written so far, including still-buffered bytes.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written + self.buf.len() as u64
+    }
+}
+
+impl<W: Write> Drop for LogWriter<W> {
+    /// Best-effort flush of buffered bytes. Errors are swallowed here —
+    /// call [`finish`](LogWriter::finish) to observe them.
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            if !self.buf.is_empty() {
+                let _ = sink.write_all(&self.buf);
+                self.buf.clear();
+            }
+            let _ = sink.flush();
+        }
     }
 }
 
@@ -281,6 +302,39 @@ mod tests {
         let r = some_records(1);
         w.write_record(&r[0]).unwrap();
         assert_eq!(w.bytes_written(), crate::codec::MEM_RECORD_BYTES as u64);
+    }
+
+    #[test]
+    fn writer_drop_flushes_buffered_records() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        /// A sink whose bytes outlive the writer that owns it.
+        #[derive(Clone)]
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let records = some_records(100);
+        let sink = SharedSink(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut w = LogWriter::new(sink.clone());
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+            // Dropped without finish(): 100 records fit well inside the
+            // 48 KiB buffer, so nothing has reached the sink yet.
+        }
+        let bytes = sink.0.lock().unwrap().clone();
+        let log = LogReader::new(&bytes[..]).read_all().unwrap();
+        assert_eq!(log.records(), &records[..]);
     }
 
     #[test]

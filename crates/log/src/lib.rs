@@ -34,6 +34,9 @@ mod error;
 mod io;
 mod record;
 mod stats;
+mod stream;
+mod v2;
+mod varint;
 
 pub use codec::{
     decode, decode_all, encode, encode_all, encoded_len, tag_len, MARKER_RECORD_BYTES,
@@ -46,3 +49,13 @@ pub use io::{
 };
 pub use record::{EventLog, Record, SamplerMask};
 pub use stats::LogStats;
+pub use stream::{
+    read_log_auto, LogFormat, RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH, V1_BLOCK_RECORDS,
+};
+pub use v2::{
+    decode_block, encode_block, encode_v2, LogWriterV2, V2Blocks, DEFAULT_BLOCK_BYTES, V2_MAGIC,
+    V2_VERSION,
+};
+pub use varint::{
+    get_delta, get_varint, put_delta, put_varint, unzigzag, zigzag, MAX_VARINT_BYTES,
+};

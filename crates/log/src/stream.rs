@@ -1,0 +1,400 @@
+//! Streaming, format-auto-detecting log ingest.
+//!
+//! The offline detector should never need the whole encoded log — or the
+//! whole decoded log — in memory at once. This module provides the pieces:
+//!
+//! * [`LogFormat`] detection from the first bytes (v1 logs start with a
+//!   record tag in `1..=4`, v2 with the [`V2_MAGIC`] header);
+//! * [`RecordBlocks`], a synchronous iterator of decoded record blocks
+//!   over either format (v1 records are re-batched into fixed-size
+//!   blocks, v2 blocks come straight from the wire);
+//! * [`RecordStream`], the same blocks pulled through a **bounded
+//!   channel** from a decoder thread, so decoding overlaps whatever the
+//!   consumer does with the blocks (sync pre-pass, shard routing, shard
+//!   replay — see `literace_detector::detect_stream`).
+//!
+//! [`V2_MAGIC`]: crate::v2::V2_MAGIC
+
+use std::io::Read;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use crate::error::{LogError, LogResult};
+use crate::io::{LogReader, DEFAULT_CHUNK_BYTES};
+use crate::record::{EventLog, Record};
+use crate::v2::{V2Blocks, V2_MAGIC, V2_VERSION};
+
+/// Number of records per re-batched block when streaming a v1 log.
+pub const V1_BLOCK_RECORDS: usize = 4096;
+
+/// Default bound (in blocks) of the decode channel: enough to keep the
+/// decoder busy, small enough that in-flight decoded records stay bounded.
+pub const DEFAULT_STREAM_DEPTH: usize = 8;
+
+/// On-disk log format revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Fixed-width tagged records, no header (the seed format).
+    V1,
+    /// Blocked varint-delta records behind a magic+version header.
+    V2,
+}
+
+impl LogFormat {
+    /// Parses a `--format` style name.
+    pub fn from_name(name: &str) -> Option<LogFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "v1" | "1" => Some(LogFormat::V1),
+            "v2" | "2" => Some(LogFormat::V2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LogFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogFormat::V1 => write!(f, "v1"),
+            LogFormat::V2 => write!(f, "v2"),
+        }
+    }
+}
+
+/// Reads up to 5 header bytes and classifies the stream, returning the
+/// format and the bytes consumed while peeking (to be replayed in front
+/// of the remaining source for v1).
+///
+/// # Errors
+///
+/// Returns [`LogError::UnsupportedVersion`] for a v2 magic with an
+/// unknown version byte and [`LogError::Io`] on read failure. A stream
+/// that merely *starts like* the magic but diverges is treated as v1 and
+/// left for the v1 decoder to judge.
+fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
+    let mut head = [0u8; 5];
+    let mut filled = 0;
+    while filled < head.len() {
+        match source.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LogError::Io(e)),
+        }
+    }
+    let head = &head[..filled];
+    if filled >= 4 && head[..4] == V2_MAGIC {
+        if filled < 5 {
+            return Err(LogError::corrupt("v2 header truncated before version byte"));
+        }
+        if head[4] != V2_VERSION {
+            return Err(LogError::UnsupportedVersion {
+                found: head[4],
+                supported: V2_VERSION,
+            });
+        }
+        Ok((LogFormat::V2, Vec::new()))
+    } else {
+        Ok((LogFormat::V1, head.to_vec()))
+    }
+}
+
+/// A `Read` source with a replayed prefix (the bytes consumed by format
+/// sniffing).
+type Replayed<R> = std::io::Chain<std::io::Cursor<Vec<u8>>, R>;
+
+enum Blocks<R: Read> {
+    V1 {
+        records: crate::io::ChunkedRecords<Replayed<R>>,
+        done: bool,
+    },
+    V2(V2Blocks<R>),
+}
+
+/// Synchronous block iterator over either log format.
+///
+/// Yields `LogResult<Vec<Record>>`; fuses after the first error.
+pub struct RecordBlocks<R: Read> {
+    inner: Blocks<R>,
+    format: LogFormat,
+}
+
+impl<R: Read> std::fmt::Debug for RecordBlocks<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordBlocks")
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> RecordBlocks<R> {
+    /// Opens a block iterator over `source`, auto-detecting the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnsupportedVersion`] for an unreadable v2
+    /// version and [`LogError::Io`] on read failure.
+    pub fn open(mut source: R) -> LogResult<RecordBlocks<R>> {
+        let (format, replay) = sniff_format(&mut source)?;
+        Ok(match format {
+            LogFormat::V1 => RecordBlocks {
+                inner: Blocks::V1 {
+                    records: LogReader::new(
+                        std::io::Cursor::new(replay).chain(source),
+                    )
+                    .records(DEFAULT_CHUNK_BYTES),
+                    done: false,
+                },
+                format,
+            },
+            LogFormat::V2 => RecordBlocks {
+                inner: Blocks::V2(V2Blocks::after_header(source)),
+                format,
+            },
+        })
+    }
+
+    /// The detected on-disk format.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+}
+
+impl<R: Read> Iterator for RecordBlocks<R> {
+    type Item = LogResult<Vec<Record>>;
+
+    fn next(&mut self) -> Option<LogResult<Vec<Record>>> {
+        match &mut self.inner {
+            Blocks::V1 { records, done } => {
+                if *done {
+                    return None;
+                }
+                let mut block = Vec::with_capacity(V1_BLOCK_RECORDS);
+                for r in records.by_ref() {
+                    match r {
+                        Ok(r) => {
+                            block.push(r);
+                            if block.len() >= V1_BLOCK_RECORDS {
+                                return Some(Ok(block));
+                            }
+                        }
+                        Err(e) => {
+                            *done = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                *done = true;
+                if block.is_empty() {
+                    None
+                } else {
+                    Some(Ok(block))
+                }
+            }
+            Blocks::V2(blocks) => blocks.next(),
+        }
+    }
+}
+
+/// Decoded blocks pulled through a bounded channel from a decoder thread.
+///
+/// Dropping the stream early detaches the decoder (it stops at the next
+/// send); exhausting it joins the thread.
+#[derive(Debug)]
+pub struct RecordStream {
+    receiver: Receiver<LogResult<Vec<Record>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    format: LogFormat,
+}
+
+impl RecordStream {
+    /// Spawns a decoder thread over `source` and returns the consuming
+    /// end. `depth` bounds the channel in blocks
+    /// ([`DEFAULT_STREAM_DEPTH`] is a good default).
+    ///
+    /// # Errors
+    ///
+    /// Format sniffing happens synchronously, so header errors
+    /// ([`LogError::UnsupportedVersion`], I/O) surface here; decode
+    /// errors surface as items of the stream.
+    pub fn spawn<R: Read + Send + 'static>(
+        source: R,
+        depth: usize,
+    ) -> LogResult<RecordStream> {
+        let blocks = RecordBlocks::open(source)?;
+        let format = blocks.format();
+        let (sender, receiver): (SyncSender<_>, Receiver<_>) =
+            sync_channel(depth.max(1));
+        let handle = std::thread::Builder::new()
+            .name("literace-log-decode".to_owned())
+            .spawn(move || {
+                for block in blocks {
+                    if sender.send(block).is_err() {
+                        // Consumer dropped the stream; stop decoding.
+                        return;
+                    }
+                }
+            })
+            .map_err(LogError::Io)?;
+        Ok(RecordStream {
+            receiver,
+            handle: Some(handle),
+            format,
+        })
+    }
+
+    /// The detected on-disk format.
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = LogResult<Vec<Record>>;
+
+    fn next(&mut self) -> Option<LogResult<Vec<Record>>> {
+        match self.receiver.recv() {
+            Ok(item) => Some(item),
+            Err(_) => {
+                if let Some(handle) = self.handle.take() {
+                    let _ = handle.join();
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Drop for RecordStream {
+    fn drop(&mut self) {
+        // Detach the decoder thread: once the receiver is dropped, its
+        // next send fails and it exits. Draining first unblocks a sender
+        // currently parked on a full channel.
+        while self.receiver.try_recv().is_ok() {}
+        drop(self.handle.take());
+    }
+}
+
+/// Reads an entire log of either format into an [`EventLog`].
+///
+/// # Errors
+///
+/// Returns the first decoding or I/O error.
+pub fn read_log_auto(source: impl Read) -> LogResult<EventLog> {
+    let mut log = EventLog::new();
+    for block in RecordBlocks::open(source)? {
+        log.extend(block?);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_all;
+    use crate::record::SamplerMask;
+    use crate::v2::encode_v2;
+    use literace_sim::{Addr, FuncId, Pc, ThreadId};
+
+    fn some_records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::Mem {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(FuncId::from_index(i % 5), i),
+                addr: Addr::global((i % 7) as u64),
+                is_write: i % 2 == 0,
+                mask: SamplerMask::bit(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_detects_v1() {
+        let records = some_records(10);
+        let bytes = encode_all(&records);
+        let blocks = RecordBlocks::open(&bytes[..]).unwrap();
+        assert_eq!(blocks.format(), LogFormat::V1);
+        let decoded: Vec<Record> = blocks.flat_map(|b| b.unwrap()).collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn auto_detects_v2() {
+        let records = some_records(10_000);
+        let bytes = encode_v2(&records);
+        let blocks = RecordBlocks::open(&bytes[..]).unwrap();
+        assert_eq!(blocks.format(), LogFormat::V2);
+        let decoded: Vec<Record> = blocks.flat_map(|b| b.unwrap()).collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn v1_blocks_are_bounded() {
+        let records = some_records(V1_BLOCK_RECORDS + 7);
+        let bytes = encode_all(&records);
+        let sizes: Vec<usize> = RecordBlocks::open(&bytes[..])
+            .unwrap()
+            .map(|b| b.unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![V1_BLOCK_RECORDS, 7]);
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_v1_log() {
+        let log = read_log_auto(std::io::empty()).unwrap();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn short_v1_logs_survive_sniffing() {
+        // 1–4 byte logs are shorter than the magic peek; the replay path
+        // must hand every byte back to the v1 decoder.
+        let records = vec![Record::ThreadBegin {
+            tid: ThreadId::MAIN,
+        }];
+        let bytes = encode_all(&records);
+        assert!(bytes.len() < 5 + 1);
+        let log = read_log_auto(&bytes[..]).unwrap();
+        assert_eq!(log.records(), &records[..]);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = encode_v2(&some_records(3)).to_vec();
+        bytes[4] = 9;
+        let err = RecordBlocks::open(&bytes[..]).unwrap_err();
+        assert!(
+            matches!(err, LogError::UnsupportedVersion { found: 9, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stream_round_trips_both_formats() {
+        let records = some_records(10_000);
+        for bytes in [encode_all(&records), encode_v2(&records)] {
+            let owned: Vec<u8> = bytes.to_vec();
+            let stream =
+                RecordStream::spawn(std::io::Cursor::new(owned), DEFAULT_STREAM_DEPTH)
+                    .unwrap();
+            let decoded: Vec<Record> = stream.flat_map(|b| b.unwrap()).collect();
+            assert_eq!(decoded, records);
+        }
+    }
+
+    #[test]
+    fn dropping_stream_midway_does_not_hang() {
+        let records = some_records(100_000);
+        let bytes: Vec<u8> = encode_v2(&records).to_vec();
+        let mut stream = RecordStream::spawn(std::io::Cursor::new(bytes), 1).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(!first.is_empty());
+        drop(stream); // must not deadlock on the full channel
+    }
+
+    #[test]
+    fn read_log_auto_reads_v2() {
+        let records = some_records(500);
+        let bytes = encode_v2(&records);
+        let log = read_log_auto(&bytes[..]).unwrap();
+        assert_eq!(log.records(), &records[..]);
+    }
+}

@@ -1,0 +1,740 @@
+//! The v2 log format: compact, blocked, streamable.
+//!
+//! The paper treats log volume as a first-order cost (Table 5 reports
+//! MB/s of log traffic); v1's fixed-width records pay 26–30 bytes per
+//! record regardless of content. The v2 format exploits the structure the
+//! stream actually has:
+//!
+//! * **Per-thread deltas** — a thread's consecutive accesses touch nearby
+//!   addresses and program counters, and its logical timestamps are
+//!   near-monotonic, so each field is a zigzag varint delta against the
+//!   same thread's previous record (state keyed by thread, records still
+//!   in the single global order).
+//! * **Packed tags** — the record kind, sync-op kind, `is_write` flag and
+//!   the two overwhelmingly common sampler masks (`bit 0`, `FULL`) all fit
+//!   in one tag byte.
+//! * **Length-prefixed blocks** — records are grouped into blocks with a
+//!   byte-length and record-count header, and the delta state resets at
+//!   each block start, so every block decodes independently: a streaming
+//!   reader hands whole blocks downstream without materializing the log,
+//!   and corruption is confined to one block.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! file   := magic(4: "LRL\x02") version(1: 0x02) block*
+//! block  := payload_len(u32 LE) record_count(u32 LE) payload
+//! record := tag(1) tid(varint) fields…       (see `encode_into_block`)
+//! ```
+//!
+//! v1 logs start with a record tag byte in `1..=4`, never `b'L'`, so the
+//! two formats are distinguishable from the first byte (see
+//! [`crate::stream`] for the auto-detecting reader).
+
+use std::io::Write;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
+
+use crate::error::{LogError, LogResult};
+use crate::record::{Record, SamplerMask};
+use crate::varint::{get_delta, get_varint, put_delta, put_varint};
+
+/// Magic bytes opening a v2 log file.
+pub const V2_MAGIC: [u8; 4] = *b"LRL\x02";
+
+/// Current (and only) versioned format revision.
+pub const V2_VERSION: u8 = 2;
+
+/// Default block payload size at which the writer seals a block.
+pub const DEFAULT_BLOCK_BYTES: usize = 32 * 1024;
+
+/// Hard cap on a block's declared payload length; a corrupt header cannot
+/// make the reader allocate unboundedly.
+const MAX_BLOCK_PAYLOAD: u32 = 1 << 30;
+
+const KIND_SYNC: u8 = 1;
+const KIND_MEM: u8 = 2;
+const KIND_BEGIN: u8 = 3;
+const KIND_END: u8 = 4;
+
+/// Mem tag bit: the access is a write.
+const MEM_WRITE_BIT: u8 = 1 << 3;
+/// Mem tag mask-mode field (bits 4–5): 0 = explicit varint follows,
+/// 1 = `SamplerMask::bit(0)`, 2 = `SamplerMask::FULL`.
+const MEM_MASK_SHIFT: u8 = 4;
+const MEM_MASK_EXPLICIT: u8 = 0;
+const MEM_MASK_BIT0: u8 = 1;
+const MEM_MASK_FULL: u8 = 2;
+
+fn sync_kind_to_u8(kind: SyncOpKind) -> u8 {
+    match kind {
+        SyncOpKind::LockAcquire => 0,
+        SyncOpKind::LockRelease => 1,
+        SyncOpKind::Notify => 2,
+        SyncOpKind::WaitReturn => 3,
+        SyncOpKind::Reset => 4,
+        SyncOpKind::Fork => 5,
+        SyncOpKind::ThreadStart => 6,
+        SyncOpKind::ThreadExit => 7,
+        SyncOpKind::Join => 8,
+        SyncOpKind::AtomicRmw => 9,
+        SyncOpKind::AllocPage => 10,
+        SyncOpKind::SemRelease => 11,
+        SyncOpKind::SemAcquire => 12,
+        SyncOpKind::BarrierArrive => 13,
+        SyncOpKind::BarrierDepart => 14,
+    }
+}
+
+fn sync_kind_from_u8(v: u8) -> LogResult<SyncOpKind> {
+    Ok(match v {
+        0 => SyncOpKind::LockAcquire,
+        1 => SyncOpKind::LockRelease,
+        2 => SyncOpKind::Notify,
+        3 => SyncOpKind::WaitReturn,
+        4 => SyncOpKind::Reset,
+        5 => SyncOpKind::Fork,
+        6 => SyncOpKind::ThreadStart,
+        7 => SyncOpKind::ThreadExit,
+        8 => SyncOpKind::Join,
+        9 => SyncOpKind::AtomicRmw,
+        10 => SyncOpKind::AllocPage,
+        11 => SyncOpKind::SemRelease,
+        12 => SyncOpKind::SemAcquire,
+        13 => SyncOpKind::BarrierArrive,
+        14 => SyncOpKind::BarrierDepart,
+        other => return Err(LogError::corrupt(format!("bad sync kind {other}"))),
+    })
+}
+
+/// Per-thread delta context. Reset at every block boundary so blocks
+/// decode independently.
+#[derive(Debug, Default, Clone, Copy)]
+struct ThreadDeltas {
+    last_pc: u64,
+    last_addr: u64,
+    last_var: u64,
+    last_ts: u64,
+}
+
+/// Delta state for one block, encoder and decoder side alike.
+#[derive(Debug, Default)]
+struct BlockState {
+    threads: std::collections::HashMap<u32, ThreadDeltas>,
+}
+
+impl BlockState {
+    fn thread(&mut self, tid: u32) -> &mut ThreadDeltas {
+        self.threads.entry(tid).or_default()
+    }
+}
+
+/// Encodes `record` into a block payload, updating the block's delta state.
+fn encode_into_block(state: &mut BlockState, record: &Record, buf: &mut BytesMut) {
+    match *record {
+        Record::Sync {
+            tid,
+            pc,
+            kind,
+            var,
+            timestamp,
+        } => {
+            buf.put_u8(KIND_SYNC | (sync_kind_to_u8(kind) << 3));
+            let tid = tid.index() as u32;
+            put_varint(buf, u64::from(tid));
+            let t = state.thread(tid);
+            put_delta(buf, t.last_pc, pc.0);
+            put_delta(buf, t.last_var, var.0);
+            put_delta(buf, t.last_ts, timestamp);
+            t.last_pc = pc.0;
+            t.last_var = var.0;
+            t.last_ts = timestamp;
+        }
+        Record::Mem {
+            tid,
+            pc,
+            addr,
+            is_write,
+            mask,
+        } => {
+            let mask_mode = if mask == SamplerMask::bit(0) {
+                MEM_MASK_BIT0
+            } else if mask == SamplerMask::FULL {
+                MEM_MASK_FULL
+            } else {
+                MEM_MASK_EXPLICIT
+            };
+            let mut tag = KIND_MEM | (mask_mode << MEM_MASK_SHIFT);
+            if is_write {
+                tag |= MEM_WRITE_BIT;
+            }
+            buf.put_u8(tag);
+            let tid = tid.index() as u32;
+            put_varint(buf, u64::from(tid));
+            let t = state.thread(tid);
+            put_delta(buf, t.last_pc, pc.0);
+            put_delta(buf, t.last_addr, addr.raw());
+            t.last_pc = pc.0;
+            t.last_addr = addr.raw();
+            if mask_mode == MEM_MASK_EXPLICIT {
+                put_varint(buf, u64::from(mask.0));
+            }
+        }
+        Record::ThreadBegin { tid } => {
+            buf.put_u8(KIND_BEGIN);
+            put_varint(buf, tid.index() as u64);
+        }
+        Record::ThreadEnd { tid } => {
+            buf.put_u8(KIND_END);
+            put_varint(buf, tid.index() as u64);
+        }
+    }
+}
+
+/// Decodes one record from a block payload, updating the delta state.
+fn decode_from_block(state: &mut BlockState, buf: &mut impl Buf) -> LogResult<Record> {
+    if !buf.has_remaining() {
+        return Err(LogError::corrupt("truncated block: record expected"));
+    }
+    let tag = buf.get_u8();
+    let kind = tag & 0b111;
+    match kind {
+        KIND_SYNC => {
+            if tag & 0x80 != 0 {
+                return Err(LogError::corrupt(format!("bad sync tag {tag:#04x}")));
+            }
+            let sync_kind = sync_kind_from_u8((tag >> 3) & 0xF)?;
+            let tid = get_tid(buf)?;
+            let t = state.thread(tid);
+            let pc = get_delta(buf, t.last_pc)?;
+            let var = get_delta(buf, t.last_var)?;
+            let ts = get_delta(buf, t.last_ts)?;
+            t.last_pc = pc;
+            t.last_var = var;
+            t.last_ts = ts;
+            Ok(Record::Sync {
+                tid: ThreadId::from_index(tid as usize),
+                pc: Pc(pc),
+                kind: sync_kind,
+                var: SyncVar(var),
+                timestamp: ts,
+            })
+        }
+        KIND_MEM => {
+            if tag & 0xC0 != 0 {
+                return Err(LogError::corrupt(format!("bad mem tag {tag:#04x}")));
+            }
+            let mask_mode = (tag >> MEM_MASK_SHIFT) & 0b11;
+            let tid = get_tid(buf)?;
+            let t = state.thread(tid);
+            let pc = get_delta(buf, t.last_pc)?;
+            let addr = get_delta(buf, t.last_addr)?;
+            t.last_pc = pc;
+            t.last_addr = addr;
+            let mask = match mask_mode {
+                MEM_MASK_BIT0 => SamplerMask::bit(0),
+                MEM_MASK_FULL => SamplerMask::FULL,
+                MEM_MASK_EXPLICIT => {
+                    let raw = get_varint(buf)?;
+                    let raw = u32::try_from(raw).map_err(|_| {
+                        LogError::corrupt(format!("sampler mask {raw:#x} exceeds 32 bits"))
+                    })?;
+                    SamplerMask(raw)
+                }
+                other => {
+                    return Err(LogError::corrupt(format!("bad mem mask mode {other}")))
+                }
+            };
+            Ok(Record::Mem {
+                tid: ThreadId::from_index(tid as usize),
+                pc: Pc(pc),
+                addr: Addr(addr),
+                is_write: tag & MEM_WRITE_BIT != 0,
+                mask,
+            })
+        }
+        KIND_BEGIN | KIND_END => {
+            if tag & !0b111 != 0 {
+                return Err(LogError::corrupt(format!("bad marker tag {tag:#04x}")));
+            }
+            let tid = ThreadId::from_index(get_tid(buf)? as usize);
+            Ok(if kind == KIND_BEGIN {
+                Record::ThreadBegin { tid }
+            } else {
+                Record::ThreadEnd { tid }
+            })
+        }
+        other => Err(LogError::corrupt(format!("unknown v2 record kind {other}"))),
+    }
+}
+
+fn get_tid(buf: &mut impl Buf) -> LogResult<u32> {
+    let raw = get_varint(buf)?;
+    u32::try_from(raw)
+        .map_err(|_| LogError::corrupt(format!("thread id {raw} exceeds 32 bits")))
+}
+
+/// Encodes `records` as one self-contained block (header + payload).
+pub fn encode_block<'a>(
+    records: impl IntoIterator<Item = &'a Record>,
+    out: &mut BytesMut,
+) -> usize {
+    let mut state = BlockState::default();
+    let mut payload = BytesMut::new();
+    let mut count: u32 = 0;
+    for r in records {
+        encode_into_block(&mut state, r, &mut payload);
+        count += 1;
+    }
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(count);
+    out.extend_from_slice(&payload);
+    count as usize
+}
+
+/// Decodes one block payload declared to hold `count` records.
+///
+/// # Errors
+///
+/// Returns [`LogError::Corrupt`] when the payload truncates mid-record,
+/// holds malformed varints or tags, or has trailing bytes after the
+/// declared record count.
+pub fn decode_block(payload: &[u8], count: u32) -> LogResult<Vec<Record>> {
+    let mut state = BlockState::default();
+    let mut slice = payload;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(decode_from_block(&mut state, &mut slice)?);
+    }
+    if !slice.is_empty() {
+        return Err(LogError::corrupt(format!(
+            "block has {} trailing bytes after {count} records",
+            slice.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Writes records as a v2 log: header once, then size-bounded blocks.
+///
+/// Buffered state is flushed on [`finish`](LogWriterV2::finish) (which
+/// also reports errors) or, best-effort, on drop — a dropped writer never
+/// silently truncates whole blocks, but only `finish` surfaces failures.
+#[derive(Debug)]
+pub struct LogWriterV2<W: Write> {
+    sink: Option<W>,
+    /// Encoded payload of the open block.
+    payload: BytesMut,
+    state: BlockState,
+    block_records: u32,
+    block_bytes: usize,
+    records_written: u64,
+    bytes_written: u64,
+    header_written: bool,
+}
+
+impl<W: Write> LogWriterV2<W> {
+    /// Creates a v2 writer over `sink` with the default block size.
+    pub fn new(sink: W) -> LogWriterV2<W> {
+        LogWriterV2::with_block_bytes(sink, DEFAULT_BLOCK_BYTES)
+    }
+
+    /// Creates a v2 writer sealing blocks at `block_bytes` of payload.
+    pub fn with_block_bytes(sink: W, block_bytes: usize) -> LogWriterV2<W> {
+        LogWriterV2 {
+            sink: Some(sink),
+            payload: BytesMut::with_capacity(block_bytes.max(1) + 256),
+            state: BlockState::default(),
+            block_records: 0,
+            block_bytes: block_bytes.max(1),
+            records_written: 0,
+            bytes_written: 0,
+            header_written: false,
+        }
+    }
+
+    /// Appends one record, sealing a block when the payload bound is hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink when a block flushes.
+    pub fn write_record(&mut self, record: &Record) -> LogResult<()> {
+        encode_into_block(&mut self.state, record, &mut self.payload);
+        self.block_records += 1;
+        self.records_written += 1;
+        if self.payload.len() >= self.block_bytes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> LogResult<()> {
+        let sink = self.sink.as_mut().expect("writer not finished");
+        if !self.header_written {
+            sink.write_all(&V2_MAGIC)?;
+            sink.write_all(&[V2_VERSION])?;
+            self.bytes_written += V2_MAGIC.len() as u64 + 1;
+            self.header_written = true;
+        }
+        if self.block_records == 0 {
+            return Ok(());
+        }
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&self.block_records.to_le_bytes());
+        sink.write_all(&header)?;
+        sink.write_all(&self.payload)?;
+        self.bytes_written += 8 + self.payload.len() as u64;
+        self.payload.clear();
+        self.block_records = 0;
+        // Blocks decode independently, so the delta state restarts.
+        self.state = BlockState::default();
+        Ok(())
+    }
+
+    /// Seals the open block, flushes, and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the final flush.
+    pub fn finish(mut self) -> LogResult<W> {
+        self.flush_block()?;
+        let mut sink = self.sink.take().expect("writer not finished");
+        sink.flush()?;
+        Ok(sink)
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Bytes emitted so far, including the open block's buffered payload
+    /// (counted as if sealed now) and the header.
+    pub fn bytes_written(&self) -> u64 {
+        let pending_header = if self.header_written { 0 } else { 5 };
+        let pending_block = if self.block_records > 0 {
+            8 + self.payload.len() as u64
+        } else {
+            0
+        };
+        self.bytes_written + pending_header + pending_block
+    }
+}
+
+impl<W: Write> Drop for LogWriterV2<W> {
+    /// Best-effort flush so a dropped writer cannot silently lose the open
+    /// block. Errors are swallowed here — call `finish` to observe them.
+    fn drop(&mut self) {
+        if self.sink.is_some() {
+            let _ = self.flush_block();
+            if let Some(sink) = self.sink.as_mut() {
+                let _ = sink.flush();
+            }
+        }
+    }
+}
+
+/// Iterator over the blocks of a v2 stream **after** the 5-byte header has
+/// been consumed (the auto-detecting opener in [`crate::stream`] does
+/// that). Yields decoded blocks; fuses after the first error.
+#[derive(Debug)]
+pub struct V2Blocks<R> {
+    source: R,
+    done: bool,
+}
+
+impl<R: std::io::Read> V2Blocks<R> {
+    /// Creates a block iterator over a source positioned at the first
+    /// block (header already consumed).
+    pub fn after_header(source: R) -> V2Blocks<R> {
+        V2Blocks {
+            source,
+            done: false,
+        }
+    }
+
+    /// Opens a stream that must be a v2 log: reads and validates the
+    /// 5-byte header before yielding blocks. Use
+    /// [`RecordBlocks`](crate::RecordBlocks) to auto-detect the format
+    /// instead (it falls back to v1 on a missing magic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::BadMagic`] when the stream does not start with
+    /// [`V2_MAGIC`], [`LogError::UnsupportedVersion`] for an unknown
+    /// version byte, and [`LogError::Io`] on read failure.
+    pub fn open(mut source: R) -> LogResult<V2Blocks<R>> {
+        let mut header = [0u8; 5];
+        let got = read_exact_or_eof(&mut source, &mut header)?;
+        if got < 4 || header[..4] != V2_MAGIC {
+            return Err(LogError::BadMagic {
+                found: header[..got.min(4)].to_vec(),
+            });
+        }
+        if got < 5 {
+            return Err(LogError::corrupt("v2 header truncated before version byte"));
+        }
+        if header[4] != V2_VERSION {
+            return Err(LogError::UnsupportedVersion {
+                found: header[4],
+                supported: V2_VERSION,
+            });
+        }
+        Ok(V2Blocks::after_header(source))
+    }
+
+    fn read_block(&mut self) -> LogResult<Option<Vec<Record>>> {
+        let mut header = [0u8; 8];
+        match read_exact_or_eof(&mut self.source, &mut header)? {
+            0 => return Ok(None),
+            8 => {}
+            n => {
+                return Err(LogError::corrupt(format!(
+                    "truncated block header: {n} of 8 bytes"
+                )))
+            }
+        }
+        let payload_len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let count = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if payload_len > MAX_BLOCK_PAYLOAD {
+            return Err(LogError::corrupt(format!(
+                "block payload length {payload_len} exceeds the {MAX_BLOCK_PAYLOAD}-byte cap"
+            )));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        let got = read_exact_or_eof(&mut self.source, &mut payload)?;
+        if got != payload.len() {
+            return Err(LogError::corrupt(format!(
+                "truncated block: {got} of {payload_len} payload bytes"
+            )));
+        }
+        Ok(Some(decode_block(&payload, count)?))
+    }
+}
+
+/// Fills `buf` as far as the source allows; returns bytes read (short only
+/// at EOF). Retries on `Interrupted`.
+fn read_exact_or_eof(source: &mut impl std::io::Read, buf: &mut [u8]) -> LogResult<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match source.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(LogError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+impl<R: std::io::Read> Iterator for V2Blocks<R> {
+    type Item = LogResult<Vec<Record>>;
+
+    fn next(&mut self) -> Option<LogResult<Vec<Record>>> {
+        if self.done {
+            return None;
+        }
+        match self.read_block() {
+            Ok(Some(block)) => Some(Ok(block)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Serializes records as a complete v2 byte stream (header + blocks).
+pub fn encode_v2<'a>(records: impl IntoIterator<Item = &'a Record>) -> Bytes {
+    let mut w = LogWriterV2::new(Vec::new());
+    for r in records {
+        w.write_record(r).expect("Vec sink cannot fail");
+    }
+    Bytes::from(w.finish().expect("Vec sink cannot fail"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encoded_len;
+    use literace_sim::FuncId;
+
+    fn sample_records() -> Vec<Record> {
+        let mut out = Vec::new();
+        out.push(Record::ThreadBegin {
+            tid: ThreadId::MAIN,
+        });
+        for i in 0..200usize {
+            out.push(Record::Mem {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(FuncId::from_index(2), i % 17),
+                addr: Addr::global((i % 13) as u64 * 8),
+                is_write: i % 2 == 0,
+                mask: SamplerMask::bit(0),
+            });
+            if i % 10 == 0 {
+                out.push(Record::Sync {
+                    tid: ThreadId::from_index(i % 3),
+                    pc: Pc::new(FuncId::from_index(1), 4),
+                    kind: SyncOpKind::LockRelease,
+                    var: SyncVar(7),
+                    timestamp: i as u64 + 1,
+                });
+            }
+        }
+        out.push(Record::ThreadEnd {
+            tid: ThreadId::from_index(2),
+        });
+        out
+    }
+
+    fn decode_stream(bytes: &[u8]) -> LogResult<Vec<Record>> {
+        assert_eq!(&bytes[..4], &V2_MAGIC);
+        assert_eq!(bytes[4], V2_VERSION);
+        let mut out = Vec::new();
+        for block in V2Blocks::after_header(&bytes[5..]) {
+            out.extend(block?);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = sample_records();
+        let bytes = encode_v2(&records);
+        assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn round_trip_across_tiny_blocks() {
+        let records = sample_records();
+        let mut w = LogWriterV2::with_block_bytes(Vec::new(), 16);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_log_is_header_only_and_round_trips() {
+        let bytes = encode_v2([]);
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(decode_stream(&bytes).unwrap(), Vec::<Record>::new());
+    }
+
+    #[test]
+    fn v2_is_at_least_2x_smaller_on_a_typical_stream() {
+        let records = sample_records();
+        let v1: usize = records.iter().map(encoded_len).sum();
+        let v2 = encode_v2(&records).len();
+        assert!(
+            v2 * 2 <= v1,
+            "v2 ({v2} bytes) must be ≥2x smaller than v1 ({v1} bytes)"
+        );
+    }
+
+    #[test]
+    fn every_sync_kind_round_trips() {
+        use SyncOpKind::*;
+        let kinds = [
+            LockAcquire,
+            LockRelease,
+            Notify,
+            WaitReturn,
+            Reset,
+            SemRelease,
+            SemAcquire,
+            BarrierArrive,
+            BarrierDepart,
+            Fork,
+            ThreadStart,
+            ThreadExit,
+            Join,
+            AtomicRmw,
+            AllocPage,
+        ];
+        let records: Vec<Record> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| Record::Sync {
+                tid: ThreadId::from_index(i),
+                pc: Pc(u64::MAX - i as u64),
+                kind,
+                var: SyncVar(i as u64),
+                timestamp: i as u64,
+            })
+            .collect();
+        let bytes = encode_v2(&records);
+        assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn explicit_and_special_masks_round_trip() {
+        let masks = [
+            SamplerMask::EMPTY,
+            SamplerMask::bit(0),
+            SamplerMask::bit(5),
+            SamplerMask(0b1011),
+            SamplerMask::FULL,
+        ];
+        let records: Vec<Record> = masks
+            .iter()
+            .map(|&mask| Record::Mem {
+                tid: ThreadId::MAIN,
+                pc: Pc(3),
+                addr: Addr(40),
+                is_write: false,
+                mask,
+            })
+            .collect();
+        let bytes = encode_v2(&records);
+        assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn trailing_bytes_in_block_are_corrupt() {
+        let records = vec![Record::ThreadBegin {
+            tid: ThreadId::MAIN,
+        }];
+        let mut buf = BytesMut::new();
+        encode_block(&records, &mut buf);
+        let mut payload = buf[8..].to_vec(); // strip the block header
+        payload.push(0x00); // extra byte after the declared record
+        let err = decode_block(&payload, 1).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn writer_drop_flushes_open_block() {
+        let records = sample_records();
+        let mut sink = Vec::new();
+        {
+            let mut w = LogWriterV2::new(&mut sink);
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+            // Dropped without finish(): the open block must still land.
+        }
+        assert_eq!(decode_stream(&sink).unwrap(), records);
+    }
+
+    #[test]
+    fn bytes_written_matches_final_size() {
+        let records = sample_records();
+        let mut w = LogWriterV2::with_block_bytes(Vec::new(), 64);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let claimed = w.bytes_written();
+        let bytes = w.finish().unwrap();
+        assert_eq!(claimed, bytes.len() as u64);
+    }
+}

@@ -1,0 +1,177 @@
+//! Decode-robustness contract for the v2 format: malformed inputs —
+//! truncated blocks, corrupted varints, wrong magic, unknown versions —
+//! must produce typed [`LogError`]s, never a panic and never invented
+//! records.
+
+use literace_log::{
+    encode_v2, read_log_auto, LogError, Record, RecordBlocks, SamplerMask, V2Blocks,
+    V2_MAGIC, V2_VERSION,
+};
+use literace_sim::{Addr, FuncId, Pc, SyncOpKind, SyncVar, ThreadId};
+
+fn sample_records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => Record::Sync {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(FuncId::from_index(1), i),
+                kind: SyncOpKind::LockRelease,
+                var: SyncVar(7),
+                timestamp: i as u64,
+            },
+            _ => Record::Mem {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(FuncId::from_index(2), i % 17),
+                addr: Addr::global((i % 13) as u64 * 8),
+                is_write: i % 2 == 0,
+                mask: SamplerMask::bit(0),
+            },
+        })
+        .collect()
+}
+
+fn collect(blocks: impl Iterator<Item = literace_log::LogResult<Vec<Record>>>)
+    -> literace_log::LogResult<Vec<Record>> {
+    let mut out = Vec::new();
+    for b in blocks {
+        out.extend(b?);
+    }
+    Ok(out)
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let err = V2Blocks::open(&b"not a log at all"[..]).unwrap_err();
+    assert!(
+        matches!(&err, LogError::BadMagic { found } if found == b"not "),
+        "{err}"
+    );
+    // Short streams report the bytes that were there.
+    let err = V2Blocks::open(&b"LR"[..]).unwrap_err();
+    assert!(matches!(err, LogError::BadMagic { .. }), "{err}");
+    let err = V2Blocks::open(std::io::empty()).unwrap_err();
+    assert!(
+        matches!(&err, LogError::BadMagic { found } if found.is_empty()),
+        "{err}"
+    );
+}
+
+#[test]
+fn version_mismatch_is_typed_everywhere() {
+    let mut bytes = encode_v2(&sample_records(10)).to_vec();
+    bytes[4] = 3;
+    let err = V2Blocks::open(&bytes[..]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            LogError::UnsupportedVersion {
+                found: 3,
+                supported: V2_VERSION
+            }
+        ),
+        "{err}"
+    );
+    // The auto-detecting readers agree.
+    let err = RecordBlocks::open(&bytes[..]).unwrap_err();
+    assert!(matches!(err, LogError::UnsupportedVersion { found: 3, .. }), "{err}");
+    let err = read_log_auto(&bytes[..]).unwrap_err();
+    assert!(matches!(err, LogError::UnsupportedVersion { found: 3, .. }), "{err}");
+}
+
+#[test]
+fn magic_alone_with_no_version_byte_is_corrupt() {
+    let err = V2Blocks::open(&V2_MAGIC[..]).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+    let err = read_log_auto(&V2_MAGIC[..]).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn truncated_block_header_is_corrupt() {
+    let bytes = encode_v2(&sample_records(100));
+    // Cut inside the first block's 8-byte length/count header.
+    let cut = &bytes[..5 + 3];
+    let err = collect(V2Blocks::open(cut).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+    assert!(err.to_string().contains("header"), "{err}");
+}
+
+#[test]
+fn truncated_block_payload_is_corrupt() {
+    let bytes = encode_v2(&sample_records(100));
+    // Keep the header and half the first block's payload.
+    let cut = &bytes[..bytes.len() - (bytes.len() - 13) / 2];
+    let err = collect(V2Blocks::open(cut).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn corrupted_varint_is_corrupt_not_panic() {
+    let records = sample_records(50);
+    let mut bytes = encode_v2(&records).to_vec();
+    // Set continuation bits on a run of payload bytes: an unterminated
+    // varint that would read past any sane field width.
+    let payload_start = 5 + 8;
+    for b in bytes.iter_mut().skip(payload_start + 1).take(12) {
+        *b = 0xFF;
+    }
+    let err = collect(V2Blocks::open(&bytes[..]).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn oversized_declared_payload_is_rejected_without_allocating() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&V2_MAGIC);
+    bytes.push(V2_VERSION);
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    let err = collect(V2Blocks::open(&bytes[..]).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+    assert!(err.to_string().contains("cap"), "{err}");
+}
+
+#[test]
+fn record_count_mismatches_are_corrupt() {
+    let records = sample_records(20);
+    let bytes = encode_v2(&records).to_vec();
+    // Inflate the declared record count: decoding runs off the payload.
+    let mut more = bytes.clone();
+    let count = u32::from_le_bytes(more[9..13].try_into().unwrap());
+    more[9..13].copy_from_slice(&(count + 1).to_le_bytes());
+    let err = collect(V2Blocks::open(&more[..]).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+    // Deflate it: trailing bytes after the declared records.
+    let mut fewer = bytes;
+    fewer[9..13].copy_from_slice(&(count - 1).to_le_bytes());
+    let err = collect(V2Blocks::open(&fewer[..]).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn corruption_is_confined_to_one_block() {
+    // Two-block log; corrupt the second block's payload. The first block
+    // must still stream out intact before the error surfaces.
+    let records = sample_records(200);
+    let mut w = literace_log::LogWriterV2::with_block_bytes(Vec::new(), 64);
+    for r in &records {
+        w.write_record(r).unwrap();
+    }
+    let mut bytes = w.finish().unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] = 0xFF;
+    let mut decoded = Vec::new();
+    let mut error = None;
+    for block in V2Blocks::open(&bytes[..]).unwrap() {
+        match block {
+            Ok(b) => decoded.extend(b),
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(error.is_some(), "the corrupted tail block must error");
+    assert!(!decoded.is_empty(), "intact leading blocks must decode");
+    assert_eq!(&records[..decoded.len()], &decoded[..]);
+}
