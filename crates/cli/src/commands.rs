@@ -15,6 +15,9 @@ use literace::prelude::*;
 use literace::tables::{mb_s, pct, slowdown, Table};
 use literace::workloads::WorkloadId;
 
+use crate::error::CliError;
+use crate::telemetry::Telemetry;
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 literace — sampling-based data-race detection (LiteRace, PLDI 2009)
@@ -26,13 +29,15 @@ USAGE:
   literace run --workload <name> [--sampler tl-ad] [--seed 1]
                [--scale smoke|paper] [--log <file>] [--format v1|v2]
                [--streaming] [--threads N] [--suppress pat1,pat2]
+               [--metrics-out <file>] [--progress]
       Instrument, execute, and detect. Optionally write the event log
       (compact v2 blocks by default; --format v1 for the legacy
       fixed-width format) and suppress races in functions matching the
       given name patterns. With --streaming and --log, records stream to
       disk as the program runs (the log is never materialized in memory)
       and detection streams the file back; --streaming alone feeds the
-      in-memory log to the detector block by block.
+      in-memory log to the detector block by block. --metrics-out writes
+      a JSON telemetry snapshot; --progress prints a heartbeat to stderr.
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
       Compare all Table 3 samplers on identical interleavings (§5.3).
@@ -42,14 +47,26 @@ USAGE:
 
   literace detect --log <file> [--detector hb|fasttrack|lockset]
                   [--non-stack <count>] [--threads N] [--streaming]
+                  [--metrics-out <file>] [--progress]
       Run offline detection over a previously written event log (v1 or
       v2; the format is auto-detected). With --threads N ≥ 2, the hb
       detector shards accesses across N workers (byte-identical output).
       With --streaming, decoded blocks flow straight from a decoder
       thread into the hb workers and the log is never materialized.
+      --metrics-out / --progress export telemetry as under `run`.
 
-  literace log-stats --log <file>
-      Print log composition and encoded size (either format).
+  literace metrics [--in <metrics.json> | --workload <name> [--seed 1]
+                   [--scale smoke|paper] [--threads N]]
+                   [--format json|prom] [--out <file>] [--validate]
+      Export the telemetry registry. With --in, re-export a previously
+      written snapshot; otherwise run the workload's pipeline with
+      telemetry on and export the fresh snapshot. --format prom emits
+      Prometheus text; --validate fails unless the snapshot carries
+      every required pipeline metric.
+
+  literace log-stats --log <file> [--metrics-out <file>]
+      Print log composition, per-thread breakdown and encoded size
+      (either format).
 
   literace inspect --workload <name> [--function <substring>]
       Show a workload's structure; with --function, disassemble matching
@@ -59,8 +76,8 @@ USAGE:
       Print the first events of an execution, human-readably.
 ";
 
-fn fail(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}");
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {e}");
     ExitCode::FAILURE
 }
 
@@ -102,8 +119,8 @@ fn parse_format(flags: &crate::args::Flags) -> Result<LogFormat, String> {
 
 /// Writes a materialized log to `path` in the requested format, returning
 /// the record count.
-fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, String> {
-    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, CliError> {
+    let file = File::create(path).map_err(CliError::io("cannot create", path))?;
     let written = match format {
         LogFormat::V1 => {
             let mut writer = LogWriter::new(file);
@@ -170,8 +187,9 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_inner(args: &[String]) -> Result<(), String> {
-    let flags = crate::args::Flags::parse_with_switches(args, &["streaming"])?;
+fn run_inner(args: &[String]) -> Result<(), CliError> {
+    let flags =
+        crate::args::Flags::parse_with_switches(args, &["streaming", "progress"])?;
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
     let seed: u64 = flags.get_parsed("seed", 1)?;
@@ -186,6 +204,7 @@ fn run_inner(args: &[String]) -> Result<(), String> {
         Some(name) => SamplerKind::from_short_name(name)
             .ok_or_else(|| format!("unknown sampler `{name}` (TL-Ad, TL-Fx, G-Ad, G-Fx, Rnd10, Rnd25, UCP, Full, None)"))?,
     };
+    let telemetry = Telemetry::from_flags(&flags);
 
     let w = build(id, scale);
     let mut cfg = RunConfig::seeded(seed);
@@ -196,8 +215,7 @@ fn run_inner(args: &[String]) -> Result<(), String> {
             // Zero-materialization: records stream to disk in encoded
             // blocks as the program runs, then the file streams back
             // through the detector. The decoded log never sits in memory.
-            let file =
-                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let file = File::create(path).map_err(CliError::io("cannot create", path))?;
             let (summary, stats, overhead, written) = match format {
                 LogFormat::V2 => {
                     let (summary, out) =
@@ -216,14 +234,14 @@ fn run_inner(args: &[String]) -> Result<(), String> {
                     (summary, out.stats, out.overhead, written)
                 }
             };
-            let file = File::open(path).map_err(|e| format!("cannot reopen {path}: {e}"))?;
+            let file = File::open(path).map_err(CliError::io("cannot reopen", path))?;
             let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
                 .map_err(|e| format!("read {path}: {e}"))?;
             let report = detect_stream(blocks, summary.non_stack_accesses, &cfg.detect_config())
                 .map_err(|e| format!("read {path}: {e}"))?;
             let note = format!("wrote {written} records to {path} ({format} format, streamed)");
             let non_stack = summary.non_stack_accesses;
-            (summary, stats, overhead, report, Some((note, non_stack)))
+            (summary, stats, overhead, report, Some((note, non_stack, path)))
         } else {
             // No file: stream the in-memory log to the detector block by
             // block instead of handing it over whole.
@@ -247,6 +265,7 @@ fn run_inner(args: &[String]) -> Result<(), String> {
                 Some((
                     format!("wrote {written} records to {path} ({format} format)"),
                     outcome.summary.non_stack_accesses,
+                    path,
                 ))
             }
         };
@@ -270,6 +289,10 @@ fn run_inner(args: &[String]) -> Result<(), String> {
         }
     };
 
+    // Snapshot after suppression so suppressed-race counts are included;
+    // this also stops the --progress heartbeat before the report prints.
+    telemetry.finish()?;
+
     println!("workload           : {} ({:?} scale, seed {seed})", id, scale);
     println!("sampler            : {}", sampler.short_name());
     println!(
@@ -289,8 +312,7 @@ fn run_inner(args: &[String]) -> Result<(), String> {
     println!();
     print!("{}", literace::render::render_report(&report, &w.program));
 
-    if let Some((note, non_stack)) = log_note {
-        let path = flags.get("log").expect("note implies --log");
+    if let Some((note, non_stack, path)) = log_note {
         println!("{note}");
         println!("(redetect with: literace detect --log {path} --non-stack {non_stack})");
     }
@@ -305,7 +327,7 @@ pub fn eval(args: &[String]) -> ExitCode {
     }
 }
 
-fn eval_inner(args: &[String]) -> Result<(), String> {
+fn eval_inner(args: &[String]) -> Result<(), CliError> {
     let flags = crate::args::Flags::parse(args)?;
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
@@ -349,7 +371,7 @@ pub fn overhead(args: &[String]) -> ExitCode {
     }
 }
 
-fn overhead_inner(args: &[String]) -> Result<(), String> {
+fn overhead_inner(args: &[String]) -> Result<(), CliError> {
     let flags = crate::args::Flags::parse(args)?;
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
@@ -391,10 +413,11 @@ pub fn detect(args: &[String]) -> ExitCode {
     }
 }
 
-fn detect_inner(args: &[String]) -> Result<(), String> {
+fn detect_inner(args: &[String]) -> Result<(), CliError> {
     use literace::detector::{detect_sharded, DetectConfig};
 
-    let flags = crate::args::Flags::parse_with_switches(args, &["streaming"])?;
+    let flags =
+        crate::args::Flags::parse_with_switches(args, &["streaming", "progress"])?;
     let path = flags.require("log")?;
     let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
     let threads: usize = flags.get_parsed("threads", 1)?;
@@ -402,14 +425,16 @@ fn detect_inner(args: &[String]) -> Result<(), String> {
         return Err("--threads must be at least 1".into());
     }
     let streaming = flags.is_set("streaming");
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let telemetry = Telemetry::from_flags(&flags);
+    let file = File::open(path).map_err(CliError::io("cannot open", path))?;
     let (report, heading) = if streaming {
         match flags.get("detector") {
             None | Some("hb") => {}
             Some(other) => {
                 return Err(format!(
                     "--streaming only applies to the hb detector, not `{other}`"
-                ))
+                )
+                .into())
             }
         }
         // Decoded blocks flow from the decoder thread straight into the
@@ -431,14 +456,16 @@ fn detect_inner(args: &[String]) -> Result<(), String> {
             Some(other) if threads > 1 => {
                 return Err(format!(
                     "--threads only applies to the hb detector, not `{other}`"
-                ))
+                )
+                .into())
             }
             Some("fasttrack") => detect_fasttrack(&log, non_stack),
             Some("lockset") => detect_lockset(&log, non_stack),
-            Some(other) => return Err(format!("unknown detector `{other}`")),
+            Some(other) => return Err(format!("unknown detector `{other}`").into()),
         };
         (report, format!("{} records", log.len()))
     };
+    telemetry.finish()?;
     println!(
         "{}: {}, {} static races ({} dynamic)",
         path,
@@ -466,7 +493,7 @@ pub fn inspect(args: &[String]) -> ExitCode {
     }
 }
 
-fn inspect_inner(args: &[String]) -> Result<(), String> {
+fn inspect_inner(args: &[String]) -> Result<(), CliError> {
     use literace::sim::{disasm, lower, FuncId};
     let flags = crate::args::Flags::parse(args)?;
     let id = parse_workload(flags.require("workload")?)?;
@@ -494,7 +521,7 @@ fn inspect_inner(args: &[String]) -> Result<(), String> {
             }
         }
         if shown == 0 {
-            return Err(format!("no function matching `{pattern}`"));
+            return Err(format!("no function matching `{pattern}`").into());
         }
     }
     Ok(())
@@ -508,7 +535,7 @@ pub fn trace(args: &[String]) -> ExitCode {
     }
 }
 
-fn trace_inner(args: &[String]) -> Result<(), String> {
+fn trace_inner(args: &[String]) -> Result<(), CliError> {
     use literace::sim::{
         lower, ChunkedRandomScheduler, Event, Machine, MachineConfig, Observer,
     };
@@ -577,13 +604,14 @@ pub fn log_stats(args: &[String]) -> ExitCode {
     }
 }
 
-fn log_stats_inner(args: &[String]) -> Result<(), String> {
+fn log_stats_inner(args: &[String]) -> Result<(), CliError> {
     let flags = crate::args::Flags::parse(args)?;
     let path = flags.require("log")?;
+    let telemetry = Telemetry::from_flags(&flags);
     let on_disk = std::fs::metadata(path)
-        .map_err(|e| format!("cannot open {path}: {e}"))?
+        .map_err(CliError::io("cannot open", path))?
         .len();
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = File::open(path).map_err(CliError::io("cannot open", path))?;
     let blocks = RecordBlocks::open(file).map_err(|e| format!("read {path}: {e}"))?;
     let format = blocks.format();
     let mut log = EventLog::new();
@@ -591,6 +619,13 @@ fn log_stats_inner(args: &[String]) -> Result<(), String> {
         log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
     }
     let stats = LogStats::of(&log);
+    let per_thread = LogStats::per_thread(&log);
+    if literace::telemetry::enabled() {
+        let m = literace::telemetry::metrics();
+        for (i, t) in per_thread.iter().enumerate() {
+            m.log_records_by_thread.add(i, t.records);
+        }
+    }
     println!("{path}:");
     println!("  format           : {format}");
     println!("  records          : {}", stats.records);
@@ -599,6 +634,90 @@ fn log_stats_inner(args: &[String]) -> Result<(), String> {
     println!("  thread markers   : {}", stats.marker_records);
     println!("  on-disk size     : {on_disk} bytes");
     println!("  size as v1       : {} bytes", stats.bytes);
+    if !per_thread.is_empty() {
+        let mut t = Table::new(
+            "per-thread breakdown",
+            &["thread", "records", "memory", "sync", "markers"],
+        );
+        for (i, s) in per_thread.iter().enumerate() {
+            t.row(vec![
+                format!("t{i}"),
+                s.records.to_string(),
+                s.mem_records.to_string(),
+                s.sync_records.to_string(),
+                s.marker_records.to_string(),
+            ]);
+        }
+        println!();
+        println!("{t}");
+    }
+    telemetry.finish()?;
+    Ok(())
+}
+
+/// `literace metrics …`
+pub fn metrics_cmd(args: &[String]) -> ExitCode {
+    match metrics_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn metrics_inner(args: &[String]) -> Result<(), CliError> {
+    let flags = crate::args::Flags::parse_with_switches(args, &["validate"])?;
+    let snap = match flags.get("in") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(CliError::io("cannot read", path))?;
+            literace::telemetry::Snapshot::from_json(&text)
+                .map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            // No snapshot file: run the named workload's pipeline with
+            // telemetry on and export the fresh registry.
+            let id = parse_workload(flags.get("workload").unwrap_or("lflist"))?;
+            let scale = parse_scale(&flags)?;
+            let seed: u64 = flags.get_parsed("seed", 1)?;
+            let threads: usize = flags.get_parsed("threads", 1)?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            literace::telemetry::set_enabled(true);
+            let w = build(id, scale);
+            let mut cfg = RunConfig::seeded(seed);
+            cfg.detect_threads = threads;
+            run_literace(&w.program, SamplerKind::TlAdaptive, &cfg)
+                .map_err(|e| e.to_string())?;
+            literace::telemetry::metrics().snapshot()
+        }
+    };
+    if flags.is_set("validate") {
+        let missing = snap.missing_required();
+        if !missing.is_empty() {
+            return Err(format!(
+                "snapshot is missing required metrics: {}",
+                missing.join(", ")
+            )
+            .into());
+        }
+        eprintln!(
+            "snapshot valid: schema v{}, all required metrics present",
+            literace::telemetry::SCHEMA_VERSION
+        );
+    }
+    let text = match flags.get("format") {
+        None | Some("json") => snap.to_json(),
+        Some("prom" | "prometheus") => snap.to_prometheus(),
+        Some(other) => {
+            return Err(format!("--format expects json|prom, got `{other}`").into())
+        }
+    };
+    match flags.get("out") {
+        None => print!("{text}"),
+        Some(path) => {
+            std::fs::write(path, &text).map_err(CliError::io("cannot write", path))?;
+        }
+    }
     Ok(())
 }
 
@@ -724,6 +843,51 @@ mod tests {
                 .map(|s| (*s).to_string())
                 .collect();
         assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn metrics_command_exports_and_validates() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("literace_cli_metrics_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        let export = sv(&[
+            "--workload", "lflist", "--seed", "2", "--threads", "2", "--validate",
+            "--out", &path_s,
+        ]);
+        assert_eq!(metrics_cmd(&export), std::process::ExitCode::SUCCESS);
+        // The written snapshot re-exports as Prometheus text and validates.
+        let reexport = sv(&["--in", &path_s, "--format", "prom", "--validate"]);
+        assert_eq!(metrics_cmd(&reexport), std::process::ExitCode::SUCCESS);
+        let bad_file = sv(&["--in", "/nonexistent/never.json"]);
+        assert_eq!(metrics_cmd(&bad_file), std::process::ExitCode::FAILURE);
+        let bad_format = sv(&["--workload", "lflist", "--format", "xml"]);
+        assert_eq!(metrics_cmd(&bad_format), std::process::ExitCode::FAILURE);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_with_metrics_out_writes_a_valid_snapshot() {
+        let dir = std::env::temp_dir();
+        let log = dir.join("literace_cli_metrics_run.lrlog");
+        let json = dir.join("literace_cli_metrics_run.json");
+        let log_s = log.to_str().unwrap().to_string();
+        let json_s = json.to_str().unwrap().to_string();
+        let args: Vec<String> = [
+            "--workload", "lflist", "--seed", "2", "--streaming", "--threads", "2",
+            "--log", &log_s, "--metrics-out", &json_s,
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
+        let text = std::fs::read_to_string(&json).unwrap();
+        let snap = literace::telemetry::Snapshot::from_json(&text).unwrap();
+        assert_eq!(snap.missing_required(), Vec::<&str>::new());
+        let _ = std::fs::remove_file(&log);
+        let _ = std::fs::remove_file(&json);
     }
 
     #[test]

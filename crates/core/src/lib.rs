@@ -76,6 +76,9 @@ pub use literace_detector as detector;
 /// The paper's benchmark workloads.
 pub use literace_workloads as workloads;
 
+/// The pipeline-wide metrics registry, phase spans and snapshot exporters.
+pub use literace_telemetry as telemetry;
+
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::eval::{evaluate_program, EvalConfig, ProgramEval};

@@ -102,7 +102,10 @@ pub fn run_literace(
     let compiled = lower(program);
     let mut inst = Instrumenter::new(sampler.build(cfg.seed), cfg.instrument.clone());
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
-    let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
+    let summary = {
+        let _span = literace_telemetry::metrics().phase_execute.span();
+        Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?
+    };
     let instrumented = inst.finish();
     let report = detect_event_log(
         &instrumented.log,
@@ -125,6 +128,7 @@ pub(crate) fn detect_event_log(
     cfg: &DetectConfig,
     streaming: bool,
 ) -> RaceReport {
+    let _span = literace_telemetry::metrics().phase_detect.span();
     if streaming {
         let blocks = log.records().chunks(4096).map(|c| Ok(c.to_vec()));
         detect_stream(blocks, non_stack_accesses, cfg)
@@ -154,7 +158,10 @@ pub fn run_literace_with_sink<L: RecordSink>(
     let compiled = lower(program);
     let mut inst = Instrumenter::with_sink(sampler.build(cfg.seed), cfg.instrument.clone(), sink);
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
-    let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?;
+    let summary = {
+        let _span = literace_telemetry::metrics().phase_execute.span();
+        Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?
+    };
     Ok((summary, inst.finish()))
 }
 

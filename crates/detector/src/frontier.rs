@@ -53,7 +53,9 @@ impl Frontier {
     }
 
     /// Scans and updates the frontier for one access, invoking `conflict`
-    /// for every remembered access racing with it.
+    /// for every remembered access racing with it. Returns the number of
+    /// remembered accesses scanned (the frontier length before this
+    /// access), which telemetry aggregates into a scan-length histogram.
     ///
     /// Conflicts are reported in the sequential detector's canonical order:
     /// remembered writes first, then (for a write) remembered reads, each
@@ -70,13 +72,14 @@ impl Frontier {
         is_write: bool,
         clock: &VectorClock,
         mut conflict: impl FnMut(Access),
-    ) {
+    ) -> usize {
         let current = Access {
             tid,
             epoch: clock.get(tid),
             pc,
         };
         let loc = self.locations.entry(addr_raw).or_default();
+        let scanned = loc.writes.len() + loc.reads.len();
         if is_write {
             loc.writes.retain(|w| {
                 let keep = clock.get(w.tid) < w.epoch;
@@ -105,6 +108,7 @@ impl Frontier {
             loc.reads.push(current);
             cap(&mut loc.reads, self.max_history);
         }
+        scanned
     }
 
     /// Reclaims accesses that can never race again: an access is dead once

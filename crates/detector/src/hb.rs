@@ -77,6 +77,11 @@ pub struct HbCore {
     frontier: Frontier,
     /// Per-static-pair aggregates, maintained online.
     pairs: FastMap<(Pc, Pc), PairAgg>,
+    /// Frontier scan lengths, systematically sampled (1 in
+    /// [`ScanSampler::SAMPLE_RATE`](literace_telemetry::ScanSampler)),
+    /// accumulated locally and flushed to the global registry at
+    /// [`finish`](HbCore::finish).
+    scan_hist: literace_telemetry::ScanSampler,
 }
 
 impl HbCore {
@@ -89,6 +94,7 @@ impl HbCore {
             syncvars: FastMap::default(),
             frontier: Frontier::new(cfg.max_history_per_location),
             pairs: FastMap::default(),
+            scan_hist: literace_telemetry::ScanSampler::new(),
         }
     }
 
@@ -146,11 +152,12 @@ impl HbCore {
             threads,
             frontier,
             pairs,
+            scan_hist,
             ..
         } = self;
         let clock = &threads[i];
         let max_pair = cfg.max_dynamic_per_pair as u64;
-        frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
+        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
             let key = if prior.pc <= pc {
                 (prior.pc, pc)
             } else {
@@ -169,6 +176,7 @@ impl HbCore {
                 agg.overflow += 1;
             }
         });
+        scan_hist.record(scanned as u64);
     }
 
     /// Marks a thread as exited: it will make no further accesses, so it no
@@ -199,7 +207,17 @@ impl HbCore {
             .filter(|(i, _)| !self.retired.get(*i).copied().unwrap_or(false))
             .map(|(_, c)| c)
             .collect();
-        self.frontier.compact(&live)
+        let tracked_before = self.frontier.tracked_locations();
+        let dropped = self.frontier.compact(&live);
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.detector_compact_runs.add(1);
+            m.detector_compact_dropped.add(dropped as u64);
+            // Compaction points see the frontier at its largest, so the
+            // pre-compaction size is the footprint high-water mark.
+            m.detector_frontier_tracked_hwm.record(tracked_before as u64);
+        }
+        dropped
     }
 
     /// Consumes the core, producing the race report.
@@ -212,7 +230,13 @@ impl HbCore {
     /// a linear emit-and-sort — there is no grouping pass over stored
     /// dynamic races. A pair with occurrences but nothing stored (possible
     /// only when `max_dynamic_per_pair` is 0) is omitted entirely.
-    pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
+    pub fn finish(mut self, non_stack_accesses: u64) -> RaceReport {
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            self.scan_hist.flush_into(&m.detector_frontier_scan);
+            m.detector_frontier_tracked_hwm
+                .record(self.frontier.tracked_locations() as u64);
+        }
         let mut dynamic_races = 0;
         let mut static_races: Vec<StaticRace> = self
             .pairs
@@ -230,6 +254,11 @@ impl HbCore {
             })
             .collect();
         static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.detector_races_static.add(static_races.len() as u64);
+            m.detector_races_dynamic.add(dynamic_races);
+        }
         RaceReport {
             static_races,
             dynamic_races,

@@ -327,6 +327,7 @@ pub(crate) fn merge_pairs(
             }
         }
     }
+    let _span = literace_telemetry::metrics().phase_merge.span();
     let mut dynamic_races = 0;
     let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
     for (pcs, mut races) in by_pair {
@@ -346,6 +347,11 @@ pub(crate) fn merge_pairs(
         });
     }
     static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
+    if literace_telemetry::enabled() {
+        let m = literace_telemetry::metrics();
+        m.detector_races_static.add(static_races.len() as u64);
+        m.detector_races_dynamic.add(dynamic_races);
+    }
     RaceReport {
         static_races,
         dynamic_races,
@@ -357,6 +363,8 @@ pub(crate) fn merge_pairs(
 /// shared clock timeline. Pure frontier work — no sync replay, no clock
 /// mutation, no cloning.
 fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> ShardPairs {
+    let _span = literace_telemetry::metrics().phase_shard_replay.span();
+    let mut scan_hist = literace_telemetry::ScanSampler::new();
     let mut frontier = Frontier::new(max_history);
     let mut pairs = ShardPairs::default();
     let mut live: Vec<&VectorClock> = Vec::new();
@@ -380,7 +388,7 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
             addr,
         } = *ev;
         let clock = &timeline.versions[tid.index()][generation as usize];
-        frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
+        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
             let key = if prior.pc <= pc {
                 (prior.pc, pc)
             } else {
@@ -388,6 +396,10 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
             };
             pairs.entry(key).or_default().push((u64::from(pos), addr));
         });
+        scan_hist.record(scanned as u64);
+    }
+    if literace_telemetry::enabled() {
+        scan_hist.flush_into(&literace_telemetry::metrics().detector_frontier_scan);
     }
     pairs
 }
@@ -452,7 +464,21 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
         return d.finish(non_stack_accesses);
     }
 
-    let (timeline, streams) = build_plan(log.records(), shards);
+    let (timeline, streams) = {
+        let _span = literace_telemetry::metrics().phase_sync_prepass.span();
+        build_plan(log.records(), shards)
+    };
+    if literace_telemetry::enabled() {
+        let m = literace_telemetry::metrics();
+        // Every stream carries one broadcast sentinel per compaction point;
+        // the rest are routed accesses.
+        let compacts = timeline.compact_live.len() as u64;
+        for (shard, stream) in streams.iter().enumerate() {
+            let routed = stream.len() as u64 - compacts;
+            m.detector_shard_events.add(shard, routed);
+            m.detector_records_routed.add(routed);
+        }
+    }
     // Shard count is a logical partition; OS threads are capped by the
     // hardware so narrow machines don't pay scheduling overhead for
     // parallelism they can't realize.

@@ -153,9 +153,12 @@ impl Router {
             &mut self.buffers[shard],
             Vec::with_capacity(BATCH_RECORDS),
         );
-        // A send fails only if the worker panicked; the panic resurfaces
-        // when the worker is joined, so losing the batch here is moot.
-        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.detector_shard_events.add(shard, batch.len() as u64);
+            m.detector_records_routed.add(batch.len() as u64);
+        }
+        send_msg(&self.senders[shard], shard, ShardMsg::Batch(batch));
     }
 
     /// Flushes every buffer, then broadcasts a compaction point pinning
@@ -169,8 +172,8 @@ impl Router {
             .filter(|i| !self.retired.get(*i).copied().unwrap_or(false))
             .map(|i| self.clocks.pin(i))
             .collect();
-        for sender in &self.senders {
-            let _ = sender.send(ShardMsg::Compact(live.clone()));
+        for (shard, sender) in self.senders.iter().enumerate() {
+            send_msg(sender, shard, ShardMsg::Compact(live.clone()));
         }
     }
 
@@ -249,21 +252,63 @@ impl Router {
     }
 }
 
+/// Sends one message to a shard channel, accounting backpressure: a full
+/// channel counts as a stall before the blocking send, and delivered
+/// batches raise the shard's queue-occupancy gauge (the matching decrement
+/// is in [`run_stream_shard`]). A send fails only if the worker panicked;
+/// the panic resurfaces at join, so losing the message is moot.
+fn send_msg(sender: &SyncSender<ShardMsg>, shard: usize, msg: ShardMsg) {
+    if !literace_telemetry::enabled() {
+        let _ = sender.send(msg);
+        return;
+    }
+    let m = literace_telemetry::metrics();
+    let is_batch = matches!(msg, ShardMsg::Batch(_));
+    let delivered = match sender.try_send(msg) {
+        Ok(()) => true,
+        Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+        Err(std::sync::mpsc::TrySendError::Full(msg)) => {
+            m.detector_stream_stalls.add(1);
+            sender.send(msg).is_ok()
+        }
+    };
+    if delivered && is_batch {
+        m.detector_shard_queue.inc(shard);
+    }
+}
+
 /// One shard worker: drains its channel, replaying batches against its
 /// private frontier. Pure frontier work, same as the materialized shard
 /// loop — only the clock arrives via `Arc` instead of a timeline lookup.
-fn run_stream_shard(rx: Receiver<ShardMsg>, max_history: usize) -> ShardPairs {
+fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) -> ShardPairs {
+    let _span = literace_telemetry::metrics().phase_shard_replay.span();
+    let mut scan_hist = literace_telemetry::ScanSampler::new();
     let mut frontier = Frontier::new(max_history);
     let mut pairs = ShardPairs::default();
-    for msg in rx {
+    loop {
+        let idle = literace_telemetry::enabled().then(std::time::Instant::now);
+        let msg = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let busy = idle.map(|idle| {
+            let now = std::time::Instant::now();
+            literace_telemetry::metrics()
+                .detector_worker_idle_ns
+                .add((now - idle).as_nanos() as u64);
+            now
+        });
         match msg {
             ShardMsg::Compact(clocks) => {
                 let live: Vec<&VectorClock> = clocks.iter().map(Arc::as_ref).collect();
                 frontier.compact(&live);
             }
             ShardMsg::Batch(events) => {
+                if literace_telemetry::enabled() {
+                    literace_telemetry::metrics().detector_shard_queue.dec(shard);
+                }
                 for ev in &events {
-                    frontier.access(
+                    let scanned = frontier.access(
                         ev.tid,
                         ev.pc,
                         ev.addr.raw(),
@@ -278,9 +323,18 @@ fn run_stream_shard(rx: Receiver<ShardMsg>, max_history: usize) -> ShardPairs {
                             pairs.entry(key).or_default().push((ev.pos, ev.addr));
                         },
                     );
+                    scan_hist.record(scanned as u64);
                 }
             }
         }
+        if let Some(busy) = busy {
+            literace_telemetry::metrics()
+                .detector_worker_busy_ns
+                .add(busy.elapsed().as_nanos() as u64);
+        }
+    }
+    if literace_telemetry::enabled() {
+        scan_hist.flush_into(&literace_telemetry::metrics().detector_frontier_scan);
     }
     pairs
 }
@@ -344,7 +398,7 @@ where
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("literace-shard-{shard}"))
-                    .spawn_scoped(s, move || run_stream_shard(rx, max_history))
+                    .spawn_scoped(s, move || run_stream_shard(shard, rx, max_history))
                     .expect("spawning shard worker"),
             );
         }

@@ -89,6 +89,11 @@ impl Suppressions {
             }
         });
         let suppressed = before - kept.static_races.len();
+        if literace_telemetry::enabled() {
+            literace_telemetry::metrics()
+                .detector_races_suppressed
+                .add(suppressed as u64);
+        }
         (kept, suppressed)
     }
 }

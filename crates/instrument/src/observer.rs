@@ -62,6 +62,10 @@ pub struct Instrumenter<S, L = EventLog> {
     frames: Vec<Vec<FrameInfo>>,
     stats: InstrStats,
     overhead: OverheadBreakdown,
+    /// Per-thread `[dispatch checks, sampled decisions]`, indexed by thread
+    /// id. Plain local adds on the hot path; flushed to the telemetry
+    /// registry once, at [`finish`](Instrumenter::finish).
+    dispatch_by_thread: Vec<[u64; 2]>,
 }
 
 impl<S: Sampler> Instrumenter<S> {
@@ -86,11 +90,25 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
             frames: Vec::new(),
             stats: InstrStats::default(),
             overhead: OverheadBreakdown::default(),
+            dispatch_by_thread: Vec::new(),
         }
     }
 
     /// Finishes the run, returning the log, overhead and statistics.
     pub fn finish(self) -> InstrumentOutput<L> {
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.instrument_dispatch_checks.add(self.stats.dispatch_checks);
+            m.instrument_dispatch_sampled
+                .add(self.stats.instrumented_entries);
+            m.instrument_mem_executed.add(self.stats.total_mem);
+            m.instrument_mem_logged.add(self.stats.logged_mem);
+            m.instrument_sync_logged.add(self.stats.sync_records);
+            for (tid, [checks, sampled]) in self.dispatch_by_thread.iter().enumerate() {
+                m.instrument_dispatch_checks_by_thread.add(tid, *checks);
+                m.instrument_dispatch_sampled_by_thread.add(tid, *sampled);
+            }
+        }
         let units_per_stamp = if self.bank.total_stamps == 0 {
             0.0
         } else {
@@ -167,7 +185,14 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
                 let decision = if self.cfg.dispatch_checks {
                     self.stats.dispatch_checks += 1;
                     self.overhead.dispatch += self.cfg.costs.dispatch_check;
-                    self.sampler.dispatch(tid, func).is_sampled()
+                    let i = tid.index();
+                    if i >= self.dispatch_by_thread.len() {
+                        self.dispatch_by_thread.resize(i + 1, [0, 0]);
+                    }
+                    self.dispatch_by_thread[i][0] += 1;
+                    let sampled = self.sampler.dispatch(tid, func).is_sampled();
+                    self.dispatch_by_thread[i][1] += u64::from(sampled);
+                    sampled
                 } else {
                     // Full logging: no dispatch, everything instrumented.
                     true

@@ -39,6 +39,33 @@ impl LogError {
             reason: reason.into(),
         }
     }
+
+    /// Stable lowercase name of this error's variant — the key used for
+    /// the `log.errors.*` telemetry counters.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LogError::Corrupt { .. } => "corrupt",
+            LogError::BadMagic { .. } => "bad_magic",
+            LogError::UnsupportedVersion { .. } => "unsupported_version",
+            LogError::Io(_) => "io",
+        }
+    }
+}
+
+/// Bumps the telemetry counter keyed by `e`'s variant. Called at the
+/// points where a read error surfaces to a consumer (iterator items and
+/// stream openers), never on internal propagation, so each failure counts
+/// once.
+pub(crate) fn count_error(e: &LogError) {
+    if literace_telemetry::enabled() {
+        let m = literace_telemetry::metrics();
+        match e {
+            LogError::Corrupt { .. } => m.log_errors_corrupt.add(1),
+            LogError::BadMagic { .. } => m.log_errors_bad_magic.add(1),
+            LogError::UnsupportedVersion { .. } => m.log_errors_unsupported_version.add(1),
+            LogError::Io(_) => m.log_errors_io.add(1),
+        }
+    }
 }
 
 impl fmt::Display for LogError {
@@ -89,5 +116,23 @@ mod tests {
         let e: LogError = io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(LogError::corrupt("x").kind_name(), "corrupt");
+        assert_eq!(LogError::BadMagic { found: vec![] }.kind_name(), "bad_magic");
+        assert_eq!(
+            LogError::UnsupportedVersion {
+                found: 9,
+                supported: 2
+            }
+            .kind_name(),
+            "unsupported_version"
+        );
+        assert_eq!(
+            LogError::Io(io::Error::other("x")).kind_name(),
+            "io"
+        );
     }
 }

@@ -31,6 +31,9 @@ pub struct LogWriter<W: Write> {
     buf: BytesMut,
     records_written: u64,
     bytes_written: u64,
+    /// Records already reported to telemetry (counted per flush, so the
+    /// per-record path stays untouched).
+    records_reported: u64,
 }
 
 impl<W: Write> LogWriter<W> {
@@ -41,6 +44,7 @@ impl<W: Write> LogWriter<W> {
             buf: BytesMut::with_capacity(64 * 1024),
             records_written: 0,
             bytes_written: 0,
+            records_reported: 0,
         }
     }
 
@@ -62,6 +66,13 @@ impl<W: Write> LogWriter<W> {
         let sink = self.sink.as_mut().expect("writer not finished");
         sink.write_all(&self.buf)?;
         self.bytes_written += self.buf.len() as u64;
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.log_encode_v1_bytes.add(self.buf.len() as u64);
+            m.log_encode_v1_records
+                .add(self.records_written - self.records_reported);
+            self.records_reported = self.records_written;
+        }
         self.buf.clear();
         Ok(())
     }
@@ -221,7 +232,11 @@ impl<R: Read> Iterator for ChunkedRecords<R> {
                 Some(None) => {
                     self.done = true;
                     let mut slice = &self.buf[self.pos..];
-                    return Some(decode(&mut slice));
+                    let record = decode(&mut slice);
+                    if let Err(e) = &record {
+                        crate::error::count_error(e);
+                    }
+                    return Some(record);
                 }
             };
             if avail < need {
@@ -231,10 +246,15 @@ impl<R: Read> Iterator for ChunkedRecords<R> {
                         return None;
                     }
                     let mut slice = &self.buf[self.pos..];
-                    return Some(decode(&mut slice));
+                    let record = decode(&mut slice);
+                    if let Err(e) = &record {
+                        crate::error::count_error(e);
+                    }
+                    return Some(record);
                 }
                 if let Err(e) = self.refill() {
                     self.done = true;
+                    crate::error::count_error(&e);
                     return Some(Err(e));
                 }
                 continue;
@@ -242,8 +262,9 @@ impl<R: Read> Iterator for ChunkedRecords<R> {
             let mut slice = &self.buf[self.pos..self.pos + need];
             let record = decode(&mut slice);
             self.pos += need;
-            if record.is_err() {
+            if let Err(e) = &record {
                 self.done = true;
+                crate::error::count_error(e);
             }
             return Some(record);
         }

@@ -48,7 +48,7 @@ pub use io::{
     log_from_bytes, log_to_bytes, ChunkedRecords, LogReader, LogWriter, DEFAULT_CHUNK_BYTES,
 };
 pub use record::{EventLog, Record, SamplerMask};
-pub use stats::LogStats;
+pub use stats::{LogStats, ThreadLogStats};
 pub use stream::{
     read_log_auto, LogFormat, RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH, V1_BLOCK_RECORDS,
 };

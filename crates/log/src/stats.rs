@@ -49,6 +49,39 @@ impl LogStats {
         }
         self.bytes as f64 / (1024.0 * 1024.0) / seconds
     }
+
+    /// Per-thread record counts and sync/memory breakdown, indexed by
+    /// thread id (threads that never logged get zero rows).
+    pub fn per_thread(log: &EventLog) -> Vec<ThreadLogStats> {
+        let mut out: Vec<ThreadLogStats> = Vec::new();
+        for r in log {
+            let i = r.tid().index();
+            if i >= out.len() {
+                out.resize(i + 1, ThreadLogStats::default());
+            }
+            let t = &mut out[i];
+            t.records += 1;
+            match r {
+                Record::Mem { .. } => t.mem_records += 1,
+                Record::Sync { .. } => t.sync_records += 1,
+                Record::ThreadBegin { .. } | Record::ThreadEnd { .. } => t.marker_records += 1,
+            }
+        }
+        out
+    }
+}
+
+/// One thread's slice of a log's composition (see [`LogStats::per_thread`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadLogStats {
+    /// Records logged by this thread.
+    pub records: u64,
+    /// Memory-access records.
+    pub mem_records: u64,
+    /// Synchronization records.
+    pub sync_records: u64,
+    /// Thread marker records.
+    pub marker_records: u64,
 }
 
 #[cfg(test)]
@@ -86,6 +119,41 @@ mod tests {
         assert_eq!(
             s.bytes,
             (MARKER_RECORD_BYTES + SYNC_RECORD_BYTES + MEM_RECORD_BYTES) as u64
+        );
+    }
+
+    #[test]
+    fn per_thread_attributes_by_kind_and_pads_gaps() {
+        let mut log = EventLog::new();
+        log.push(Record::ThreadBegin {
+            tid: ThreadId::MAIN,
+        });
+        log.push(Record::Mem {
+            tid: ThreadId::from_index(2),
+            pc: Pc::new(FuncId::from_index(0), 1),
+            addr: Addr::global(0),
+            is_write: true,
+            mask: SamplerMask::FULL,
+        });
+        log.push(Record::Sync {
+            tid: ThreadId::from_index(2),
+            pc: Pc::new(FuncId::from_index(0), 0),
+            kind: SyncOpKind::Notify,
+            var: SyncVar(3),
+            timestamp: 1,
+        });
+        let per = LogStats::per_thread(&log);
+        assert_eq!(per.len(), 3);
+        assert_eq!(per[0].marker_records, 1);
+        assert_eq!(per[1], ThreadLogStats::default(), "gap thread is zeroed");
+        assert_eq!(per[2].records, 2);
+        assert_eq!(per[2].mem_records, 1);
+        assert_eq!(per[2].sync_records, 1);
+        // The per-thread rows partition the totals.
+        let totals = LogStats::of(&log);
+        assert_eq!(
+            per.iter().map(|t| t.records).sum::<u64>(),
+            totals.records
         );
     }
 

@@ -133,7 +133,8 @@ impl<R: Read> RecordBlocks<R> {
     /// Returns [`LogError::UnsupportedVersion`] for an unreadable v2
     /// version and [`LogError::Io`] on read failure.
     pub fn open(mut source: R) -> LogResult<RecordBlocks<R>> {
-        let (format, replay) = sniff_format(&mut source)?;
+        let (format, replay) =
+            sniff_format(&mut source).inspect_err(crate::error::count_error)?;
         Ok(match format {
             LogFormat::V1 => RecordBlocks {
                 inner: Blocks::V1 {
@@ -167,17 +168,27 @@ impl<R: Read> Iterator for RecordBlocks<R> {
                 if *done {
                     return None;
                 }
+                let start = literace_telemetry::enabled().then(std::time::Instant::now);
+                let finish_batch = |block: &[Record]| {
+                    if let Some(start) = start {
+                        let m = literace_telemetry::metrics();
+                        m.log_decode_v1_records.add(block.len() as u64);
+                        m.log_decode_v1_ns.add(start.elapsed().as_nanos() as u64);
+                    }
+                };
                 let mut block = Vec::with_capacity(V1_BLOCK_RECORDS);
                 for r in records.by_ref() {
                     match r {
                         Ok(r) => {
                             block.push(r);
                             if block.len() >= V1_BLOCK_RECORDS {
+                                finish_batch(&block);
                                 return Some(Ok(block));
                             }
                         }
                         Err(e) => {
                             *done = true;
+                            finish_batch(&block);
                             return Some(Err(e));
                         }
                     }
@@ -186,6 +197,7 @@ impl<R: Read> Iterator for RecordBlocks<R> {
                 if block.is_empty() {
                     None
                 } else {
+                    finish_batch(&block);
                     Some(Ok(block))
                 }
             }
@@ -227,7 +239,26 @@ impl RecordStream {
             .name("literace-log-decode".to_owned())
             .spawn(move || {
                 for block in blocks {
-                    if sender.send(block).is_err() {
+                    if literace_telemetry::enabled() {
+                        let m = literace_telemetry::metrics();
+                        m.log_stream_blocks.add(1);
+                        // Probe first so a full channel registers as a
+                        // backpressure stall before the blocking send.
+                        match sender.try_send(block) {
+                            Ok(()) => {
+                                m.log_stream_queue.inc(0);
+                                continue;
+                            }
+                            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
+                            Err(std::sync::mpsc::TrySendError::Full(block)) => {
+                                m.log_stream_stalls.add(1);
+                                if sender.send(block).is_err() {
+                                    return;
+                                }
+                                m.log_stream_queue.inc(0);
+                            }
+                        }
+                    } else if sender.send(block).is_err() {
                         // Consumer dropped the stream; stop decoding.
                         return;
                     }
@@ -252,7 +283,12 @@ impl Iterator for RecordStream {
 
     fn next(&mut self) -> Option<LogResult<Vec<Record>>> {
         match self.receiver.recv() {
-            Ok(item) => Some(item),
+            Ok(item) => {
+                if literace_telemetry::enabled() {
+                    literace_telemetry::metrics().log_stream_queue.dec(0);
+                }
+                Some(item)
+            }
             Err(_) => {
                 if let Some(handle) = self.handle.take() {
                     let _ = handle.join();

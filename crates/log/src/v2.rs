@@ -131,8 +131,43 @@ impl BlockState {
     }
 }
 
+/// Running count of delta fields emitted and how many spilled past one
+/// varint byte — the fallback rate of the delta scheme. Accumulated
+/// unconditionally (two integer adds per field) and published to telemetry
+/// only at block-flush time, keyed off the runtime flag there.
+#[derive(Debug, Default, Clone, Copy)]
+struct DeltaCount {
+    total: u64,
+    multibyte: u64,
+}
+
+impl DeltaCount {
+    /// `put_delta` plus fallback accounting.
+    #[inline]
+    fn put(&mut self, buf: &mut BytesMut, last: u64, v: u64) {
+        let before = buf.len();
+        put_delta(buf, last, v);
+        self.total += 1;
+        self.multibyte += u64::from(buf.len() - before > 1);
+    }
+
+    fn publish(&mut self) {
+        if literace_telemetry::enabled() && self.total > 0 {
+            let m = literace_telemetry::metrics();
+            m.log_encode_v2_deltas.add(self.total);
+            m.log_encode_v2_deltas_multibyte.add(self.multibyte);
+        }
+        *self = DeltaCount::default();
+    }
+}
+
 /// Encodes `record` into a block payload, updating the block's delta state.
-fn encode_into_block(state: &mut BlockState, record: &Record, buf: &mut BytesMut) {
+fn encode_into_block(
+    state: &mut BlockState,
+    record: &Record,
+    buf: &mut BytesMut,
+    deltas: &mut DeltaCount,
+) {
     match *record {
         Record::Sync {
             tid,
@@ -145,9 +180,9 @@ fn encode_into_block(state: &mut BlockState, record: &Record, buf: &mut BytesMut
             let tid = tid.index() as u32;
             put_varint(buf, u64::from(tid));
             let t = state.thread(tid);
-            put_delta(buf, t.last_pc, pc.0);
-            put_delta(buf, t.last_var, var.0);
-            put_delta(buf, t.last_ts, timestamp);
+            deltas.put(buf, t.last_pc, pc.0);
+            deltas.put(buf, t.last_var, var.0);
+            deltas.put(buf, t.last_ts, timestamp);
             t.last_pc = pc.0;
             t.last_var = var.0;
             t.last_ts = timestamp;
@@ -174,8 +209,8 @@ fn encode_into_block(state: &mut BlockState, record: &Record, buf: &mut BytesMut
             let tid = tid.index() as u32;
             put_varint(buf, u64::from(tid));
             let t = state.thread(tid);
-            put_delta(buf, t.last_pc, pc.0);
-            put_delta(buf, t.last_addr, addr.raw());
+            deltas.put(buf, t.last_pc, pc.0);
+            deltas.put(buf, t.last_addr, addr.raw());
             t.last_pc = pc.0;
             t.last_addr = addr.raw();
             if mask_mode == MEM_MASK_EXPLICIT {
@@ -282,11 +317,19 @@ pub fn encode_block<'a>(
     out: &mut BytesMut,
 ) -> usize {
     let mut state = BlockState::default();
+    let mut deltas = DeltaCount::default();
     let mut payload = BytesMut::new();
     let mut count: u32 = 0;
     for r in records {
-        encode_into_block(&mut state, r, &mut payload);
+        encode_into_block(&mut state, r, &mut payload, &mut deltas);
         count += 1;
+    }
+    deltas.publish();
+    if literace_telemetry::enabled() && count > 0 {
+        let m = literace_telemetry::metrics();
+        m.log_encode_v2_records.add(u64::from(count));
+        m.log_encode_v2_bytes.add(8 + payload.len() as u64);
+        m.log_encode_v2_blocks.add(1);
     }
     out.put_u32_le(payload.len() as u32);
     out.put_u32_le(count);
@@ -328,6 +371,7 @@ pub struct LogWriterV2<W: Write> {
     /// Encoded payload of the open block.
     payload: BytesMut,
     state: BlockState,
+    deltas: DeltaCount,
     block_records: u32,
     block_bytes: usize,
     records_written: u64,
@@ -347,6 +391,7 @@ impl<W: Write> LogWriterV2<W> {
             sink: Some(sink),
             payload: BytesMut::with_capacity(block_bytes.max(1) + 256),
             state: BlockState::default(),
+            deltas: DeltaCount::default(),
             block_records: 0,
             block_bytes: block_bytes.max(1),
             records_written: 0,
@@ -361,7 +406,7 @@ impl<W: Write> LogWriterV2<W> {
     ///
     /// Propagates I/O errors from the sink when a block flushes.
     pub fn write_record(&mut self, record: &Record) -> LogResult<()> {
-        encode_into_block(&mut self.state, record, &mut self.payload);
+        encode_into_block(&mut self.state, record, &mut self.payload, &mut self.deltas);
         self.block_records += 1;
         self.records_written += 1;
         if self.payload.len() >= self.block_bytes {
@@ -372,13 +417,18 @@ impl<W: Write> LogWriterV2<W> {
 
     fn flush_block(&mut self) -> LogResult<()> {
         let sink = self.sink.as_mut().expect("writer not finished");
+        let mut emitted = 0u64;
         if !self.header_written {
             sink.write_all(&V2_MAGIC)?;
             sink.write_all(&[V2_VERSION])?;
             self.bytes_written += V2_MAGIC.len() as u64 + 1;
+            emitted += V2_MAGIC.len() as u64 + 1;
             self.header_written = true;
         }
         if self.block_records == 0 {
+            if literace_telemetry::enabled() && emitted > 0 {
+                literace_telemetry::metrics().log_encode_v2_bytes.add(emitted);
+            }
             return Ok(());
         }
         let mut header = [0u8; 8];
@@ -387,6 +437,14 @@ impl<W: Write> LogWriterV2<W> {
         sink.write_all(&header)?;
         sink.write_all(&self.payload)?;
         self.bytes_written += 8 + self.payload.len() as u64;
+        emitted += 8 + self.payload.len() as u64;
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.log_encode_v2_records.add(u64::from(self.block_records));
+            m.log_encode_v2_bytes.add(emitted);
+            m.log_encode_v2_blocks.add(1);
+        }
+        self.deltas.publish();
         self.payload.clear();
         self.block_records = 0;
         // Blocks decode independently, so the delta state restarts.
@@ -467,8 +525,14 @@ impl<R: std::io::Read> V2Blocks<R> {
     /// [`V2_MAGIC`], [`LogError::UnsupportedVersion`] for an unknown
     /// version byte, and [`LogError::Io`] on read failure.
     pub fn open(mut source: R) -> LogResult<V2Blocks<R>> {
+        Self::open_inner(&mut source)
+            .map(|()| V2Blocks::after_header(source))
+            .inspect_err(crate::error::count_error)
+    }
+
+    fn open_inner(source: &mut R) -> LogResult<()> {
         let mut header = [0u8; 5];
-        let got = read_exact_or_eof(&mut source, &mut header)?;
+        let got = read_exact_or_eof(source, &mut header)?;
         if got < 4 || header[..4] != V2_MAGIC {
             return Err(LogError::BadMagic {
                 found: header[..got.min(4)].to_vec(),
@@ -483,10 +547,11 @@ impl<R: std::io::Read> V2Blocks<R> {
                 supported: V2_VERSION,
             });
         }
-        Ok(V2Blocks::after_header(source))
+        Ok(())
     }
 
     fn read_block(&mut self) -> LogResult<Option<Vec<Record>>> {
+        let start = literace_telemetry::enabled().then(std::time::Instant::now);
         let mut header = [0u8; 8];
         match read_exact_or_eof(&mut self.source, &mut header)? {
             0 => return Ok(None),
@@ -511,7 +576,15 @@ impl<R: std::io::Read> V2Blocks<R> {
                 "truncated block: {got} of {payload_len} payload bytes"
             )));
         }
-        Ok(Some(decode_block(&payload, count)?))
+        let block = decode_block(&payload, count)?;
+        if let Some(start) = start {
+            let m = literace_telemetry::metrics();
+            m.log_decode_v2_blocks.add(1);
+            m.log_decode_v2_bytes.add(8 + payload_len as u64);
+            m.log_decode_v2_records.add(u64::from(count));
+            m.log_decode_v2_ns.add(start.elapsed().as_nanos() as u64);
+        }
+        Ok(Some(block))
     }
 }
 
@@ -545,6 +618,7 @@ impl<R: std::io::Read> Iterator for V2Blocks<R> {
             }
             Err(e) => {
                 self.done = true;
+                crate::error::count_error(&e);
                 Some(Err(e))
             }
         }

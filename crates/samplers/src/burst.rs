@@ -110,6 +110,13 @@ impl BurstState {
             self.sample_left -= 1;
             if self.sample_left == 0 {
                 self.bursts_done += 1;
+                if literace_telemetry::enabled() {
+                    // Slot n = regions finishing their n-th burst; the last
+                    // slot pools every transition at or past the rate floor.
+                    literace_telemetry::metrics()
+                        .sampler_burst_transitions
+                        .add(self.bursts_done as usize - 1, 1);
+                }
                 let rate = schedule.rate(self.bursts_done);
                 self.skip_left = gap_for(BURST_LEN, rate);
                 if self.skip_left == 0 {

@@ -1,0 +1,536 @@
+//! Point-in-time snapshots of the registry and their exporters: a stable,
+//! versioned JSON schema and Prometheus text format.
+//!
+//! # JSON schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "counters":   { "<name>": u64, ... },
+//!   "gauges":     { "<name>": u64, ... },
+//!   "slots":      { "<name>": [u64, ...], ... },
+//!   "histograms": { "<name>": {"count": u64, "sum": u64, "buckets": [u64; 64]}, ... },
+//!   "phases":     { "<name>": {"count": u64, "total_ns": u64, "max_ns": u64,
+//!                              "by_thread": [u64, ...]}, ... },
+//!   "derived":    { "<name>": f64, ... }
+//! }
+//! ```
+//!
+//! Keys within each section are sorted, arrays have fixed per-metric
+//! lengths, and no wall-clock timestamp is embedded, so serialization is
+//! deterministic: equal snapshots produce equal bytes. New metrics may be
+//! *added* within a schema version; renaming or removing one bumps
+//! [`SCHEMA_VERSION`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{escape_into, parse_json, JsonValue};
+use crate::metrics::bucket_bound;
+use crate::registry::Metrics;
+
+/// Version of the JSON snapshot schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A captured histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (see [`crate::HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+/// A captured phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseSnapshot {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across spans.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Nanoseconds attributed to each thread slot.
+    pub by_thread: Vec<u64>,
+}
+
+/// A point-in-time capture of every metric in the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Plain counters, by canonical name.
+    pub counters: BTreeMap<String, u64>,
+    /// Monotonic gauges, by canonical name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Slot-attributed counter families (per-thread, per-shard, per-level).
+    pub slots: BTreeMap<String, Vec<u64>>,
+    /// Histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Phase timings.
+    pub phases: BTreeMap<String, PhaseSnapshot>,
+    /// Ratios and rates computed at capture time (e.g.
+    /// `log.decode.v2.mb_per_s`). Only finite values are emitted.
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    /// Captures the current state of `metrics`.
+    pub fn capture(metrics: &Metrics) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (name, c) in metrics.counters() {
+            snap.counters.insert(name.to_owned(), c.get());
+        }
+        for (name, v) in metrics.gauges() {
+            snap.gauges.insert(name.to_owned(), v);
+        }
+        for (name, values) in metrics.slot_families() {
+            snap.slots.insert(name.to_owned(), values);
+        }
+        for (name, h) in metrics.histograms() {
+            snap.histograms.insert(
+                name.to_owned(),
+                HistogramSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.bucket_values(),
+                },
+            );
+        }
+        for (name, p) in metrics.phases() {
+            snap.phases.insert(
+                name.to_owned(),
+                PhaseSnapshot {
+                    count: p.count(),
+                    total_ns: p.total_ns(),
+                    max_ns: p.max_ns(),
+                    by_thread: p.by_thread(),
+                },
+            );
+        }
+        snap.compute_derived();
+        snap
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// (Re)computes the `derived` section from the raw sections.
+    fn compute_derived(&mut self) {
+        let mb_per_s = |bytes: u64, ns: u64| {
+            if ns == 0 {
+                f64::NAN
+            } else {
+                (bytes as f64 / (1 << 20) as f64) / (ns as f64 / 1e9)
+            }
+        };
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                f64::NAN
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let busy = self.counter("detector.worker.busy_ns");
+        let idle = self.counter("detector.worker.idle_ns");
+        let values = [
+            (
+                "log.decode.v2.mb_per_s",
+                mb_per_s(
+                    self.counter("log.decode.v2.bytes"),
+                    self.counter("log.decode.v2.ns"),
+                ),
+            ),
+            (
+                "log.encode.v2.multibyte_delta_rate",
+                ratio(
+                    self.counter("log.encode.v2.deltas_multibyte"),
+                    self.counter("log.encode.v2.deltas"),
+                ),
+            ),
+            (
+                "instrument.dispatch.sample_rate",
+                ratio(
+                    self.counter("instrument.dispatch.sampled"),
+                    self.counter("instrument.dispatch.checks"),
+                ),
+            ),
+            ("detector.worker.utilization", ratio(busy, busy + idle)),
+        ];
+        self.derived.clear();
+        for (name, v) in values {
+            if v.is_finite() {
+                self.derived.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// Serializes the snapshot as pretty-printed, deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", SCHEMA_VERSION);
+
+        write_u64_section(&mut out, "counters", &self.counters, false);
+        write_u64_section(&mut out, "gauges", &self.gauges, false);
+
+        out.push_str("  \"slots\": {");
+        write_map(&mut out, &self.slots, |out, values| {
+            out.push('[');
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        write_map(&mut out, &self.histograms, |out, h| {
+            let _ = write!(out, "{{\"count\": {}, \"sum\": {}, \"buckets\": [", h.count, h.sum);
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"phases\": {");
+        write_map(&mut out, &self.phases, |out, p| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}, \"by_thread\": [",
+                p.count, p.total_ns, p.max_ns
+            );
+            for (i, v) in p.by_thread.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push_str("]}");
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"derived\": {");
+        write_map(&mut out, &self.derived, |out, v| {
+            // `{}` on f64 is the shortest representation that parses back
+            // to the same value, so serialization round-trips exactly.
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a snapshot previously produced by [`to_json`](Snapshot::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors, a missing or mismatched
+    /// `schema_version`, and structurally invalid sections.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = parse_json(text)?;
+        let version = root
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (supported: {SCHEMA_VERSION})"
+            ));
+        }
+        let mut snap = Snapshot::default();
+        for (name, v) in section(&root, "counters")? {
+            let v = v.as_u64().ok_or_else(|| format!("counter {name} not a u64"))?;
+            snap.counters.insert(name.clone(), v);
+        }
+        for (name, v) in section(&root, "gauges")? {
+            let v = v.as_u64().ok_or_else(|| format!("gauge {name} not a u64"))?;
+            snap.gauges.insert(name.clone(), v);
+        }
+        for (name, v) in section(&root, "slots")? {
+            snap.slots.insert(name.clone(), u64_array(name, v)?);
+        }
+        for (name, v) in section(&root, "histograms")? {
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count: field_u64(name, v, "count")?,
+                    sum: field_u64(name, v, "sum")?,
+                    buckets: u64_array(
+                        name,
+                        v.get("buckets").ok_or_else(|| format!("{name}: no buckets"))?,
+                    )?,
+                },
+            );
+        }
+        for (name, v) in section(&root, "phases")? {
+            snap.phases.insert(
+                name.clone(),
+                PhaseSnapshot {
+                    count: field_u64(name, v, "count")?,
+                    total_ns: field_u64(name, v, "total_ns")?,
+                    max_ns: field_u64(name, v, "max_ns")?,
+                    by_thread: u64_array(
+                        name,
+                        v.get("by_thread")
+                            .ok_or_else(|| format!("{name}: no by_thread"))?,
+                    )?,
+                },
+            );
+        }
+        for (name, v) in section(&root, "derived")? {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("derived {name} not a number"))?;
+            snap.derived.insert(name.clone(), v);
+        }
+        Ok(snap)
+    }
+
+    /// Checks that the snapshot carries the core metrics the pipeline is
+    /// expected to export, returning the missing names.
+    ///
+    /// Used by `literace metrics --validate` (and CI) as a schema-level
+    /// sanity check on freshly produced snapshots.
+    pub fn missing_required(&self) -> Vec<&'static str> {
+        const REQUIRED_COUNTERS: &[&str] = &[
+            "instrument.dispatch.checks",
+            "instrument.dispatch.sampled",
+            "instrument.mem.logged",
+            "instrument.sync.logged",
+            "log.decode.v2.bytes",
+            "log.decode.v2.ns",
+            "log.stream.stalls",
+            "detector.records.routed",
+            "detector.stream.stalls",
+            "detector.races.static",
+            "detector.races.dynamic",
+        ];
+        const REQUIRED_SLOTS: &[&str] = &[
+            "sampler.burst.transitions",
+            "detector.shard.events",
+            "detector.shard.queue_depth_hwm",
+        ];
+        let mut missing = Vec::new();
+        for &name in REQUIRED_COUNTERS {
+            if !self.counters.contains_key(name) {
+                missing.push(name);
+            }
+        }
+        for &name in REQUIRED_SLOTS {
+            if !self.slots.contains_key(name) {
+                missing.push(name);
+            }
+        }
+        if !self.gauges.contains_key("detector.races.suppressed") {
+            missing.push("detector.races.suppressed");
+        }
+        if !self.derived.contains_key("log.decode.v2.mb_per_s")
+            && self.counters.get("log.decode.v2.ns").copied().unwrap_or(0) > 0
+        {
+            missing.push("log.decode.v2.mb_per_s");
+        }
+        missing
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Names gain a `literace_` prefix with dots rewritten to underscores;
+    /// slot families become labelled series; histograms use cumulative
+    /// `le` buckets over the log2 upper bounds.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, values) in &self.slots {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            for (slot, v) in values.iter().enumerate() {
+                let _ = writeln!(out, "{n}{{slot=\"{slot}\"}} {v}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (b, count) in h.buckets.iter().enumerate() {
+                cumulative += count;
+                // Skip the long run of empty interior buckets but keep the
+                // sentinel buckets Prometheus needs.
+                if *count == 0 && b != 0 && b != h.buckets.len() - 1 {
+                    continue;
+                }
+                let bound = bucket_bound(b);
+                if bound == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        for (name, p) in &self.phases {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n}_total_ns counter");
+            let _ = writeln!(out, "{n}_total_ns {}", p.total_ns);
+            let _ = writeln!(out, "# TYPE {n}_count counter");
+            let _ = writeln!(out, "{n}_count {}", p.count);
+            let _ = writeln!(out, "# TYPE {n}_max_ns gauge");
+            let _ = writeln!(out, "{n}_max_ns {}", p.max_ns);
+        }
+        for (name, v) in &self.derived {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("literace_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Writes one `"name": value` map body with sorted keys, `value` rendered
+/// by `render`, as the inner part of an already-opened object.
+fn write_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    render: impl Fn(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        escape_into(name, out);
+        out.push_str("\": ");
+        render(out, v);
+    }
+    if !map.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+}
+
+fn write_u64_section(
+    out: &mut String,
+    title: &str,
+    map: &BTreeMap<String, u64>,
+    last: bool,
+) {
+    let _ = write!(out, "  \"{title}\": {{");
+    write_map(out, map, |out, v| {
+        let _ = write!(out, "{v}");
+    });
+    out.push('}');
+    out.push_str(if last { "\n" } else { ",\n" });
+}
+
+fn section<'a>(
+    root: &'a JsonValue,
+    name: &str,
+) -> Result<&'a BTreeMap<String, JsonValue>, String> {
+    root.get(name)
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| format!("missing section {name}"))
+}
+
+fn field_u64(owner: &str, v: &JsonValue, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("{owner}: bad field {field}"))
+}
+
+fn u64_array(owner: &str, v: &JsonValue) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{owner}: not an array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("{owner}: non-u64 element")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        // Local registries keep these tests independent of the global one
+        // (the test runner is parallel).
+        let m = Metrics::new();
+        m.instrument_dispatch_checks.add(100);
+        m.instrument_dispatch_sampled.add(12);
+        m.detector_shard_events.add(2, 40);
+        m.detector_frontier_scan.record(5);
+        m.detector_frontier_scan.record(1000);
+        m.phase_merge.record_ns(12345);
+        m.log_decode_v2_bytes.add(1 << 20);
+        m.log_decode_v2_ns.add(1_000_000_000);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json, "serialization is deterministic");
+        assert_eq!(back.derived["log.decode.v2.mb_per_s"], 1.0);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions() {
+        let json = Metrics::new().snapshot().to_json();
+        let bumped = json.replacen(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+            1,
+        );
+        let err = Snapshot::from_json(&bumped).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn fresh_snapshot_carries_all_required_metrics() {
+        let snap = Metrics::new().snapshot();
+        // Zero-valued decode ns means the MB/s derived metric is allowed
+        // to be absent; everything else must exist even when zero.
+        assert_eq!(snap.missing_required(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed() {
+        let m = Metrics::new();
+        m.detector_frontier_scan.record(7);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE literace_instrument_dispatch_checks counter"));
+        assert!(text.contains("literace_detector_shard_events{slot=\"0\"}"));
+        assert!(text.contains("literace_detector_frontier_scan_len_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("literace_detector_frontier_scan_len_sum"));
+        assert!(!text.contains(".."), "no unsanitized names");
+    }
+}

@@ -1,0 +1,191 @@
+//! Telemetry neutrality: flipping metrics recording on can never change
+//! what the pipeline produces — not a race report on any detection path
+//! (sequential, sharded ×{2,4,8}, streaming), not a byte of an encoded
+//! log. This is the contract that makes `--metrics-out` safe to use on a
+//! run whose results matter.
+//!
+//! The runtime flag is process-global and the test runner is parallel, so
+//! every test here serializes on one mutex and restores the flag to off
+//! before releasing it.
+
+use std::sync::Mutex;
+
+use literace::detector::{
+    detect, detect_sharded, detect_stream, DetectConfig, RaceReport,
+};
+use literace::instrument::{InstrumentConfig, Instrumenter};
+use literace::log::{EventLog, LogWriterV2};
+use literace::prelude::*;
+use literace::sim::{lower, ChunkedRandomScheduler, Machine, MachineConfig, Program};
+use literace::telemetry;
+use literace::workloads::synthetic::{racy, SyntheticConfig};
+use proptest::prelude::*;
+
+static TOGGLE: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    TOGGLE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the runtime flag set to `on`, restoring off afterwards.
+fn with_flag<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    telemetry::set_enabled(on);
+    let out = f();
+    telemetry::set_enabled(false);
+    out
+}
+
+/// Runs `program` once under full logging and returns the event log plus
+/// the non-stack access count the detector needs for rarity splits.
+fn full_log(program: &Program, seed: u64) -> (EventLog, u64) {
+    let compiled = lower(program);
+    let mut inst = Instrumenter::new(
+        SamplerKind::Always.build(seed),
+        InstrumentConfig::default(),
+    );
+    let summary = Machine::new(&compiled, MachineConfig::default())
+        .run(&mut ChunkedRandomScheduler::seeded(seed, 48), &mut inst)
+        .expect("program runs");
+    (inst.finish().log, summary.non_stack_accesses)
+}
+
+/// One report per detection path: sequential, sharded ×{2,4,8}, streaming.
+fn all_paths(log: &EventLog, non_stack: u64) -> Vec<RaceReport> {
+    let mut out = vec![detect(log, non_stack)];
+    for threads in [2usize, 4, 8] {
+        out.push(detect_sharded(
+            log,
+            non_stack,
+            &DetectConfig::with_threads(threads),
+        ));
+    }
+    let blocks = log.records().chunks(4096).map(|c| Ok(c.to_vec()));
+    out.push(
+        detect_stream(blocks, non_stack, &DetectConfig::with_threads(4))
+            .expect("in-memory blocks decode"),
+    );
+    out
+}
+
+fn v2_bytes(log: &EventLog) -> Vec<u8> {
+    let mut w = LogWriterV2::new(Vec::new());
+    for r in log {
+        w.write_record(r).expect("vec sink");
+    }
+    w.finish().expect("vec sink")
+}
+
+/// Detects `program`'s full log with telemetry off, then on, and asserts
+/// every path's report — and the v2 encoding of the log — is byte-equal.
+fn assert_neutral(program: &Program, seed: u64, context: &str) {
+    let _guard = serialized();
+    let (log, non_stack) = full_log(program, seed);
+    let off = with_flag(false, || (all_paths(&log, non_stack), v2_bytes(&log)));
+    let on = with_flag(true, || (all_paths(&log, non_stack), v2_bytes(&log)));
+    for (i, (o, n)) in off.0.iter().zip(&on.0).enumerate() {
+        assert_eq!(o, n, "{context}: path {i} changed under telemetry");
+        assert_eq!(
+            format!("{o:?}"),
+            format!("{n:?}"),
+            "{context}: path {i} renders differently under telemetry"
+        );
+    }
+    assert_eq!(off.1, on.1, "{context}: v2 encoding changed under telemetry");
+}
+
+#[test]
+fn workload_reports_are_byte_identical_on_vs_off() {
+    for id in [WorkloadId::LfList, WorkloadId::LkrHash] {
+        let w = build(id, Scale::Smoke);
+        assert_neutral(&w.program, 2, id.name());
+    }
+}
+
+#[test]
+fn full_pipeline_is_neutral_including_streaming_detect() {
+    let _guard = serialized();
+    let w = build(WorkloadId::LfList, Scale::Smoke);
+    for threads in [1usize, 2, 4, 8] {
+        for streaming in [false, true] {
+            let mut cfg = RunConfig::seeded(3);
+            cfg.detect_threads = threads;
+            cfg.streaming_detect = streaming;
+            let run = |on| {
+                with_flag(on, || {
+                    run_literace(&w.program, SamplerKind::TlAdaptive, &cfg)
+                        .expect("pipeline runs")
+                })
+            };
+            let off = run(false);
+            let on = run(true);
+            let ctx = format!("threads={threads} streaming={streaming}");
+            assert_eq!(off.report, on.report, "{ctx}: report changed");
+            assert_eq!(
+                off.instrumented.log, on.instrumented.log,
+                "{ctx}: log changed"
+            );
+            assert_eq!(
+                (
+                    off.instrumented.stats.total_mem,
+                    off.instrumented.stats.logged_mem,
+                    off.instrumented.stats.sync_records,
+                ),
+                (
+                    on.instrumented.stats.total_mem,
+                    on.instrumented.stats.logged_mem,
+                    on.instrumented.stats.sync_records,
+                ),
+                "{ctx}: instrumentation counters changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_round_trips_after_an_enabled_run() {
+    let _guard = serialized();
+    let w = build(WorkloadId::LfList, Scale::Smoke);
+    with_flag(true, || {
+        let mut cfg = RunConfig::seeded(1);
+        cfg.detect_threads = 2;
+        run_literace(&w.program, SamplerKind::TlAdaptive, &cfg).expect("pipeline runs");
+    });
+    let snap = telemetry::metrics().snapshot();
+    let json = snap.to_json();
+    assert!(
+        json.contains(&format!("\"schema_version\": {}", telemetry::SCHEMA_VERSION)),
+        "snapshot must carry the schema version"
+    );
+    let back = telemetry::Snapshot::from_json(&json).expect("snapshot parses back");
+    assert_eq!(back, snap, "JSON round-trip loses information");
+    assert_eq!(back.to_json(), json, "serialization is not deterministic");
+    assert_eq!(
+        snap.missing_required(),
+        Vec::<&str>::new(),
+        "snapshot is missing required pipeline metrics"
+    );
+}
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (2u32..5, 2u32..5, 5u32..15, 3u32..7, any::<u64>()).prop_map(
+        |(threads, globals, iterations, actions, seed)| SyntheticConfig {
+            threads,
+            globals,
+            iterations,
+            actions_per_iteration: actions,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random racy programs: every detection path and the v2 encoding are
+    /// unchanged by telemetry.
+    #[test]
+    fn random_racy_programs_are_neutral(cfg in arb_config()) {
+        let (program, _) = racy(cfg);
+        assert_neutral(&program, cfg.seed, &format!("{cfg:?}"));
+    }
+}
