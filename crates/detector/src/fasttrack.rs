@@ -1,244 +1,80 @@
-//! A FastTrack-style epoch-optimized happens-before detector.
+//! The FastTrack-style epoch-optimized happens-before entry point.
 //!
-//! The full vector-clock detector in [`hb`](crate::hb) keeps an access
-//! frontier per location. FastTrack (Flanagan & Freund, PLDI 2009 — the
-//! companion optimization published alongside LiteRace) observes that writes
-//! to a location are almost always totally ordered, so the *last write
-//! epoch* suffices, and reads only need a full clock while they are
-//! concurrent ("read-shared"). This detector trades some static-pair
-//! completeness for O(1) state per location in the common case; the test
-//! suite checks it agrees with the full detector on *which locations race*.
-
-use std::collections::HashMap;
+//! # Design note: from lossy prototype to lossless production path
+//!
+//! FastTrack (Flanagan & Freund, PLDI 2009 — the companion optimization
+//! published alongside LiteRace) observes that writes to a location are
+//! almost always totally ordered, so the *last write epoch* `c@t` suffices,
+//! and reads only need a full representation while they are concurrent
+//! ("read-shared"). The first version of this module implemented that idea
+//! directly as a standalone detector with its own location states
+//! (`None`/`Single`/`Shared` reads, one optional write epoch). It was fast,
+//! but **lossy**: the read-shared state collapsed concurrent readers into a
+//! single clock plus a bounded PC list, so it could only be tested to agree
+//! with the full detector on *which locations race*, not on the exact
+//! static pairs or dynamic counts.
+//!
+//! That trade-off is no longer necessary. The production frontier
+//! ([`frontier`](crate::frontier)) now carries the same adaptive epoch
+//! representation *losslessly*: every location starts as two inline epochs
+//! (last write + last read — exactly FastTrack's common case, O(1) state,
+//! no heap), escalates to a full access antichain only when a genuinely
+//! concurrent pair of same-kind accesses forces it, and collapses back to
+//! inline epochs at the next ordered write. Escalated histories keep every
+//! surviving access, so reports are **byte-identical** to the vector-clock
+//! frontier on every path and thread count — the equivalence tests assert
+//! exact [`RaceReport`] equality, not racy-address agreement.
+//!
+//! [`FastTrackDetector`] therefore delegates to [`HbDetector`]: the epoch
+//! optimization is not a separate, approximate detector any more — it *is*
+//! the detector.
 
 use literace_log::{EventLog, Record};
-use literace_sim::{Addr, Pc, SyncVar, ThreadId};
 
-use crate::report::{DynamicRace, RaceReport};
-use crate::vector_clock::VectorClock;
+use crate::hb::{detect, HbDetector};
+use crate::report::RaceReport;
 
-/// A (thread, clock) pair: FastTrack's scalar epoch `c@t`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Epoch {
-    tid: ThreadId,
-    clock: u64,
-    pc: Pc,
-}
-
-impl Epoch {
-    fn happens_before(&self, c: &VectorClock) -> bool {
-        c.get(self.tid) >= self.clock
-    }
-}
-
-#[derive(Debug)]
-enum ReadState {
-    /// No reads since the last write.
-    None,
-    /// All reads so far are totally ordered: only the latest matters.
-    Single(Epoch),
-    /// Concurrent reads: escalated to a full clock (plus PCs for reports).
-    Shared(VectorClock, Vec<Epoch>),
-}
-
-#[derive(Debug)]
-struct LocState {
-    write: Option<Epoch>,
-    read: ReadState,
-}
-
-impl Default for LocState {
-    fn default() -> LocState {
-        LocState {
-            write: None,
-            read: ReadState::None,
-        }
-    }
-}
-
-/// The epoch-optimized detector.
-#[derive(Debug)]
+/// The epoch-optimized detector. Since the adaptive epoch representation
+/// became the production frontier this is a thin wrapper over
+/// [`HbDetector`], kept so callers that opt into "FastTrack mode" keep
+/// compiling and now get lossless results.
+#[derive(Debug, Default)]
 pub struct FastTrackDetector {
-    threads: Vec<VectorClock>,
-    syncvars: HashMap<SyncVar, VectorClock>,
-    locations: HashMap<u64, LocState>,
-    races: Vec<DynamicRace>,
+    inner: HbDetector,
 }
 
 impl FastTrackDetector {
     /// Creates an empty detector.
     pub fn new() -> FastTrackDetector {
-        FastTrackDetector {
-            threads: Vec::new(),
-            syncvars: HashMap::new(),
-            locations: HashMap::new(),
-            races: Vec::new(),
-        }
-    }
-
-    fn clock_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
-        let i = tid.index();
-        if i >= self.threads.len() {
-            for j in self.threads.len()..=i {
-                let mut c = VectorClock::new();
-                c.set(ThreadId::from_index(j), 1);
-                self.threads.push(c);
-            }
-        }
-        &mut self.threads[i]
+        FastTrackDetector::default()
     }
 
     /// Processes one record.
     pub fn process(&mut self, record: &Record) {
-        match *record {
-            Record::Sync { tid, kind, var, .. } => {
-                if kind.is_acquire() {
-                    if let Some(l) = self.syncvars.get(&var) {
-                        let l = l.clone();
-                        self.clock_mut(tid).join(&l);
-                    } else {
-                        let _ = self.clock_mut(tid);
-                    }
-                }
-                if kind.is_release() {
-                    let c = self.clock_mut(tid).clone();
-                    self.syncvars.entry(var).or_default().join(&c);
-                    self.clock_mut(tid).increment(tid);
-                }
-            }
-            Record::Mem {
-                tid,
-                pc,
-                addr,
-                is_write,
-                ..
-            } => {
-                if is_write {
-                    self.write(tid, pc, addr);
-                } else {
-                    self.read(tid, pc, addr);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn read(&mut self, tid: ThreadId, pc: Pc, addr: Addr) {
-        let clock = self.clock_mut(tid).clone();
-        let epoch = Epoch {
-            tid,
-            clock: clock.get(tid),
-            pc,
-        };
-        let loc = self.locations.entry(addr.raw()).or_default();
-        if let Some(w) = loc.write {
-            if w.tid != tid && !w.happens_before(&clock) {
-                self.races.push(race(w, epoch, addr, true, false));
-            }
-        }
-        match &mut loc.read {
-            ReadState::None => loc.read = ReadState::Single(epoch),
-            ReadState::Single(prev) => {
-                if prev.tid == tid || prev.happens_before(&clock) {
-                    *prev = epoch;
-                } else {
-                    // Concurrent reads: escalate to a read clock.
-                    let mut vc = VectorClock::new();
-                    vc.set(prev.tid, prev.clock);
-                    vc.set(tid, epoch.clock);
-                    loc.read = ReadState::Shared(vc, vec![*prev, epoch]);
-                }
-            }
-            ReadState::Shared(vc, pcs) => {
-                vc.set(tid, epoch.clock.max(vc.get(tid)));
-                pcs.retain(|e| e.tid != tid);
-                pcs.push(epoch);
-                if pcs.len() > 64 {
-                    pcs.drain(0..32);
-                }
-            }
-        }
-    }
-
-    fn write(&mut self, tid: ThreadId, pc: Pc, addr: Addr) {
-        let clock = self.clock_mut(tid).clone();
-        let epoch = Epoch {
-            tid,
-            clock: clock.get(tid),
-            pc,
-        };
-        let loc = self.locations.entry(addr.raw()).or_default();
-        if let Some(w) = loc.write {
-            if w.tid != tid && !w.happens_before(&clock) {
-                self.races.push(race(w, epoch, addr, true, true));
-            }
-        }
-        match &loc.read {
-            ReadState::None => {}
-            ReadState::Single(r) => {
-                if r.tid != tid && !r.happens_before(&clock) {
-                    self.races.push(race(*r, epoch, addr, false, true));
-                }
-            }
-            ReadState::Shared(vc, pcs) => {
-                if !vc.le(&clock) {
-                    // Report against every remembered concurrent reader.
-                    for r in pcs {
-                        if r.tid != tid && !r.happens_before(&clock) {
-                            self.races.push(race(*r, epoch, addr, false, true));
-                        }
-                    }
-                }
-            }
-        }
-        loc.write = Some(epoch);
-        loc.read = ReadState::None;
+        self.inner.process(record);
     }
 
     /// Processes a whole log.
     pub fn process_log(&mut self, log: &EventLog) {
-        for r in log {
-            self.process(r);
-        }
+        self.inner.process_log(log);
     }
 
     /// Finishes, producing a report.
     pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
-        RaceReport::from_dynamic(self.races, non_stack_accesses)
-    }
-}
-
-impl Default for FastTrackDetector {
-    fn default() -> FastTrackDetector {
-        FastTrackDetector::new()
-    }
-}
-
-fn race(first: Epoch, second: Epoch, addr: Addr, fw: bool, sw: bool) -> DynamicRace {
-    DynamicRace {
-        first_pc: first.pc,
-        second_pc: second.pc,
-        addr,
-        first_tid: first.tid,
-        second_tid: second.tid,
-        first_is_write: fw,
-        second_is_write: sw,
+        self.inner.finish(non_stack_accesses)
     }
 }
 
 /// One-shot convenience: run the FastTrack detector on a log.
 pub fn detect_fasttrack(log: &EventLog, non_stack_accesses: u64) -> RaceReport {
-    let mut d = FastTrackDetector::new();
-    d.process_log(log);
-    d.finish(non_stack_accesses)
+    detect(log, non_stack_accesses)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hb::detect;
     use literace_log::SamplerMask;
-    use literace_sim::{FuncId, SyncOpKind};
+    use literace_sim::{Addr, FuncId, Pc, SyncOpKind, SyncVar, ThreadId};
 
     fn t(i: usize) -> ThreadId {
         ThreadId::from_index(i)
@@ -308,8 +144,9 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_full_detector_on_racy_locations() {
-        // Randomized-ish small scenario mixing sync and races.
+    fn identical_to_full_detector_not_just_racy_locations() {
+        // The old lossy prototype only agreed on racy address sets; the
+        // delegating detector must produce the exact same report.
         let mut records = Vec::new();
         for i in 0..5u64 {
             records.push(mem(t(0), 1, a(i), true));
@@ -319,30 +156,30 @@ mod tests {
                 records.push(sync(t(1), SyncOpKind::LockAcquire, i, 2 * i + 2));
             }
             records.push(mem(t(1), 2, a(i), true));
+            records.push(mem(t(1), 3, a(i), false));
+            records.push(mem(t(0), 4, a(i), false));
         }
         let log: EventLog = records.into_iter().collect();
         let full = detect(&log, 10);
         let fast = detect_fasttrack(&log, 10);
-        let full_addrs: std::collections::HashSet<_> = full
-            .static_races
-            .iter()
-            .map(|s| s.example_addr)
-            .collect();
-        let fast_addrs: std::collections::HashSet<_> = fast
-            .static_races
-            .iter()
-            .map(|s| s.example_addr)
-            .collect();
-        assert_eq!(full_addrs, fast_addrs);
+        assert_eq!(full, fast);
     }
 
     #[test]
-    fn same_thread_reads_do_not_escalate() {
+    fn incremental_processing_matches_one_shot() {
+        let log: EventLog = vec![
+            mem(t(0), 1, a(0), false),
+            mem(t(1), 2, a(0), false),
+            mem(t(2), 3, a(0), true),
+            mem(t(0), 4, a(1), true),
+            mem(t(1), 5, a(1), true),
+        ]
+        .into_iter()
+        .collect();
         let mut d = FastTrackDetector::new();
-        for i in 0..10 {
-            d.process(&mem(t(0), i, a(0), false));
+        for r in &log {
+            d.process(r);
         }
-        let loc = &d.locations[&a(0).raw()];
-        assert!(matches!(loc.read, ReadState::Single(_)));
+        assert_eq!(d.finish(5), detect_fasttrack(&log, 5));
     }
 }

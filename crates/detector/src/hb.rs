@@ -70,6 +70,12 @@ struct PairAgg {
 pub struct HbCore {
     cfg: HbConfig,
     threads: Vec<VectorClock>,
+    /// Per-thread clock generation: bumped whenever the thread's clock
+    /// value may change, so the frontier's same-epoch memo (see
+    /// [`epoch`](crate::epoch)) can key on `(thread, generation)` instead
+    /// of comparing whole clocks. Over-bumping is safe (it only costs memo
+    /// hits); missing a bump would not be.
+    clock_gen: Vec<u64>,
     /// Threads known to have exited (excluded from the compaction bound).
     retired: Vec<bool>,
     syncvars: FastMap<SyncVar, VectorClock>,
@@ -90,6 +96,7 @@ impl HbCore {
         HbCore {
             cfg,
             threads: Vec::new(),
+            clock_gen: Vec::new(),
             retired: Vec::new(),
             syncvars: FastMap::default(),
             frontier: Frontier::new(cfg.max_history_per_location),
@@ -107,12 +114,14 @@ impl HbCore {
                 let mut c = VectorClock::new();
                 c.set(ThreadId::from_index(j), 1);
                 self.threads.push(c);
+                self.clock_gen.push(0);
             }
         }
         i
     }
 
     /// Processes one synchronization operation.
+    #[inline]
     pub fn sync(&mut self, tid: ThreadId, kind: SyncOpKind, var: SyncVar) {
         if kind == SyncOpKind::Fork {
             // Materialize the child's clock immediately: until the child
@@ -125,6 +134,9 @@ impl HbCore {
         // Materialize up front so the paths below can borrow `threads`
         // directly alongside `syncvars` (disjoint fields) without cloning.
         let i = self.ensure_thread(tid);
+        // Any sync op may change this thread's clock; a blanket bump keeps
+        // the memo sound (equal generation ⟹ equal clock value).
+        self.clock_gen[i] += 1;
         let acquire = kind.is_acquire();
         let release = kind.is_release();
         if acquire {
@@ -142,6 +154,14 @@ impl HbCore {
     }
 
     /// Processes one data access.
+    ///
+    /// `inline(always)`: this is the detector's innermost per-record call.
+    /// Inlining it (and [`Frontier::access`] inside it) into each driver
+    /// loop keeps the location state in registers across records — worth
+    /// over 10% end-to-end on full logs, and LLVM won't do it unaided
+    /// because the function has many call sites (sequential, sharded,
+    /// streaming, online).
+    #[inline(always)]
     pub fn access(&mut self, tid: ThreadId, pc: Pc, addr: Addr, is_write: bool) {
         let i = self.ensure_thread(tid);
         // The access doesn't modify the clock, so a shared borrow suffices
@@ -150,14 +170,16 @@ impl HbCore {
         let HbCore {
             cfg,
             threads,
+            clock_gen,
             frontier,
             pairs,
             scan_hist,
             ..
         } = self;
         let clock = &threads[i];
+        let generation = clock_gen[i];
         let max_pair = cfg.max_dynamic_per_pair as u64;
-        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
+        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, generation, |prior| {
             let key = if prior.pc <= pc {
                 (prior.pc, pc)
             } else {
@@ -231,6 +253,7 @@ impl HbCore {
     /// dynamic races. A pair with occurrences but nothing stored (possible
     /// only when `max_dynamic_per_pair` is 0) is omitted entirely.
     pub fn finish(mut self, non_stack_accesses: u64) -> RaceReport {
+        self.frontier.flush_telemetry();
         if literace_telemetry::enabled() {
             let m = literace_telemetry::metrics();
             self.scan_hist.flush_into(&m.detector_frontier_scan);
@@ -330,6 +353,12 @@ impl HbDetector {
     }
 
     /// Processes one log record.
+    ///
+    /// `inline(always)`: called once per record from every driver loop;
+    /// without the hint LLVM leaves a per-record call boundary (the
+    /// function has many callers), forcing detector state back to memory
+    /// every record.
+    #[inline(always)]
     pub fn process(&mut self, record: &Record) {
         match *record {
             Record::Sync {

@@ -6,9 +6,10 @@
 //!   event logs (vector clocks; no false positives by construction);
 //! * [`OnlineDetector`] — the §4.4 "spare core" variant, running the same
 //!   core live against the simulator's event stream;
-//! * [`FastTrackDetector`] — an epoch-optimized happens-before detector
-//!   (the contemporaneous FastTrack design), equivalence-tested against the
-//!   full detector;
+//! * [`FastTrackDetector`] — the epoch-optimized happens-before entry point
+//!   (the contemporaneous FastTrack design); since the adaptive epoch
+//!   representation became the production frontier it delegates to
+//!   [`HbDetector`] and reports byte-identically;
 //! * [`LocksetDetector`] — an Eraser-style baseline that demonstrates the
 //!   false positives the paper's design avoids;
 //! * [`detect_sharded`] — address-sharded parallel offline detection,
@@ -43,6 +44,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
+mod epoch;
 pub mod fast_hash;
 mod fasttrack;
 mod frontier;

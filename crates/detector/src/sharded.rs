@@ -388,16 +388,27 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
             addr,
         } = *ev;
         let clock = &timeline.versions[tid.index()][generation as usize];
-        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, |prior| {
-            let key = if prior.pc <= pc {
-                (prior.pc, pc)
-            } else {
-                (pc, prior.pc)
-            };
-            pairs.entry(key).or_default().push((u64::from(pos), addr));
-        });
+        // The timeline generation is exactly a per-thread clock version, so
+        // it doubles as the frontier memo token.
+        let scanned = frontier.access(
+            tid,
+            pc,
+            addr.raw(),
+            is_write,
+            clock,
+            u64::from(generation),
+            |prior| {
+                let key = if prior.pc <= pc {
+                    (prior.pc, pc)
+                } else {
+                    (pc, prior.pc)
+                };
+                pairs.entry(key).or_default().push((u64::from(pos), addr));
+            },
+        );
         scan_hist.record(scanned as u64);
     }
+    frontier.flush_telemetry();
     if literace_telemetry::enabled() {
         scan_hist.flush_into(&literace_telemetry::metrics().detector_frontier_scan);
     }

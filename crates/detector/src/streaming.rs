@@ -65,6 +65,9 @@ struct StreamEvent {
     pc: Pc,
     addr: Addr,
     clock: Arc<VectorClock>,
+    /// The thread's clock generation at routing time (the frontier memo
+    /// token; see [`StreamClocks::generation`]).
+    generation: u64,
 }
 
 /// What flows to a shard worker.
@@ -84,6 +87,11 @@ struct StreamClocks {
     /// `cached[t]` is the shared snapshot of `current[t]`'s present value,
     /// populated at first reference, cleared by the next mutation.
     cached: Vec<Option<Arc<VectorClock>>>,
+    /// `generation[t]` counts invalidations of thread `t`'s clock: equal
+    /// generation ⟹ equal clock value, which is what the frontier's
+    /// same-epoch memo keys on (an `Arc` pointer would be unsound here —
+    /// a recycled allocation could alias a dead generation).
+    generation: Vec<u64>,
 }
 
 impl StreamClocks {
@@ -96,6 +104,7 @@ impl StreamClocks {
             c.set(ThreadId::from_index(self.current.len()), 1);
             self.current.push(c);
             self.cached.push(None);
+            self.generation.push(0);
         }
         i
     }
@@ -112,6 +121,7 @@ impl StreamClocks {
     /// reference re-clones the post-mutation value.
     fn invalidate(&mut self, i: usize) {
         self.cached[i] = None;
+        self.generation[i] += 1;
     }
 }
 
@@ -211,6 +221,7 @@ impl Router {
             } => {
                 let i = self.clocks.ensure_thread(tid);
                 let clock = self.clocks.pin(i);
+                let generation = self.clocks.generation[i];
                 let shard = shard_of(addr, self.shards);
                 self.buffers[shard].push(StreamEvent {
                     pos: self.pos,
@@ -219,6 +230,7 @@ impl Router {
                     pc,
                     addr,
                     clock,
+                    generation,
                 });
                 if self.buffers[shard].len() >= BATCH_RECORDS {
                     self.flush(shard);
@@ -314,6 +326,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
                         ev.addr.raw(),
                         ev.is_write,
                         &ev.clock,
+                        ev.generation,
                         |prior| {
                             let key = if prior.pc <= ev.pc {
                                 (prior.pc, ev.pc)
@@ -333,6 +346,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
                 .add(busy.elapsed().as_nanos() as u64);
         }
     }
+    frontier.flush_telemetry();
     if literace_telemetry::enabled() {
         scan_hist.flush_into(&literace_telemetry::metrics().detector_frontier_scan);
     }

@@ -57,5 +57,6 @@ pub use v2::{
     V2_VERSION,
 };
 pub use varint::{
-    get_delta, get_varint, put_delta, put_varint, unzigzag, zigzag, MAX_VARINT_BYTES,
+    get_delta, get_delta_slice, get_varint, get_varint_slice, put_delta, put_varint, unzigzag,
+    zigzag, MAX_VARINT_BYTES,
 };

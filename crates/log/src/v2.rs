@@ -33,13 +33,13 @@
 
 use std::io::Write;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
 use crate::error::{LogError, LogResult};
 use crate::record::{Record, SamplerMask};
-use crate::varint::{get_delta, get_varint, put_delta, put_varint};
+use crate::varint::{get_delta_slice, get_varint_slice, put_delta, put_varint};
 
 /// Magic bytes opening a v2 log file.
 pub const V2_MAGIC: [u8; 4] = *b"LRL\x02";
@@ -119,15 +119,40 @@ struct ThreadDeltas {
     last_ts: u64,
 }
 
+/// Thread ids below this index live in the dense table. Real streams use
+/// small dense ids (simulator threads), so practically every lookup is one
+/// bounds check and an indexed load; anything larger falls back to the map.
+const DENSE_TIDS: usize = 1024;
+
 /// Delta state for one block, encoder and decoder side alike.
+///
+/// Keyed by thread id. A `HashMap` here put a SipHash probe on every
+/// record of the decode hot loop; the dense `Vec` front removes it.
 #[derive(Debug, Default)]
 struct BlockState {
-    threads: std::collections::HashMap<u32, ThreadDeltas>,
+    dense: Vec<ThreadDeltas>,
+    sparse: std::collections::HashMap<u32, ThreadDeltas>,
 }
 
 impl BlockState {
+    #[inline]
     fn thread(&mut self, tid: u32) -> &mut ThreadDeltas {
-        self.threads.entry(tid).or_default()
+        let i = tid as usize;
+        if i < DENSE_TIDS {
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, ThreadDeltas::default());
+            }
+            &mut self.dense[i]
+        } else {
+            self.sparse.entry(tid).or_default()
+        }
+    }
+
+    /// Forgets the delta state (blocks decode independently) while keeping
+    /// the allocated tables for the next block.
+    fn reset(&mut self) {
+        self.dense.clear();
+        self.sparse.clear();
     }
 }
 
@@ -229,11 +254,13 @@ fn encode_into_block(
 }
 
 /// Decodes one record from a block payload, updating the delta state.
-fn decode_from_block(state: &mut BlockState, buf: &mut impl Buf) -> LogResult<Record> {
-    if !buf.has_remaining() {
+/// Specialized to slices: block payloads are fully materialized, and the
+/// varint fast paths need direct byte access.
+fn decode_from_block(state: &mut BlockState, buf: &mut &[u8]) -> LogResult<Record> {
+    let Some((&tag, rest)) = buf.split_first() else {
         return Err(LogError::corrupt("truncated block: record expected"));
-    }
-    let tag = buf.get_u8();
+    };
+    *buf = rest;
     let kind = tag & 0b111;
     match kind {
         KIND_SYNC => {
@@ -243,9 +270,9 @@ fn decode_from_block(state: &mut BlockState, buf: &mut impl Buf) -> LogResult<Re
             let sync_kind = sync_kind_from_u8((tag >> 3) & 0xF)?;
             let tid = get_tid(buf)?;
             let t = state.thread(tid);
-            let pc = get_delta(buf, t.last_pc)?;
-            let var = get_delta(buf, t.last_var)?;
-            let ts = get_delta(buf, t.last_ts)?;
+            let pc = get_delta_slice(buf, t.last_pc)?;
+            let var = get_delta_slice(buf, t.last_var)?;
+            let ts = get_delta_slice(buf, t.last_ts)?;
             t.last_pc = pc;
             t.last_var = var;
             t.last_ts = ts;
@@ -264,15 +291,15 @@ fn decode_from_block(state: &mut BlockState, buf: &mut impl Buf) -> LogResult<Re
             let mask_mode = (tag >> MEM_MASK_SHIFT) & 0b11;
             let tid = get_tid(buf)?;
             let t = state.thread(tid);
-            let pc = get_delta(buf, t.last_pc)?;
-            let addr = get_delta(buf, t.last_addr)?;
+            let pc = get_delta_slice(buf, t.last_pc)?;
+            let addr = get_delta_slice(buf, t.last_addr)?;
             t.last_pc = pc;
             t.last_addr = addr;
             let mask = match mask_mode {
                 MEM_MASK_BIT0 => SamplerMask::bit(0),
                 MEM_MASK_FULL => SamplerMask::FULL,
                 MEM_MASK_EXPLICIT => {
-                    let raw = get_varint(buf)?;
+                    let raw = get_varint_slice(buf)?;
                     let raw = u32::try_from(raw).map_err(|_| {
                         LogError::corrupt(format!("sampler mask {raw:#x} exceeds 32 bits"))
                     })?;
@@ -305,8 +332,8 @@ fn decode_from_block(state: &mut BlockState, buf: &mut impl Buf) -> LogResult<Re
     }
 }
 
-fn get_tid(buf: &mut impl Buf) -> LogResult<u32> {
-    let raw = get_varint(buf)?;
+fn get_tid(buf: &mut &[u8]) -> LogResult<u32> {
+    let raw = get_varint_slice(buf)?;
     u32::try_from(raw)
         .map_err(|_| LogError::corrupt(format!("thread id {raw} exceeds 32 bits")))
 }
@@ -345,11 +372,24 @@ pub fn encode_block<'a>(
 /// holds malformed varints or tags, or has trailing bytes after the
 /// declared record count.
 pub fn decode_block(payload: &[u8], count: u32) -> LogResult<Vec<Record>> {
-    let mut state = BlockState::default();
+    decode_block_with(&mut BlockState::default(), payload, count)
+}
+
+/// [`decode_block`] against caller-owned delta state, so a block-at-a-time
+/// reader ([`V2Blocks`]) reuses the state tables instead of reallocating
+/// them per block. The state is reset on entry.
+fn decode_block_with(
+    state: &mut BlockState,
+    payload: &[u8],
+    count: u32,
+) -> LogResult<Vec<Record>> {
+    state.reset();
     let mut slice = payload;
-    let mut out = Vec::with_capacity(count as usize);
+    // Every record is at least two bytes (tag + tid varint), so a corrupt
+    // count cannot force an allocation beyond half the payload.
+    let mut out = Vec::with_capacity((count as usize).min(payload.len() / 2 + 1));
     for _ in 0..count {
-        out.push(decode_from_block(&mut state, &mut slice)?);
+        out.push(decode_from_block(state, &mut slice)?);
     }
     if !slice.is_empty() {
         return Err(LogError::corrupt(format!(
@@ -447,8 +487,9 @@ impl<W: Write> LogWriterV2<W> {
         self.deltas.publish();
         self.payload.clear();
         self.block_records = 0;
-        // Blocks decode independently, so the delta state restarts.
-        self.state = BlockState::default();
+        // Blocks decode independently, so the delta state restarts (the
+        // tables keep their capacity).
+        self.state.reset();
         Ok(())
     }
 
@@ -502,6 +543,11 @@ impl<W: Write> Drop for LogWriterV2<W> {
 pub struct V2Blocks<R> {
     source: R,
     done: bool,
+    /// Reusable payload buffer: one allocation amortized over the stream
+    /// instead of one `vec![0; payload_len]` per block.
+    payload: Vec<u8>,
+    /// Reusable per-block delta state (reset, not reallocated, per block).
+    state: BlockState,
 }
 
 impl<R: std::io::Read> V2Blocks<R> {
@@ -511,6 +557,8 @@ impl<R: std::io::Read> V2Blocks<R> {
         V2Blocks {
             source,
             done: false,
+            payload: Vec::new(),
+            state: BlockState::default(),
         }
     }
 
@@ -569,14 +617,15 @@ impl<R: std::io::Read> V2Blocks<R> {
                 "block payload length {payload_len} exceeds the {MAX_BLOCK_PAYLOAD}-byte cap"
             )));
         }
-        let mut payload = vec![0u8; payload_len as usize];
-        let got = read_exact_or_eof(&mut self.source, &mut payload)?;
-        if got != payload.len() {
+        self.payload.clear();
+        self.payload.resize(payload_len as usize, 0);
+        let got = read_exact_or_eof(&mut self.source, &mut self.payload)?;
+        if got != self.payload.len() {
             return Err(LogError::corrupt(format!(
                 "truncated block: {got} of {payload_len} payload bytes"
             )));
         }
-        let block = decode_block(&payload, count)?;
+        let block = decode_block_with(&mut self.state, &self.payload, count)?;
         if let Some(start) = start {
             let m = literace_telemetry::metrics();
             m.log_decode_v2_blocks.add(1);

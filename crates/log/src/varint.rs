@@ -58,6 +58,45 @@ pub fn get_varint(buf: &mut impl Buf) -> LogResult<u64> {
     }
 }
 
+/// Slice-specialized [`get_varint`]: the block decoder reads from a fully
+/// materialized payload, so the 1- and 2-byte cases (the overwhelming
+/// majority under the delta scheme) can be decided by direct pattern match
+/// on the slice instead of per-byte `has_remaining` checks through the
+/// generic `Buf` machinery.
+///
+/// # Errors
+///
+/// Same as [`get_varint`].
+#[inline]
+pub fn get_varint_slice(buf: &mut &[u8]) -> LogResult<u64> {
+    let s = *buf;
+    if let Some(&b0) = s.first() {
+        if b0 & 0x80 == 0 {
+            *buf = &s[1..];
+            return Ok(u64::from(b0));
+        }
+        if let Some(&b1) = s.get(1) {
+            if b1 & 0x80 == 0 {
+                *buf = &s[2..];
+                return Ok(u64::from(b0 & 0x7F) | (u64::from(b1) << 7));
+            }
+        }
+    }
+    // Empty or 1-byte buffers and 3+-byte varints fall through with
+    // nothing consumed; the generic loop re-reads from the start.
+    get_varint(buf)
+}
+
+/// Slice-specialized [`get_delta`], built on [`get_varint_slice`].
+///
+/// # Errors
+///
+/// Propagates varint decoding errors.
+#[inline]
+pub fn get_delta_slice(buf: &mut &[u8], last: u64) -> LogResult<u64> {
+    Ok(last.wrapping_add(unzigzag(get_varint_slice(buf)?) as u64))
+}
+
 /// Maps a signed value onto an unsigned one with small absolute values
 /// staying small (0, -1, 1, -2 → 0, 1, 2, 3).
 #[inline]
@@ -148,6 +187,45 @@ mod tests {
         bytes[9] = 0x03;
         let mut slice = &bytes[..];
         assert!(get_varint(&mut slice).is_err());
+    }
+
+    #[test]
+    fn slice_fast_path_matches_generic_decoder() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_varint_slice(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+        // Errors agree too: truncated and overlong inputs.
+        let mut truncated: &[u8] = &[0x80, 0x80];
+        assert!(get_varint_slice(&mut truncated).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(get_varint_slice(&mut empty).is_err());
+        let mut overlong: &[u8] = &[0xFF; 11];
+        assert!(get_varint_slice(&mut overlong).is_err());
+    }
+
+    #[test]
+    fn slice_delta_round_trips() {
+        for (last, new) in [(0u64, 0u64), (0, u64::MAX), (u64::MAX, 0), (5, 3), (3, 5)] {
+            let mut buf = BytesMut::new();
+            put_delta(&mut buf, last, new);
+            let mut slice = &buf[..];
+            assert_eq!(get_delta_slice(&mut slice, last).unwrap(), new);
+            assert!(slice.is_empty());
+        }
     }
 
     #[test]

@@ -108,6 +108,15 @@ pub struct Metrics {
     pub detector_compact_dropped: Counter,
     /// Most addresses with live frontier state seen at once.
     pub detector_frontier_tracked_hwm: MaxGauge,
+    /// Locations promoted from inline epochs to a full access history.
+    pub detector_epoch_escalations: Counter,
+    /// Escalated locations collapsed back to inline epochs.
+    pub detector_epoch_deescalations: Counter,
+    /// Accesses short-circuited by the same-epoch memo (no history work).
+    pub detector_epoch_memo_hits: Counter,
+    /// Most simultaneously escalated (full-history) locations, summed over
+    /// shard frontiers.
+    pub detector_epoch_resident_shared: MaxGauge,
     /// Static (PC-pair) races reported.
     pub detector_races_static: Counter,
     /// Dynamic race occurrences reported.
@@ -173,6 +182,10 @@ impl Metrics {
             detector_compact_runs: Counter::new(),
             detector_compact_dropped: Counter::new(),
             detector_frontier_tracked_hwm: MaxGauge::new(),
+            detector_epoch_escalations: Counter::new(),
+            detector_epoch_deescalations: Counter::new(),
+            detector_epoch_memo_hits: Counter::new(),
+            detector_epoch_resident_shared: MaxGauge::new(),
             detector_races_static: Counter::new(),
             detector_races_dynamic: Counter::new(),
             detector_races_suppressed: Counter::new(),
@@ -185,7 +198,7 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 32] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 35] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
@@ -223,6 +236,12 @@ impl Metrics {
             ("detector.worker.idle_ns", &self.detector_worker_idle_ns),
             ("detector.compact.runs", &self.detector_compact_runs),
             ("detector.compact.dropped", &self.detector_compact_dropped),
+            ("detector.epoch.escalations", &self.detector_epoch_escalations),
+            (
+                "detector.epoch.deescalations",
+                &self.detector_epoch_deescalations,
+            ),
+            ("detector.epoch.memo_hits", &self.detector_epoch_memo_hits),
             ("detector.races.static", &self.detector_races_static),
             ("detector.races.dynamic", &self.detector_races_dynamic),
         ]
@@ -259,11 +278,15 @@ impl Metrics {
     /// Name↔field table for monotonic gauges. `detector.races.suppressed`
     /// lives here because suppression happens after snapshot-producing
     /// detection in some flows and must not look like detector throughput.
-    pub(crate) fn gauges(&self) -> [(&'static str, u64); 2] {
+    pub(crate) fn gauges(&self) -> [(&'static str, u64); 3] {
         [
             (
                 "detector.frontier.tracked_hwm",
                 self.detector_frontier_tracked_hwm.get(),
+            ),
+            (
+                "detector.epoch.resident_shared",
+                self.detector_epoch_resident_shared.get(),
             ),
             (
                 "detector.races.suppressed",
@@ -306,6 +329,7 @@ impl Metrics {
         self.detector_shard_queue.reset();
         self.log_stream_queue.reset();
         self.detector_frontier_tracked_hwm.reset();
+        self.detector_epoch_resident_shared.reset();
         self.detector_races_suppressed.reset();
         self.detector_frontier_scan.reset();
         for (_, p) in self.phases() {

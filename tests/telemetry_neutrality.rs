@@ -166,6 +166,70 @@ fn snapshot_round_trips_after_an_enabled_run() {
     );
 }
 
+/// The adaptive epoch frontier keeps its own counters (escalations,
+/// de-escalations, memo hits, resident escalated locations). They must
+/// surface in the snapshot after an enabled run — and recording them must
+/// not change the report, which the path comparisons above already pin.
+#[test]
+fn epoch_counters_surface_only_under_telemetry() {
+    use literace::log::{Record, SamplerMask};
+    use literace::sim::{Addr, FuncId, Pc, SyncOpKind, SyncVar, ThreadId};
+
+    let _guard = serialized();
+    let t = |i: usize| ThreadId::from_index(i);
+    let mem = |tid, pcv: usize, addr: u64, w| Record::Mem {
+        tid,
+        pc: Pc::new(FuncId::from_index(0), pcv),
+        addr: Addr::global(addr),
+        is_write: w,
+        mask: SamplerMask::FULL,
+    };
+    let sync = |tid, kind, ts| Record::Sync {
+        tid,
+        pc: Pc::new(FuncId::from_index(0), 99),
+        kind,
+        var: SyncVar(0x2000_0000),
+        timestamp: ts,
+    };
+    // Two concurrent writes escalate address 0; the lock handoff orders
+    // t1's final write after both, de-escalating it. Thread 0's repeated
+    // identical read of address 1 exercises the same-epoch memo.
+    let log: EventLog = vec![
+        mem(t(0), 1, 0, true),
+        mem(t(1), 2, 0, true),
+        mem(t(0), 3, 1, false),
+        mem(t(0), 3, 1, false),
+        sync(t(0), SyncOpKind::LockRelease, 1),
+        sync(t(1), SyncOpKind::LockAcquire, 2),
+        mem(t(1), 4, 0, true),
+    ]
+    .into_iter()
+    .collect();
+
+    let counters_after = |on: bool| {
+        telemetry::metrics().reset();
+        let report = with_flag(on, || detect(&log, 7));
+        assert_eq!(report.static_count(), 1, "the w-w race is found either way");
+        telemetry::metrics().snapshot()
+    };
+
+    let off = counters_after(false);
+    for name in [
+        "detector.epoch.escalations",
+        "detector.epoch.deescalations",
+        "detector.epoch.memo_hits",
+    ] {
+        assert_eq!(off.counters[name], 0, "{name} recorded while disabled");
+    }
+    assert_eq!(off.gauges["detector.epoch.resident_shared"], 0);
+
+    let on = counters_after(true);
+    assert!(on.counters["detector.epoch.escalations"] >= 1, "{on:?}");
+    assert!(on.counters["detector.epoch.deescalations"] >= 1, "{on:?}");
+    assert!(on.counters["detector.epoch.memo_hits"] >= 1, "{on:?}");
+    assert!(on.gauges["detector.epoch.resident_shared"] >= 1, "{on:?}");
+}
+
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (2u32..5, 2u32..5, 5u32..15, 3u32..7, any::<u64>()).prop_map(
         |(threads, globals, iterations, actions, seed)| SyntheticConfig {
