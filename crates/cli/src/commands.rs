@@ -7,8 +7,8 @@ use literace::detector::{detect_fasttrack, detect_lockset, detect_stream};
 use literace::eval::{evaluate_program, EvalConfig};
 use literace::instrument::{V1Sink, V2Sink};
 use literace::log::{
-    read_log_auto, LogFormat, LogStats, LogWriter, LogWriterV2, RecordBlocks, RecordStream,
-    DEFAULT_STREAM_DEPTH,
+    read_log_auto, read_log_salvage, AtomicFile, LogFormat, LogStats, LogWriter, LogWriterV2,
+    RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH,
 };
 use literace::overhead::measure_overhead;
 use literace::prelude::*;
@@ -47,12 +47,16 @@ USAGE:
 
   literace detect --log <file> [--detector hb|fasttrack|lockset]
                   [--non-stack <count>] [--threads N] [--streaming]
-                  [--metrics-out <file>] [--progress]
+                  [--salvage] [--metrics-out <file>] [--progress]
       Run offline detection over a previously written event log (v1 or
       v2; the format is auto-detected). With --threads N ≥ 2, the hb
       detector shards accesses across N workers (byte-identical output).
       With --streaming, decoded blocks flow straight from a decoder
       thread into the hb workers and the log is never materialized.
+      With --salvage, a torn or corrupted log is decoded best-effort:
+      corrupt blocks are skipped where provably safe (no sync records
+      lost), the rest is dropped, and the damage tally is printed — a
+      salvaged log can never report a race the clean log would not.
       --metrics-out / --progress export telemetry as under `run`.
 
   literace metrics [--in <metrics.json> | --workload <name> [--seed 1]
@@ -64,9 +68,11 @@ USAGE:
       Prometheus text; --validate fails unless the snapshot carries
       every required pipeline metric.
 
-  literace log-stats --log <file> [--metrics-out <file>]
-      Print log composition, per-thread breakdown and encoded size
-      (either format).
+  literace log-stats --log <file> [--salvage] [--metrics-out <file>]
+      Print log composition, per-thread breakdown, encoded size and
+      whether the log was cleanly finalized (either format). With
+      --salvage, read a damaged log best-effort and include the salvage
+      summary.
 
   literace inspect --workload <name> [--function <substring>]
       Show a workload's structure; with --function, disassemble matching
@@ -118,10 +124,12 @@ fn parse_format(flags: &crate::args::Flags) -> Result<LogFormat, String> {
 }
 
 /// Writes a materialized log to `path` in the requested format, returning
-/// the record count.
+/// the record count. The log is written to `<path>.partial` and renamed
+/// into place only after a clean finish, so a crash mid-write never
+/// leaves a half-written file at `path`.
 fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, CliError> {
-    let file = File::create(path).map_err(CliError::io("cannot create", path))?;
-    let written = match format {
+    let file = AtomicFile::create(path).map_err(CliError::io("cannot create", path))?;
+    let (written, file) = match format {
         LogFormat::V1 => {
             let mut writer = LogWriter::new(file);
             for record in log {
@@ -130,8 +138,7 @@ fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, CliEr
                     .map_err(|e| format!("write {path}: {e}"))?;
             }
             let n = writer.records_written();
-            writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
-            n
+            (n, writer.finish().map_err(|e| format!("flush {path}: {e}"))?)
         }
         LogFormat::V2 => {
             let mut writer = LogWriterV2::new(file);
@@ -141,10 +148,10 @@ fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, CliEr
                     .map_err(|e| format!("write {path}: {e}"))?;
             }
             let n = writer.records_written();
-            writer.finish().map_err(|e| format!("flush {path}: {e}"))?;
-            n
+            (n, writer.finish().map_err(|e| format!("flush {path}: {e}"))?)
         }
     };
+    file.commit().map_err(CliError::io("cannot finalize", path))?;
     Ok(written)
 }
 
@@ -214,15 +221,17 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
         if let Some(path) = flags.get("log") {
             // Zero-materialization: records stream to disk in encoded
             // blocks as the program runs, then the file streams back
-            // through the detector. The decoded log never sits in memory.
-            let file = File::create(path).map_err(CliError::io("cannot create", path))?;
+            // through the detector. The decoded log never sits in memory,
+            // and the file only appears at `path` after a clean finish.
+            let file = AtomicFile::create(path).map_err(CliError::io("cannot create", path))?;
             let (summary, stats, overhead, written) = match format {
                 LogFormat::V2 => {
                     let (summary, out) =
                         run_literace_with_sink(&w.program, sampler, &cfg, V2Sink::new(file))
                             .map_err(|e| e.to_string())?;
                     let written = out.log.records_written();
-                    out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    let file = out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    file.commit().map_err(CliError::io("cannot finalize", path))?;
                     (summary, out.stats, out.overhead, written)
                 }
                 LogFormat::V1 => {
@@ -230,7 +239,8 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
                         run_literace_with_sink(&w.program, sampler, &cfg, V1Sink::new(file))
                             .map_err(|e| e.to_string())?;
                     let written = out.log.records_written();
-                    out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    let file = out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    file.commit().map_err(CliError::io("cannot finalize", path))?;
                     (summary, out.stats, out.overhead, written)
                 }
             };
@@ -416,8 +426,10 @@ pub fn detect(args: &[String]) -> ExitCode {
 fn detect_inner(args: &[String]) -> Result<(), CliError> {
     use literace::detector::{detect_sharded, DetectConfig};
 
-    let flags =
-        crate::args::Flags::parse_with_switches(args, &["streaming", "progress"])?;
+    let flags = crate::args::Flags::parse_with_switches(
+        args,
+        &["streaming", "progress", "salvage"],
+    )?;
     let path = flags.require("log")?;
     let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
     let threads: usize = flags.get_parsed("threads", 1)?;
@@ -425,9 +437,28 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
         return Err("--threads must be at least 1".into());
     }
     let streaming = flags.is_set("streaming");
+    let salvage = flags.is_set("salvage");
     let telemetry = Telemetry::from_flags(&flags);
     let file = File::open(path).map_err(CliError::io("cannot open", path))?;
-    let (report, heading) = if streaming {
+    // Picks the detector for a materialized log, honoring --detector and
+    // --threads the same way on the clean and the salvage path.
+    let detect_materialized = |log: &EventLog| -> Result<_, CliError> {
+        Ok(match flags.get("detector") {
+            None | Some("hb") => {
+                detect_sharded(log, non_stack, &DetectConfig::with_threads(threads))
+            }
+            Some(other) if threads > 1 => {
+                return Err(format!(
+                    "--threads only applies to the hb detector, not `{other}`"
+                )
+                .into())
+            }
+            Some("fasttrack") => detect_fasttrack(log, non_stack),
+            Some("lockset") => detect_lockset(log, non_stack),
+            Some(other) => return Err(format!("unknown detector `{other}`").into()),
+        })
+    };
+    let (report, heading, salvage_report) = if streaming {
         match flags.get("detector") {
             None | Some("hb") => {}
             Some(other) => {
@@ -439,31 +470,40 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
         }
         // Decoded blocks flow from the decoder thread straight into the
         // sharded workers; the log is never materialized.
-        let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
-            .map_err(|e| format!("read {path}: {e}"))?;
-        let format = blocks.format();
-        let report = detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
-            .map_err(|e| format!("read {path}: {e}"))?;
-        (report, format!("{format} log (streamed)"))
+        if salvage {
+            let (blocks, handle) = RecordStream::spawn_salvage(file, DEFAULT_STREAM_DEPTH)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let format = blocks.format();
+            let report =
+                detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
+                    .map_err(|e| format!("read {path}: {e}"))?;
+            (
+                report,
+                format!("{format} log (streamed, salvaged)"),
+                Some(handle.report()),
+            )
+        } else {
+            let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let format = blocks.format();
+            let report =
+                detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
+                    .map_err(|e| format!("read {path}: {e}"))?;
+            (report, format!("{format} log (streamed)"), None)
+        }
+    } else if salvage {
+        // Best-effort decode: corrupt blocks are skipped where provably
+        // safe, the suffix is dropped where it is not, and detection runs
+        // on what survived.
+        let (log, sreport) = read_log_salvage(file);
+        let report = detect_materialized(&log)?;
+        (report, format!("{} records (salvaged)", log.len()), Some(sreport))
     } else {
         // Auto-detecting chunked decoding: peak memory is the decoded log
         // plus one encoded chunk, whichever the on-disk format.
         let log = read_log_auto(file).map_err(|e| format!("read {path}: {e}"))?;
-        let report = match flags.get("detector") {
-            None | Some("hb") => {
-                detect_sharded(&log, non_stack, &DetectConfig::with_threads(threads))
-            }
-            Some(other) if threads > 1 => {
-                return Err(format!(
-                    "--threads only applies to the hb detector, not `{other}`"
-                )
-                .into())
-            }
-            Some("fasttrack") => detect_fasttrack(&log, non_stack),
-            Some("lockset") => detect_lockset(&log, non_stack),
-            Some(other) => return Err(format!("unknown detector `{other}`").into()),
-        };
-        (report, format!("{} records", log.len()))
+        let report = detect_materialized(&log)?;
+        (report, format!("{} records", log.len()), None)
     };
     telemetry.finish()?;
     println!(
@@ -481,6 +521,15 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
     } else {
         let (rare, freq) = report.split_by_rarity();
         println!("rare: {}, frequent: {}", rare.len(), freq.len());
+    }
+    if let Some(s) = salvage_report {
+        println!("salvage: {s}");
+        if s.sync_tainted {
+            println!(
+                "warning: synchronization records were lost; everything after the \
+                 damage was dropped so no false race can be reported"
+            );
+        }
     }
     Ok(())
 }
@@ -605,19 +654,29 @@ pub fn log_stats(args: &[String]) -> ExitCode {
 }
 
 fn log_stats_inner(args: &[String]) -> Result<(), CliError> {
-    let flags = crate::args::Flags::parse(args)?;
+    let flags = crate::args::Flags::parse_with_switches(args, &["salvage"])?;
     let path = flags.require("log")?;
     let telemetry = Telemetry::from_flags(&flags);
     let on_disk = std::fs::metadata(path)
         .map_err(CliError::io("cannot open", path))?
         .len();
     let file = File::open(path).map_err(CliError::io("cannot open", path))?;
-    let blocks = RecordBlocks::open(file).map_err(|e| format!("read {path}: {e}"))?;
-    let format = blocks.format();
-    let mut log = EventLog::new();
-    for block in blocks {
-        log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
-    }
+    let (format, seal, log, salvage_note) = if flags.is_set("salvage") {
+        let (log, sreport) = read_log_salvage(file);
+        let format = sreport
+            .format
+            .map_or_else(|| "unknown".to_owned(), |f| f.to_string());
+        (format, sreport.seal, log, Some(sreport.to_string()))
+    } else {
+        let mut blocks =
+            RecordBlocks::open(file).map_err(|e| format!("read {path}: {e}"))?;
+        let format = blocks.format();
+        let mut log = EventLog::new();
+        for block in blocks.by_ref() {
+            log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
+        }
+        (format.to_string(), blocks.seal_state(), log, None)
+    };
     let stats = LogStats::of(&log);
     let per_thread = LogStats::per_thread(&log);
     if literace::telemetry::enabled() {
@@ -628,12 +687,16 @@ fn log_stats_inner(args: &[String]) -> Result<(), CliError> {
     }
     println!("{path}:");
     println!("  format           : {format}");
+    println!("  finalized        : {seal}");
     println!("  records          : {}", stats.records);
     println!("  memory accesses  : {}", stats.mem_records);
     println!("  synchronization  : {}", stats.sync_records);
     println!("  thread markers   : {}", stats.marker_records);
     println!("  on-disk size     : {on_disk} bytes");
     println!("  size as v1       : {} bytes", stats.bytes);
+    if let Some(note) = salvage_note {
+        println!("  salvage          : {note}");
+    }
     if !per_thread.is_empty() {
         let mut t = Table::new(
             "per-thread breakdown",
@@ -888,6 +951,59 @@ mod tests {
         assert_eq!(snap.missing_required(), Vec::<&str>::new());
         let _ = std::fs::remove_file(&log);
         let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn salvage_flag_recovers_a_truncated_log() {
+        // Write a clean v2 log, truncate a copy mid-stream: plain detect
+        // and log-stats must fail on the torn file, --salvage must
+        // succeed on it (materialized and streaming), and the intact
+        // original must still detect cleanly.
+        let dir = std::env::temp_dir();
+        let clean = dir.join("literace_cli_salvage_clean.lrlog");
+        let torn = dir.join("literace_cli_salvage_torn.lrlog");
+        let clean_s = clean.to_str().unwrap().to_string();
+        let torn_s = torn.to_str().unwrap().to_string();
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        let run_args = sv(&["--workload", "lflist", "--seed", "2", "--log", &clean_s]);
+        assert_eq!(run(&run_args), std::process::ExitCode::SUCCESS);
+        let bytes = std::fs::read(&clean).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        assert_eq!(
+            detect(&sv(&["--log", &torn_s])),
+            std::process::ExitCode::FAILURE,
+            "a torn log must fail without --salvage"
+        );
+        assert_eq!(
+            log_stats(&sv(&["--log", &torn_s])),
+            std::process::ExitCode::FAILURE
+        );
+        assert_eq!(
+            detect(&sv(&["--log", &torn_s, "--salvage"])),
+            std::process::ExitCode::SUCCESS
+        );
+        assert_eq!(
+            detect(&sv(&["--log", &torn_s, "--salvage", "--streaming", "--threads", "2"])),
+            std::process::ExitCode::SUCCESS
+        );
+        assert_eq!(
+            log_stats(&sv(&["--log", &torn_s, "--salvage"])),
+            std::process::ExitCode::SUCCESS
+        );
+        // The atomically committed original is sealed and clean.
+        assert_eq!(
+            detect(&sv(&["--log", &clean_s, "--salvage"])),
+            std::process::ExitCode::SUCCESS
+        );
+        assert!(
+            !dir.join("literace_cli_salvage_clean.lrlog.partial").exists(),
+            "temp file must be renamed away on commit"
+        );
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&torn);
     }
 
     #[test]

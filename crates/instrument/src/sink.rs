@@ -53,7 +53,7 @@ impl<W: Write> V2Sink<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.take().expect("writer present").finish()
+        self.writer.take().ok_or(LogError::WriterFinished)?.finish()
     }
 
     /// Records pushed so far (including any dropped after an error).
@@ -103,7 +103,7 @@ impl<W: Write> V1Sink<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.take().expect("writer present").finish()
+        self.writer.take().ok_or(LogError::WriterFinished)?.finish()
     }
 
     /// Records pushed so far (including any dropped after an error).

@@ -1,0 +1,160 @@
+//! Crash-consistent file creation: write to a temp file, atomically
+//! rename into place on commit.
+//!
+//! A log written straight to its final path can be half-present after a
+//! crash — bytes flushed, no footer, or nothing but a creat(2)'d husk.
+//! [`AtomicFile`] narrows the outcomes to exactly two: either `commit`
+//! ran (flush + fsync + rename, so the final path holds the complete,
+//! finalized bytes) or it didn't (the final path is untouched; at worst a
+//! `.partial` temp file is left for a crashed process, and is removed on
+//! drop otherwise). Together with the v2 footer this gives the
+//! crash-consistency contract: a file at the final path without a valid
+//! footer can only mean pre-existing data, never a torn write of ours.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A file that only appears at its destination path on [`commit`]
+/// (flush + fsync + atomic rename). Dropping without committing removes
+/// the temp file and leaves the destination untouched.
+///
+/// [`commit`]: AtomicFile::commit
+#[derive(Debug)]
+pub struct AtomicFile {
+    /// `None` after commit (guards the Drop cleanup).
+    file: Option<File>,
+    temp_path: PathBuf,
+    final_path: PathBuf,
+}
+
+impl AtomicFile {
+    /// Creates `<path>.partial` in the same directory (so the final
+    /// rename cannot cross filesystems) and returns a writer for it.
+    ///
+    /// # Errors
+    ///
+    /// Any `std::io::Error` from creating the temp file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<AtomicFile> {
+        let final_path = path.as_ref().to_path_buf();
+        let mut temp_os = final_path.clone().into_os_string();
+        temp_os.push(".partial");
+        let temp_path = PathBuf::from(temp_os);
+        let file = File::create(&temp_path)?;
+        Ok(AtomicFile {
+            file: Some(file),
+            temp_path,
+            final_path,
+        })
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.final_path
+    }
+
+    /// Flushes, fsyncs and renames the temp file onto the destination.
+    /// After this returns `Ok`, the destination durably holds every byte
+    /// written; on any error the destination is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Any `std::io::Error` from flush, fsync or rename (the temp file is
+    /// cleaned up on the way out).
+    pub fn commit(mut self) -> std::io::Result<()> {
+        let result = (|| {
+            let mut file = self.file.take().expect("file present until commit/drop");
+            file.flush()?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&self.temp_path, &self.final_path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&self.temp_path);
+        }
+        // Skip Drop's cleanup: either renamed away or just removed.
+        std::mem::forget(self);
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.temp_path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "literace-atomic-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn committed_file_appears_with_all_bytes() {
+        let dir = temp_dir("commit");
+        let path = dir.join("log.bin");
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"hello world").unwrap();
+        f.commit().unwrap();
+        let mut got = String::new();
+        File::open(&path).unwrap().read_to_string(&mut got).unwrap();
+        assert_eq!(got, "hello world");
+        assert!(!path.with_extension("bin.partial").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_file_leaves_no_trace() {
+        let dir = temp_dir("drop");
+        let path = dir.join("log.bin");
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"torn").unwrap();
+            // dropped without commit
+        }
+        assert!(!path.exists());
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none(), "temp left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_replaces_an_existing_file_atomically() {
+        let dir = temp_dir("replace");
+        let path = dir.join("log.bin");
+        std::fs::write(&path, b"old").unwrap();
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"new contents").unwrap();
+        // Before commit the destination still holds the old bytes.
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Streaming integrity checksum for the v2 block frames and file footer.
+//!
+//! Not cryptographic — the threat model is torn writes, truncation and
+//! random bit flips, not an adversary. The mixer consumes 8-byte chunks
+//! with a multiply/xor-shift round (the golden-ratio constant spreads
+//! every input bit across the state), buffers stragglers so arbitrary
+//! `update` chunking produces identical sums, and folds the total length
+//! into the final value so swapped or dropped zero runs still change it.
+
+/// Incremental 64-bit checksum over a byte stream.
+///
+/// `update` may be called with arbitrarily-sized chunks; the sum depends
+/// only on the concatenated bytes. [`finish`](Checksum::finish) does not
+/// consume the state, so a running sum can be probed mid-stream.
+#[derive(Debug, Clone)]
+pub struct Checksum {
+    state: u64,
+    /// Bytes not yet forming a full 8-byte chunk.
+    pending: [u8; 8],
+    pending_len: usize,
+    total_len: u64,
+}
+
+const SEED: u64 = 0x5143_5253_4C52_4C02; // "QCRSLRL\x02", arbitrary non-zero
+const MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(state: u64, chunk: u64) -> u64 {
+    let mut x = (state ^ chunk).wrapping_mul(MULT);
+    x ^= x >> 32;
+    x = x.wrapping_mul(MULT);
+    x ^ (x >> 29)
+}
+
+impl Checksum {
+    /// A fresh checksum state.
+    pub fn new() -> Checksum {
+        Checksum {
+            state: SEED,
+            pending: [0; 8],
+            pending_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `bytes` into the sum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.total_len += bytes.len() as u64;
+        let mut rest = bytes;
+        if self.pending_len > 0 {
+            let take = rest.len().min(8 - self.pending_len);
+            self.pending[self.pending_len..self.pending_len + take]
+                .copy_from_slice(&rest[..take]);
+            self.pending_len += take;
+            rest = &rest[take..];
+            if self.pending_len < 8 {
+                return;
+            }
+            self.state = mix(self.state, u64::from_le_bytes(self.pending));
+            self.pending_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.state = mix(self.state, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        self.pending[..tail.len()].copy_from_slice(tail);
+        self.pending_len = tail.len();
+    }
+
+    /// The checksum of everything fed so far. Does not consume the state.
+    pub fn finish(&self) -> u64 {
+        let mut state = self.state;
+        if self.pending_len > 0 {
+            // Zero-pad the straggler chunk; the length fold below keeps
+            // "short chunk" distinct from "chunk with trailing zeros".
+            let mut last = [0u8; 8];
+            last[..self.pending_len].copy_from_slice(&self.pending[..self.pending_len]);
+            state = mix(state, u64::from_le_bytes(last));
+        }
+        mix(state, self.total_len)
+    }
+
+    /// Bytes fed so far.
+    pub fn len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// True when no bytes have been fed.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+/// One-shot checksum of `bytes`.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut c = Checksum::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// One-shot checksum truncated to 32 bits (block/footer header fields).
+pub fn checksum32(bytes: &[u8]) -> u32 {
+    checksum(bytes) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_does_not_affect_the_sum() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = checksum(&data);
+        for split in [1, 3, 7, 8, 9, 64, 255] {
+            let mut c = Checksum::new();
+            for chunk in data.chunks(split) {
+                c.update(chunk);
+            }
+            assert_eq!(c.finish(), whole, "split={split}");
+        }
+    }
+
+    #[test]
+    fn length_is_folded_in() {
+        // A stream and the same stream plus trailing zeros must differ,
+        // even when the zeros pad out the same 8-byte chunk.
+        let a = checksum(&[1, 2, 3]);
+        let b = checksum(&[1, 2, 3, 0]);
+        let c = checksum(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_sum() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = checksum(&data);
+        for pos in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[pos] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), clean, "pos={pos} bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_resumable() {
+        let mut c = Checksum::new();
+        c.update(b"hello");
+        let mid = c.finish();
+        assert_eq!(c.finish(), mid);
+        c.update(b" world");
+        assert_eq!(c.finish(), checksum(b"hello world"));
+        assert_eq!(c.len(), 11);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_has_a_stable_sum() {
+        assert_eq!(Checksum::new().finish(), checksum(&[]));
+        assert!(Checksum::new().is_empty());
+    }
+}

@@ -31,6 +31,15 @@ pub enum LogError {
     },
     /// An underlying I/O failure.
     Io(io::Error),
+    /// A write or finish was attempted on a writer that has already been
+    /// finished (its sink was taken by a previous `finish`).
+    WriterFinished,
+    /// The background decoder thread panicked; the panic was contained and
+    /// surfaced as a stream item instead of a hung channel.
+    DecoderPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl LogError {
@@ -48,6 +57,8 @@ impl LogError {
             LogError::BadMagic { .. } => "bad_magic",
             LogError::UnsupportedVersion { .. } => "unsupported_version",
             LogError::Io(_) => "io",
+            LogError::WriterFinished => "writer_finished",
+            LogError::DecoderPanicked { .. } => "decoder_panicked",
         }
     }
 }
@@ -64,6 +75,8 @@ pub(crate) fn count_error(e: &LogError) {
             LogError::BadMagic { .. } => m.log_errors_bad_magic.add(1),
             LogError::UnsupportedVersion { .. } => m.log_errors_unsupported_version.add(1),
             LogError::Io(_) => m.log_errors_io.add(1),
+            LogError::WriterFinished => m.log_errors_writer_finished.add(1),
+            LogError::DecoderPanicked { .. } => m.log_errors_decoder_panicked.add(1),
         }
     }
 }
@@ -80,6 +93,12 @@ impl fmt::Display for LogError {
                 "unsupported log version {found} (this reader supports up to v{supported})"
             ),
             LogError::Io(e) => write!(f, "log i/o error: {e}"),
+            LogError::WriterFinished => {
+                write!(f, "log writer already finished (sink was taken)")
+            }
+            LogError::DecoderPanicked { message } => {
+                write!(f, "log decoder thread panicked: {message}")
+            }
         }
     }
 }
@@ -90,7 +109,9 @@ impl Error for LogError {
             LogError::Io(e) => Some(e),
             LogError::Corrupt { .. }
             | LogError::BadMagic { .. }
-            | LogError::UnsupportedVersion { .. } => None,
+            | LogError::UnsupportedVersion { .. }
+            | LogError::WriterFinished
+            | LogError::DecoderPanicked { .. } => None,
         }
     }
 }
@@ -133,6 +154,14 @@ mod tests {
         assert_eq!(
             LogError::Io(io::Error::other("x")).kind_name(),
             "io"
+        );
+        assert_eq!(LogError::WriterFinished.kind_name(), "writer_finished");
+        assert_eq!(
+            LogError::DecoderPanicked {
+                message: "x".into()
+            }
+            .kind_name(),
+            "decoder_panicked"
         );
     }
 }

@@ -1,0 +1,338 @@
+//! Deterministic fault injection for I/O chaos testing.
+//!
+//! [`FaultyReader`] and [`FaultySink`] wrap any `Read`/`Write` and inject
+//! the failure modes a log pipeline meets in the wild — short reads,
+//! `Interrupted`, transient `WouldBlock` errors, truncation at byte N,
+//! bit flips — all driven by a seeded [`SplitMix64`] generator so every
+//! run (and every proptest shrink) replays identically from its seed.
+//!
+//! These live in the library (not `#[cfg(test)]`) so integration tests,
+//! the chaos suite and CI smoke tests can share them; they cost nothing
+//! unless constructed.
+
+use std::io::{Error, ErrorKind, Read, Write};
+
+/// Tiny deterministic PRNG (splitmix64): one u64 of state, passes
+/// practical statistical tests, and is trivially reproducible from its
+/// seed — exactly what fault schedules need.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A deterministic schedule of read-side faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Pretend the stream ends after this many bytes.
+    pub truncate_at: Option<u64>,
+    /// XOR `mask` into the byte at `offset` (offsets past the end are
+    /// ignored).
+    pub bit_flips: Vec<(u64, u8)>,
+    /// Serve reads in random 1..=7-byte pieces instead of filling `buf`.
+    pub short_reads: bool,
+    /// Roughly one in this many reads fails with `Interrupted`
+    /// (`0` = never).
+    pub interrupt_one_in: u32,
+    /// Roughly one in this many reads fails with `WouldBlock`
+    /// (`0` = never).
+    pub transient_one_in: u32,
+    /// Cap on injected transient errors, so a bounded retry policy is
+    /// always eventually enough to finish the stream.
+    pub transient_budget: u32,
+}
+
+impl FaultPlan {
+    /// A plan that only truncates at `n` bytes.
+    pub fn truncated_at(n: u64) -> FaultPlan {
+        FaultPlan {
+            truncate_at: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that only flips `mask` into the byte at `offset`.
+    pub fn bit_flip(offset: u64, mask: u8) -> FaultPlan {
+        FaultPlan {
+            bit_flips: vec![(offset, mask)],
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// A `Read` wrapper that injects the faults of a [`FaultPlan`],
+/// deterministically from `seed`.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    pos: u64,
+    transients_left: u32,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with `plan`, seeding the fault schedule with `seed`.
+    pub fn new(inner: R, plan: FaultPlan, seed: u64) -> FaultyReader<R> {
+        let transients_left = plan.transient_budget;
+        FaultyReader {
+            inner,
+            plan,
+            rng: SplitMix64::new(seed),
+            pos: 0,
+            transients_left,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(cut) = self.plan.truncate_at {
+            if self.pos >= cut {
+                return Ok(0); // injected EOF
+            }
+        }
+        if self.plan.interrupt_one_in > 0
+            && self.rng.below(u64::from(self.plan.interrupt_one_in)) == 0
+        {
+            return Err(Error::new(ErrorKind::Interrupted, "injected interrupt"));
+        }
+        if self.plan.transient_one_in > 0
+            && self.transients_left > 0
+            && self.rng.below(u64::from(self.plan.transient_one_in)) == 0
+        {
+            self.transients_left -= 1;
+            return Err(Error::new(ErrorKind::WouldBlock, "injected transient error"));
+        }
+        let mut want = buf.len();
+        if self.plan.short_reads {
+            want = want.min(1 + self.rng.below(7) as usize);
+        }
+        if let Some(cut) = self.plan.truncate_at {
+            want = want.min((cut - self.pos) as usize);
+        }
+        let n = self.inner.read(&mut buf[..want])?;
+        for &(offset, mask) in &self.plan.bit_flips {
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= mask;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` wrapper that fails deterministically: a hard error once
+/// `fail_after` bytes have been accepted, optional short writes before
+/// that. Models a device that dies mid-run (crash consistency tests).
+#[derive(Debug)]
+pub struct FaultySink<W> {
+    inner: W,
+    /// Hard-fail any write once this many bytes were accepted.
+    fail_after: Option<u64>,
+    short_writes: bool,
+    rng: SplitMix64,
+    written: u64,
+}
+
+impl<W: Write> FaultySink<W> {
+    /// Wraps `inner`; `fail_after` bytes are accepted before every
+    /// subsequent write fails.
+    pub fn new(inner: W, fail_after: Option<u64>, short_writes: bool, seed: u64) -> FaultySink<W> {
+        FaultySink {
+            inner,
+            fail_after,
+            short_writes,
+            rng: SplitMix64::new(seed),
+            written: 0,
+        }
+    }
+
+    /// Bytes accepted so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultySink<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(cap) = self.fail_after {
+            if self.written >= cap {
+                return Err(Error::other("injected write failure (device died)"));
+            }
+        }
+        let mut want = buf.len();
+        if self.short_writes {
+            want = want.min(1 + self.rng.below(7) as usize);
+        }
+        if let Some(cap) = self.fail_after {
+            want = want.min((cap - self.written) as usize);
+        }
+        let n = self.inner.write(&buf[..want])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "collisions in 8 draws");
+        assert_ne!(SplitMix64::new(43).next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn truncation_cuts_exactly_at_n() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut reader = FaultyReader::new(&data[..], FaultPlan::truncated_at(100), 1);
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data[..100]);
+    }
+
+    #[test]
+    fn bit_flips_hit_their_offsets_despite_short_reads() {
+        let data = vec![0u8; 64];
+        let plan = FaultPlan {
+            bit_flips: vec![(0, 0x01), (31, 0x80), (63, 0xFF)],
+            short_reads: true,
+            ..FaultPlan::default()
+        };
+        let mut reader = FaultyReader::new(&data[..], plan, 7);
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        let mut expected = data.clone();
+        expected[0] ^= 0x01;
+        expected[31] ^= 0x80;
+        expected[63] ^= 0xFF;
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let plan = FaultPlan {
+            short_reads: true,
+            interrupt_one_in: 5,
+            transient_one_in: 7,
+            transient_budget: 3,
+            ..FaultPlan::default()
+        };
+        let run = |seed| {
+            let mut reader = FaultyReader::new(&data[..], plan.clone(), seed);
+            let mut events = Vec::new();
+            let mut buf = [0u8; 16];
+            loop {
+                match reader.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => events.push(format!("ok{n}")),
+                    Err(e) => events.push(format!("err{:?}", e.kind())),
+                }
+            }
+            events
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn faulty_sink_dies_after_the_cap() {
+        let mut sink = FaultySink::new(Vec::new(), Some(10), true, 3);
+        let payload = [7u8; 64];
+        let mut total = 0usize;
+        let err = loop {
+            match sink.write(&payload[total..]) {
+                Ok(n) => total += n,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(total, 10);
+        assert_eq!(sink.written(), 10);
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(sink.into_inner(), vec![7u8; 10]);
+    }
+
+    #[test]
+    fn transient_budget_bounds_injected_would_blocks() {
+        let data = vec![1u8; 1000];
+        let plan = FaultPlan {
+            transient_one_in: 1, // every read wants to fail...
+            transient_budget: 4, // ...but only 4 get to
+            ..FaultPlan::default()
+        };
+        let mut reader = FaultyReader::new(&data[..], plan, 5);
+        let mut out = Vec::new();
+        let mut transients = 0;
+        let mut buf = [0u8; 64];
+        loop {
+            match reader.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => transients += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(transients, 4);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cursor_round_trip_with_no_plan_is_transparent() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut reader = FaultyReader::new(Cursor::new(data.clone()), FaultPlan::default(), 9);
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -52,8 +52,16 @@ impl<W: Write> LogWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the sink when the internal buffer flushes.
+    /// Propagates I/O errors from the sink when the internal buffer
+    /// flushes; [`LogError::WriterFinished`] after [`finish`].
+    ///
+    /// [`finish`]: LogWriter::finish
     pub fn write_record(&mut self, record: &Record) -> LogResult<()> {
+        if self.sink.is_none() {
+            let e = LogError::WriterFinished;
+            crate::error::count_error(&e);
+            return Err(e);
+        }
         encode(record, &mut self.buf);
         self.records_written += 1;
         if self.buf.len() >= 48 * 1024 {
@@ -63,7 +71,7 @@ impl<W: Write> LogWriter<W> {
     }
 
     fn flush_buf(&mut self) -> LogResult<()> {
-        let sink = self.sink.as_mut().expect("writer not finished");
+        let sink = self.sink.as_mut().ok_or(LogError::WriterFinished)?;
         sink.write_all(&self.buf)?;
         self.bytes_written += self.buf.len() as u64;
         if literace_telemetry::enabled() {
@@ -77,14 +85,17 @@ impl<W: Write> LogWriter<W> {
         Ok(())
     }
 
-    /// Flushes buffered bytes and returns the sink.
+    /// Flushes buffered bytes and returns the sink. The writer is inert
+    /// afterwards: further writes or a second `finish` return
+    /// [`LogError::WriterFinished`] instead of panicking.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the final flush.
-    pub fn finish(mut self) -> LogResult<W> {
+    /// Propagates I/O errors from the final flush;
+    /// [`LogError::WriterFinished`] when already finished.
+    pub fn finish(&mut self) -> LogResult<W> {
         self.flush_buf()?;
-        let mut sink = self.sink.take().expect("writer not finished");
+        let mut sink = self.sink.take().ok_or(LogError::WriterFinished)?;
         sink.flush()?;
         Ok(sink)
     }
@@ -356,6 +367,23 @@ mod tests {
         let bytes = sink.0.lock().unwrap().clone();
         let log = LogReader::new(&bytes[..]).read_all().unwrap();
         assert_eq!(log.records(), &records[..]);
+    }
+
+    #[test]
+    fn write_after_finish_is_a_typed_error() {
+        let records = some_records(3);
+        let mut w = LogWriter::new(Vec::new());
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert!(!bytes.is_empty());
+        // Write after finish: typed error, no panic.
+        let err = w.write_record(&records[0]).unwrap_err();
+        assert!(matches!(err, LogError::WriterFinished), "{err}");
+        // Double finish: same.
+        let err = w.finish().unwrap_err();
+        assert!(matches!(err, LogError::WriterFinished), "{err}");
     }
 
     #[test]

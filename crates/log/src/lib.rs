@@ -28,33 +28,43 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod atomic;
+mod checksum;
 mod codec;
 mod dir;
 mod error;
+pub mod fault;
 mod io;
 mod record;
+pub mod retry;
+pub mod salvage;
 mod stats;
 mod stream;
 mod v2;
 mod varint;
 
+pub use atomic::AtomicFile;
+pub use checksum::{checksum, checksum32, Checksum};
 pub use codec::{
     decode, decode_all, encode, encode_all, encoded_len, tag_len, MARKER_RECORD_BYTES,
     MEM_RECORD_BYTES, SYNC_RECORD_BYTES,
 };
 pub use dir::{read_thread_logs, write_thread_logs};
 pub use error::{LogError, LogResult};
+pub use fault::{FaultPlan, FaultyReader, FaultySink, SplitMix64};
 pub use io::{
     log_from_bytes, log_to_bytes, ChunkedRecords, LogReader, LogWriter, DEFAULT_CHUNK_BYTES,
 };
 pub use record::{EventLog, Record, SamplerMask};
+pub use retry::{RetryPolicy, RetryReader};
+pub use salvage::{open_salvage, read_log_salvage, SalvageBlocks, SalvageHandle, SalvageReport};
 pub use stats::{LogStats, ThreadLogStats};
 pub use stream::{
     read_log_auto, LogFormat, RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH, V1_BLOCK_RECORDS,
 };
 pub use v2::{
-    decode_block, encode_block, encode_v2, LogWriterV2, V2Blocks, DEFAULT_BLOCK_BYTES, V2_MAGIC,
-    V2_VERSION,
+    decode_block, encode_block, encode_v2, LogWriterV2, SealState, V2Blocks, DEFAULT_BLOCK_BYTES,
+    V2_MAGIC, V2_VERSION,
 };
 pub use varint::{
     get_delta, get_delta_slice, get_varint, get_varint_slice, put_delta, put_varint, unzigzag,

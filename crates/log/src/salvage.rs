@@ -1,0 +1,686 @@
+//! Best-effort ("salvage") log decoding that can never manufacture a
+//! false race.
+//!
+//! The normal readers abort at the first corrupt byte, discarding every
+//! intact block after it. Salvage decode keeps going — but only where
+//! that is provably safe for the detector downstream:
+//!
+//! * **Dropping memory accesses is always safe.** The happens-before
+//!   detector can only *miss* races when accesses disappear (that is what
+//!   sampling does on purpose, §4 of the paper); it cannot invent one.
+//! * **Dropping synchronization records is never safe.** A lost sync op
+//!   can remove a happens-before edge between two surviving accesses —
+//!   in either direction, or transitively through other threads — and
+//!   turn an ordered pair into a reported "race". No per-thread repair
+//!   can bound that: an edge is between *two* threads, and transitivity
+//!   spreads the damage to all of them.
+//!
+//! So the rule is: a corrupt v2 block whose (integrity-checked) header
+//! says it holds **no sync records** is skipped and decoding resyncs at
+//! the next block frame; any corruption that loses sync records — or
+//! loses framing, so nothing after it can be trusted — drops the entire
+//! rest of the stream. The v2 frame makes this decidable: `sync_count`
+//! sits in the block header under its own checksum (`head_sum`), so it
+//! is trustworthy even when the payload is not. For v1 logs (no framing
+//! at all) salvage degrades to clean-prefix recovery, which is a global
+//! prefix and therefore sound by the same argument.
+//!
+//! Everything dropped is tallied in a [`SalvageReport`], shared through a
+//! [`SalvageHandle`] so streaming consumers can read it after the fact.
+
+use std::io::Read;
+use std::sync::{Arc, Mutex};
+
+use crate::checksum::Checksum;
+use crate::error::LogError;
+use crate::io::{LogReader, DEFAULT_CHUNK_BYTES};
+use crate::record::{EventLog, Record};
+use crate::stream::{sniff_format, LogFormat, Replayed, V1_BLOCK_RECORDS};
+use crate::v2::{
+    decode_block_with, parse_frame, read_exact_or_eof, BlockState, Frame, SealState, FRAME_BYTES,
+};
+
+/// What salvage decoding recovered and what it had to give up.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageReport {
+    /// The detected on-disk format (`None` when even the header sniff
+    /// failed).
+    pub format: Option<LogFormat>,
+    /// v2 blocks (or re-batched v1 blocks) decoded intact.
+    pub blocks_decoded: u64,
+    /// Corrupt v2 blocks skipped behind an intact frame.
+    pub blocks_skipped: u64,
+    /// Records recovered and yielded downstream.
+    pub records_salvaged: u64,
+    /// Records known lost, from the trusted headers of skipped blocks.
+    /// Suffix drops lose an *unknown* number on top of this.
+    pub records_dropped_known: u64,
+    /// Bytes discarded: skipped block bytes plus any dropped suffix.
+    pub bytes_dropped: u64,
+    /// True when everything from some point to the end of the stream was
+    /// discarded (framing loss, sync-bearing corruption, I/O failure, or
+    /// a v1 decode error).
+    pub suffix_dropped: bool,
+    /// True when the dropped data may have contained synchronization
+    /// records — the reason the suffix (not just one block) was dropped.
+    pub sync_tainted: bool,
+    /// Footer state of a v2 stream ([`SealState::Unknown`] for v1).
+    pub seal: SealState,
+    /// The first corruption encountered, as a human-readable message.
+    pub first_error: Option<String>,
+}
+
+impl SalvageReport {
+    /// True when nothing was skipped or dropped: the salvaged log is the
+    /// whole log.
+    pub fn clean(&self) -> bool {
+        self.first_error.is_none()
+            && self.blocks_skipped == 0
+            && self.records_dropped_known == 0
+            && self.bytes_dropped == 0
+            && !self.suffix_dropped
+            && !self.sync_tainted
+    }
+
+    fn note_error(&mut self, message: impl Into<String>) {
+        if self.first_error.is_none() {
+            self.first_error = Some(message.into());
+        }
+    }
+}
+
+impl std::fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.clean() {
+            return write!(
+                f,
+                "clean: {} records in {} blocks, seal {}",
+                self.records_salvaged, self.blocks_decoded, self.seal
+            );
+        }
+        write!(
+            f,
+            "salvaged {} records in {} blocks; skipped {} blocks, dropped {} known records \
+             and {} bytes{}{}, seal {}",
+            self.records_salvaged,
+            self.blocks_decoded,
+            self.blocks_skipped,
+            self.records_dropped_known,
+            self.bytes_dropped,
+            if self.suffix_dropped {
+                " (suffix dropped)"
+            } else {
+                ""
+            },
+            if self.sync_tainted {
+                " (sync records lost)"
+            } else {
+                ""
+            },
+            self.seal
+        )?;
+        if let Some(e) = &self.first_error {
+            write!(f, "; first error: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared view of a [`SalvageReport`] being filled in by a
+/// [`SalvageBlocks`] iterator (possibly on a decoder thread). The report
+/// is final once the iterator is exhausted.
+#[derive(Debug, Clone)]
+pub struct SalvageHandle(Arc<Mutex<SalvageReport>>);
+
+impl SalvageHandle {
+    /// A snapshot of the report so far.
+    pub fn report(&self) -> SalvageReport {
+        self.0.lock().expect("salvage report poisoned").clone()
+    }
+}
+
+struct V2Salvage<R> {
+    source: R,
+    payload: Vec<u8>,
+    state: BlockState,
+    file_sum: Checksum,
+    records_seen: u64,
+    done: bool,
+}
+
+enum Inner<R: Read> {
+    V2(V2Salvage<R>),
+    V1 {
+        records: crate::io::ChunkedRecords<Replayed<R>>,
+        done: bool,
+    },
+    /// Header sniff failed outright; nothing to salvage.
+    Dead,
+}
+
+/// Best-effort block iterator: yields only `Ok` blocks, recording every
+/// skip and drop in the shared [`SalvageReport`]. See the module docs for
+/// the soundness rule.
+///
+/// The item type stays `LogResult<Vec<Record>>` so salvage plugs into the
+/// same consumers as [`RecordBlocks`](crate::RecordBlocks) — but it never
+/// yields `Err`.
+pub struct SalvageBlocks<R: Read> {
+    inner: Inner<R>,
+    format: LogFormat,
+    report: Arc<Mutex<SalvageReport>>,
+}
+
+impl<R: Read> std::fmt::Debug for SalvageBlocks<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SalvageBlocks")
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Opens a salvage iterator over `source`, auto-detecting the format.
+/// Infallible: even an unreadable header just produces an empty iterator
+/// with the failure recorded in the report.
+pub fn open_salvage<R: Read>(mut source: R) -> (SalvageBlocks<R>, SalvageHandle) {
+    if literace_telemetry::enabled() {
+        literace_telemetry::metrics().log_salvage_runs.add(1);
+    }
+    let report = Arc::new(Mutex::new(SalvageReport::default()));
+    let (inner, format) = match sniff_format(&mut source) {
+        Ok((LogFormat::V2, _)) => (
+            Inner::V2(V2Salvage {
+                source,
+                payload: Vec::new(),
+                state: BlockState::default(),
+                file_sum: Checksum::new(),
+                records_seen: 0,
+                done: false,
+            }),
+            LogFormat::V2,
+        ),
+        Ok((LogFormat::V1, replay)) => (
+            Inner::V1 {
+                records: LogReader::new(std::io::Cursor::new(replay).chain(source))
+                    .records(DEFAULT_CHUNK_BYTES),
+                done: false,
+            },
+            LogFormat::V1,
+        ),
+        Err(e) => {
+            let format = match &e {
+                LogError::UnsupportedVersion { .. } => LogFormat::V2,
+                _ => LogFormat::V1,
+            };
+            let mut r = report.lock().expect("salvage report poisoned");
+            r.note_error(e.to_string());
+            r.suffix_dropped = true;
+            drop(r);
+            (Inner::Dead, format)
+        }
+    };
+    {
+        let mut r = report.lock().expect("salvage report poisoned");
+        r.format = Some(format);
+    }
+    let handle = SalvageHandle(report.clone());
+    (
+        SalvageBlocks {
+            inner,
+            format,
+            report,
+        },
+        handle,
+    )
+}
+
+impl<R: Read> SalvageBlocks<R> {
+    /// The detected on-disk format (best guess when the header was
+    /// unreadable).
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// A handle to the shared report.
+    pub fn handle(&self) -> SalvageHandle {
+        SalvageHandle(self.report.clone())
+    }
+}
+
+/// Consumes the rest of `source`, counting bytes; I/O errors just end the
+/// count (there is nothing downstream to salvage from them).
+fn drain_bytes(source: &mut impl Read) -> u64 {
+    let mut buf = [0u8; 8192];
+    let mut total = 0u64;
+    loop {
+        match source.read(&mut buf) {
+            Ok(0) => return total,
+            Ok(n) => total += n as u64,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return total,
+        }
+    }
+}
+
+fn tally_skip(blocks: u64, records: u64, bytes: u64) {
+    if literace_telemetry::enabled() {
+        let m = literace_telemetry::metrics();
+        m.log_salvage_blocks_skipped.add(blocks);
+        m.log_salvage_records_dropped.add(records);
+        m.log_salvage_bytes_dropped.add(bytes);
+    }
+}
+
+impl<R: Read> V2Salvage<R> {
+    fn next_block(&mut self, report: &Mutex<SalvageReport>) -> Option<Vec<Record>> {
+        loop {
+            if self.done {
+                return None;
+            }
+            let mut frame = [0u8; FRAME_BYTES];
+            let got = match read_exact_or_eof(&mut self.source, &mut frame) {
+                Ok(n) => n,
+                Err(e) => {
+                    // The source itself failed: whatever follows is
+                    // unreachable, and it may have held sync records.
+                    let mut r = report.lock().expect("salvage report poisoned");
+                    r.note_error(e.to_string());
+                    r.suffix_dropped = true;
+                    r.sync_tainted = true;
+                    self.done = true;
+                    return None;
+                }
+            };
+            if got == 0 {
+                // Clean EOF without a footer: the writer never finalized,
+                // but every decoded block was intact.
+                let mut r = report.lock().expect("salvage report poisoned");
+                if r.seal == SealState::Unknown {
+                    r.seal = SealState::Unsealed;
+                }
+                self.done = true;
+                return None;
+            }
+            if got < FRAME_BYTES {
+                // Torn trailing frame: fewer than FRAME_BYTES bytes at
+                // EOF cannot hold a complete record, so nothing decodable
+                // (and no sync record) is lost.
+                let mut r = report.lock().expect("salvage report poisoned");
+                r.bytes_dropped += got as u64;
+                r.note_error(format!(
+                    "truncated block header: {got} of {FRAME_BYTES} bytes"
+                ));
+                r.seal = SealState::Unsealed;
+                drop(r);
+                tally_skip(0, 0, got as u64);
+                self.done = true;
+                return None;
+            }
+            match parse_frame(&frame) {
+                Err(e) => {
+                    // Framing lost: the block boundaries after this point
+                    // cannot be found, so the whole suffix goes.
+                    let rest = drain_bytes(&mut self.source);
+                    let dropped = FRAME_BYTES as u64 + rest;
+                    let mut r = report.lock().expect("salvage report poisoned");
+                    r.bytes_dropped += dropped;
+                    r.suffix_dropped = true;
+                    r.sync_tainted = true;
+                    r.note_error(e.to_string());
+                    drop(r);
+                    tally_skip(0, 0, dropped);
+                    self.done = true;
+                    return None;
+                }
+                Ok(Frame::Footer(foot)) => {
+                    let trailing = drain_bytes(&mut self.source);
+                    let mut r = report.lock().expect("salvage report poisoned");
+                    // foot_sum verified in parse_frame: the writer did
+                    // finalize this log, whatever happened to its middle.
+                    r.seal = SealState::Sealed;
+                    if trailing > 0 {
+                        r.bytes_dropped += trailing;
+                        r.note_error(format!("{trailing} trailing bytes after footer"));
+                    }
+                    let totals_match = foot.total_records == self.records_seen
+                        && foot.file_sum == self.file_sum.finish();
+                    // A mismatch is expected when blocks were skipped; on
+                    // an otherwise-clean read it means damage the block
+                    // checks missed.
+                    if !totals_match && r.first_error.is_none() {
+                        r.note_error(format!(
+                            "footer totals mismatch: footer says {} records, decoded {}",
+                            foot.total_records, self.records_seen
+                        ));
+                    }
+                    drop(r);
+                    if trailing > 0 {
+                        tally_skip(0, 0, trailing);
+                    }
+                    self.done = true;
+                    return None;
+                }
+                Ok(Frame::Block(head)) => {
+                    self.payload.clear();
+                    self.payload.resize(head.payload_len as usize, 0);
+                    let got = match read_exact_or_eof(&mut self.source, &mut self.payload) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            let mut r = report.lock().expect("salvage report poisoned");
+                            r.note_error(e.to_string());
+                            r.suffix_dropped = true;
+                            r.sync_tainted = true;
+                            self.done = true;
+                            return None;
+                        }
+                    };
+                    if got < self.payload.len() {
+                        // Torn final block (EOF mid-payload). Its records
+                        // are gone; the trusted header says how many, and
+                        // whether sync edges went with them.
+                        let dropped = (FRAME_BYTES + got) as u64;
+                        let mut r = report.lock().expect("salvage report poisoned");
+                        r.blocks_skipped += 1;
+                        r.records_dropped_known += u64::from(head.record_count);
+                        r.bytes_dropped += dropped;
+                        r.seal = SealState::Unsealed;
+                        if head.sync_count > 0 {
+                            r.sync_tainted = true;
+                        }
+                        r.note_error(format!(
+                            "truncated block: {got} of {} payload bytes",
+                            head.payload_len
+                        ));
+                        drop(r);
+                        tally_skip(1, u64::from(head.record_count), dropped);
+                        self.done = true;
+                        return None;
+                    }
+                    let payload_ok =
+                        crate::checksum::checksum(&self.payload) == head.payload_sum;
+                    let decoded = if payload_ok {
+                        decode_block_with(&mut self.state, &self.payload, head.record_count)
+                    } else {
+                        Err(LogError::corrupt("block payload checksum mismatch"))
+                    };
+                    match decoded {
+                        Ok(block) => {
+                            self.file_sum.update(&frame);
+                            self.file_sum.update(&self.payload);
+                            self.records_seen += u64::from(head.record_count);
+                            let mut r = report.lock().expect("salvage report poisoned");
+                            r.blocks_decoded += 1;
+                            r.records_salvaged += block.len() as u64;
+                            return Some(block);
+                        }
+                        Err(e) => {
+                            let dropped = (FRAME_BYTES + self.payload.len()) as u64;
+                            let mut r = report.lock().expect("salvage report poisoned");
+                            r.blocks_skipped += 1;
+                            r.records_dropped_known += u64::from(head.record_count);
+                            r.bytes_dropped += dropped;
+                            r.note_error(e.to_string());
+                            if head.sync_count > 0 {
+                                // Sync records lost: a happens-before
+                                // edge between surviving accesses may be
+                                // gone. Nothing after this block can be
+                                // trusted not to race falsely — drop the
+                                // suffix.
+                                r.sync_tainted = true;
+                                r.suffix_dropped = true;
+                                drop(r);
+                                let rest = drain_bytes(&mut self.source);
+                                report
+                                    .lock()
+                                    .expect("salvage report poisoned")
+                                    .bytes_dropped += rest;
+                                tally_skip(1, u64::from(head.record_count), dropped + rest);
+                                self.done = true;
+                                return None;
+                            }
+                            // Memory-only block: dropping it can only
+                            // hide races, never invent them. Resync at
+                            // the next frame.
+                            drop(r);
+                            tally_skip(1, u64::from(head.record_count), dropped);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for SalvageBlocks<R> {
+    type Item = crate::error::LogResult<Vec<Record>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            Inner::Dead => None,
+            Inner::V2(v2) => v2.next_block(&self.report).map(Ok),
+            Inner::V1 { records, done } => {
+                if *done {
+                    return None;
+                }
+                let mut block = Vec::with_capacity(V1_BLOCK_RECORDS);
+                loop {
+                    match records.next() {
+                        Some(Ok(r)) => {
+                            block.push(r);
+                            if block.len() >= V1_BLOCK_RECORDS {
+                                break;
+                            }
+                        }
+                        Some(Err(e)) => {
+                            // v1 has no framing to resync on: keep the
+                            // clean prefix (a global prefix is always
+                            // sound), drop the rest.
+                            *done = true;
+                            let mut r = self.report.lock().expect("salvage report poisoned");
+                            r.note_error(e.to_string());
+                            r.suffix_dropped = true;
+                            r.sync_tainted = true;
+                            break;
+                        }
+                        None => {
+                            *done = true;
+                            break;
+                        }
+                    }
+                }
+                if block.is_empty() {
+                    return None;
+                }
+                let mut r = self.report.lock().expect("salvage report poisoned");
+                r.blocks_decoded += 1;
+                r.records_salvaged += block.len() as u64;
+                drop(r);
+                Some(Ok(block))
+            }
+        }
+    }
+}
+
+/// Reads as much of a log as salvage allows into an [`EventLog`], with
+/// the final damage report. Never fails.
+pub fn read_log_salvage(source: impl Read) -> (EventLog, SalvageReport) {
+    let (blocks, handle) = open_salvage(source);
+    let mut log = EventLog::new();
+    for block in blocks.flatten() {
+        log.extend(block);
+    }
+    (log, handle.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_all;
+    use crate::record::SamplerMask;
+    use crate::v2::encode_v2;
+    use literace_sim::{Addr, FuncId, Pc, ThreadId};
+
+    fn mem(i: usize) -> Record {
+        Record::Mem {
+            tid: ThreadId::from_index(i % 3),
+            pc: Pc::new(FuncId::from_index(i % 5), i),
+            addr: Addr::global((i % 7) as u64),
+            is_write: i.is_multiple_of(2),
+            mask: SamplerMask::bit(0),
+        }
+    }
+
+    fn sync(i: usize) -> Record {
+        Record::Sync {
+            tid: ThreadId::from_index(i % 3),
+            pc: Pc::new(FuncId::from_index(i % 5), i),
+            kind: literace_sim::SyncOpKind::LockAcquire,
+            var: literace_sim::SyncVar(i as u64 % 4),
+            timestamp: i as u64,
+        }
+    }
+
+    /// Encodes each slice of records as its own v2 block, returning the
+    /// bytes and the byte range of each block (frame + payload).
+    fn encode_blocks(groups: &[Vec<Record>]) -> (Vec<u8>, Vec<std::ops::Range<usize>>) {
+        let mut out = Vec::new();
+        let mut ranges = Vec::new();
+        out.extend_from_slice(&crate::v2::V2_MAGIC);
+        out.push(crate::v2::V2_VERSION);
+        for group in groups {
+            // Each group is far below DEFAULT_BLOCK_BYTES, so encode_v2
+            // emits exactly one block: strip its 5-byte header and
+            // 24-byte footer and splice the block in.
+            let bytes = encode_v2(group);
+            let start = out.len();
+            out.extend_from_slice(&bytes[5..bytes.len() - FRAME_BYTES]);
+            ranges.push(start..out.len());
+        }
+        (out, ranges)
+    }
+
+    #[test]
+    fn clean_v2_log_salvages_completely() {
+        let records: Vec<Record> = (0..5000).map(mem).collect();
+        let bytes = encode_v2(&records);
+        let (log, report) = read_log_salvage(&bytes[..]);
+        assert_eq!(log.records(), &records[..]);
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.seal, SealState::Sealed);
+        assert_eq!(report.records_salvaged, 5000);
+    }
+
+    #[test]
+    fn corrupt_mem_block_is_skipped_and_decoding_resyncs() {
+        let groups: Vec<Vec<Record>> = (0..3).map(|g| (0..100).map(|i| mem(g * 100 + i)).collect()).collect();
+        let (mut bytes, ranges) = encode_blocks(&groups);
+        // Flip a payload byte in the middle block (past its 24-byte frame).
+        let mid = ranges[1].start + FRAME_BYTES + 10;
+        bytes[mid] ^= 0x40;
+        let (log, report) = read_log_salvage(&bytes[..]);
+        let expected: Vec<Record> = groups[0].iter().chain(groups[2].iter()).cloned().collect();
+        assert_eq!(log.records(), &expected[..]);
+        assert_eq!(report.blocks_skipped, 1);
+        assert_eq!(report.records_dropped_known, 100);
+        assert!(!report.sync_tainted, "{report}");
+        assert!(!report.suffix_dropped, "{report}");
+        assert!(report.first_error.is_some());
+    }
+
+    #[test]
+    fn corrupt_sync_block_drops_the_suffix() {
+        let groups: Vec<Vec<Record>> = vec![
+            (0..100).map(mem).collect(),
+            (0..100).map(|i| if i % 10 == 0 { sync(i) } else { mem(i) }).collect(),
+            (0..100).map(mem).collect(),
+        ];
+        let (mut bytes, ranges) = encode_blocks(&groups);
+        let mid = ranges[1].start + FRAME_BYTES + 10;
+        bytes[mid] ^= 0x40;
+        let (log, report) = read_log_salvage(&bytes[..]);
+        // Only the first group survives: the corrupt block held sync
+        // records, so everything after it is dropped.
+        assert_eq!(log.records(), &groups[0][..]);
+        assert!(report.sync_tainted, "{report}");
+        assert!(report.suffix_dropped, "{report}");
+        assert_eq!(report.records_salvaged, 100);
+    }
+
+    #[test]
+    fn corrupt_frame_drops_the_suffix() {
+        let groups: Vec<Vec<Record>> = (0..3).map(|g| (0..100).map(|i| mem(g * 100 + i)).collect()).collect();
+        let (mut bytes, ranges) = encode_blocks(&groups);
+        // Corrupt the *frame* of the middle block: framing is lost.
+        let mid = ranges[1].start + 2;
+        bytes[mid] ^= 0xFF;
+        let (log, report) = read_log_salvage(&bytes[..]);
+        assert_eq!(log.records(), &groups[0][..]);
+        assert!(report.suffix_dropped, "{report}");
+        assert!(report.sync_tainted, "{report}");
+    }
+
+    #[test]
+    fn truncation_yields_the_clean_prefix() {
+        let records: Vec<Record> = (0..5000).map(mem).collect();
+        let bytes = encode_v2(&records);
+        for cut in [6, 20, 100, bytes.len() / 2, bytes.len() - 1] {
+            let (log, report) = read_log_salvage(&bytes[..cut]);
+            assert!(log.records().iter().eq(records.iter().take(log.len())));
+            assert_ne!(report.seal, SealState::Sealed, "cut={cut}: {report}");
+            assert!(!report.clean(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn v1_salvage_keeps_the_clean_prefix() {
+        let records: Vec<Record> = (0..100).map(mem).collect();
+        let mut bytes = encode_all(&records).to_vec();
+        let cut = bytes.len() - 3;
+        bytes.truncate(cut);
+        bytes.push(0xFF); // invalid tag after the truncated record
+        let (log, report) = read_log_salvage(&bytes[..]);
+        assert!(!log.is_empty());
+        assert!(log.records().iter().eq(records.iter().take(log.len())));
+        assert_eq!(report.format, Some(LogFormat::V1));
+        assert!(report.suffix_dropped, "{report}");
+        assert!(report.first_error.is_some());
+    }
+
+    #[test]
+    fn empty_input_is_a_clean_empty_v1_log() {
+        let (log, report) = read_log_salvage(std::io::empty());
+        assert!(log.is_empty());
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.format, Some(LogFormat::V1));
+    }
+
+    #[test]
+    fn unsupported_version_is_reported_not_panicked() {
+        let records: Vec<Record> = (0..10).map(mem).collect();
+        let mut bytes = encode_v2(&records).to_vec();
+        bytes[4] = 9;
+        let (log, report) = read_log_salvage(&bytes[..]);
+        assert!(log.is_empty());
+        assert_eq!(report.format, Some(LogFormat::V2));
+        assert!(report.suffix_dropped);
+        assert!(report.first_error.unwrap().contains("unsupported"));
+    }
+
+    #[test]
+    fn sealed_log_with_skipped_block_reports_footer_present() {
+        let groups: Vec<Vec<Record>> = (0..2).map(|g| (0..50).map(|i| mem(g * 50 + i)).collect()).collect();
+        let (mut bytes, ranges) = encode_blocks(&groups);
+        // Append a footer matching the *undamaged* stream, then corrupt a
+        // mem block: salvage should still classify the log as sealed.
+        let mut file_sum = Checksum::new();
+        file_sum.update(&bytes[5..]);
+        let footer = crate::v2::make_footer(100, file_sum.finish());
+        bytes.extend_from_slice(&footer);
+        let mid = ranges[0].start + FRAME_BYTES + 3;
+        bytes[mid] ^= 0x04;
+        let (log, report) = read_log_salvage(&bytes[..]);
+        assert_eq!(log.records(), &groups[1][..]);
+        assert_eq!(report.seal, SealState::Sealed);
+        assert_eq!(report.blocks_skipped, 1);
+    }
+}

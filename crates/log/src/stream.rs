@@ -63,13 +63,19 @@ impl std::fmt::Display for LogFormat {
 /// format and the bytes consumed while peeking (to be replayed in front
 /// of the remaining source for v1).
 ///
+/// A source with **zero bytes** is classified as a valid, empty v1 log —
+/// v1 has no header, so "no records" is a legal encoding. Every entry
+/// point built on this sniff ([`read_log_auto`], [`RecordBlocks::open`],
+/// [`RecordStream::spawn`]) therefore treats empty input as an empty log,
+/// never as an error.
+///
 /// # Errors
 ///
 /// Returns [`LogError::UnsupportedVersion`] for a v2 magic with an
 /// unknown version byte and [`LogError::Io`] on read failure. A stream
 /// that merely *starts like* the magic but diverges is treated as v1 and
 /// left for the v1 decoder to judge.
-fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
+pub(crate) fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
     let mut head = [0u8; 5];
     let mut filled = 0;
     while filled < head.len() {
@@ -81,6 +87,10 @@ fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
         }
     }
     let head = &head[..filled];
+    if filled == 0 {
+        // Empty input: a valid empty v1 log by definition.
+        return Ok((LogFormat::V1, Vec::new()));
+    }
     if filled >= 4 && head[..4] == V2_MAGIC {
         if filled < 5 {
             return Err(LogError::corrupt("v2 header truncated before version byte"));
@@ -99,7 +109,7 @@ fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
 
 /// A `Read` source with a replayed prefix (the bytes consumed by format
 /// sniffing).
-type Replayed<R> = std::io::Chain<std::io::Cursor<Vec<u8>>, R>;
+pub(crate) type Replayed<R> = std::io::Chain<std::io::Cursor<Vec<u8>>, R>;
 
 enum Blocks<R: Read> {
     V1 {
@@ -157,6 +167,25 @@ impl<R: Read> RecordBlocks<R> {
     pub fn format(&self) -> LogFormat {
         self.format
     }
+
+    /// Footer state of the stream: meaningful once iteration has finished,
+    /// [`SealState::Unknown`] for v1 logs (which have no footer).
+    pub fn seal_state(&self) -> crate::v2::SealState {
+        match &self.inner {
+            Blocks::V1 { .. } => crate::v2::SealState::Unknown,
+            Blocks::V2(blocks) => blocks.seal_state(),
+        }
+    }
+
+    /// Opens a **salvage** iterator over `source`: a best-effort decode
+    /// that never yields an error, skipping corrupt v2 blocks where that
+    /// is provably safe and dropping the suffix where it is not. See
+    /// [`crate::salvage`] for the soundness rule.
+    pub fn open_salvage(
+        source: R,
+    ) -> (crate::salvage::SalvageBlocks<R>, crate::salvage::SalvageHandle) {
+        crate::salvage::open_salvage(source)
+    }
 }
 
 impl<R: Read> Iterator for RecordBlocks<R> {
@@ -208,11 +237,16 @@ impl<R: Read> Iterator for RecordBlocks<R> {
 
 /// Decoded blocks pulled through a bounded channel from a decoder thread.
 ///
-/// Dropping the stream early detaches the decoder (it stops at the next
-/// send); exhausting it joins the thread.
+/// Dropping the stream early stops the decoder at its next send and
+/// **joins** the thread (no leak, no panic); exhausting it also joins.
+/// A panic inside the decoder is contained and surfaced as a final
+/// [`LogError::DecoderPanicked`] stream item instead of a hung channel.
+/// Transient I/O errors (`WouldBlock`, `TimedOut`) on the underlying
+/// source are retried with bounded exponential backoff (see
+/// [`RetryPolicy`](crate::retry::RetryPolicy)).
 #[derive(Debug)]
 pub struct RecordStream {
-    receiver: Receiver<LogResult<Vec<Record>>>,
+    receiver: Option<Receiver<LogResult<Vec<Record>>>>,
     handle: Option<std::thread::JoinHandle<()>>,
     format: LogFormat,
 }
@@ -231,45 +265,35 @@ impl RecordStream {
         source: R,
         depth: usize,
     ) -> LogResult<RecordStream> {
-        let blocks = RecordBlocks::open(source)?;
+        let blocks = RecordBlocks::open(crate::retry::RetryReader::new(
+            source,
+            crate::retry::RetryPolicy::default(),
+        ))?;
         let format = blocks.format();
-        let (sender, receiver): (SyncSender<_>, Receiver<_>) =
-            sync_channel(depth.max(1));
-        let handle = std::thread::Builder::new()
-            .name("literace-log-decode".to_owned())
-            .spawn(move || {
-                for block in blocks {
-                    if literace_telemetry::enabled() {
-                        let m = literace_telemetry::metrics();
-                        m.log_stream_blocks.add(1);
-                        // Probe first so a full channel registers as a
-                        // backpressure stall before the blocking send.
-                        match sender.try_send(block) {
-                            Ok(()) => {
-                                m.log_stream_queue.inc(0);
-                                continue;
-                            }
-                            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
-                            Err(std::sync::mpsc::TrySendError::Full(block)) => {
-                                m.log_stream_stalls.add(1);
-                                if sender.send(block).is_err() {
-                                    return;
-                                }
-                                m.log_stream_queue.inc(0);
-                            }
-                        }
-                    } else if sender.send(block).is_err() {
-                        // Consumer dropped the stream; stop decoding.
-                        return;
-                    }
-                }
-            })
-            .map_err(LogError::Io)?;
-        Ok(RecordStream {
-            receiver,
-            handle: Some(handle),
-            format,
-        })
+        spawn_decoder(blocks, format, depth)
+    }
+
+    /// Spawns a **salvage** decoder thread over `source`: like
+    /// [`spawn`](RecordStream::spawn) but the stream never yields `Err` —
+    /// corrupt regions are skipped or dropped per the soundness rule in
+    /// [`crate::salvage`], and the damage tally is available through the
+    /// returned [`SalvageHandle`](crate::salvage::SalvageHandle) (final
+    /// once the stream is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Only thread-spawn failure; corrupt headers do not error here.
+    pub fn spawn_salvage<R: Read + Send + 'static>(
+        source: R,
+        depth: usize,
+    ) -> LogResult<(RecordStream, crate::salvage::SalvageHandle)> {
+        let (blocks, salvage) = crate::salvage::open_salvage(crate::retry::RetryReader::new(
+            source,
+            crate::retry::RetryPolicy::default(),
+        ));
+        let format = blocks.format();
+        let stream = spawn_decoder(blocks, format, depth)?;
+        Ok((stream, salvage))
     }
 
     /// The detected on-disk format.
@@ -278,11 +302,82 @@ impl RecordStream {
     }
 }
 
+fn spawn_decoder<I>(blocks: I, format: LogFormat, depth: usize) -> LogResult<RecordStream>
+where
+    I: Iterator<Item = LogResult<Vec<Record>>> + Send + 'static,
+{
+    let (sender, receiver): (SyncSender<_>, Receiver<_>) = sync_channel(depth.max(1));
+    let panic_sender = sender.clone();
+    let handle = std::thread::Builder::new()
+        .name("literace-log-decode".to_owned())
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                decode_loop(blocks, sender);
+            }));
+            if let Err(payload) = outcome {
+                let e = LogError::DecoderPanicked {
+                    message: panic_message(payload.as_ref()),
+                };
+                crate::error::count_error(&e);
+                // Best effort: the consumer may already be gone.
+                let _ = panic_sender.send(Err(e));
+            }
+        })
+        .map_err(LogError::Io)?;
+    Ok(RecordStream {
+        receiver: Some(receiver),
+        handle: Some(handle),
+        format,
+    })
+}
+
+fn decode_loop<I>(blocks: I, sender: SyncSender<LogResult<Vec<Record>>>)
+where
+    I: Iterator<Item = LogResult<Vec<Record>>>,
+{
+    for block in blocks {
+        if literace_telemetry::enabled() {
+            let m = literace_telemetry::metrics();
+            m.log_stream_blocks.add(1);
+            // Probe first so a full channel registers as a
+            // backpressure stall before the blocking send.
+            match sender.try_send(block) {
+                Ok(()) => {
+                    m.log_stream_queue.inc(0);
+                    continue;
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
+                Err(std::sync::mpsc::TrySendError::Full(block)) => {
+                    m.log_stream_stalls.add(1);
+                    if sender.send(block).is_err() {
+                        return;
+                    }
+                    m.log_stream_queue.inc(0);
+                }
+            }
+        } else if sender.send(block).is_err() {
+            // Consumer dropped the stream; stop decoding.
+            return;
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 impl Iterator for RecordStream {
     type Item = LogResult<Vec<Record>>;
 
     fn next(&mut self) -> Option<LogResult<Vec<Record>>> {
-        match self.receiver.recv() {
+        let receiver = self.receiver.as_ref()?;
+        match receiver.recv() {
             Ok(item) => {
                 if literace_telemetry::enabled() {
                     literace_telemetry::metrics().log_stream_queue.dec(0);
@@ -290,6 +385,8 @@ impl Iterator for RecordStream {
                 Some(item)
             }
             Err(_) => {
+                // Channel closed: the decoder is done. Fuse and join.
+                self.receiver = None;
                 if let Some(handle) = self.handle.take() {
                     let _ = handle.join();
                 }
@@ -301,11 +398,17 @@ impl Iterator for RecordStream {
 
 impl Drop for RecordStream {
     fn drop(&mut self) {
-        // Detach the decoder thread: once the receiver is dropped, its
-        // next send fails and it exits. Draining first unblocks a sender
-        // currently parked on a full channel.
-        while self.receiver.try_recv().is_ok() {}
-        drop(self.handle.take());
+        // Stop the decoder and reap it. Draining unparks a sender blocked
+        // on a full channel; dropping the receiver makes its next send
+        // fail so the thread exits, and the join guarantees no thread
+        // outlives the stream.
+        if let Some(receiver) = self.receiver.take() {
+            while receiver.try_recv().is_ok() {}
+            drop(receiver);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -380,6 +483,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_source_is_an_empty_v1_log_via_record_blocks() {
+        let mut blocks = RecordBlocks::open(std::io::empty()).unwrap();
+        assert_eq!(blocks.format(), LogFormat::V1);
+        assert!(blocks.next().is_none());
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_v1_log_via_record_stream() {
+        let mut stream =
+            RecordStream::spawn(std::io::empty(), DEFAULT_STREAM_DEPTH).unwrap();
+        assert_eq!(stream.format(), LogFormat::V1);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
     fn short_v1_logs_survive_sniffing() {
         // 1–4 byte logs are shorter than the magic peek; the replay path
         // must hand every byte back to the v1 decoder.
@@ -424,6 +542,86 @@ mod tests {
         let first = stream.next().unwrap().unwrap();
         assert!(!first.is_empty());
         drop(stream); // must not deadlock on the full channel
+    }
+
+    /// A reader whose `Drop` flips a flag — the decoder thread owns the
+    /// source, so the flag proves the thread (and the source with it) was
+    /// reaped, not leaked.
+    struct DropFlagged<R> {
+        inner: R,
+        dropped: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl<R: Read> Read for DropFlagged<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl<R> Drop for DropFlagged<R> {
+        fn drop(&mut self) {
+            self.dropped
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dropping_stream_midway_joins_the_decoder_thread() {
+        let records = some_records(100_000);
+        let bytes: Vec<u8> = encode_v2(&records).to_vec();
+        let dropped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let source = DropFlagged {
+            inner: std::io::Cursor::new(bytes),
+            dropped: dropped.clone(),
+        };
+        let mut stream = RecordStream::spawn(source, 1).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(!first.is_empty());
+        drop(stream);
+        // Drop joins the decoder, so by now the thread has released its
+        // source. Without the join this assertion races (and the thread
+        // leaks past the test).
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    /// A reader that serves a prefix, then panics — exercising panic
+    /// containment in the decoder thread.
+    struct PanicAfter {
+        prefix: std::io::Cursor<Vec<u8>>,
+    }
+
+    impl Read for PanicAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.prefix.read(buf)?;
+            if n == 0 {
+                panic!("injected decoder panic");
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn decoder_panic_is_contained_as_a_typed_error() {
+        let records = some_records(10_000);
+        let bytes: Vec<u8> = encode_v2(&records).to_vec();
+        // Serve only half the file, then panic mid-decode.
+        let half = bytes.len() / 2;
+        let source = PanicAfter {
+            prefix: std::io::Cursor::new(bytes[..half].to_vec()),
+        };
+        let stream = RecordStream::spawn(source, DEFAULT_STREAM_DEPTH).unwrap();
+        let mut saw_panic = false;
+        for item in stream {
+            if let Err(e) = item {
+                assert!(
+                    matches!(e, LogError::DecoderPanicked { .. }),
+                    "unexpected error: {e}"
+                );
+                assert!(e.to_string().contains("injected decoder panic"), "{e}");
+                saw_panic = true;
+            }
+        }
+        assert!(saw_panic, "panic was swallowed");
     }
 
     #[test]

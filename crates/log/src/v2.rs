@@ -19,13 +19,33 @@
 //!   reader hands whole blocks downstream without materializing the log,
 //!   and corruption is confined to one block.
 //!
-//! ## Wire format
+//! ## Wire format (revision 3)
 //!
 //! ```text
-//! file   := magic(4: "LRL\x02") version(1: 0x02) block*
-//! block  := payload_len(u32 LE) record_count(u32 LE) payload
+//! file   := magic(4: "LRL\x02") version(1: 0x03) block* footer?
+//! block  := payload_len(u32 LE) record_count(u32 LE) sync_count(u32 LE)
+//!           head_sum(u32 LE)    payload_sum(u64 LE)  payload
+//! footer := sentinel(u32 LE: 0xFFFF_FFFF) total_records(u64 LE)
+//!           file_sum(u64 LE)   foot_sum(u32 LE)
 //! record := tag(1) tid(varint) fields…       (see `encode_into_block`)
 //! ```
+//!
+//! Revision 3 adds the integrity fields that make salvage decoding sound
+//! (see [`crate::salvage`]):
+//!
+//! * `head_sum` checksums the first 12 frame bytes, so a reader can trust
+//!   `payload_len` (framing survives payload corruption) and `sync_count`
+//!   (a corrupt block that held **no** synchronization records can be
+//!   dropped without breaking happens-before edges).
+//! * `payload_sum` checksums the payload, catching silent bit flips that
+//!   would otherwise decode into records with corrupted addresses.
+//! * The footer — its sentinel can never open a real block, because a
+//!   block's `payload_len` is capped far below `0xFFFF_FFFF` — carries the
+//!   record total and a whole-stream checksum, letting readers distinguish
+//!   a cleanly finalized ([`SealState::Sealed`]) log from a torn one.
+//!   A log without a footer still decodes ([`SealState::Unsealed`]): a
+//!   dropped writer flushes its open block but only
+//!   [`finish`](LogWriterV2::finish) seals.
 //!
 //! v1 logs start with a record tag byte in `1..=4`, never `b'L'`, so the
 //! two formats are distinguishable from the first byte (see
@@ -37,6 +57,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
+use crate::checksum::{checksum32, Checksum};
 use crate::error::{LogError, LogResult};
 use crate::record::{Record, SamplerMask};
 use crate::varint::{get_delta_slice, get_varint_slice, put_delta, put_varint};
@@ -44,8 +65,9 @@ use crate::varint::{get_delta_slice, get_varint_slice, put_delta, put_varint};
 /// Magic bytes opening a v2 log file.
 pub const V2_MAGIC: [u8; 4] = *b"LRL\x02";
 
-/// Current (and only) versioned format revision.
-pub const V2_VERSION: u8 = 2;
+/// Current versioned format revision (3: checksummed frames + footer;
+/// revision 2 lacked the integrity fields and is no longer written).
+pub const V2_VERSION: u8 = 3;
 
 /// Default block payload size at which the writer seals a block.
 pub const DEFAULT_BLOCK_BYTES: usize = 32 * 1024;
@@ -53,6 +75,121 @@ pub const DEFAULT_BLOCK_BYTES: usize = 32 * 1024;
 /// Hard cap on a block's declared payload length; a corrupt header cannot
 /// make the reader allocate unboundedly.
 const MAX_BLOCK_PAYLOAD: u32 = 1 << 30;
+
+/// Size of a block frame header and of the footer, in bytes.
+pub(crate) const FRAME_BYTES: usize = 24;
+
+/// `payload_len` value marking the footer frame. Unambiguous: real blocks
+/// are capped at [`MAX_BLOCK_PAYLOAD`], far below this.
+pub(crate) const FOOTER_SENTINEL: u32 = u32::MAX;
+
+/// Whether a v2 log carries a verified finalization footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SealState {
+    /// The footer was read and verified: the log is complete as written.
+    Sealed,
+    /// The stream ended without a footer: the writer never finalized
+    /// (crash, kill, or drop-without-finish). Blocks up to the end are
+    /// still trustworthy — each frame carries its own checksums.
+    Unsealed,
+    /// Not yet known (the stream has not been read to its end), or not
+    /// applicable (v1 logs have no footer).
+    #[default]
+    Unknown,
+}
+
+impl std::fmt::Display for SealState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealState::Sealed => write!(f, "sealed"),
+            SealState::Unsealed => write!(f, "unsealed"),
+            SealState::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// A parsed 24-byte frame: either a block header or the file footer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Frame {
+    /// A block header; the payload follows on the wire.
+    Block(BlockFrame),
+    /// The finalization footer; nothing may follow it.
+    Footer(FooterFrame),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockFrame {
+    pub payload_len: u32,
+    pub record_count: u32,
+    /// Synchronization records in the block. Covered by `head_sum`, so it
+    /// is trustworthy even when the payload is not — the salvage reader's
+    /// taint rule depends on this.
+    pub sync_count: u32,
+    pub payload_sum: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FooterFrame {
+    pub total_records: u64,
+    pub file_sum: u64,
+}
+
+/// Parses and integrity-checks a 24-byte frame.
+pub(crate) fn parse_frame(frame: &[u8; FRAME_BYTES]) -> LogResult<Frame> {
+    let first = u32::from_le_bytes(frame[..4].try_into().unwrap());
+    if first == FOOTER_SENTINEL {
+        let foot_sum = u32::from_le_bytes(frame[20..24].try_into().unwrap());
+        if foot_sum != checksum32(&frame[..20]) {
+            return Err(LogError::corrupt("torn footer: bad footer checksum"));
+        }
+        return Ok(Frame::Footer(FooterFrame {
+            total_records: u64::from_le_bytes(frame[4..12].try_into().unwrap()),
+            file_sum: u64::from_le_bytes(frame[12..20].try_into().unwrap()),
+        }));
+    }
+    let head_sum = u32::from_le_bytes(frame[12..16].try_into().unwrap());
+    if head_sum != checksum32(&frame[..12]) {
+        return Err(LogError::corrupt("block header checksum mismatch"));
+    }
+    if first > MAX_BLOCK_PAYLOAD {
+        return Err(LogError::corrupt(format!(
+            "block payload length {first} exceeds the {MAX_BLOCK_PAYLOAD}-byte cap"
+        )));
+    }
+    Ok(Frame::Block(BlockFrame {
+        payload_len: first,
+        record_count: u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+        sync_count: u32::from_le_bytes(frame[8..12].try_into().unwrap()),
+        payload_sum: u64::from_le_bytes(frame[16..24].try_into().unwrap()),
+    }))
+}
+
+/// Builds a checksummed block frame for `payload`.
+pub(crate) fn make_block_frame(
+    payload: &[u8],
+    record_count: u32,
+    sync_count: u32,
+) -> [u8; FRAME_BYTES] {
+    let mut frame = [0u8; FRAME_BYTES];
+    frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame[4..8].copy_from_slice(&record_count.to_le_bytes());
+    frame[8..12].copy_from_slice(&sync_count.to_le_bytes());
+    let head_sum = checksum32(&frame[..12]);
+    frame[12..16].copy_from_slice(&head_sum.to_le_bytes());
+    frame[16..24].copy_from_slice(&crate::checksum::checksum(payload).to_le_bytes());
+    frame
+}
+
+/// Builds the finalization footer.
+pub(crate) fn make_footer(total_records: u64, file_sum: u64) -> [u8; FRAME_BYTES] {
+    let mut frame = [0u8; FRAME_BYTES];
+    frame[..4].copy_from_slice(&FOOTER_SENTINEL.to_le_bytes());
+    frame[4..12].copy_from_slice(&total_records.to_le_bytes());
+    frame[12..20].copy_from_slice(&file_sum.to_le_bytes());
+    let foot_sum = checksum32(&frame[..20]);
+    frame[20..24].copy_from_slice(&foot_sum.to_le_bytes());
+    frame
+}
 
 const KIND_SYNC: u8 = 1;
 const KIND_MEM: u8 = 2;
@@ -129,7 +266,7 @@ const DENSE_TIDS: usize = 1024;
 /// Keyed by thread id. A `HashMap` here put a SipHash probe on every
 /// record of the decode hot loop; the dense `Vec` front removes it.
 #[derive(Debug, Default)]
-struct BlockState {
+pub(crate) struct BlockState {
     dense: Vec<ThreadDeltas>,
     sparse: std::collections::HashMap<u32, ThreadDeltas>,
 }
@@ -338,7 +475,8 @@ fn get_tid(buf: &mut &[u8]) -> LogResult<u32> {
         .map_err(|_| LogError::corrupt(format!("thread id {raw} exceeds 32 bits")))
 }
 
-/// Encodes `records` as one self-contained block (header + payload).
+/// Encodes `records` as one self-contained block (checksummed frame +
+/// payload).
 pub fn encode_block<'a>(
     records: impl IntoIterator<Item = &'a Record>,
     out: &mut BytesMut,
@@ -347,19 +485,20 @@ pub fn encode_block<'a>(
     let mut deltas = DeltaCount::default();
     let mut payload = BytesMut::new();
     let mut count: u32 = 0;
+    let mut syncs: u32 = 0;
     for r in records {
         encode_into_block(&mut state, r, &mut payload, &mut deltas);
         count += 1;
+        syncs += u32::from(matches!(r, Record::Sync { .. }));
     }
     deltas.publish();
     if literace_telemetry::enabled() && count > 0 {
         let m = literace_telemetry::metrics();
         m.log_encode_v2_records.add(u64::from(count));
-        m.log_encode_v2_bytes.add(8 + payload.len() as u64);
+        m.log_encode_v2_bytes.add((FRAME_BYTES + payload.len()) as u64);
         m.log_encode_v2_blocks.add(1);
     }
-    out.put_u32_le(payload.len() as u32);
-    out.put_u32_le(count);
+    out.extend_from_slice(&make_block_frame(&payload, count, syncs));
     out.extend_from_slice(&payload);
     count as usize
 }
@@ -378,7 +517,7 @@ pub fn decode_block(payload: &[u8], count: u32) -> LogResult<Vec<Record>> {
 /// [`decode_block`] against caller-owned delta state, so a block-at-a-time
 /// reader ([`V2Blocks`]) reuses the state tables instead of reallocating
 /// them per block. The state is reset on entry.
-fn decode_block_with(
+pub(crate) fn decode_block_with(
     state: &mut BlockState,
     payload: &[u8],
     count: u32,
@@ -413,10 +552,16 @@ pub struct LogWriterV2<W: Write> {
     state: BlockState,
     deltas: DeltaCount,
     block_records: u32,
+    /// Sync records in the open block (written into the frame so salvage
+    /// readers know whether a corrupt block can be dropped safely).
+    block_syncs: u32,
     block_bytes: usize,
     records_written: u64,
     bytes_written: u64,
     header_written: bool,
+    /// Running checksum over every byte after the 5-byte file header,
+    /// finalized into the footer.
+    file_sum: Checksum,
 }
 
 impl<W: Write> LogWriterV2<W> {
@@ -433,10 +578,12 @@ impl<W: Write> LogWriterV2<W> {
             state: BlockState::default(),
             deltas: DeltaCount::default(),
             block_records: 0,
+            block_syncs: 0,
             block_bytes: block_bytes.max(1),
             records_written: 0,
             bytes_written: 0,
             header_written: false,
+            file_sum: Checksum::new(),
         }
     }
 
@@ -444,10 +591,16 @@ impl<W: Write> LogWriterV2<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the sink when a block flushes.
+    /// Propagates I/O errors from the sink when a block flushes, and
+    /// returns [`LogError::WriterFinished`] after
+    /// [`finish`](LogWriterV2::finish).
     pub fn write_record(&mut self, record: &Record) -> LogResult<()> {
+        if self.sink.is_none() {
+            return Err(LogError::WriterFinished);
+        }
         encode_into_block(&mut self.state, record, &mut self.payload, &mut self.deltas);
         self.block_records += 1;
+        self.block_syncs += u32::from(matches!(record, Record::Sync { .. }));
         self.records_written += 1;
         if self.payload.len() >= self.block_bytes {
             self.flush_block()?;
@@ -456,7 +609,7 @@ impl<W: Write> LogWriterV2<W> {
     }
 
     fn flush_block(&mut self) -> LogResult<()> {
-        let sink = self.sink.as_mut().expect("writer not finished");
+        let sink = self.sink.as_mut().ok_or(LogError::WriterFinished)?;
         let mut emitted = 0u64;
         if !self.header_written {
             sink.write_all(&V2_MAGIC)?;
@@ -471,13 +624,13 @@ impl<W: Write> LogWriterV2<W> {
             }
             return Ok(());
         }
-        let mut header = [0u8; 8];
-        header[..4].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        header[4..].copy_from_slice(&self.block_records.to_le_bytes());
-        sink.write_all(&header)?;
+        let frame = make_block_frame(&self.payload, self.block_records, self.block_syncs);
+        sink.write_all(&frame)?;
         sink.write_all(&self.payload)?;
-        self.bytes_written += 8 + self.payload.len() as u64;
-        emitted += 8 + self.payload.len() as u64;
+        self.file_sum.update(&frame);
+        self.file_sum.update(&self.payload);
+        self.bytes_written += (FRAME_BYTES + self.payload.len()) as u64;
+        emitted += (FRAME_BYTES + self.payload.len()) as u64;
         if literace_telemetry::enabled() {
             let m = literace_telemetry::metrics();
             m.log_encode_v2_records.add(u64::from(self.block_records));
@@ -487,20 +640,33 @@ impl<W: Write> LogWriterV2<W> {
         self.deltas.publish();
         self.payload.clear();
         self.block_records = 0;
+        self.block_syncs = 0;
         // Blocks decode independently, so the delta state restarts (the
         // tables keep their capacity).
         self.state.reset();
         Ok(())
     }
 
-    /// Seals the open block, flushes, and returns the sink.
+    /// Seals the open block, writes the finalization footer, flushes, and
+    /// returns the sink. A log finished here reads back as
+    /// [`SealState::Sealed`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the final flush.
-    pub fn finish(mut self) -> LogResult<W> {
+    /// Propagates I/O errors from the final flush, and returns
+    /// [`LogError::WriterFinished`] when called twice.
+    pub fn finish(&mut self) -> LogResult<W> {
         self.flush_block()?;
-        let mut sink = self.sink.take().expect("writer not finished");
+        let footer = make_footer(self.records_written, self.file_sum.finish());
+        let sink = self.sink.as_mut().ok_or(LogError::WriterFinished)?;
+        sink.write_all(&footer)?;
+        self.bytes_written += FRAME_BYTES as u64;
+        if literace_telemetry::enabled() {
+            literace_telemetry::metrics()
+                .log_encode_v2_bytes
+                .add(FRAME_BYTES as u64);
+        }
+        let mut sink = self.sink.take().ok_or(LogError::WriterFinished)?;
         sink.flush()?;
         Ok(sink)
     }
@@ -510,16 +676,22 @@ impl<W: Write> LogWriterV2<W> {
         self.records_written
     }
 
-    /// Bytes emitted so far, including the open block's buffered payload
-    /// (counted as if sealed now) and the header.
+    /// Bytes the log will occupy if finished now: bytes already emitted,
+    /// plus the open block's buffered payload (counted as if sealed), the
+    /// header, and the footer.
     pub fn bytes_written(&self) -> u64 {
         let pending_header = if self.header_written { 0 } else { 5 };
         let pending_block = if self.block_records > 0 {
-            8 + self.payload.len() as u64
+            (FRAME_BYTES + self.payload.len()) as u64
         } else {
             0
         };
-        self.bytes_written + pending_header + pending_block
+        let pending_footer = if self.sink.is_some() {
+            FRAME_BYTES as u64
+        } else {
+            0
+        };
+        self.bytes_written + pending_header + pending_block + pending_footer
     }
 }
 
@@ -548,6 +720,12 @@ pub struct V2Blocks<R> {
     payload: Vec<u8>,
     /// Reusable per-block delta state (reset, not reallocated, per block).
     state: BlockState,
+    /// Running checksum over every consumed frame + payload byte, checked
+    /// against the footer.
+    file_sum: Checksum,
+    /// Records decoded so far, checked against the footer's total.
+    records_seen: u64,
+    seal: SealState,
 }
 
 impl<R: std::io::Read> V2Blocks<R> {
@@ -559,7 +737,17 @@ impl<R: std::io::Read> V2Blocks<R> {
             done: false,
             payload: Vec::new(),
             state: BlockState::default(),
+            file_sum: Checksum::new(),
+            records_seen: 0,
+            seal: SealState::Unknown,
         }
+    }
+
+    /// Whether the stream carried a verified finalization footer. Remains
+    /// [`SealState::Unknown`] until the iterator has been driven to its
+    /// end (or to an error).
+    pub fn seal_state(&self) -> SealState {
+        self.seal
     }
 
     /// Opens a stream that must be a v2 log: reads and validates the
@@ -600,37 +788,61 @@ impl<R: std::io::Read> V2Blocks<R> {
 
     fn read_block(&mut self) -> LogResult<Option<Vec<Record>>> {
         let start = literace_telemetry::enabled().then(std::time::Instant::now);
-        let mut header = [0u8; 8];
-        match read_exact_or_eof(&mut self.source, &mut header)? {
-            0 => return Ok(None),
-            8 => {}
+        let mut frame = [0u8; FRAME_BYTES];
+        match read_exact_or_eof(&mut self.source, &mut frame)? {
+            0 => {
+                self.seal = SealState::Unsealed;
+                return Ok(None);
+            }
+            FRAME_BYTES => {}
             n => {
                 return Err(LogError::corrupt(format!(
-                    "truncated block header: {n} of 8 bytes"
+                    "truncated block header: {n} of {FRAME_BYTES} bytes"
                 )))
             }
         }
-        let payload_len = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let count = u32::from_le_bytes(header[4..].try_into().unwrap());
-        if payload_len > MAX_BLOCK_PAYLOAD {
-            return Err(LogError::corrupt(format!(
-                "block payload length {payload_len} exceeds the {MAX_BLOCK_PAYLOAD}-byte cap"
-            )));
-        }
+        let head = match parse_frame(&frame)? {
+            Frame::Footer(foot) => {
+                if foot.total_records != self.records_seen {
+                    return Err(LogError::corrupt(format!(
+                        "footer record count mismatch: footer says {}, decoded {}",
+                        foot.total_records, self.records_seen
+                    )));
+                }
+                if foot.file_sum != self.file_sum.finish() {
+                    return Err(LogError::corrupt("footer stream checksum mismatch"));
+                }
+                let mut trailing = [0u8; 1];
+                if read_exact_or_eof(&mut self.source, &mut trailing)? != 0 {
+                    return Err(LogError::corrupt("trailing bytes after footer"));
+                }
+                self.seal = SealState::Sealed;
+                return Ok(None);
+            }
+            Frame::Block(head) => head,
+        };
         self.payload.clear();
-        self.payload.resize(payload_len as usize, 0);
+        self.payload.resize(head.payload_len as usize, 0);
         let got = read_exact_or_eof(&mut self.source, &mut self.payload)?;
         if got != self.payload.len() {
             return Err(LogError::corrupt(format!(
-                "truncated block: {got} of {payload_len} payload bytes"
+                "truncated block: {got} of {} payload bytes",
+                head.payload_len
             )));
         }
-        let block = decode_block_with(&mut self.state, &self.payload, count)?;
+        if crate::checksum::checksum(&self.payload) != head.payload_sum {
+            return Err(LogError::corrupt("block payload checksum mismatch"));
+        }
+        let block = decode_block_with(&mut self.state, &self.payload, head.record_count)?;
+        self.file_sum.update(&frame);
+        self.file_sum.update(&self.payload);
+        self.records_seen += u64::from(head.record_count);
         if let Some(start) = start {
             let m = literace_telemetry::metrics();
             m.log_decode_v2_blocks.add(1);
-            m.log_decode_v2_bytes.add(8 + payload_len as u64);
-            m.log_decode_v2_records.add(u64::from(count));
+            m.log_decode_v2_bytes
+                .add((FRAME_BYTES as u32 + head.payload_len) as u64);
+            m.log_decode_v2_records.add(u64::from(head.record_count));
             m.log_decode_v2_ns.add(start.elapsed().as_nanos() as u64);
         }
         Ok(Some(block))
@@ -639,7 +851,10 @@ impl<R: std::io::Read> V2Blocks<R> {
 
 /// Fills `buf` as far as the source allows; returns bytes read (short only
 /// at EOF). Retries on `Interrupted`.
-fn read_exact_or_eof(source: &mut impl std::io::Read, buf: &mut [u8]) -> LogResult<usize> {
+pub(crate) fn read_exact_or_eof(
+    source: &mut impl std::io::Read,
+    buf: &mut [u8],
+) -> LogResult<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match source.read(&mut buf[filled..]) {
@@ -674,7 +889,8 @@ impl<R: std::io::Read> Iterator for V2Blocks<R> {
     }
 }
 
-/// Serializes records as a complete v2 byte stream (header + blocks).
+/// Serializes records as a complete, finalized v2 byte stream
+/// (header + blocks + footer).
 pub fn encode_v2<'a>(records: impl IntoIterator<Item = &'a Record>) -> Bytes {
     let mut w = LogWriterV2::new(Vec::new());
     for r in records {
@@ -747,10 +963,66 @@ mod tests {
     }
 
     #[test]
-    fn empty_log_is_header_only_and_round_trips() {
+    fn empty_log_is_header_plus_footer_and_round_trips() {
         let bytes = encode_v2([]);
-        assert_eq!(bytes.len(), 5);
+        assert_eq!(bytes.len(), 5 + FRAME_BYTES);
         assert_eq!(decode_stream(&bytes).unwrap(), Vec::<Record>::new());
+    }
+
+    #[test]
+    fn finished_log_reads_back_sealed() {
+        let bytes = encode_v2(&sample_records());
+        let mut blocks = V2Blocks::after_header(&bytes[5..]);
+        assert_eq!(blocks.seal_state(), SealState::Unknown);
+        for b in blocks.by_ref() {
+            b.unwrap();
+        }
+        assert_eq!(blocks.seal_state(), SealState::Sealed);
+    }
+
+    #[test]
+    fn dropped_writer_reads_back_unsealed() {
+        let records = sample_records();
+        let mut sink = Vec::new();
+        {
+            let mut w = LogWriterV2::new(&mut sink);
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+        }
+        let mut blocks = V2Blocks::after_header(&sink[5..]);
+        let mut decoded = Vec::new();
+        for b in blocks.by_ref() {
+            decoded.extend(b.unwrap());
+        }
+        assert_eq!(decoded, records);
+        assert_eq!(blocks.seal_state(), SealState::Unsealed);
+    }
+
+    #[test]
+    fn torn_footer_is_corrupt_not_sealed() {
+        let mut bytes = encode_v2(&sample_records()).to_vec();
+        // Flip a byte inside the footer's total_records field.
+        let foot = bytes.len() - FRAME_BYTES;
+        bytes[foot + 5] ^= 0x40;
+        let mut blocks = V2Blocks::after_header(&bytes[5..]);
+        let last = blocks.by_ref().last().unwrap();
+        let err = last.unwrap_err();
+        assert!(err.to_string().contains("footer"), "{err}");
+        assert_eq!(blocks.seal_state(), SealState::Unknown);
+    }
+
+    #[test]
+    fn write_after_finish_is_a_typed_error() {
+        let records = sample_records();
+        let mut w = LogWriterV2::new(Vec::new());
+        w.write_record(&records[0]).unwrap();
+        w.finish().unwrap();
+        assert!(matches!(
+            w.write_record(&records[1]),
+            Err(LogError::WriterFinished)
+        ));
+        assert!(matches!(w.finish(), Err(LogError::WriterFinished)));
     }
 
     #[test]
@@ -829,7 +1101,7 @@ mod tests {
         }];
         let mut buf = BytesMut::new();
         encode_block(&records, &mut buf);
-        let mut payload = buf[8..].to_vec(); // strip the block header
+        let mut payload = buf[FRAME_BYTES..].to_vec(); // strip the frame
         payload.push(0x00); // extra byte after the declared record
         let err = decode_block(&payload, 1).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");

@@ -1,0 +1,248 @@
+//! Chaos suite: deterministic fault injection against the salvage decoder
+//! and the streaming pipeline.
+//!
+//! The contract under test, for *any* injected fault schedule:
+//!
+//! 1. nothing panics — every failure is a typed error or a salvage skip;
+//! 2. salvage never invents records: the salvaged stream is a subsequence
+//!    of the clean log's records (whole blocks survive or vanish);
+//! 3. soundness: unless the report is `sync_tainted`, the salvaged sync
+//!    records are a gap-free *prefix* of the clean log's sync records —
+//!    the property that makes races from a salvaged log trustworthy;
+//! 4. a writer killed mid-stream never leaves bytes that classify as a
+//!    sealed log.
+
+use literace_log::{
+    encode_v2, read_log_auto, salvage::SalvageReport, FaultPlan, FaultyReader, FaultySink,
+    LogWriterV2, Record, RecordStream, SamplerMask, SealState,
+};
+use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
+use proptest::prelude::*;
+
+/// A mixed record stream with sync records sprinkled through it.
+fn sample_records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => Record::Sync {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(literace_sim::FuncId::from_index(1), i),
+                kind: SyncOpKind::LockAcquire,
+                var: SyncVar((i % 4) as u64),
+                timestamp: i as u64,
+            },
+            _ => Record::Mem {
+                tid: ThreadId::from_index(i % 3),
+                pc: Pc::new(literace_sim::FuncId::from_index(2), i % 11),
+                addr: Addr::global((i % 7) as u64 * 8),
+                is_write: i % 2 == 0,
+                mask: SamplerMask::bit(0),
+            },
+        })
+        .collect()
+}
+
+/// Encodes `records` into a multi-block v2 log with small blocks, so fault
+/// offsets land in interesting places (frames, payloads, the footer).
+fn small_block_log(records: &[Record]) -> Vec<u8> {
+    let mut w = LogWriterV2::with_block_bytes(Vec::new(), 48);
+    for r in records {
+        w.write_record(r).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn is_subsequence(needle: &[Record], hay: &[Record]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|r| it.any(|h| h == r))
+}
+
+fn sync_only(records: &[Record]) -> Vec<Record> {
+    records
+        .iter()
+        .filter(|r| matches!(r, Record::Sync { .. }))
+        .copied()
+        .collect()
+}
+
+/// The salvage soundness contract against the clean record list.
+fn check_soundness(original: &[Record], salvaged: &[Record], report: &SalvageReport) {
+    assert!(
+        is_subsequence(salvaged, original),
+        "salvage invented records: {report}"
+    );
+    if !report.sync_tainted {
+        let all_sync = sync_only(original);
+        let got_sync = sync_only(salvaged);
+        assert!(
+            got_sync.len() <= all_sync.len()
+                && all_sync[..got_sync.len()] == got_sync[..],
+            "untainted salvage lost mid-stream sync records: {report}"
+        );
+    }
+}
+
+fn drain_salvage(source: impl std::io::Read) -> (Vec<Record>, SalvageReport) {
+    let (blocks, handle) = literace_log::open_salvage(source);
+    let mut out = Vec::new();
+    for block in blocks {
+        out.extend(block.expect("salvage streams never yield Err"));
+    }
+    (out, handle.report())
+}
+
+#[test]
+fn truncation_at_every_offset_is_panic_free_and_sound() {
+    let records = sample_records(120);
+    let bytes = small_block_log(&records);
+    for cut in 0..=bytes.len() {
+        let reader = FaultyReader::new(&bytes[..], FaultPlan::truncated_at(cut as u64), 1);
+        let (salvaged, report) = drain_salvage(reader);
+        check_soundness(&records, &salvaged, &report);
+        assert_eq!(report.records_salvaged as usize, salvaged.len(), "cut {cut}");
+        if cut < bytes.len() {
+            assert_ne!(
+                report.seal,
+                SealState::Sealed,
+                "cut {cut}/{} classified sealed: {report}",
+                bytes.len()
+            );
+        } else {
+            assert_eq!(report.seal, SealState::Sealed, "{report}");
+            assert_eq!(salvaged, records, "{report}");
+            assert!(report.clean(), "{report}");
+        }
+    }
+}
+
+#[test]
+fn killed_writer_is_never_classified_sealed() {
+    let records = sample_records(200);
+    let full_len = small_block_log(&records).len() as u64;
+    for fail_after in [0, 1, 30, 100, full_len / 2, full_len - 1] {
+        let mut out = Vec::new();
+        {
+            let sink = FaultySink::new(&mut out, Some(fail_after), true, fail_after);
+            let mut w = LogWriterV2::with_block_bytes(sink, 48);
+            let mut failed = false;
+            for r in &records {
+                if w.write_record(r).is_err() {
+                    failed = true;
+                    break;
+                }
+            }
+            if !failed {
+                assert!(w.finish().is_err(), "sink dying at {fail_after} went unnoticed");
+            }
+            // Dropping the writer flushes best-effort into the dead sink.
+        }
+        assert!(out.len() as u64 <= fail_after);
+        let (salvaged, report) = drain_salvage(&out[..]);
+        assert_ne!(
+            report.seal,
+            SealState::Sealed,
+            "torn write of {fail_after} bytes classified sealed: {report}"
+        );
+        check_soundness(&records, &salvaged, &report);
+    }
+}
+
+#[test]
+fn finalized_log_round_trips_byte_identically() {
+    let records = sample_records(300);
+    let bytes = encode_v2(&records);
+    let log = read_log_auto(&bytes[..]).unwrap();
+    assert_eq!(log.records(), &records[..]);
+    // Re-encoding the decoded log reproduces the exact bytes, footer
+    // included — the crash-consistency acceptance check.
+    assert_eq!(&encode_v2(log.records())[..], &bytes[..]);
+    let (salvaged, report) = drain_salvage(&bytes[..]);
+    assert_eq!(salvaged, records);
+    assert!(report.clean(), "{report}");
+    assert_eq!(report.seal, SealState::Sealed);
+}
+
+#[test]
+fn transient_errors_are_absorbed_by_the_retrying_stream() {
+    let records = sample_records(400);
+    let bytes = small_block_log(&records);
+    let plan = FaultPlan {
+        short_reads: true,
+        interrupt_one_in: 3,
+        transient_one_in: 5,
+        transient_budget: 6,
+        ..FaultPlan::default()
+    };
+    let reader = FaultyReader::new(std::io::Cursor::new(bytes), plan, 17);
+    let stream = RecordStream::spawn(reader, 4).unwrap();
+    let mut out = Vec::new();
+    for block in stream {
+        out.extend(block.expect("bounded retry must absorb budgeted transients"));
+    }
+    assert_eq!(out, records);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any fault schedule — truncation, bit flips anywhere, short reads,
+    /// interrupts, transients — produces a panic-free salvage whose tally
+    /// matches what was yielded.
+    #[test]
+    fn arbitrary_faults_never_panic_salvage(
+        n in 1usize..160,
+        cut_seed: u64,
+        flips in prop::collection::vec((any::<u64>(), 1u8..=255), 0..4),
+        short_reads: bool,
+        // 1 would mean *every* read is interrupted: a device that never
+        // makes progress, which (like std's `read_exact`) loops forever.
+        interrupt_one_in in prop::sample::select(vec![0u32, 2, 3, 4, 5]),
+        seed: u64,
+    ) {
+        let records = sample_records(n);
+        let bytes = small_block_log(&records);
+        let plan = FaultPlan {
+            truncate_at: Some(cut_seed % (bytes.len() as u64 + 1)),
+            bit_flips: flips
+                .into_iter()
+                .map(|(off, mask)| (off % bytes.len() as u64, mask))
+                .collect(),
+            short_reads,
+            interrupt_one_in,
+            transient_one_in: 0,
+            transient_budget: 0,
+        };
+        let reader = FaultyReader::new(&bytes[..], plan, seed);
+        let (salvaged, report) = drain_salvage(reader);
+        prop_assert_eq!(report.records_salvaged as usize, salvaged.len());
+        prop_assert!(report.blocks_decoded >= (!salvaged.is_empty()) as u64);
+    }
+
+    /// With the header intact (faults at offset ≥ 4, past the magic), the
+    /// full soundness contract holds: salvage is a subsequence of the
+    /// clean log, and untainted salvage keeps a gap-free sync prefix.
+    #[test]
+    fn faults_behind_the_magic_salvage_soundly(
+        n in 1usize..160,
+        cut_seed: u64,
+        flips in prop::collection::vec((any::<u64>(), 1u8..=255), 0..4),
+        short_reads: bool,
+        seed: u64,
+    ) {
+        let records = sample_records(n);
+        let bytes = small_block_log(&records);
+        let len = bytes.len() as u64;
+        let plan = FaultPlan {
+            truncate_at: Some(4 + cut_seed % (len - 3)),
+            bit_flips: flips
+                .into_iter()
+                .map(|(off, mask)| (4 + off % (len - 4), mask))
+                .collect(),
+            short_reads,
+            ..FaultPlan::default()
+        };
+        let reader = FaultyReader::new(&bytes[..], plan, seed);
+        let (salvaged, report) = drain_salvage(reader);
+        check_soundness(&records, &salvaged, &report);
+        prop_assert_eq!(report.records_salvaged as usize, salvaged.len());
+    }
+}

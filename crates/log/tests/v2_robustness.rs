@@ -59,13 +59,13 @@ fn bad_magic_is_typed() {
 #[test]
 fn version_mismatch_is_typed_everywhere() {
     let mut bytes = encode_v2(&sample_records(10)).to_vec();
-    bytes[4] = 3;
+    bytes[4] = 9;
     let err = V2Blocks::open(&bytes[..]).unwrap_err();
     assert!(
         matches!(
             err,
             LogError::UnsupportedVersion {
-                found: 3,
+                found: 9,
                 supported: V2_VERSION
             }
         ),
@@ -73,9 +73,9 @@ fn version_mismatch_is_typed_everywhere() {
     );
     // The auto-detecting readers agree.
     let err = RecordBlocks::open(&bytes[..]).unwrap_err();
-    assert!(matches!(err, LogError::UnsupportedVersion { found: 3, .. }), "{err}");
+    assert!(matches!(err, LogError::UnsupportedVersion { found: 9, .. }), "{err}");
     let err = read_log_auto(&bytes[..]).unwrap_err();
-    assert!(matches!(err, LogError::UnsupportedVersion { found: 3, .. }), "{err}");
+    assert!(matches!(err, LogError::UnsupportedVersion { found: 9, .. }), "{err}");
 }
 
 #[test]
@@ -86,10 +86,20 @@ fn magic_alone_with_no_version_byte_is_corrupt() {
     assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
 }
 
+/// The 24-byte block/footer frame size (see `crates/log/src/v2.rs`).
+const FRAME: usize = 24;
+
+/// Recomputes the head checksum of the block frame starting at `frame_at`
+/// after a test mutated the header fields it covers.
+fn fix_head_sum(bytes: &mut [u8], frame_at: usize) {
+    let sum = literace_log::checksum32(&bytes[frame_at..frame_at + 12]);
+    bytes[frame_at + 12..frame_at + 16].copy_from_slice(&sum.to_le_bytes());
+}
+
 #[test]
 fn truncated_block_header_is_corrupt() {
     let bytes = encode_v2(&sample_records(100));
-    // Cut inside the first block's 8-byte length/count header.
+    // Cut inside the first block's 24-byte frame.
     let cut = &bytes[..5 + 3];
     let err = collect(V2Blocks::open(cut).unwrap()).unwrap_err();
     assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
@@ -99,8 +109,10 @@ fn truncated_block_header_is_corrupt() {
 #[test]
 fn truncated_block_payload_is_corrupt() {
     let bytes = encode_v2(&sample_records(100));
-    // Keep the header and half the first block's payload.
-    let cut = &bytes[..bytes.len() - (bytes.len() - 13) / 2];
+    // One block: header(5) + frame(24) + payload + footer(24). Keep the
+    // frame and half the payload.
+    let payload_len = bytes.len() - 5 - 2 * FRAME;
+    let cut = &bytes[..5 + FRAME + payload_len / 2];
     let err = collect(V2Blocks::open(cut).unwrap()).unwrap_err();
     assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
 }
@@ -110,8 +122,9 @@ fn corrupted_varint_is_corrupt_not_panic() {
     let records = sample_records(50);
     let mut bytes = encode_v2(&records).to_vec();
     // Set continuation bits on a run of payload bytes: an unterminated
-    // varint that would read past any sane field width.
-    let payload_start = 5 + 8;
+    // varint that would read past any sane field width. (The payload
+    // checksum flags this first; either way it must be typed corrupt.)
+    let payload_start = 5 + FRAME;
     for b in bytes.iter_mut().skip(payload_start + 1).take(12) {
         *b = 0xFF;
     }
@@ -120,12 +133,39 @@ fn corrupted_varint_is_corrupt_not_panic() {
 }
 
 #[test]
+fn corrupted_varint_behind_a_valid_checksum_is_corrupt_not_panic() {
+    let records = sample_records(50);
+    let mut bytes = encode_v2(&records).to_vec();
+    // Same corruption, but with the payload checksum recomputed so the
+    // decoder itself has to reject the unterminated varint.
+    let payload_start = 5 + FRAME;
+    let payload_end = bytes.len() - FRAME;
+    for b in bytes
+        .iter_mut()
+        .skip(payload_start + 1)
+        .take(12)
+    {
+        *b = 0xFF;
+    }
+    let sum = literace_log::checksum(&bytes[payload_start..payload_end]);
+    bytes[5 + 16..5 + 24].copy_from_slice(&sum.to_le_bytes());
+    let err = collect(V2Blocks::open(&bytes[..]).unwrap()).unwrap_err();
+    assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
+    assert!(!err.to_string().contains("checksum"), "{err}");
+}
+
+#[test]
 fn oversized_declared_payload_is_rejected_without_allocating() {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&V2_MAGIC);
     bytes.push(V2_VERSION);
-    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd payload_len
-    bytes.extend_from_slice(&1u32.to_le_bytes());
+    // An absurd (but non-sentinel) payload length behind a *valid* head
+    // checksum, so the length cap itself does the rejecting.
+    let mut frame = [0u8; FRAME];
+    frame[..4].copy_from_slice(&((1u32 << 30) + 1).to_le_bytes());
+    frame[4..8].copy_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&frame);
+    fix_head_sum(&mut bytes, 5);
     let err = collect(V2Blocks::open(&bytes[..]).unwrap()).unwrap_err();
     assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
     assert!(err.to_string().contains("cap"), "{err}");
@@ -135,17 +175,32 @@ fn oversized_declared_payload_is_rejected_without_allocating() {
 fn record_count_mismatches_are_corrupt() {
     let records = sample_records(20);
     let bytes = encode_v2(&records).to_vec();
+    // Record count sits at frame bytes 4..8 (file offset 9..13); the head
+    // checksum must be recomputed or it flags the tamper first.
+    let count = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
     // Inflate the declared record count: decoding runs off the payload.
     let mut more = bytes.clone();
-    let count = u32::from_le_bytes(more[9..13].try_into().unwrap());
     more[9..13].copy_from_slice(&(count + 1).to_le_bytes());
+    fix_head_sum(&mut more, 5);
     let err = collect(V2Blocks::open(&more[..]).unwrap()).unwrap_err();
     assert!(matches!(err, LogError::Corrupt { .. }), "{err}");
     // Deflate it: trailing bytes after the declared records.
     let mut fewer = bytes;
     fewer[9..13].copy_from_slice(&(count - 1).to_le_bytes());
+    fix_head_sum(&mut fewer, 5);
     let err = collect(V2Blocks::open(&fewer[..]).unwrap()).unwrap_err();
     assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn tampered_header_fields_fail_the_head_checksum() {
+    let records = sample_records(20);
+    let mut bytes = encode_v2(&records).to_vec();
+    // Mutate the count *without* fixing the checksum: the frame check
+    // itself must catch it.
+    bytes[9] ^= 1;
+    let err = collect(V2Blocks::open(&bytes[..]).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("header checksum"), "{err}");
 }
 
 #[test]
@@ -158,7 +213,9 @@ fn corruption_is_confined_to_one_block() {
         w.write_record(r).unwrap();
     }
     let mut bytes = w.finish().unwrap();
-    let last = bytes.len() - 1;
+    // Flip the last byte of the final block's payload (the 24-byte footer
+    // sits after it).
+    let last = bytes.len() - 1 - FRAME;
     bytes[last] = 0xFF;
     let mut decoded = Vec::new();
     let mut error = None;

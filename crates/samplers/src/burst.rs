@@ -86,6 +86,12 @@ pub struct BurstState {
     sample_left: u32,
     skip_left: u64,
     bursts_done: u32,
+    /// Fractional part of the ideal inter-burst gap not yet skipped, in
+    /// Q32 fixed point (`2^32` = one whole execution). Rounding `B/r − B`
+    /// per burst biases the realized rate (0.3 → 10/33 ≈ 0.303); carrying
+    /// the remainder here makes the long-run rate exact.
+    #[serde(default)]
+    gap_frac: u64,
 }
 
 impl BurstState {
@@ -95,6 +101,7 @@ impl BurstState {
             sample_left: BURST_LEN,
             skip_left: 0,
             bursts_done: 0,
+            gap_frac: 0,
         }
     }
 
@@ -118,7 +125,7 @@ impl BurstState {
                         .add(self.bursts_done as usize - 1, 1);
                 }
                 let rate = schedule.rate(self.bursts_done);
-                self.skip_left = gap_for(BURST_LEN, rate);
+                self.skip_left = gap_for(BURST_LEN, rate, &mut self.gap_frac);
                 if self.skip_left == 0 {
                     self.sample_left = BURST_LEN;
                 }
@@ -141,11 +148,26 @@ impl Default for BurstState {
     }
 }
 
+/// One whole execution in the Q32 fixed-point gap remainder.
+const GAP_FRAC_ONE: u64 = 1 << 32;
+
 /// Executions to skip between bursts so the long-run sampled fraction is
-/// `rate`: `B/rate − B`, rounded.
-fn gap_for(burst_len: u32, rate: f64) -> u64 {
+/// `rate`.
+///
+/// The ideal gap `B/rate − B` is rarely an integer; truncating or
+/// rounding it once per burst drifts the realized rate (e.g. 0.3 becomes
+/// 10/33 ≈ 0.303). Instead the integer part is skipped now and the
+/// fractional part accumulates in `frac_acc` (Q32), spilling an extra
+/// skipped execution whenever a whole one has built up — so the average
+/// gap over many bursts is exact.
+fn gap_for(burst_len: u32, rate: f64, frac_acc: &mut u64) -> u64 {
     let b = burst_len as f64;
-    ((b / rate) - b).round().max(0.0) as u64
+    let gap = ((b / rate) - b).max(0.0);
+    let int = gap.floor();
+    *frac_acc += ((gap - int) * GAP_FRAC_ONE as f64).round() as u64;
+    let carry = *frac_acc >> 32;
+    *frac_acc &= GAP_FRAC_ONE - 1;
+    (int as u64).saturating_add(carry)
 }
 
 #[cfg(test)]
@@ -186,11 +208,27 @@ mod tests {
 
     #[test]
     fn gap_matches_rate() {
-        assert_eq!(gap_for(10, 1.0), 0);
-        assert_eq!(gap_for(10, 0.1), 90);
-        assert_eq!(gap_for(10, 0.01), 990);
-        assert_eq!(gap_for(10, 0.001), 9990);
-        assert_eq!(gap_for(10, 0.05), 190);
+        // Rates whose ideal gap is an integer: exact, no carry builds up.
+        for (rate, gap) in [(1.0, 0), (0.1, 90), (0.01, 990), (0.001, 9990), (0.05, 190)] {
+            let mut acc = 0u64;
+            assert_eq!(gap_for(10, rate, &mut acc), gap, "rate {rate}");
+            assert_eq!(acc, 0, "rate {rate} left a remainder");
+        }
+    }
+
+    #[test]
+    fn fractional_gap_carries_across_bursts() {
+        // rate 0.3: ideal gap 10/0.3 − 10 = 23.333… — single-shot rounding
+        // gave a constant 23 (realized rate 10/33 ≈ 0.303). With carry,
+        // every third-ish gap is 24 and the average is exact.
+        let mut acc = 0u64;
+        let gaps: Vec<u64> = (0..300).map(|_| gap_for(10, 0.3, &mut acc)).collect();
+        assert!(gaps.iter().all(|&g| g == 23 || g == 24), "{gaps:?}");
+        assert!(gaps.contains(&24), "carry never spilled");
+        let total: u64 = gaps.iter().sum();
+        // 300 ideal gaps sum to 7000; carry keeps the realized sum within
+        // one execution of that.
+        assert!((total as i64 - 7000).unsigned_abs() <= 1, "total {total}");
     }
 
     #[test]
@@ -237,6 +275,17 @@ mod tests {
     }
 
     #[test]
+    fn fixed_rate_that_does_not_divide_burst_len_converges() {
+        // The motivating case: 0.3 drifted to ≈0.303 before the carry.
+        let sched = BackoffSchedule::fixed(0.3);
+        let mut st = BurstState::new();
+        let n = 1_000_000u64;
+        let sampled = (0..n).filter(|_| st.step(&sched)).count() as f64;
+        let esr = sampled / n as f64;
+        assert!((esr - 0.3).abs() < 0.001, "esr {esr} not near 0.3");
+    }
+
+    #[test]
     #[should_panic(expected = "outside (0, 1]")]
     fn zero_rate_is_rejected() {
         let _ = BackoffSchedule::new(vec![0.0]);
@@ -246,5 +295,33 @@ mod tests {
     #[should_panic(expected = "at least one rate")]
     fn empty_schedule_is_rejected() {
         let _ = BackoffSchedule::new(vec![]);
+    }
+
+    mod convergence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For arbitrary rates the long-run sampled fraction converges
+            /// to the schedule rate — the carry keeps non-divisor rates
+            /// (the old drift bug) exact on average.
+            #[test]
+            fn long_run_fraction_matches_arbitrary_rates(rate in 0.001f64..=1.0) {
+                let sched = BackoffSchedule::fixed(rate);
+                let mut st = BurstState::new();
+                // Cover at least 50 full sample+skip periods.
+                let period = (BURST_LEN as f64 / rate).ceil() as u64;
+                let n = (50 * period).max(500_000);
+                let sampled = (0..n).filter(|_| st.step(&sched)).count() as f64;
+                let esr = sampled / n as f64;
+                let tolerance = rate * 0.05 + 1e-4;
+                prop_assert!(
+                    (esr - rate).abs() < tolerance,
+                    "esr {esr} vs rate {rate} (n={n})"
+                );
+            }
+        }
     }
 }

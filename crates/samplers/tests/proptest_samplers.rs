@@ -46,23 +46,20 @@ proptest! {
         }
     }
 
-    /// A fixed-rate sampler's long-run fraction converges to its rate, up
-    /// to the quantization imposed by integer burst gaps: the achievable
-    /// rates are `B/(B+gap)` for integer `gap`, so compare against the
-    /// quantized value.
+    /// A fixed-rate sampler's long-run fraction converges to its exact
+    /// rate: the Q32 gap-remainder carry spreads the fractional part of
+    /// `B/r − B` across bursts, so the realized rate is no longer
+    /// quantized to `B/(B+round(gap))`.
     #[test]
     fn fixed_rate_converges(rate in 0.01f64..=1.0) {
-        let b = BURST_LEN as f64;
-        let gap = ((b / rate) - b).round().max(0.0);
-        let quantized = b / (b + gap);
         let schedule = BackoffSchedule::fixed(rate);
         let mut st = BurstState::new();
         let n = 200_000u64;
         let sampled = (0..n).filter(|_| st.step(&schedule)).count() as f64;
         let esr = sampled / n as f64;
         prop_assert!(
-            (esr - quantized).abs() < 0.01,
-            "esr {esr} for rate {rate} (quantized {quantized})"
+            (esr - rate).abs() < rate * 0.05 + 1e-3,
+            "esr {esr} for rate {rate}"
         );
     }
 

@@ -71,6 +71,22 @@ pub struct Metrics {
     pub log_errors_unsupported_version: Counter,
     /// Log-read failures: underlying I/O errors.
     pub log_errors_io: Counter,
+    /// Writes or finishes attempted on an already-finished log writer.
+    pub log_errors_writer_finished: Counter,
+    /// Decoder-thread panics contained into stream errors.
+    pub log_errors_decoder_panicked: Counter,
+    /// Salvage decodes started (`--salvage` openers).
+    pub log_salvage_runs: Counter,
+    /// Corrupt v2 blocks skipped by salvage decode.
+    pub log_salvage_blocks_skipped: Counter,
+    /// Records known dropped by salvage (from trusted block headers).
+    pub log_salvage_records_dropped: Counter,
+    /// Bytes discarded by salvage (skipped blocks + dropped suffixes).
+    pub log_salvage_bytes_dropped: Counter,
+    /// Transient-I/O read retries attempted by the retry wrapper.
+    pub log_retry_attempts: Counter,
+    /// Reads that failed even after exhausting the retry budget.
+    pub log_retry_exhausted: Counter,
     /// Blocks handed from the decode thread to the streaming channel.
     pub log_stream_blocks: Counter,
     /// Times the decode thread found the streaming channel full and had to
@@ -168,6 +184,14 @@ impl Metrics {
             log_errors_bad_magic: Counter::new(),
             log_errors_unsupported_version: Counter::new(),
             log_errors_io: Counter::new(),
+            log_errors_writer_finished: Counter::new(),
+            log_errors_decoder_panicked: Counter::new(),
+            log_salvage_runs: Counter::new(),
+            log_salvage_blocks_skipped: Counter::new(),
+            log_salvage_records_dropped: Counter::new(),
+            log_salvage_bytes_dropped: Counter::new(),
+            log_retry_attempts: Counter::new(),
+            log_retry_exhausted: Counter::new(),
             log_stream_blocks: Counter::new(),
             log_stream_stalls: Counter::new(),
             log_stream_queue: LevelGauges::new(),
@@ -198,7 +222,7 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 35] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 43] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
@@ -228,6 +252,23 @@ impl Metrics {
                 &self.log_errors_unsupported_version,
             ),
             ("log.errors.io", &self.log_errors_io),
+            (
+                "log.errors.writer_finished",
+                &self.log_errors_writer_finished,
+            ),
+            (
+                "log.errors.decoder_panicked",
+                &self.log_errors_decoder_panicked,
+            ),
+            ("log.salvage.runs", &self.log_salvage_runs),
+            ("log.salvage.blocks_skipped", &self.log_salvage_blocks_skipped),
+            (
+                "log.salvage.records_dropped",
+                &self.log_salvage_records_dropped,
+            ),
+            ("log.salvage.bytes_dropped", &self.log_salvage_bytes_dropped),
+            ("log.retry.attempts", &self.log_retry_attempts),
+            ("log.retry.exhausted", &self.log_retry_exhausted),
             ("log.stream.blocks", &self.log_stream_blocks),
             ("log.stream.stalls", &self.log_stream_stalls),
             ("detector.records.routed", &self.detector_records_routed),

@@ -230,6 +230,35 @@ fn epoch_counters_surface_only_under_telemetry() {
     assert!(on.gauges["detector.epoch.resident_shared"] >= 1, "{on:?}");
 }
 
+/// The salvage path is neutral too: salvaging a torn log and detecting on
+/// it produces byte-identical reports and salvage tallies whether
+/// telemetry records or not — and the `log.salvage.*` counters surface
+/// only while enabled.
+#[test]
+fn salvage_detection_is_neutral() {
+    use literace::log::read_log_salvage;
+
+    let _guard = serialized();
+    let w = build(WorkloadId::LfList, Scale::Smoke);
+    let (log, non_stack) = full_log(&w.program, 5);
+    let mut bytes = v2_bytes(&log);
+    bytes.truncate(bytes.len() * 2 / 3); // a torn log with work to salvage
+    let run = |on: bool| {
+        telemetry::metrics().reset();
+        let out = with_flag(on, || {
+            let (salvaged, report) = read_log_salvage(&bytes[..]);
+            (detect(&salvaged, non_stack), format!("{report}"))
+        });
+        (out, telemetry::metrics().snapshot())
+    };
+    let (off, off_snap) = run(false);
+    let (on, on_snap) = run(true);
+    assert_eq!(off.0, on.0, "salvage detection changed under telemetry");
+    assert_eq!(off.1, on.1, "salvage report changed under telemetry");
+    assert_eq!(off_snap.counters["log.salvage.runs"], 0);
+    assert!(on_snap.counters["log.salvage.runs"] >= 1, "{on_snap:?}");
+}
+
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (2u32..5, 2u32..5, 5u32..15, 3u32..7, any::<u64>()).prop_map(
         |(threads, globals, iterations, actions, seed)| SyntheticConfig {
