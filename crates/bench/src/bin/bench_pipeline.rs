@@ -6,28 +6,37 @@
 //! * **codec density** — encoded bytes and bytes/record for the v1
 //!   fixed-width format vs the v2 blocked varint-delta format, and the
 //!   resulting compression ratio;
-//! * **decode throughput** — MB/s materializing an [`EventLog`] from each
-//!   encoding (via the auto-detecting reader both times);
+//! * **decode throughput** — MB/s and records/s materializing an
+//!   [`EventLog`] from each encoding: v1 fixed-width, v2 rev-3
+//!   delta-varint (the pre-group-varint baseline), v2 rev-4 group-varint
+//!   single-threaded, and rev-4 through the out-of-order decode pool at
+//!   `--decode-threads` workers;
 //! * **end-to-end detection** — events/s for materialize-then-detect
-//!   (`read_log_auto` + `detect_sharded`) vs streaming ingest
-//!   (`RecordStream` + `detect_stream`, decode overlapping shard routing
-//!   and replay), both over the v2 encoding at 4 worker threads, with the
+//!   (`read_log_auto` + `detect_sharded`) vs streaming ingest (the decode
+//!   pool + `detect_stream`, decode overlapping shard routing and
+//!   replay), both over the v2 encoding at 4 worker threads, with the
 //!   reports asserted byte-identical.
 //!
 //! Numbers are best-of-`repeats` wall-clock. On a single-core host the
-//! streaming rows measure pipelining overhead rather than overlap gain —
-//! the `host_cpus` field records the context.
+//! streaming and pool rows measure pipelining overhead rather than
+//! overlap gain — the `host_cpus` field records the context.
+//!
+//! With `--check-decode-vs-v1` the run exits nonzero unless pooled v2
+//! decode sustains at least 0.9× the v1 *record* throughput on every
+//! measured workload (records/s, not MB/s: v2 is ~3× denser, so equal
+//! record throughput means ~3× fewer bytes read per record).
 //!
 //! Usage: `bench_pipeline [--scale smoke|paper] [--seeds N]
-//! [--workloads a,b,c] [--out PATH] [--repeats N] [--threads N]`
+//! [--workloads a,b,c] [--out PATH] [--repeats N] [--threads N]
+//! [--decode-threads N] [--check-decode-vs-v1]`
 
-use std::io::Cursor;
 use std::time::Instant;
 
 use literace::detector::{detect_sharded, detect_stream, DetectConfig, RaceReport};
 use literace::instrument::{InstrumentConfig, Instrumenter};
 use literace::log::{
-    encode_v2, log_to_bytes, read_log_auto, RecordStream, DEFAULT_STREAM_DEPTH,
+    encode_v2, encode_v2_rev, log_to_bytes, read_log_auto, DecodeOpts, RecordStream,
+    V2_REV_DELTA,
 };
 use literace::prelude::*;
 use literace::sim::{lower, ChunkedRandomScheduler, Machine, MachineConfig};
@@ -76,7 +85,12 @@ struct Row {
     v1_bytes: usize,
     v2_bytes: usize,
     v1_decode_mb_s: f64,
-    v2_decode_mb_s: f64,
+    v1_decode_rps: f64,
+    v2_delta_decode_mb_s: f64,
+    v2_gv_decode_mb_s: f64,
+    v2_gv_decode_rps: f64,
+    v2_pool_decode_mb_s: f64,
+    v2_pool_decode_rps: f64,
     materialized_eps: f64,
     streaming_eps: f64,
 }
@@ -93,6 +107,9 @@ fn main() {
     let mut scale = Scale::Smoke;
     let mut seeds = vec![1u64];
     let mut threads = 4usize;
+    let mut decode_threads =
+        std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let mut check_decode = false;
     let mut workloads: Option<Vec<WorkloadId>> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -117,6 +134,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--threads expects a number");
             }
+            "--decode-threads" => {
+                i += 1;
+                decode_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--decode-threads expects a number");
+            }
+            "--check-decode-vs-v1" => check_decode = true,
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(String::as_str) {
@@ -174,6 +199,7 @@ fn main() {
         let records = log.len();
         let v1: Vec<u8> = log_to_bytes(&log).to_vec();
         let v2: Vec<u8> = encode_v2(&log).to_vec();
+        let v2_delta: Vec<u8> = encode_v2_rev(&log, V2_REV_DELTA).to_vec();
 
         eprintln!(
             "[bench_pipeline] {id}: {records} records, v1 {} B, v2 {} B…",
@@ -185,9 +211,28 @@ fn main() {
             let decoded = read_log_auto(&v1[..]).expect("v1 decodes");
             assert_eq!(decoded.len(), records);
         });
+        let v2_delta_secs = time_best(repeats, || {
+            let decoded = read_log_auto(&v2_delta[..]).expect("rev-3 decodes");
+            assert_eq!(decoded.len(), records);
+        });
         let v2_secs = time_best(repeats, || {
             let decoded = read_log_auto(&v2[..]).expect("v2 decodes");
             assert_eq!(decoded.len(), records);
+        });
+        // The out-of-order pool, scanning a shared buffer exactly the way
+        // `literace detect --decode-threads N` does after `map_or_read`.
+        let pool_bytes = literace::log::Bytes::from(v2.clone());
+        let pool_secs = time_best(repeats, || {
+            let stream = RecordStream::spawn_bytes(
+                pool_bytes.clone(),
+                DecodeOpts::with_threads(decode_threads),
+            )
+            .expect("pool spawns");
+            let mut n = 0usize;
+            for block in stream {
+                n += block.expect("v2 decodes").len();
+            }
+            assert_eq!(n, records);
         });
 
         let cfg = DetectConfig::with_threads(threads);
@@ -200,8 +245,11 @@ fn main() {
 
         let mut stream_report: Option<RaceReport> = None;
         let stream_secs = time_best(repeats, || {
-            let stream = RecordStream::spawn(Cursor::new(v2.clone()), DEFAULT_STREAM_DEPTH)
-                .expect("stream opens");
+            let stream = RecordStream::spawn_bytes(
+                pool_bytes.clone(),
+                DecodeOpts::with_threads(decode_threads),
+            )
+            .expect("pool spawns");
             stream_report = Some(
                 detect_stream(stream, non_stack, &cfg).expect("stream detects"),
             );
@@ -218,7 +266,12 @@ fn main() {
             v1_bytes: v1.len(),
             v2_bytes: v2.len(),
             v1_decode_mb_s: per_sec(v1.len() as f64 / 1e6, v1_secs),
-            v2_decode_mb_s: per_sec(v2.len() as f64 / 1e6, v2_secs),
+            v1_decode_rps: per_sec(records as f64, v1_secs),
+            v2_delta_decode_mb_s: per_sec(v2_delta.len() as f64 / 1e6, v2_delta_secs),
+            v2_gv_decode_mb_s: per_sec(v2.len() as f64 / 1e6, v2_secs),
+            v2_gv_decode_rps: per_sec(records as f64, v2_secs),
+            v2_pool_decode_mb_s: per_sec(v2.len() as f64 / 1e6, pool_secs),
+            v2_pool_decode_rps: per_sec(records as f64, pool_secs),
             materialized_eps: per_sec(records as f64, mat_secs),
             streaming_eps: per_sec(records as f64, stream_secs),
         });
@@ -232,18 +285,24 @@ fn main() {
     json.push_str(&format!("  \"seeds\": {},\n", seeds.len()));
     json.push_str(&format!("  \"repeats\": {repeats},\n"));
     json.push_str(&format!("  \"detect_threads\": {threads},\n"));
+    json.push_str(&format!("  \"v2_decode_threads\": {decode_threads},\n"));
     json.push_str(&format!(
         "  \"host_cpus\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     json.push_str(
         "  \"notes\": \"identical full logs per workload; best of N runs. \
-         Codec rows compare the fixed-width v1 encoding against blocked \
-         varint-delta v2. End-to-end rows feed the v2 encoding to the hb \
-         detector: 'materialized' decodes the whole log then runs \
-         detect_sharded; 'streaming' overlaps decode, shard routing and \
-         replay via detect_stream (byte-identical reports, asserted during \
-         the run). On a 1-CPU host streaming speedup is not expected.\",\n",
+         Codec rows compare the fixed-width v1 encoding against blocked v2 \
+         (rev 3 delta-varint is the pre-group-varint baseline, rev 4 \
+         group-varint is what the writer emits). Decode rows materialize \
+         an EventLog: v1/delta/gv via the sequential auto reader, pool via \
+         the out-of-order worker pool at v2_decode_threads. End-to-end \
+         rows feed the v2 encoding to the hb detector: 'materialized' \
+         decodes the whole log then runs detect_sharded; 'streaming' \
+         overlaps the decode pool, shard routing and replay via \
+         detect_stream (byte-identical reports, asserted during the run). \
+         On a 1-CPU host neither the pool nor streaming is expected to \
+         beat sequential decode.\",\n",
     );
     json.push_str("  \"workloads\": [\n");
     for (wi, row) in rows.iter().enumerate() {
@@ -269,8 +328,28 @@ fn main() {
             json_f64(row.v1_decode_mb_s)
         ));
         json.push_str(&format!(
-            "      \"v2_decode_mb_per_sec\": {},\n",
-            json_f64(row.v2_decode_mb_s)
+            "      \"v1_decode_records_per_sec\": {},\n",
+            json_f64(row.v1_decode_rps)
+        ));
+        json.push_str(&format!(
+            "      \"v2_delta_decode_mb_per_sec\": {},\n",
+            json_f64(row.v2_delta_decode_mb_s)
+        ));
+        json.push_str(&format!(
+            "      \"v2_gv_decode_mb_per_sec\": {},\n",
+            json_f64(row.v2_gv_decode_mb_s)
+        ));
+        json.push_str(&format!(
+            "      \"v2_gv_decode_records_per_sec\": {},\n",
+            json_f64(row.v2_gv_decode_rps)
+        ));
+        json.push_str(&format!(
+            "      \"v2_pool_decode_mb_per_sec\": {},\n",
+            json_f64(row.v2_pool_decode_mb_s)
+        ));
+        json.push_str(&format!(
+            "      \"v2_pool_decode_records_per_sec\": {},\n",
+            json_f64(row.v2_pool_decode_rps)
         ));
         json.push_str(&format!(
             "      \"materialized_events_per_sec\": {},\n",
@@ -296,16 +375,43 @@ fn main() {
     eprintln!("[bench_pipeline] wrote {out_path}");
     for row in &rows {
         println!(
-            "{:<16} v1 {:>9} B  v2 {:>9} B ({:.2}x)   decode v1 {:>7.1} MB/s  v2 {:>7.1} MB/s   e2e mat {:>11.0} ev/s  stream {:>11.0} ev/s ({:.2}x)",
+            "{:<16} v1 {:>9} B  v2 {:>9} B ({:.2}x)   decode v1 {:>7.1} MB/s  delta {:>6.1}  gv {:>6.1}  pool×{decode_threads} {:>6.1} MB/s   e2e mat {:>11.0} ev/s  stream {:>11.0} ev/s ({:.2}x)",
             row.name,
             row.v1_bytes,
             row.v2_bytes,
             row.compression(),
             row.v1_decode_mb_s,
-            row.v2_decode_mb_s,
+            row.v2_delta_decode_mb_s,
+            row.v2_gv_decode_mb_s,
+            row.v2_pool_decode_mb_s,
             row.materialized_eps,
             row.streaming_eps,
             row.streaming_eps / row.materialized_eps,
         );
+    }
+
+    if check_decode {
+        // CI gate: pooled v2 decode must sustain ≥ 0.9× the v1 record
+        // throughput. Records/s, not MB/s — v2 reads ~3× fewer bytes for
+        // the same records, so equal record rates at 0.3× the bytes is
+        // already a clear win for the dense format.
+        let mut failed = false;
+        for row in &rows {
+            let ratio = row.v2_pool_decode_rps / row.v1_decode_rps;
+            let verdict = if ratio >= 0.9 { "ok" } else { "FAIL" };
+            eprintln!(
+                "[bench_pipeline] check {}: pool {:.0} rec/s vs v1 {:.0} rec/s ({ratio:.2}x) {verdict}",
+                row.name, row.v2_pool_decode_rps, row.v1_decode_rps,
+            );
+            failed |= ratio < 0.9;
+        }
+        if failed {
+            eprintln!(
+                "[bench_pipeline] --check-decode-vs-v1 FAILED: parallel v2 \
+                 decode fell below 0.9x v1 record throughput"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[bench_pipeline] --check-decode-vs-v1 passed");
     }
 }

@@ -7,8 +7,8 @@ use literace::detector::{detect_fasttrack, detect_lockset, detect_stream};
 use literace::eval::{evaluate_program, EvalConfig};
 use literace::instrument::{V1Sink, V2Sink};
 use literace::log::{
-    read_log_auto, read_log_salvage, AtomicFile, LogFormat, LogStats, LogWriter, LogWriterV2,
-    RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH,
+    auto_stream_depth, map_or_read, read_log_auto, read_log_salvage, AtomicFile, DecodeOpts,
+    LogFormat, LogStats, LogWriter, LogWriterV2, RecordBlocks, RecordStream,
 };
 use literace::overhead::measure_overhead;
 use literace::prelude::*;
@@ -28,16 +28,19 @@ USAGE:
 
   literace run --workload <name> [--sampler tl-ad] [--seed 1]
                [--scale smoke|paper] [--log <file>] [--format v1|v2]
-               [--streaming] [--threads N] [--suppress pat1,pat2]
+               [--streaming] [--threads N] [--decode-threads N|auto]
+               [--stream-depth N] [--suppress pat1,pat2]
                [--metrics-out <file>] [--progress]
       Instrument, execute, and detect. Optionally write the event log
       (compact v2 blocks by default; --format v1 for the legacy
       fixed-width format) and suppress races in functions matching the
       given name patterns. With --streaming and --log, records stream to
       disk as the program runs (the log is never materialized in memory)
-      and detection streams the file back; --streaming alone feeds the
-      in-memory log to the detector block by block. --metrics-out writes
-      a JSON telemetry snapshot; --progress prints a heartbeat to stderr.
+      and detection streams the file back through the decode pool
+      (--decode-threads / --stream-depth as under `detect`); --streaming
+      alone feeds the in-memory log to the detector block by block.
+      --metrics-out writes a JSON telemetry snapshot; --progress prints
+      a heartbeat to stderr.
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
       Compare all Table 3 samplers on identical interleavings (§5.3).
@@ -46,13 +49,19 @@ USAGE:
       Print the workload's Table 5 row and Figure 6 decomposition.
 
   literace detect --log <file> [--detector hb|fasttrack|lockset]
-                  [--non-stack <count>] [--threads N] [--streaming]
+                  [--non-stack <count>] [--threads N] [--no-streaming]
+                  [--decode-threads N|auto] [--stream-depth N]
                   [--salvage] [--metrics-out <file>] [--progress]
       Run offline detection over a previously written event log (v1 or
       v2; the format is auto-detected). With --threads N ≥ 2, the hb
       detector shards accesses across N workers (byte-identical output).
-      With --streaming, decoded blocks flow straight from a decoder
-      thread into the hb workers and the log is never materialized.
+      The hb detector streams by default: decoded blocks flow straight
+      from the decode pool into the workers and the log is never
+      materialized (--no-streaming opts out; other detectors always
+      materialize). --decode-threads sizes the block-decode pool (auto:
+      one worker per core; ≥ 2 decodes v2 blocks out of order and
+      reassembles in sequence, byte-identical output) and --stream-depth
+      overrides the auto-sized decoder→detector channel depth.
       With --salvage, a torn or corrupted log is decoded best-effort:
       corrupt blocks are skipped where provably safe (no sync records
       lost), the rest is dropped, and the damage tally is printed — a
@@ -68,11 +77,13 @@ USAGE:
       Prometheus text; --validate fails unless the snapshot carries
       every required pipeline metric.
 
-  literace log-stats --log <file> [--salvage] [--metrics-out <file>]
+  literace log-stats --log <file> [--salvage] [--decode-threads N|auto]
+                     [--stream-depth N] [--metrics-out <file>]
       Print log composition, per-thread breakdown, encoded size and
       whether the log was cleanly finalized (either format). With
       --salvage, read a damaged log best-effort and include the salvage
-      summary.
+      summary. --decode-threads ≥ 2 reads v2 logs through the parallel
+      decode pool (identical output, including the salvage summary).
 
   literace inspect --workload <name> [--function <substring>]
       Show a workload's structure; with --function, disassemble matching
@@ -121,6 +132,58 @@ fn parse_format(flags: &crate::args::Flags) -> Result<LogFormat, String> {
         Some(name) => LogFormat::from_name(name)
             .ok_or_else(|| format!("--format expects v1|v2, got `{name}`")),
     }
+}
+
+/// Parses `--decode-threads` (default `auto`: one worker per available
+/// core) and `--stream-depth` (default: auto-sized from the decode and
+/// detect thread counts) into the [`DecodeOpts`] handed to the log
+/// readers. With 2+ decode threads, v2 block payloads decode on a
+/// parallel out-of-order worker pool; delivery order and every report
+/// stay byte-identical to the sequential decoder.
+fn parse_decode_opts(
+    flags: &crate::args::Flags,
+    detect_threads: usize,
+) -> Result<DecodeOpts, String> {
+    let opts = match flags.get("decode-threads") {
+        None | Some("auto") => DecodeOpts::auto(),
+        Some(v) => {
+            let threads: usize = v
+                .parse()
+                .map_err(|_| format!("flag --decode-threads: cannot parse `{v}`"))?;
+            if threads == 0 {
+                return Err("--decode-threads must be at least 1 (or `auto`)".into());
+            }
+            DecodeOpts::with_threads(threads)
+        }
+    };
+    let opts = opts.depth(auto_stream_depth(opts.threads, detect_threads));
+    match flags.get("stream-depth") {
+        None => Ok(opts),
+        Some(v) => {
+            let depth: usize = v
+                .parse()
+                .map_err(|_| format!("flag --stream-depth: cannot parse `{v}`"))?;
+            if depth == 0 {
+                return Err("--stream-depth must be at least 1".into());
+            }
+            Ok(opts.depth(depth))
+        }
+    }
+}
+
+/// Opens `path` as a strict [`RecordStream`] with `opts`: memory-mapped
+/// (or read whole) for zero-copy payload handoff when the parallel pool
+/// is active, plain file streaming otherwise.
+fn spawn_log_stream(path: &str, opts: DecodeOpts) -> Result<RecordStream, String> {
+    let stream = if opts.threads > 1 {
+        let bytes = map_or_read(path).map_err(|e| format!("read {path}: {e}"))?;
+        RecordStream::spawn_bytes(bytes, opts)
+    } else {
+        let file = File::open(path)
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        RecordStream::spawn_with(file, opts)
+    };
+    stream.map_err(|e| format!("read {path}: {e}"))
 }
 
 /// Writes a materialized log to `path` in the requested format, returning
@@ -205,6 +268,7 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
         return Err("--threads must be at least 1".into());
     }
     let streaming = flags.is_set("streaming");
+    let decode_opts = parse_decode_opts(&flags, threads)?;
     let format = parse_format(&flags)?;
     let sampler = match flags.get("sampler") {
         None => SamplerKind::TlAdaptive,
@@ -244,9 +308,7 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
                     (summary, out.stats, out.overhead, written)
                 }
             };
-            let file = File::open(path).map_err(CliError::io("cannot reopen", path))?;
-            let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
-                .map_err(|e| format!("read {path}: {e}"))?;
+            let blocks = spawn_log_stream(path, decode_opts)?;
             let report = detect_stream(blocks, summary.non_stack_accesses, &cfg.detect_config())
                 .map_err(|e| format!("read {path}: {e}"))?;
             let note = format!("wrote {written} records to {path} ({format} format, streamed)");
@@ -428,7 +490,7 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
 
     let flags = crate::args::Flags::parse_with_switches(
         args,
-        &["streaming", "progress", "salvage"],
+        &["streaming", "no-streaming", "progress", "salvage"],
     )?;
     let path = flags.require("log")?;
     let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
@@ -436,7 +498,19 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    let streaming = flags.is_set("streaming");
+    let decode_opts = parse_decode_opts(&flags, threads)?;
+    // Streaming decode→detect is the default for the hb detector — it is
+    // at least as fast as materializing and bounds memory. --no-streaming
+    // restores the materialized path; other detectors need it anyway.
+    let hb_detector = matches!(flags.get("detector"), None | Some("hb"));
+    if flags.is_set("streaming") && flags.is_set("no-streaming") {
+        return Err("--streaming conflicts with --no-streaming".into());
+    }
+    let streaming = if flags.is_set("no-streaming") {
+        false
+    } else {
+        flags.is_set("streaming") || hb_detector
+    };
     let salvage = flags.is_set("salvage");
     let telemetry = Telemetry::from_flags(&flags);
     let file = File::open(path).map_err(CliError::io("cannot open", path))?;
@@ -468,11 +542,12 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
                 .into())
             }
         }
-        // Decoded blocks flow from the decoder thread straight into the
+        // Decoded blocks flow from the decode pool straight into the
         // sharded workers; the log is never materialized.
         if salvage {
-            let (blocks, handle) = RecordStream::spawn_salvage(file, DEFAULT_STREAM_DEPTH)
-                .map_err(|e| format!("read {path}: {e}"))?;
+            let (blocks, handle) =
+                RecordStream::spawn_salvage_with(file, decode_opts)
+                    .map_err(|e| format!("read {path}: {e}"))?;
             let format = blocks.format();
             let report =
                 detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
@@ -483,8 +558,8 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
                 Some(handle.report()),
             )
         } else {
-            let blocks = RecordStream::spawn(file, DEFAULT_STREAM_DEPTH)
-                .map_err(|e| format!("read {path}: {e}"))?;
+            drop(file);
+            let blocks = spawn_log_stream(path, decode_opts)?;
             let format = blocks.format();
             let report =
                 detect_stream(blocks, non_stack, &DetectConfig::with_threads(threads))
@@ -656,17 +731,44 @@ pub fn log_stats(args: &[String]) -> ExitCode {
 fn log_stats_inner(args: &[String]) -> Result<(), CliError> {
     let flags = crate::args::Flags::parse_with_switches(args, &["salvage"])?;
     let path = flags.require("log")?;
+    let decode_opts = parse_decode_opts(&flags, 0)?;
     let telemetry = Telemetry::from_flags(&flags);
     let on_disk = std::fs::metadata(path)
         .map_err(CliError::io("cannot open", path))?
         .len();
     let file = File::open(path).map_err(CliError::io("cannot open", path))?;
     let (format, seal, log, salvage_note) = if flags.is_set("salvage") {
-        let (log, sreport) = read_log_salvage(file);
-        let format = sreport
-            .format
-            .map_or_else(|| "unknown".to_owned(), |f| f.to_string());
-        (format, sreport.seal, log, Some(sreport.to_string()))
+        if decode_opts.threads > 1 {
+            // Same pool as detect --salvage: the in-order consumer applies
+            // the sequential salvage rules, so the report is identical.
+            let (blocks, handle) =
+                RecordStream::spawn_salvage_with(file, decode_opts)
+                    .map_err(|e| format!("read {path}: {e}"))?;
+            let mut log = EventLog::new();
+            for block in blocks {
+                log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
+            }
+            let sreport = handle.report();
+            let format = sreport
+                .format
+                .map_or_else(|| "unknown".to_owned(), |f| f.to_string());
+            (format, sreport.seal, log, Some(sreport.to_string()))
+        } else {
+            let (log, sreport) = read_log_salvage(file);
+            let format = sreport
+                .format
+                .map_or_else(|| "unknown".to_owned(), |f| f.to_string());
+            (format, sreport.seal, log, Some(sreport.to_string()))
+        }
+    } else if decode_opts.threads > 1 {
+        drop(file);
+        let mut blocks = spawn_log_stream(path, decode_opts)?;
+        let format = blocks.format();
+        let mut log = EventLog::new();
+        for block in blocks.by_ref() {
+            log.extend(block.map_err(|e| format!("read {path}: {e}"))?);
+        }
+        (format.to_string(), blocks.seal_state(), log, None)
     } else {
         let mut blocks =
             RecordBlocks::open(file).map_err(|e| format!("read {path}: {e}"))?;
@@ -1002,6 +1104,63 @@ mod tests {
             !dir.join("literace_cli_salvage_clean.lrlog.partial").exists(),
             "temp file must be renamed away on commit"
         );
+        let _ = std::fs::remove_file(&clean);
+        let _ = std::fs::remove_file(&torn);
+    }
+
+    #[test]
+    fn decode_pool_flags_cover_every_reader() {
+        // --decode-threads ≥ 2 routes detect, log-stats, and salvage
+        // through the parallel pool; --no-streaming forces the
+        // materialized path; conflicting or malformed flags fail.
+        let dir = std::env::temp_dir();
+        let clean = dir.join("literace_cli_pool_clean.lrlog");
+        let torn = dir.join("literace_cli_pool_torn.lrlog");
+        let clean_s = clean.to_str().unwrap().to_string();
+        let torn_s = torn.to_str().unwrap().to_string();
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        let run_args = sv(&["--workload", "lflist", "--seed", "2", "--log", &clean_s]);
+        assert_eq!(run(&run_args), std::process::ExitCode::SUCCESS);
+        let bytes = std::fs::read(&clean).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        for extra in [
+            &["--decode-threads", "2"][..],
+            &["--decode-threads", "4", "--stream-depth", "3"][..],
+            &["--decode-threads", "auto"][..],
+            &["--no-streaming"][..],
+        ] {
+            let mut args = sv(&["--log", &clean_s]);
+            args.extend(sv(extra));
+            assert_eq!(detect(&args), std::process::ExitCode::SUCCESS, "{extra:?}");
+        }
+        assert_eq!(
+            log_stats(&sv(&["--log", &clean_s, "--decode-threads", "2"])),
+            std::process::ExitCode::SUCCESS
+        );
+        assert_eq!(
+            log_stats(&sv(&["--log", &torn_s, "--salvage", "--decode-threads", "2"])),
+            std::process::ExitCode::SUCCESS
+        );
+        assert_eq!(
+            detect(&sv(&["--log", &torn_s, "--salvage", "--decode-threads", "2"])),
+            std::process::ExitCode::SUCCESS
+        );
+        // A torn log still fails strict decode through the pool.
+        assert_eq!(
+            detect(&sv(&["--log", &torn_s, "--decode-threads", "2"])),
+            std::process::ExitCode::FAILURE
+        );
+        for bad in [
+            &["--log", &clean_s, "--streaming", "--no-streaming"][..],
+            &["--log", &clean_s, "--decode-threads", "0"][..],
+            &["--log", &clean_s, "--decode-threads", "many"][..],
+            &["--log", &clean_s, "--stream-depth", "0"][..],
+        ] {
+            assert_eq!(detect(&sv(bad)), std::process::ExitCode::FAILURE, "{bad:?}");
+        }
         let _ = std::fs::remove_file(&clean);
         let _ = std::fs::remove_file(&torn);
     }

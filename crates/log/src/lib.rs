@@ -34,7 +34,10 @@ mod codec;
 mod dir;
 mod error;
 pub mod fault;
+pub mod gv;
 mod io;
+pub mod mmap;
+mod parallel;
 mod record;
 pub mod retry;
 pub mod salvage;
@@ -55,16 +58,19 @@ pub use fault::{FaultPlan, FaultyReader, FaultySink, SplitMix64};
 pub use io::{
     log_from_bytes, log_to_bytes, ChunkedRecords, LogReader, LogWriter, DEFAULT_CHUNK_BYTES,
 };
+pub use bytes::Bytes;
+pub use mmap::{map_or_read, mmap_supported};
 pub use record::{EventLog, Record, SamplerMask};
 pub use retry::{RetryPolicy, RetryReader};
 pub use salvage::{open_salvage, read_log_salvage, SalvageBlocks, SalvageHandle, SalvageReport};
 pub use stats::{LogStats, ThreadLogStats};
 pub use stream::{
-    read_log_auto, LogFormat, RecordBlocks, RecordStream, DEFAULT_STREAM_DEPTH, V1_BLOCK_RECORDS,
+    auto_stream_depth, read_log_auto, DecodeOpts, LogFormat, RecordBlocks, RecordStream,
+    DEFAULT_STREAM_DEPTH, MAX_STREAM_DEPTH, V1_BLOCK_RECORDS,
 };
 pub use v2::{
-    decode_block, encode_block, encode_v2, LogWriterV2, SealState, V2Blocks, DEFAULT_BLOCK_BYTES,
-    V2_MAGIC, V2_VERSION,
+    decode_block, encode_block, encode_block_rev, encode_v2, encode_v2_rev, LogWriterV2,
+    SealState, V2Blocks, DEFAULT_BLOCK_BYTES, V2_MAGIC, V2_REV_DELTA, V2_REV_GV, V2_VERSION,
 };
 pub use varint::{
     get_delta, get_delta_slice, get_varint, get_varint_slice, put_delta, put_varint, unzigzag,

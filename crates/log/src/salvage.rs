@@ -82,7 +82,7 @@ impl SalvageReport {
             && !self.sync_tainted
     }
 
-    fn note_error(&mut self, message: impl Into<String>) {
+    pub(crate) fn note_error(&mut self, message: impl Into<String>) {
         if self.first_error.is_none() {
             self.first_error = Some(message.into());
         }
@@ -133,6 +133,12 @@ impl std::fmt::Display for SalvageReport {
 pub struct SalvageHandle(Arc<Mutex<SalvageReport>>);
 
 impl SalvageHandle {
+    /// Wraps an externally shared report (the parallel decode pool fills
+    /// one in from its in-order consumer).
+    pub(crate) fn from_shared(report: Arc<Mutex<SalvageReport>>) -> SalvageHandle {
+        SalvageHandle(report)
+    }
+
     /// A snapshot of the report so far.
     pub fn report(&self) -> SalvageReport {
         self.0.lock().expect("salvage report poisoned").clone()
@@ -145,6 +151,7 @@ struct V2Salvage<R> {
     state: BlockState,
     file_sum: Checksum,
     records_seen: u64,
+    rev: u8,
     done: bool,
 }
 
@@ -188,18 +195,19 @@ pub fn open_salvage<R: Read>(mut source: R) -> (SalvageBlocks<R>, SalvageHandle)
     }
     let report = Arc::new(Mutex::new(SalvageReport::default()));
     let (inner, format) = match sniff_format(&mut source) {
-        Ok((LogFormat::V2, _)) => (
+        Ok((LogFormat::V2, _, rev)) => (
             Inner::V2(V2Salvage {
                 source,
                 payload: Vec::new(),
                 state: BlockState::default(),
                 file_sum: Checksum::new(),
                 records_seen: 0,
+                rev,
                 done: false,
             }),
             LogFormat::V2,
         ),
-        Ok((LogFormat::V1, replay)) => (
+        Ok((LogFormat::V1, replay, _)) => (
             Inner::V1 {
                 records: LogReader::new(std::io::Cursor::new(replay).chain(source))
                     .records(DEFAULT_CHUNK_BYTES),
@@ -249,7 +257,7 @@ impl<R: Read> SalvageBlocks<R> {
 
 /// Consumes the rest of `source`, counting bytes; I/O errors just end the
 /// count (there is nothing downstream to salvage from them).
-fn drain_bytes(source: &mut impl Read) -> u64 {
+pub(crate) fn drain_bytes(source: &mut impl Read) -> u64 {
     let mut buf = [0u8; 8192];
     let mut total = 0u64;
     loop {
@@ -262,7 +270,7 @@ fn drain_bytes(source: &mut impl Read) -> u64 {
     }
 }
 
-fn tally_skip(blocks: u64, records: u64, bytes: u64) {
+pub(crate) fn tally_skip(blocks: u64, records: u64, bytes: u64) {
     if literace_telemetry::enabled() {
         let m = literace_telemetry::metrics();
         m.log_salvage_blocks_skipped.add(blocks);
@@ -399,7 +407,12 @@ impl<R: Read> V2Salvage<R> {
                     let payload_ok =
                         crate::checksum::checksum(&self.payload) == head.payload_sum;
                     let decoded = if payload_ok {
-                        decode_block_with(&mut self.state, &self.payload, head.record_count)
+                        decode_block_with(
+                            &mut self.state,
+                            &self.payload,
+                            head.record_count,
+                            self.rev,
+                        )
                     } else {
                         Err(LogError::corrupt("block payload checksum mismatch"))
                     };

@@ -30,6 +30,76 @@ pub const V1_BLOCK_RECORDS: usize = 4096;
 /// decoder busy, small enough that in-flight decoded records stay bounded.
 pub const DEFAULT_STREAM_DEPTH: usize = 8;
 
+/// Upper bound on auto-sized stream depth: beyond this, extra queue slots
+/// only add memory (decoded blocks are ~32 KiB of records each), never
+/// throughput.
+pub const MAX_STREAM_DEPTH: usize = 64;
+
+/// Sizes the decode→detect channel from the pipeline's thread counts.
+///
+/// The fixed [`DEFAULT_STREAM_DEPTH`] stalls decoders at high shard
+/// counts (visible as `detector.stream.stalls`): with many consumers a
+/// burst of routing work can drain or fill an 8-slot queue faster than
+/// one side can react. Two slots per active thread keeps both sides busy
+/// across a scheduling hiccup, clamped to
+/// [`DEFAULT_STREAM_DEPTH`]`..=`[`MAX_STREAM_DEPTH`].
+pub fn auto_stream_depth(decode_threads: usize, detect_threads: usize) -> usize {
+    (2 * (decode_threads + detect_threads)).clamp(DEFAULT_STREAM_DEPTH, MAX_STREAM_DEPTH)
+}
+
+/// Tuning for a [`RecordStream`]: how many decode workers to run and how
+/// deep the bounded handoff channels are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOpts {
+    /// Decode worker threads. `1` keeps the single-decoder-thread layout;
+    /// `2+` enables the parallel out-of-order block pool for v2 logs (v1
+    /// logs always decode sequentially — the fixed-width stream has no
+    /// block framing to parallelize over).
+    pub threads: usize,
+    /// Bound, in blocks, of each handoff channel.
+    pub depth: usize,
+}
+
+impl DecodeOpts {
+    /// One decoder thread, default depth — the classic streaming layout.
+    pub fn sequential() -> DecodeOpts {
+        DecodeOpts {
+            threads: 1,
+            depth: DEFAULT_STREAM_DEPTH,
+        }
+    }
+
+    /// `threads` decode workers with an [`auto_stream_depth`]-sized
+    /// channel (no detect threads assumed; callers that know their detect
+    /// fan-out should override with [`depth`](DecodeOpts::depth)).
+    pub fn with_threads(threads: usize) -> DecodeOpts {
+        let threads = threads.max(1);
+        DecodeOpts {
+            threads,
+            depth: auto_stream_depth(threads, 0),
+        }
+    }
+
+    /// Sizes the pool to the host's available parallelism.
+    pub fn auto() -> DecodeOpts {
+        DecodeOpts::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Overrides the channel depth (clamped to at least 1).
+    pub fn depth(self, depth: usize) -> DecodeOpts {
+        DecodeOpts {
+            depth: depth.max(1),
+            ..self
+        }
+    }
+}
+
+impl Default for DecodeOpts {
+    fn default() -> DecodeOpts {
+        DecodeOpts::sequential()
+    }
+}
+
 /// On-disk log format revision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LogFormat {
@@ -75,7 +145,7 @@ impl std::fmt::Display for LogFormat {
 /// unknown version byte and [`LogError::Io`] on read failure. A stream
 /// that merely *starts like* the magic but diverges is treated as v1 and
 /// left for the v1 decoder to judge.
-pub(crate) fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>)> {
+pub(crate) fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<u8>, u8)> {
     let mut head = [0u8; 5];
     let mut filled = 0;
     while filled < head.len() {
@@ -89,21 +159,21 @@ pub(crate) fn sniff_format(source: &mut impl Read) -> LogResult<(LogFormat, Vec<
     let head = &head[..filled];
     if filled == 0 {
         // Empty input: a valid empty v1 log by definition.
-        return Ok((LogFormat::V1, Vec::new()));
+        return Ok((LogFormat::V1, Vec::new(), 0));
     }
     if filled >= 4 && head[..4] == V2_MAGIC {
         if filled < 5 {
             return Err(LogError::corrupt("v2 header truncated before version byte"));
         }
-        if head[4] != V2_VERSION {
+        if !crate::v2::rev_supported(head[4]) {
             return Err(LogError::UnsupportedVersion {
                 found: head[4],
                 supported: V2_VERSION,
             });
         }
-        Ok((LogFormat::V2, Vec::new()))
+        Ok((LogFormat::V2, Vec::new(), head[4]))
     } else {
-        Ok((LogFormat::V1, head.to_vec()))
+        Ok((LogFormat::V1, head.to_vec(), 0))
     }
 }
 
@@ -143,7 +213,7 @@ impl<R: Read> RecordBlocks<R> {
     /// Returns [`LogError::UnsupportedVersion`] for an unreadable v2
     /// version and [`LogError::Io`] on read failure.
     pub fn open(mut source: R) -> LogResult<RecordBlocks<R>> {
-        let (format, replay) =
+        let (format, replay, rev) =
             sniff_format(&mut source).inspect_err(crate::error::count_error)?;
         Ok(match format {
             LogFormat::V1 => RecordBlocks {
@@ -157,7 +227,7 @@ impl<R: Read> RecordBlocks<R> {
                 format,
             },
             LogFormat::V2 => RecordBlocks {
-                inner: Blocks::V2(V2Blocks::after_header(source)),
+                inner: Blocks::V2(V2Blocks::after_header(source, rev)),
                 format,
             },
         })
@@ -249,9 +319,39 @@ pub struct RecordStream {
     receiver: Option<Receiver<LogResult<Vec<Record>>>>,
     handle: Option<std::thread::JoinHandle<()>>,
     format: LogFormat,
+    /// Footer state shared with the parallel pool's consumer (`None` on
+    /// the single-decoder paths, which report [`SealState::Unknown`]).
+    seal: Option<std::sync::Arc<std::sync::Mutex<crate::v2::SealState>>>,
 }
 
 impl RecordStream {
+    /// Assembles a stream from a consuming channel end and the thread that
+    /// feeds it (the parallel decode pool's in-order consumer).
+    pub(crate) fn from_parts(
+        receiver: Receiver<LogResult<Vec<Record>>>,
+        handle: std::thread::JoinHandle<()>,
+        format: LogFormat,
+        seal: Option<std::sync::Arc<std::sync::Mutex<crate::v2::SealState>>>,
+    ) -> RecordStream {
+        RecordStream {
+            receiver: Some(receiver),
+            handle: Some(handle),
+            format,
+            seal,
+        }
+    }
+
+    /// Footer state of a v2 stream decoded by the parallel pool:
+    /// meaningful once the stream is exhausted,
+    /// [`SealState::Unknown`](crate::v2::SealState::Unknown) before that
+    /// and on the single-decoder paths.
+    pub fn seal_state(&self) -> crate::v2::SealState {
+        match &self.seal {
+            Some(seal) => *seal.lock().expect("seal state poisoned"),
+            None => crate::v2::SealState::Unknown,
+        }
+    }
+
     /// Spawns a decoder thread over `source` and returns the consuming
     /// end. `depth` bounds the channel in blocks
     /// ([`DEFAULT_STREAM_DEPTH`] is a good default).
@@ -296,10 +396,124 @@ impl RecordStream {
         Ok((stream, salvage))
     }
 
+    /// Like [`spawn`](RecordStream::spawn) with explicit [`DecodeOpts`]:
+    /// `threads >= 2` decodes v2 blocks on a parallel worker pool (frame
+    /// scan stays sequential, payloads decode out of order, blocks are
+    /// delivered strictly in order). v1 logs and `threads <= 1` take the
+    /// single-decoder-thread path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`spawn`](RecordStream::spawn): header errors surface
+    /// here, decode errors surface as stream items.
+    pub fn spawn_with<R: Read + Send + 'static>(
+        source: R,
+        opts: DecodeOpts,
+    ) -> LogResult<RecordStream> {
+        if opts.threads <= 1 {
+            return RecordStream::spawn(source, opts.depth);
+        }
+        let mut retry = crate::retry::RetryReader::new(source, crate::retry::RetryPolicy::default());
+        match sniff_format(&mut retry) {
+            Ok((LogFormat::V2, _, rev)) => crate::parallel::spawn_strict(
+                crate::parallel::ReaderSource::new(retry),
+                rev,
+                opts,
+            ),
+            Ok((LogFormat::V1, replay, _)) => {
+                let blocks = RecordBlocks::open(std::io::Cursor::new(replay).chain(retry))?;
+                let format = blocks.format();
+                spawn_decoder(blocks, format, opts.depth)
+            }
+            Err(e) => {
+                crate::error::count_error(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`spawn_salvage`](RecordStream::spawn_salvage) with explicit
+    /// [`DecodeOpts`]; the parallel pool applies the exact sequential
+    /// salvage rules from its in-order consumer, so the final
+    /// [`SalvageReport`](crate::salvage::SalvageReport) matches the
+    /// sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Only thread-spawn failure; corrupt headers do not error here.
+    pub fn spawn_salvage_with<R: Read + Send + 'static>(
+        source: R,
+        opts: DecodeOpts,
+    ) -> LogResult<(RecordStream, crate::salvage::SalvageHandle)> {
+        if opts.threads <= 1 {
+            return RecordStream::spawn_salvage(source, opts.depth);
+        }
+        let mut retry = crate::retry::RetryReader::new(source, crate::retry::RetryPolicy::default());
+        match sniff_format(&mut retry) {
+            Ok((LogFormat::V2, _, rev)) => crate::parallel::spawn_salvage(
+                crate::parallel::ReaderSource::new(retry),
+                rev,
+                opts,
+            ),
+            Ok((LogFormat::V1, replay, _)) => {
+                // v1 salvage is inherently sequential (clean-prefix
+                // recovery); replay the sniffed bytes and reuse it.
+                let (blocks, salvage) = crate::salvage::open_salvage(
+                    std::io::Cursor::new(replay).chain(retry),
+                );
+                let format = blocks.format();
+                let stream = spawn_decoder(blocks, format, opts.depth)?;
+                Ok((stream, salvage))
+            }
+            Err(e) => {
+                // Mirror `open_salvage` on an unreadable header: an empty
+                // stream with the failure recorded, never an error.
+                crate::parallel::spawn_salvage_dead(e, opts)
+            }
+        }
+    }
+
+    /// Streams a fully materialized (possibly memory-mapped) log without
+    /// copying payload bytes: v2 block payloads are handed to the decode
+    /// pool as zero-copy [`Bytes`](bytes::Bytes) slices of `bytes`. Falls
+    /// back to the reader path for v1 logs or a sequential pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`spawn_with`](RecordStream::spawn_with).
+    pub fn spawn_bytes(
+        bytes: bytes::Bytes,
+        opts: DecodeOpts,
+    ) -> LogResult<RecordStream> {
+        if opts.threads > 1 && bytes.len() >= 5 && bytes[..4] == V2_MAGIC {
+            if !crate::v2::rev_supported(bytes[4]) {
+                let e = LogError::UnsupportedVersion {
+                    found: bytes[4],
+                    supported: V2_VERSION,
+                };
+                crate::error::count_error(&e);
+                return Err(e);
+            }
+            let rev = bytes[4];
+            return crate::parallel::spawn_strict(
+                crate::parallel::BytesSource::new(bytes.slice(5..)),
+                rev,
+                opts,
+            );
+        }
+        RecordStream::spawn_with(std::io::Cursor::new(bytes), opts)
+    }
+
     /// The detected on-disk format.
     pub fn format(&self) -> LogFormat {
         self.format
     }
+}
+
+/// An already-finished stream: yields nothing (the parallel salvage path
+/// uses this when even the header was unreadable).
+pub(crate) fn spawn_empty(format: LogFormat, depth: usize) -> LogResult<RecordStream> {
+    spawn_decoder(std::iter::empty(), format, depth)
 }
 
 fn spawn_decoder<I>(blocks: I, format: LogFormat, depth: usize) -> LogResult<RecordStream>
@@ -328,6 +542,7 @@ where
         receiver: Some(receiver),
         handle: Some(handle),
         format,
+        seal: None,
     })
 }
 
@@ -336,33 +551,46 @@ where
     I: Iterator<Item = LogResult<Vec<Record>>>,
 {
     for block in blocks {
-        if literace_telemetry::enabled() {
-            let m = literace_telemetry::metrics();
-            m.log_stream_blocks.add(1);
-            // Probe first so a full channel registers as a
-            // backpressure stall before the blocking send.
-            match sender.try_send(block) {
-                Ok(()) => {
-                    m.log_stream_queue.inc(0);
-                    continue;
-                }
-                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return,
-                Err(std::sync::mpsc::TrySendError::Full(block)) => {
-                    m.log_stream_stalls.add(1);
-                    if sender.send(block).is_err() {
-                        return;
-                    }
-                    m.log_stream_queue.inc(0);
-                }
-            }
-        } else if sender.send(block).is_err() {
+        if !push_output(&sender, block) {
             // Consumer dropped the stream; stop decoding.
             return;
         }
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Sends one stream item downstream with the backpressure-stall telemetry
+/// the decode thread publishes (`log.stream.{blocks,stalls,queue}`).
+/// Returns `false` when the consumer is gone.
+pub(crate) fn push_output(
+    sender: &SyncSender<LogResult<Vec<Record>>>,
+    item: LogResult<Vec<Record>>,
+) -> bool {
+    if literace_telemetry::enabled() {
+        let m = literace_telemetry::metrics();
+        m.log_stream_blocks.add(1);
+        // Probe first so a full channel registers as a backpressure stall
+        // before the blocking send.
+        match sender.try_send(item) {
+            Ok(()) => {
+                m.log_stream_queue.inc(0);
+                true
+            }
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+            Err(std::sync::mpsc::TrySendError::Full(item)) => {
+                m.log_stream_stalls.add(1);
+                if sender.send(item).is_err() {
+                    return false;
+                }
+                m.log_stream_queue.inc(0);
+                true
+            }
+        }
+    } else {
+        sender.send(item).is_ok()
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

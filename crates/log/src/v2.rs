@@ -19,16 +19,29 @@
 //!   reader hands whole blocks downstream without materializing the log,
 //!   and corruption is confined to one block.
 //!
-//! ## Wire format (revision 3)
+//! ## Wire format (revisions 3 and 4)
 //!
 //! ```text
-//! file   := magic(4: "LRL\x02") version(1: 0x03) block* footer?
+//! file   := magic(4: "LRL\x02") version(1: 0x03 | 0x04) block* footer?
 //! block  := payload_len(u32 LE) record_count(u32 LE) sync_count(u32 LE)
 //!           head_sum(u32 LE)    payload_sum(u64 LE)  payload
 //! footer := sentinel(u32 LE: 0xFFFF_FFFF) total_records(u64 LE)
 //!           file_sum(u64 LE)   foot_sum(u32 LE)
-//! record := tag(1) tid(varint) fields…       (see `encode_into_block`)
+//!
+//! rev 3 payload := record*            (tag byte + LEB128 delta varints)
+//! rev 4 payload := values_len(u32 LE) gv_values tags
+//!                  gv_values : group-varint stream (see `crate::gv`) of
+//!                              every numeric operand, in record order
+//!                  tags      : record_count tag bytes
 //! ```
+//!
+//! The framing (24-byte checksummed frames, footer, salvage rules) is
+//! identical across revisions; only the payload coding differs. Revision
+//! 4 splits tags from operands so the operand stream decodes with the
+//! branch-free wide-load group-varint cursor, and the version byte
+//! negotiates the revision: readers accept both, the writer emits
+//! [`V2_VERSION`] unless pinned with
+//! [`with_revision`](LogWriterV2::with_revision).
 //!
 //! Revision 3 adds the integrity fields that make salvage decoding sound
 //! (see [`crate::salvage`]):
@@ -65,9 +78,22 @@ use crate::varint::{get_delta_slice, get_varint_slice, put_delta, put_varint};
 /// Magic bytes opening a v2 log file.
 pub const V2_MAGIC: [u8; 4] = *b"LRL\x02";
 
-/// Current versioned format revision (3: checksummed frames + footer;
-/// revision 2 lacked the integrity fields and is no longer written).
-pub const V2_VERSION: u8 = 3;
+/// Revision 3: checksummed frames + footer, LEB128 delta payloads.
+/// Still read; no longer written by default.
+pub const V2_REV_DELTA: u8 = 3;
+
+/// Revision 4: same framing, group-varint payloads (operand stream split
+/// from tag bytes — see [`crate::gv`]).
+pub const V2_REV_GV: u8 = 4;
+
+/// Current versioned format revision, what the writer emits by default
+/// (revision 2 lacked the integrity fields and is no longer read).
+pub const V2_VERSION: u8 = V2_REV_GV;
+
+/// Whether `rev` is a payload revision this reader decodes.
+pub(crate) fn rev_supported(rev: u8) -> bool {
+    rev == V2_REV_DELTA || rev == V2_REV_GV
+}
 
 /// Default block payload size at which the writer seals a block.
 pub const DEFAULT_BLOCK_BYTES: usize = 32 * 1024;
@@ -313,6 +339,16 @@ impl DeltaCount {
         self.multibyte += u64::from(buf.len() - before > 1);
     }
 
+    /// Group-varint delta emit plus the same fallback accounting
+    /// ("multibyte" = the lane spilled past one stored byte).
+    #[inline]
+    fn put_gv(&mut self, enc: &mut crate::gv::GvEncoder, last: u64, v: u64) {
+        let d = crate::varint::zigzag(v.wrapping_sub(last) as i64);
+        enc.put(d);
+        self.total += 1;
+        self.multibyte += u64::from(d > 0xFF);
+    }
+
     fn publish(&mut self) {
         if literace_telemetry::enabled() && self.total > 0 {
             let m = literace_telemetry::metrics();
@@ -321,6 +357,243 @@ impl DeltaCount {
         }
         *self = DeltaCount::default();
     }
+}
+
+/// Per-revision block payload encoder: rev 3 interleaves tag bytes and
+/// LEB128 varints in one buffer; rev 4 splits the numeric operands into a
+/// group-varint stream with the tag bytes trailing.
+#[derive(Debug)]
+pub(crate) enum BlockEnc {
+    Delta {
+        payload: BytesMut,
+    },
+    Gv {
+        values: crate::gv::GvEncoder,
+        tags: BytesMut,
+    },
+}
+
+impl BlockEnc {
+    pub(crate) fn for_rev(rev: u8) -> BlockEnc {
+        debug_assert!(rev_supported(rev));
+        if rev == V2_REV_GV {
+            BlockEnc::Gv {
+                values: crate::gv::GvEncoder::new(),
+                tags: BytesMut::new(),
+            }
+        } else {
+            BlockEnc::Delta {
+                payload: BytesMut::new(),
+            }
+        }
+    }
+
+    /// Encodes `record`, updating the block's delta state.
+    fn push(&mut self, state: &mut BlockState, record: &Record, deltas: &mut DeltaCount) {
+        match self {
+            BlockEnc::Delta { payload } => {
+                encode_into_block(state, record, payload, deltas)
+            }
+            BlockEnc::Gv { values, tags } => {
+                encode_into_block_gv(state, record, values, tags, deltas)
+            }
+        }
+    }
+
+    /// Exact payload size if the block were sealed now.
+    fn payload_len(&self) -> usize {
+        match self {
+            BlockEnc::Delta { payload } => payload.len(),
+            // 4-byte values_len prefix + padded value stream + tag bytes.
+            BlockEnc::Gv { values, tags } => 4 + values.encoded_len() + tags.len(),
+        }
+    }
+
+    /// Assembles and returns the payload, leaving the encoder empty.
+    fn take_payload(&mut self) -> BytesMut {
+        match self {
+            BlockEnc::Delta { payload } => std::mem::take(payload),
+            BlockEnc::Gv { values, tags } => {
+                let vals = values.finish();
+                let mut out = BytesMut::with_capacity(4 + vals.len() + tags.len());
+                out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+                out.extend_from_slice(&vals);
+                out.extend_from_slice(tags);
+                tags.clear();
+                out
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            BlockEnc::Delta { payload } => payload.clear(),
+            BlockEnc::Gv { values, tags } => {
+                values.clear();
+                tags.clear();
+            }
+        }
+    }
+}
+
+/// Rev-4 sibling of [`encode_into_block`]: the tag byte lands in `tags`,
+/// every numeric operand in the group-varint `values` stream.
+fn encode_into_block_gv(
+    state: &mut BlockState,
+    record: &Record,
+    values: &mut crate::gv::GvEncoder,
+    tags: &mut BytesMut,
+    deltas: &mut DeltaCount,
+) {
+    match *record {
+        Record::Sync {
+            tid,
+            pc,
+            kind,
+            var,
+            timestamp,
+        } => {
+            tags.put_u8(KIND_SYNC | (sync_kind_to_u8(kind) << 3));
+            let tid = tid.index() as u32;
+            values.put(u64::from(tid));
+            let t = state.thread(tid);
+            deltas.put_gv(values, t.last_pc, pc.0);
+            deltas.put_gv(values, t.last_var, var.0);
+            deltas.put_gv(values, t.last_ts, timestamp);
+            t.last_pc = pc.0;
+            t.last_var = var.0;
+            t.last_ts = timestamp;
+        }
+        Record::Mem {
+            tid,
+            pc,
+            addr,
+            is_write,
+            mask,
+        } => {
+            let mask_mode = if mask == SamplerMask::bit(0) {
+                MEM_MASK_BIT0
+            } else if mask == SamplerMask::FULL {
+                MEM_MASK_FULL
+            } else {
+                MEM_MASK_EXPLICIT
+            };
+            let mut tag = KIND_MEM | (mask_mode << MEM_MASK_SHIFT);
+            if is_write {
+                tag |= MEM_WRITE_BIT;
+            }
+            tags.put_u8(tag);
+            let tid = tid.index() as u32;
+            values.put(u64::from(tid));
+            let t = state.thread(tid);
+            deltas.put_gv(values, t.last_pc, pc.0);
+            deltas.put_gv(values, t.last_addr, addr.raw());
+            t.last_pc = pc.0;
+            t.last_addr = addr.raw();
+            if mask_mode == MEM_MASK_EXPLICIT {
+                values.put(u64::from(mask.0));
+            }
+        }
+        Record::ThreadBegin { tid } => {
+            tags.put_u8(KIND_BEGIN);
+            values.put(tid.index() as u64);
+        }
+        Record::ThreadEnd { tid } => {
+            tags.put_u8(KIND_END);
+            values.put(tid.index() as u64);
+        }
+    }
+}
+
+/// Rev-4 sibling of [`decode_from_block`]: `tag` was read from the tag
+/// region, operands stream out of the group-varint cursor.
+#[inline]
+fn decode_from_block_gv(
+    state: &mut BlockState,
+    tag: u8,
+    values: &mut crate::gv::GvCursor<'_>,
+) -> LogResult<Record> {
+    let kind = tag & 0b111;
+    match kind {
+        KIND_SYNC => {
+            if tag & 0x80 != 0 {
+                return Err(LogError::corrupt(format!("bad sync tag {tag:#04x}")));
+            }
+            let sync_kind = sync_kind_from_u8((tag >> 3) & 0xF)?;
+            let tid = gv_tid(values)?;
+            let t = state.thread(tid);
+            let pc = gv_delta(values, t.last_pc)?;
+            let var = gv_delta(values, t.last_var)?;
+            let ts = gv_delta(values, t.last_ts)?;
+            t.last_pc = pc;
+            t.last_var = var;
+            t.last_ts = ts;
+            Ok(Record::Sync {
+                tid: ThreadId::from_index(tid as usize),
+                pc: Pc(pc),
+                kind: sync_kind,
+                var: SyncVar(var),
+                timestamp: ts,
+            })
+        }
+        KIND_MEM => {
+            if tag & 0xC0 != 0 {
+                return Err(LogError::corrupt(format!("bad mem tag {tag:#04x}")));
+            }
+            let mask_mode = (tag >> MEM_MASK_SHIFT) & 0b11;
+            let tid = gv_tid(values)?;
+            let t = state.thread(tid);
+            let pc = gv_delta(values, t.last_pc)?;
+            let addr = gv_delta(values, t.last_addr)?;
+            t.last_pc = pc;
+            t.last_addr = addr;
+            let mask = match mask_mode {
+                MEM_MASK_BIT0 => SamplerMask::bit(0),
+                MEM_MASK_FULL => SamplerMask::FULL,
+                MEM_MASK_EXPLICIT => {
+                    let raw = values.next()?;
+                    let raw = u32::try_from(raw).map_err(|_| {
+                        LogError::corrupt(format!("sampler mask {raw:#x} exceeds 32 bits"))
+                    })?;
+                    SamplerMask(raw)
+                }
+                other => {
+                    return Err(LogError::corrupt(format!("bad mem mask mode {other}")))
+                }
+            };
+            Ok(Record::Mem {
+                tid: ThreadId::from_index(tid as usize),
+                pc: Pc(pc),
+                addr: Addr(addr),
+                is_write: tag & MEM_WRITE_BIT != 0,
+                mask,
+            })
+        }
+        KIND_BEGIN | KIND_END => {
+            if tag & !0b111 != 0 {
+                return Err(LogError::corrupt(format!("bad marker tag {tag:#04x}")));
+            }
+            let tid = ThreadId::from_index(gv_tid(values)? as usize);
+            Ok(if kind == KIND_BEGIN {
+                Record::ThreadBegin { tid }
+            } else {
+                Record::ThreadEnd { tid }
+            })
+        }
+        other => Err(LogError::corrupt(format!("unknown v2 record kind {other}"))),
+    }
+}
+
+#[inline]
+fn gv_tid(values: &mut crate::gv::GvCursor<'_>) -> LogResult<u32> {
+    let raw = values.next()?;
+    u32::try_from(raw)
+        .map_err(|_| LogError::corrupt(format!("thread id {raw} exceeds 32 bits")))
+}
+
+#[inline]
+fn gv_delta(values: &mut crate::gv::GvCursor<'_>, last: u64) -> LogResult<u64> {
+    Ok(last.wrapping_add(crate::varint::unzigzag(values.next()?) as u64))
 }
 
 /// Encodes `record` into a block payload, updating the block's delta state.
@@ -476,22 +749,32 @@ fn get_tid(buf: &mut &[u8]) -> LogResult<u32> {
 }
 
 /// Encodes `records` as one self-contained block (checksummed frame +
-/// payload).
+/// payload) in the [`V2_VERSION`] payload revision.
 pub fn encode_block<'a>(
     records: impl IntoIterator<Item = &'a Record>,
     out: &mut BytesMut,
 ) -> usize {
+    encode_block_rev(records, out, V2_VERSION)
+}
+
+/// [`encode_block`] pinned to payload revision `rev` (3 or 4).
+pub fn encode_block_rev<'a>(
+    records: impl IntoIterator<Item = &'a Record>,
+    out: &mut BytesMut,
+    rev: u8,
+) -> usize {
     let mut state = BlockState::default();
     let mut deltas = DeltaCount::default();
-    let mut payload = BytesMut::new();
+    let mut enc = BlockEnc::for_rev(rev);
     let mut count: u32 = 0;
     let mut syncs: u32 = 0;
     for r in records {
-        encode_into_block(&mut state, r, &mut payload, &mut deltas);
+        enc.push(&mut state, r, &mut deltas);
         count += 1;
         syncs += u32::from(matches!(r, Record::Sync { .. }));
     }
     deltas.publish();
+    let payload = enc.take_payload();
     if literace_telemetry::enabled() && count > 0 {
         let m = literace_telemetry::metrics();
         m.log_encode_v2_records.add(u64::from(count));
@@ -503,15 +786,16 @@ pub fn encode_block<'a>(
     count as usize
 }
 
-/// Decodes one block payload declared to hold `count` records.
+/// Decodes one revision-`rev` block payload declared to hold `count`
+/// records.
 ///
 /// # Errors
 ///
 /// Returns [`LogError::Corrupt`] when the payload truncates mid-record,
 /// holds malformed varints or tags, or has trailing bytes after the
 /// declared record count.
-pub fn decode_block(payload: &[u8], count: u32) -> LogResult<Vec<Record>> {
-    decode_block_with(&mut BlockState::default(), payload, count)
+pub fn decode_block(payload: &[u8], count: u32, rev: u8) -> LogResult<Vec<Record>> {
+    decode_block_with(&mut BlockState::default(), payload, count, rev)
 }
 
 /// [`decode_block`] against caller-owned delta state, so a block-at-a-time
@@ -521,7 +805,11 @@ pub(crate) fn decode_block_with(
     state: &mut BlockState,
     payload: &[u8],
     count: u32,
+    rev: u8,
 ) -> LogResult<Vec<Record>> {
+    if rev == V2_REV_GV {
+        return decode_block_gv(state, payload, count);
+    }
     state.reset();
     let mut slice = payload;
     // Every record is at least two bytes (tag + tid varint), so a corrupt
@@ -539,6 +827,46 @@ pub(crate) fn decode_block_with(
     Ok(out)
 }
 
+/// Rev-4 block decode: split the payload into the operand stream and the
+/// tag region, then drive the group-varint cursor one record at a time.
+fn decode_block_gv(
+    state: &mut BlockState,
+    payload: &[u8],
+    count: u32,
+) -> LogResult<Vec<Record>> {
+    state.reset();
+    let Some(len_bytes) = payload.get(..4) else {
+        return Err(LogError::corrupt("rev-4 block shorter than its length prefix"));
+    };
+    let values_len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    let Some(values_region) = payload.get(4..4 + values_len) else {
+        return Err(LogError::corrupt(format!(
+            "rev-4 block declares {values_len} operand bytes but holds {}",
+            payload.len().saturating_sub(4)
+        )));
+    };
+    let tags = &payload[4 + values_len..];
+    // One tag byte per record, exactly: the tag region length *is* the
+    // trailing-bytes check for revision 4.
+    if tags.len() != count as usize {
+        return Err(LogError::corrupt(format!(
+            "rev-4 block has {} tag bytes for {count} records",
+            tags.len()
+        )));
+    }
+    let mut values = crate::gv::GvCursor::new(values_region);
+    let mut out = Vec::with_capacity(count as usize);
+    for &tag in tags {
+        out.push(decode_from_block_gv(state, tag, &mut values)?);
+    }
+    if !values.exhausted_except_padding() {
+        return Err(LogError::corrupt(format!(
+            "rev-4 block has trailing operand bytes after {count} records"
+        )));
+    }
+    Ok(out)
+}
+
 /// Writes records as a v2 log: header once, then size-bounded blocks.
 ///
 /// Buffered state is flushed on [`finish`](LogWriterV2::finish) (which
@@ -547,8 +875,10 @@ pub(crate) fn decode_block_with(
 #[derive(Debug)]
 pub struct LogWriterV2<W: Write> {
     sink: Option<W>,
-    /// Encoded payload of the open block.
-    payload: BytesMut,
+    /// Payload revision written into the header and used per block.
+    rev: u8,
+    /// Encoder for the open block's payload.
+    enc: BlockEnc,
     state: BlockState,
     deltas: DeltaCount,
     block_records: u32,
@@ -565,16 +895,46 @@ pub struct LogWriterV2<W: Write> {
 }
 
 impl<W: Write> LogWriterV2<W> {
-    /// Creates a v2 writer over `sink` with the default block size.
+    /// Creates a v2 writer over `sink` with the default block size and
+    /// the current payload revision ([`V2_VERSION`]).
     pub fn new(sink: W) -> LogWriterV2<W> {
         LogWriterV2::with_block_bytes(sink, DEFAULT_BLOCK_BYTES)
+    }
+
+    /// Creates a v2 writer pinned to payload revision `rev` (3 or 4) —
+    /// for compatibility tooling; new logs should take the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rev` is not a writable revision.
+    pub fn with_revision(sink: W, rev: u8) -> LogWriterV2<W> {
+        LogWriterV2::with_revision_and_block_bytes(sink, rev, DEFAULT_BLOCK_BYTES)
+    }
+
+    /// Creates a v2 writer pinned to payload revision `rev` sealing blocks
+    /// at `block_bytes` of payload (compatibility and test tooling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rev` is not a writable revision.
+    pub fn with_revision_and_block_bytes(
+        sink: W,
+        rev: u8,
+        block_bytes: usize,
+    ) -> LogWriterV2<W> {
+        assert!(rev_supported(rev), "unwritable v2 revision {rev}");
+        let mut w = LogWriterV2::with_block_bytes(sink, block_bytes);
+        w.rev = rev;
+        w.enc = BlockEnc::for_rev(rev);
+        w
     }
 
     /// Creates a v2 writer sealing blocks at `block_bytes` of payload.
     pub fn with_block_bytes(sink: W, block_bytes: usize) -> LogWriterV2<W> {
         LogWriterV2 {
             sink: Some(sink),
-            payload: BytesMut::with_capacity(block_bytes.max(1) + 256),
+            rev: V2_VERSION,
+            enc: BlockEnc::for_rev(V2_VERSION),
             state: BlockState::default(),
             deltas: DeltaCount::default(),
             block_records: 0,
@@ -598,11 +958,11 @@ impl<W: Write> LogWriterV2<W> {
         if self.sink.is_none() {
             return Err(LogError::WriterFinished);
         }
-        encode_into_block(&mut self.state, record, &mut self.payload, &mut self.deltas);
+        self.enc.push(&mut self.state, record, &mut self.deltas);
         self.block_records += 1;
         self.block_syncs += u32::from(matches!(record, Record::Sync { .. }));
         self.records_written += 1;
-        if self.payload.len() >= self.block_bytes {
+        if self.enc.payload_len() >= self.block_bytes {
             self.flush_block()?;
         }
         Ok(())
@@ -613,7 +973,7 @@ impl<W: Write> LogWriterV2<W> {
         let mut emitted = 0u64;
         if !self.header_written {
             sink.write_all(&V2_MAGIC)?;
-            sink.write_all(&[V2_VERSION])?;
+            sink.write_all(&[self.rev])?;
             self.bytes_written += V2_MAGIC.len() as u64 + 1;
             emitted += V2_MAGIC.len() as u64 + 1;
             self.header_written = true;
@@ -624,13 +984,14 @@ impl<W: Write> LogWriterV2<W> {
             }
             return Ok(());
         }
-        let frame = make_block_frame(&self.payload, self.block_records, self.block_syncs);
+        let payload = self.enc.take_payload();
+        let frame = make_block_frame(&payload, self.block_records, self.block_syncs);
         sink.write_all(&frame)?;
-        sink.write_all(&self.payload)?;
+        sink.write_all(&payload)?;
         self.file_sum.update(&frame);
-        self.file_sum.update(&self.payload);
-        self.bytes_written += (FRAME_BYTES + self.payload.len()) as u64;
-        emitted += (FRAME_BYTES + self.payload.len()) as u64;
+        self.file_sum.update(&payload);
+        self.bytes_written += (FRAME_BYTES + payload.len()) as u64;
+        emitted += (FRAME_BYTES + payload.len()) as u64;
         if literace_telemetry::enabled() {
             let m = literace_telemetry::metrics();
             m.log_encode_v2_records.add(u64::from(self.block_records));
@@ -638,7 +999,7 @@ impl<W: Write> LogWriterV2<W> {
             m.log_encode_v2_blocks.add(1);
         }
         self.deltas.publish();
-        self.payload.clear();
+        self.enc.clear();
         self.block_records = 0;
         self.block_syncs = 0;
         // Blocks decode independently, so the delta state restarts (the
@@ -682,7 +1043,7 @@ impl<W: Write> LogWriterV2<W> {
     pub fn bytes_written(&self) -> u64 {
         let pending_header = if self.header_written { 0 } else { 5 };
         let pending_block = if self.block_records > 0 {
-            (FRAME_BYTES + self.payload.len()) as u64
+            (FRAME_BYTES + self.enc.payload_len()) as u64
         } else {
             0
         };
@@ -714,6 +1075,8 @@ impl<W: Write> Drop for LogWriterV2<W> {
 #[derive(Debug)]
 pub struct V2Blocks<R> {
     source: R,
+    /// Payload revision from the version byte.
+    rev: u8,
     done: bool,
     /// Reusable payload buffer: one allocation amortized over the stream
     /// instead of one `vec![0; payload_len]` per block.
@@ -730,10 +1093,11 @@ pub struct V2Blocks<R> {
 
 impl<R: std::io::Read> V2Blocks<R> {
     /// Creates a block iterator over a source positioned at the first
-    /// block (header already consumed).
-    pub fn after_header(source: R) -> V2Blocks<R> {
+    /// block (header already consumed), decoding payload revision `rev`.
+    pub fn after_header(source: R, rev: u8) -> V2Blocks<R> {
         V2Blocks {
             source,
+            rev,
             done: false,
             payload: Vec::new(),
             state: BlockState::default(),
@@ -741,6 +1105,11 @@ impl<R: std::io::Read> V2Blocks<R> {
             records_seen: 0,
             seal: SealState::Unknown,
         }
+    }
+
+    /// The payload revision this iterator decodes.
+    pub fn revision(&self) -> u8 {
+        self.rev
     }
 
     /// Whether the stream carried a verified finalization footer. Remains
@@ -762,11 +1131,11 @@ impl<R: std::io::Read> V2Blocks<R> {
     /// version byte, and [`LogError::Io`] on read failure.
     pub fn open(mut source: R) -> LogResult<V2Blocks<R>> {
         Self::open_inner(&mut source)
-            .map(|()| V2Blocks::after_header(source))
+            .map(|rev| V2Blocks::after_header(source, rev))
             .inspect_err(crate::error::count_error)
     }
 
-    fn open_inner(source: &mut R) -> LogResult<()> {
+    fn open_inner(source: &mut R) -> LogResult<u8> {
         let mut header = [0u8; 5];
         let got = read_exact_or_eof(source, &mut header)?;
         if got < 4 || header[..4] != V2_MAGIC {
@@ -777,13 +1146,13 @@ impl<R: std::io::Read> V2Blocks<R> {
         if got < 5 {
             return Err(LogError::corrupt("v2 header truncated before version byte"));
         }
-        if header[4] != V2_VERSION {
+        if !rev_supported(header[4]) {
             return Err(LogError::UnsupportedVersion {
                 found: header[4],
                 supported: V2_VERSION,
             });
         }
-        Ok(())
+        Ok(header[4])
     }
 
     fn read_block(&mut self) -> LogResult<Option<Vec<Record>>> {
@@ -833,7 +1202,8 @@ impl<R: std::io::Read> V2Blocks<R> {
         if crate::checksum::checksum(&self.payload) != head.payload_sum {
             return Err(LogError::corrupt("block payload checksum mismatch"));
         }
-        let block = decode_block_with(&mut self.state, &self.payload, head.record_count)?;
+        let block =
+            decode_block_with(&mut self.state, &self.payload, head.record_count, self.rev)?;
         self.file_sum.update(&frame);
         self.file_sum.update(&self.payload);
         self.records_seen += u64::from(head.record_count);
@@ -890,9 +1260,15 @@ impl<R: std::io::Read> Iterator for V2Blocks<R> {
 }
 
 /// Serializes records as a complete, finalized v2 byte stream
-/// (header + blocks + footer).
+/// (header + blocks + footer) in the current payload revision.
 pub fn encode_v2<'a>(records: impl IntoIterator<Item = &'a Record>) -> Bytes {
-    let mut w = LogWriterV2::new(Vec::new());
+    encode_v2_rev(records, V2_VERSION)
+}
+
+/// [`encode_v2`] pinned to payload revision `rev` (3 or 4) — for
+/// backward-compatibility fixtures and tooling.
+pub fn encode_v2_rev<'a>(records: impl IntoIterator<Item = &'a Record>, rev: u8) -> Bytes {
+    let mut w = LogWriterV2::with_revision(Vec::new(), rev);
     for r in records {
         w.write_record(r).expect("Vec sink cannot fail");
     }
@@ -936,9 +1312,9 @@ mod tests {
 
     fn decode_stream(bytes: &[u8]) -> LogResult<Vec<Record>> {
         assert_eq!(&bytes[..4], &V2_MAGIC);
-        assert_eq!(bytes[4], V2_VERSION);
+        assert!(rev_supported(bytes[4]), "version byte {}", bytes[4]);
         let mut out = Vec::new();
-        for block in V2Blocks::after_header(&bytes[5..]) {
+        for block in V2Blocks::after_header(&bytes[5..], bytes[4]) {
             out.extend(block?);
         }
         Ok(out)
@@ -948,7 +1324,27 @@ mod tests {
     fn round_trip_preserves_records() {
         let records = sample_records();
         let bytes = encode_v2(&records);
+        assert_eq!(bytes[4], V2_REV_GV, "default revision is group varint");
         assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn rev3_round_trip_preserves_records() {
+        let records = sample_records();
+        let bytes = encode_v2_rev(&records, V2_REV_DELTA);
+        assert_eq!(bytes[4], V2_REV_DELTA);
+        assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn rev3_and_rev4_decode_identically() {
+        let records = sample_records();
+        let delta = encode_v2_rev(&records, V2_REV_DELTA);
+        let gv = encode_v2_rev(&records, V2_REV_GV);
+        assert_eq!(
+            decode_stream(&delta).unwrap(),
+            decode_stream(&gv).unwrap()
+        );
     }
 
     #[test]
@@ -972,7 +1368,7 @@ mod tests {
     #[test]
     fn finished_log_reads_back_sealed() {
         let bytes = encode_v2(&sample_records());
-        let mut blocks = V2Blocks::after_header(&bytes[5..]);
+        let mut blocks = V2Blocks::after_header(&bytes[5..], bytes[4]);
         assert_eq!(blocks.seal_state(), SealState::Unknown);
         for b in blocks.by_ref() {
             b.unwrap();
@@ -990,7 +1386,7 @@ mod tests {
                 w.write_record(r).unwrap();
             }
         }
-        let mut blocks = V2Blocks::after_header(&sink[5..]);
+        let mut blocks = V2Blocks::after_header(&sink[5..], sink[4]);
         let mut decoded = Vec::new();
         for b in blocks.by_ref() {
             decoded.extend(b.unwrap());
@@ -1005,7 +1401,7 @@ mod tests {
         // Flip a byte inside the footer's total_records field.
         let foot = bytes.len() - FRAME_BYTES;
         bytes[foot + 5] ^= 0x40;
-        let mut blocks = V2Blocks::after_header(&bytes[5..]);
+        let mut blocks = V2Blocks::after_header(&bytes[5..], bytes[4]);
         let last = blocks.by_ref().last().unwrap();
         let err = last.unwrap_err();
         assert!(err.to_string().contains("footer"), "{err}");
@@ -1099,12 +1495,31 @@ mod tests {
         let records = vec![Record::ThreadBegin {
             tid: ThreadId::MAIN,
         }];
+        for rev in [V2_REV_DELTA, V2_REV_GV] {
+            let mut buf = BytesMut::new();
+            encode_block_rev(&records, &mut buf, rev);
+            let mut payload = buf[FRAME_BYTES..].to_vec(); // strip the frame
+            payload.push(0x00); // extra byte after the declared record
+            let err = decode_block(&payload, 1, rev).unwrap_err();
+            // Rev 3 reports trailing payload bytes; rev 4 catches the same
+            // corruption as a tag-region length mismatch.
+            assert!(
+                err.to_string().contains("trailing") || err.to_string().contains("tag bytes"),
+                "rev {rev}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn gv_trailing_operand_bytes_are_corrupt() {
+        let records = sample_records();
         let mut buf = BytesMut::new();
-        encode_block(&records, &mut buf);
-        let mut payload = buf[FRAME_BYTES..].to_vec(); // strip the frame
-        payload.push(0x00); // extra byte after the declared record
-        let err = decode_block(&payload, 1).unwrap_err();
-        assert!(err.to_string().contains("trailing"), "{err}");
+        encode_block_rev(&records, &mut buf, V2_REV_GV);
+        let payload = &buf[FRAME_BYTES..];
+        // Declare one record fewer than encoded: the tag-region check
+        // fires before any operand is touched.
+        let err = decode_block(payload, records.len() as u32 - 1, V2_REV_GV).unwrap_err();
+        assert!(err.to_string().contains("tag bytes"), "{err}");
     }
 
     #[test]

@@ -87,6 +87,17 @@ pub struct Metrics {
     pub log_retry_attempts: Counter,
     /// Reads that failed even after exhausting the retry budget.
     pub log_retry_exhausted: Counter,
+    /// Nanoseconds parallel-decode workers spent decoding block payloads.
+    pub log_decode_worker_busy_ns: Counter,
+    /// Nanoseconds parallel-decode workers spent waiting for scanned
+    /// blocks.
+    pub log_decode_worker_idle_ns: Counter,
+    /// Most blocks simultaneously in flight between the frame scanner and
+    /// the in-order consumer of the parallel decode pool.
+    pub log_decode_blocks_inflight_hwm: MaxGauge,
+    /// Deepest reorder buffer the parallel-decode consumer needed to
+    /// restore sequence order from out-of-order workers.
+    pub log_decode_ooo_reorder_depth: MaxGauge,
     /// Blocks handed from the decode thread to the streaming channel.
     pub log_stream_blocks: Counter,
     /// Times the decode thread found the streaming channel full and had to
@@ -192,6 +203,10 @@ impl Metrics {
             log_salvage_bytes_dropped: Counter::new(),
             log_retry_attempts: Counter::new(),
             log_retry_exhausted: Counter::new(),
+            log_decode_worker_busy_ns: Counter::new(),
+            log_decode_worker_idle_ns: Counter::new(),
+            log_decode_blocks_inflight_hwm: MaxGauge::new(),
+            log_decode_ooo_reorder_depth: MaxGauge::new(),
             log_stream_blocks: Counter::new(),
             log_stream_stalls: Counter::new(),
             log_stream_queue: LevelGauges::new(),
@@ -222,7 +237,7 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 43] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 45] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
@@ -269,6 +284,14 @@ impl Metrics {
             ("log.salvage.bytes_dropped", &self.log_salvage_bytes_dropped),
             ("log.retry.attempts", &self.log_retry_attempts),
             ("log.retry.exhausted", &self.log_retry_exhausted),
+            (
+                "log.decode.worker_busy_ns",
+                &self.log_decode_worker_busy_ns,
+            ),
+            (
+                "log.decode.worker_idle_ns",
+                &self.log_decode_worker_idle_ns,
+            ),
             ("log.stream.blocks", &self.log_stream_blocks),
             ("log.stream.stalls", &self.log_stream_stalls),
             ("detector.records.routed", &self.detector_records_routed),
@@ -319,8 +342,16 @@ impl Metrics {
     /// Name↔field table for monotonic gauges. `detector.races.suppressed`
     /// lives here because suppression happens after snapshot-producing
     /// detection in some flows and must not look like detector throughput.
-    pub(crate) fn gauges(&self) -> [(&'static str, u64); 3] {
+    pub(crate) fn gauges(&self) -> [(&'static str, u64); 5] {
         [
+            (
+                "log.decode.blocks_inflight_hwm",
+                self.log_decode_blocks_inflight_hwm.get(),
+            ),
+            (
+                "log.decode.ooo_reorder_depth",
+                self.log_decode_ooo_reorder_depth.get(),
+            ),
             (
                 "detector.frontier.tracked_hwm",
                 self.detector_frontier_tracked_hwm.get(),
@@ -369,6 +400,8 @@ impl Metrics {
         self.detector_shard_events.reset();
         self.detector_shard_queue.reset();
         self.log_stream_queue.reset();
+        self.log_decode_blocks_inflight_hwm.reset();
+        self.log_decode_ooo_reorder_depth.reset();
         self.detector_frontier_tracked_hwm.reset();
         self.detector_epoch_resident_shared.reset();
         self.detector_races_suppressed.reset();

@@ -259,6 +259,47 @@ fn salvage_detection_is_neutral() {
     assert!(on_snap.counters["log.salvage.runs"] >= 1, "{on_snap:?}");
 }
 
+/// The parallel decode pool is neutral too: decoding a v2 log with
+/// `--decode-threads` ≥ 2 yields identical records and race reports with
+/// telemetry on or off — and the `log.decode.*` pool metrics surface only
+/// while enabled.
+#[test]
+fn parallel_decode_pool_is_neutral() {
+    use literace::log::{DecodeOpts, RecordStream};
+
+    let _guard = serialized();
+    let w = build(WorkloadId::LfList, Scale::Smoke);
+    let (log, non_stack) = full_log(&w.program, 5);
+    let bytes = v2_bytes(&log);
+    let run = |on: bool| {
+        telemetry::metrics().reset();
+        let out = with_flag(on, || {
+            let stream = RecordStream::spawn_bytes(
+                bytes.clone().into(),
+                DecodeOpts::with_threads(4),
+            )
+            .expect("pool spawns");
+            detect_stream(stream, non_stack, &DetectConfig::with_threads(2))
+                .expect("clean log decodes")
+        });
+        (out, telemetry::metrics().snapshot())
+    };
+    let (off, off_snap) = run(false);
+    let (on, on_snap) = run(true);
+    assert_eq!(off, on, "parallel decode changed the report under telemetry");
+    for name in ["log.decode.worker_busy_ns", "log.decode.worker_idle_ns"] {
+        assert_eq!(off_snap.counters[name], 0, "{name} recorded while disabled");
+    }
+    for name in ["log.decode.blocks_inflight_hwm", "log.decode.ooo_reorder_depth"] {
+        assert_eq!(off_snap.gauges[name], 0, "{name} recorded while disabled");
+    }
+    assert!(
+        on_snap.gauges["log.decode.blocks_inflight_hwm"] >= 1,
+        "{on_snap:?}"
+    );
+    assert!(on_snap.counters["log.decode.worker_busy_ns"] >= 1, "{on_snap:?}");
+}
+
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (2u32..5, 2u32..5, 5u32..15, 3u32..7, any::<u64>()).prop_map(
         |(threads, globals, iterations, actions, seed)| SyntheticConfig {

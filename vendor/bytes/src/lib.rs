@@ -11,13 +11,24 @@ use std::ops::{Deref, DerefMut, Index, IndexMut};
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer with a consuming cursor.
-#[derive(Clone, Default)]
+///
+/// The backing storage is any `AsRef<[u8]>` owner behind an `Arc` (a
+/// `Vec<u8>` in the common case, a memory-mapped region via
+/// [`Bytes::from_owner`]), so clones and [`slice`](Bytes::slice) views
+/// share it without copying.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    data: Arc<dyn AsRef<[u8]> + Send + Sync>,
     /// Current read position (advanced by `Buf` methods).
     start: usize,
     /// Exclusive end of the view.
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::from(Vec::new())
+    }
 }
 
 impl Bytes {
@@ -31,9 +42,24 @@ impl Bytes {
         Bytes::from(bytes.to_vec())
     }
 
+    /// Wraps any byte owner without copying: the buffer keeps `owner`
+    /// alive and views its bytes. The view is pinned to the owner's
+    /// length at construction time.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let end = owner.as_ref().len();
+        Bytes {
+            data: Arc::new(owner),
+            start: 0,
+            end,
+        }
+    }
+
     /// Remaining bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &(*self.data).as_ref()[self.start..self.end]
     }
 
     /// Remaining length.
@@ -307,6 +333,29 @@ mod tests {
         b.advance(2);
         let s = b.slice(1..3);
         assert_eq!(&s[..], &[3, 4]);
+    }
+
+    #[test]
+    fn from_owner_keeps_the_owner_alive() {
+        struct Owner(Vec<u8>, Arc<std::sync::atomic::AtomicBool>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                self.1.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let b = Bytes::from_owner(Owner(vec![1, 2, 3, 4], dropped.clone()));
+        let s = b.slice(1..3);
+        drop(b);
+        assert!(!dropped.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(&s[..], &[2, 3]);
+        drop(s);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]
