@@ -8,7 +8,8 @@ use literace::eval::{evaluate_program, EvalConfig};
 use literace::instrument::{V1Sink, V2Sink};
 use literace::log::{
     auto_stream_depth, map_or_read, read_log_auto, read_log_salvage, AtomicFile, DecodeOpts,
-    LogFormat, LogStats, LogWriter, LogWriterV2, RecordBlocks, RecordStream,
+    EncodeOpts, LogFormat, LogStats, LogWriter, LogWriterV2, PipelinedSink, RecordBlocks,
+    RecordStream,
 };
 use literace::overhead::measure_overhead;
 use literace::prelude::*;
@@ -29,7 +30,8 @@ USAGE:
   literace run --workload <name> [--sampler tl-ad] [--seed 1]
                [--scale smoke|paper] [--log <file>] [--format v1|v2]
                [--streaming] [--threads N] [--decode-threads N|auto]
-               [--stream-depth N] [--suppress pat1,pat2]
+               [--stream-depth N] [--encode-threads N|auto]
+               [--block-records N] [--suppress pat1,pat2]
                [--metrics-out <file>] [--progress]
       Instrument, execute, and detect. Optionally write the event log
       (compact v2 blocks by default; --format v1 for the legacy
@@ -39,8 +41,12 @@ USAGE:
       and detection streams the file back through the decode pool
       (--decode-threads / --stream-depth as under `detect`); --streaming
       alone feeds the in-memory log to the detector block by block.
-      --metrics-out writes a JSON telemetry snapshot; --progress prints
-      a heartbeat to stderr.
+      --encode-threads selects the pipelined write path: the run's hot
+      path only appends raw records, sealed blocks encode on N background
+      workers (v2 only, needs --log), and --block-records sets the
+      records-per-block seal point. A stale <file>.partial left by a
+      crashed run is swept before writing. --metrics-out writes a JSON
+      telemetry snapshot; --progress prints a heartbeat to stderr.
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
       Compare all Table 3 samplers on identical interleavings (§5.3).
@@ -171,6 +177,42 @@ fn parse_decode_opts(
     }
 }
 
+/// Parses `--encode-threads` (N or `auto`) and `--block-records` into
+/// the [`EncodeOpts`] selecting the pipelined write path. `None` when
+/// neither flag is given: the default inline sink encodes on the
+/// producing thread.
+fn parse_encode_opts(flags: &crate::args::Flags) -> Result<Option<EncodeOpts>, String> {
+    let threads = flags.get("encode-threads");
+    let block_records = flags.get("block-records");
+    if threads.is_none() && block_records.is_none() {
+        return Ok(None);
+    }
+    let opts = match threads {
+        None | Some("auto") => EncodeOpts::auto(),
+        Some(v) => {
+            let threads: usize = v
+                .parse()
+                .map_err(|_| format!("flag --encode-threads: cannot parse `{v}`"))?;
+            if threads == 0 {
+                return Err("--encode-threads must be at least 1 (or `auto`)".into());
+            }
+            EncodeOpts::with_threads(threads)
+        }
+    };
+    match block_records {
+        None => Ok(Some(opts)),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("flag --block-records: cannot parse `{v}`"))?;
+            if n == 0 {
+                return Err("--block-records must be at least 1".into());
+            }
+            Ok(Some(opts.block_records(n)))
+        }
+    }
+}
+
 /// Opens `path` as a strict [`RecordStream`] with `opts`: memory-mapped
 /// (or read whole) for zero-copy payload handoff when the parallel pool
 /// is active, plain file streaming otherwise.
@@ -189,9 +231,26 @@ fn spawn_log_stream(path: &str, opts: DecodeOpts) -> Result<RecordStream, String
 /// Writes a materialized log to `path` in the requested format, returning
 /// the record count. The log is written to `<path>.partial` and renamed
 /// into place only after a clean finish, so a crash mid-write never
-/// leaves a half-written file at `path`.
-fn write_log(path: &str, format: LogFormat, log: &EventLog) -> Result<u64, CliError> {
+/// leaves a half-written file at `path`. With `encode` options the v2
+/// bytes are produced by the pipelined encode pool instead of inline.
+fn write_log(
+    path: &str,
+    format: LogFormat,
+    encode: Option<EncodeOpts>,
+    log: &EventLog,
+) -> Result<u64, CliError> {
     let file = AtomicFile::create(path).map_err(CliError::io("cannot create", path))?;
+    if let Some(opts) = encode {
+        let mut sink =
+            PipelinedSink::with_opts(file, opts).map_err(|e| format!("write {path}: {e}"))?;
+        for record in log {
+            sink.push(*record);
+        }
+        let written = sink.records_written();
+        let file = sink.finish().map_err(|e| format!("write {path}: {e}"))?;
+        file.commit().map_err(CliError::io("cannot finalize", path))?;
+        return Ok(written);
+    }
     let (written, file) = match format {
         LogFormat::V1 => {
             let mut writer = LogWriter::new(file);
@@ -270,6 +329,22 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
     let streaming = flags.is_set("streaming");
     let decode_opts = parse_decode_opts(&flags, threads)?;
     let format = parse_format(&flags)?;
+    let encode_opts = parse_encode_opts(&flags)?;
+    if encode_opts.is_some() {
+        if flags.get("log").is_none() {
+            return Err("--encode-threads/--block-records require --log".into());
+        }
+        if matches!(format, LogFormat::V1) {
+            return Err(
+                "the pipelined encoder writes v2 logs only (drop --format v1)".into(),
+            );
+        }
+    }
+    if let Some(path) = flags.get("log") {
+        if AtomicFile::sweep_stale(path).map_err(CliError::io("cannot sweep", path))? {
+            eprintln!("note: removed stale {path}.partial left by a crashed run");
+        }
+    }
     let sampler = match flags.get("sampler") {
         None => SamplerKind::TlAdaptive,
         Some(name) => SamplerKind::from_short_name(name)
@@ -289,6 +364,21 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
             // and the file only appears at `path` after a clean finish.
             let file = AtomicFile::create(path).map_err(CliError::io("cannot create", path))?;
             let (summary, stats, overhead, written) = match format {
+                LogFormat::V2 if encode_opts.is_some() => {
+                    // Pipelined write path: the run's hot path is a raw
+                    // append; sealed blocks encode on background workers
+                    // and an in-order committer seals the file.
+                    let opts = encode_opts.unwrap_or_default();
+                    let sink = PipelinedSink::with_opts(file, opts)
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    let (summary, out) =
+                        run_literace_with_sink(&w.program, sampler, &cfg, sink)
+                            .map_err(|e| e.to_string())?;
+                    let written = out.log.records_written();
+                    let file = out.log.finish().map_err(|e| format!("write {path}: {e}"))?;
+                    file.commit().map_err(CliError::io("cannot finalize", path))?;
+                    (summary, out.stats, out.overhead, written)
+                }
                 LogFormat::V2 => {
                     let (summary, out) =
                         run_literace_with_sink(&w.program, sampler, &cfg, V2Sink::new(file))
@@ -333,7 +423,7 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
         let note = match flags.get("log") {
             None => None,
             Some(path) => {
-                let written = write_log(path, format, &outcome.instrumented.log)?;
+                let written = write_log(path, format, encode_opts, &outcome.instrumented.log)?;
                 Some((
                     format!("wrote {written} records to {path} ({format} format)"),
                     outcome.summary.non_stack_accesses,
@@ -916,6 +1006,71 @@ mod tests {
             .map(|s| (*s).to_string())
             .collect();
         assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn encode_opts_parse_and_validate() {
+        let f = Flags::parse(&[]).unwrap();
+        assert_eq!(parse_encode_opts(&f).unwrap(), None);
+        let f = Flags::parse(&["--encode-threads".into(), "3".into()]).unwrap();
+        let opts = parse_encode_opts(&f).unwrap().unwrap();
+        assert_eq!(opts.threads, 3);
+        let f = Flags::parse(&["--encode-threads".into(), "auto".into()]).unwrap();
+        assert!(parse_encode_opts(&f).unwrap().unwrap().threads >= 1);
+        let f = Flags::parse(&["--block-records".into(), "512".into()]).unwrap();
+        let opts = parse_encode_opts(&f).unwrap().unwrap();
+        assert_eq!(opts.block_records, 512);
+        let f = Flags::parse(&["--encode-threads".into(), "0".into()]).unwrap();
+        assert!(parse_encode_opts(&f).is_err());
+        let f = Flags::parse(&["--block-records".into(), "x".into()]).unwrap();
+        assert!(parse_encode_opts(&f).is_err());
+    }
+
+    #[test]
+    fn pipelined_run_round_trips_and_sweeps_stale_partials() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("literace_cli_pipelined_test.lrlog");
+        let path_s = path.to_str().unwrap().to_string();
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        // A stale partial from a "crashed" previous run must be swept.
+        let stale = dir.join("literace_cli_pipelined_test.lrlog.partial");
+        std::fs::write(&stale, b"torn").unwrap();
+        let run_args = sv(&[
+            "--workload", "lflist", "--seed", "2", "--streaming",
+            "--log", &path_s, "--encode-threads", "2", "--block-records", "256",
+        ]);
+        assert_eq!(run(&run_args), std::process::ExitCode::SUCCESS);
+        assert!(!stale.exists(), "stale partial must be swept on run --log");
+        // The pipelined log re-detects like any other v2 log.
+        let detect_args = sv(&["--log", &path_s, "--non-stack", "100"]);
+        assert_eq!(detect(&detect_args), std::process::ExitCode::SUCCESS);
+        // Also exercised without --streaming (materialize, then encode).
+        let run_args = sv(&[
+            "--workload", "lflist", "--seed", "2",
+            "--log", &path_s, "--encode-threads", "2",
+        ]);
+        assert_eq!(run(&run_args), std::process::ExitCode::SUCCESS);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pipelined_encode_rejects_v1_and_requires_log() {
+        let sv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_string()).collect()
+        };
+        let no_log = sv(&["--workload", "lflist", "--encode-threads", "2"]);
+        assert_eq!(run(&no_log), std::process::ExitCode::FAILURE);
+        let dir = std::env::temp_dir();
+        let path = dir.join("literace_cli_pipelined_v1_reject.lrlog");
+        let path_s = path.to_str().unwrap().to_string();
+        let v1 = sv(&[
+            "--workload", "lflist", "--log", &path_s,
+            "--format", "v1", "--encode-threads", "2",
+        ]);
+        assert_eq!(run(&v1), std::process::ExitCode::FAILURE);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

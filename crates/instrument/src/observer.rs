@@ -12,6 +12,22 @@
 //!   logical timestamps (§4.2) — never sampling these is what guarantees no
 //!   false positives (Figure 2);
 //! * allocations and frees emit page-synchronization records (§4.3).
+//!
+//! # Deferred sync timestamping
+//!
+//! Stamping a sync record means touching a shared counter bank — the
+//! §4.2 cache-line traffic that "Efficient Timestamping for
+//! Sampling-based Race Detection" argues must come off the monitored hot
+//! path. The observer therefore buffers every record in arrival order
+//! and resolves them in batches: memory accesses and thread markers are
+//! captured ready-made, sync operations are captured *without* a
+//! timestamp and stamped at the next batch boundary (every
+//! [`DEFER_BATCH`] records, and at [`finish`](Instrumenter::finish)).
+//! [`TimestampBank`] is order-deterministic — its state depends only on
+//! the sequence of `stamp(tid, var)` calls — so replaying the buffer in
+//! original order yields bit-identical timestamps, contention accounting
+//! and modeled costs to the old stamp-at-event path (pinned by the
+//! deferred-oracle proptest below).
 
 use std::collections::HashMap;
 
@@ -41,6 +57,30 @@ pub struct InstrumentOutput<L = EventLog> {
     pub contention_units_per_stamp: f64,
 }
 
+/// Records buffered between batch resolutions. 4096 matches the
+/// streaming detector's chunk and the pipelined sink's default block, so
+/// one resolution feeds roughly one sealed block.
+const DEFER_BATCH: usize = 4096;
+
+/// A buffered record awaiting batch resolution. Sync operations are
+/// interleaved with ready records in one buffer so the global order —
+/// load-bearing for happens-before detection — survives deferral.
+#[derive(Debug)]
+enum Pending {
+    /// Fully materialized at capture (memory accesses, thread markers).
+    Ready(Record),
+    /// A sync operation captured without its timestamp; stamped when the
+    /// batch resolves.
+    Sync {
+        tid: ThreadId,
+        pc: Pc,
+        kind: SyncOpKind,
+        var: SyncVar,
+        /// Charges `alloc_sync` instead of `sync_log` at resolution.
+        alloc: bool,
+    },
+}
+
 #[derive(Debug)]
 struct FrameInfo {
     instrumented: bool,
@@ -59,6 +99,9 @@ pub struct Instrumenter<S, L = EventLog> {
     cfg: InstrumentConfig,
     bank: TimestampBank,
     log: L,
+    /// Arrival-order buffer of records awaiting batch resolution (see
+    /// the module docs on deferred sync timestamping).
+    pending: Vec<Pending>,
     frames: Vec<Vec<FrameInfo>>,
     stats: InstrStats,
     overhead: OverheadBreakdown,
@@ -87,6 +130,7 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
             cfg,
             bank,
             log: sink,
+            pending: Vec::with_capacity(DEFER_BATCH),
             frames: Vec::new(),
             stats: InstrStats::default(),
             overhead: OverheadBreakdown::default(),
@@ -95,7 +139,8 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
     }
 
     /// Finishes the run, returning the log, overhead and statistics.
-    pub fn finish(self) -> InstrumentOutput<L> {
+    pub fn finish(mut self) -> InstrumentOutput<L> {
+        self.resolve_pending();
         if literace_telemetry::enabled() {
             let m = literace_telemetry::metrics();
             m.instrument_dispatch_checks.add(self.stats.dispatch_checks);
@@ -136,35 +181,76 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
         &mut self.frames[i]
     }
 
+    /// Captures a sync operation on the hot path — no timestamp, no
+    /// counter-bank traffic; the stamp is issued at batch resolution.
     fn log_sync(&mut self, tid: ThreadId, pc: Pc, kind: SyncOpKind, var: SyncVar, alloc: bool) {
         if !self.cfg.sync_logging {
             return;
         }
-        let units_before = self.bank.contention_units;
-        let timestamp = self.bank.stamp(tid, var);
-        let transfer_units = self.bank.contention_units - units_before;
-        self.log.push(Record::Sync {
+        self.defer(Pending::Sync {
             tid,
             pc,
             kind,
             var,
-            timestamp,
+            alloc,
         });
-        self.stats.sync_records += 1;
-        let base = if alloc {
-            self.cfg.costs.alloc_sync
-        } else {
-            self.cfg.costs.sync_log
-        };
-        // A contended stamp pays one cache-line transfer, however many
-        // threads are queued behind it (the queueing itself is what the
-        // ablation's `contention_units` metric measures).
-        self.overhead.sync_logging += base
-            + if transfer_units > 0 {
-                self.cfg.costs.contended_stamp
-            } else {
-                0
-            };
+    }
+
+    /// Buffers one record, resolving the batch at the boundary.
+    fn defer(&mut self, p: Pending) {
+        self.pending.push(p);
+        if self.pending.len() >= DEFER_BATCH {
+            self.resolve_pending();
+        }
+    }
+
+    /// Batch resolution: replays the buffer in arrival order, stamping
+    /// sync records through the bank and charging their modeled costs.
+    /// The bank's state depends only on the `stamp` call sequence, so
+    /// in-order replay is bit-identical to stamping at event time.
+    fn resolve_pending(&mut self) {
+        let mut drained = std::mem::take(&mut self.pending);
+        for p in drained.drain(..) {
+            match p {
+                Pending::Ready(record) => self.log.push(record),
+                Pending::Sync {
+                    tid,
+                    pc,
+                    kind,
+                    var,
+                    alloc,
+                } => {
+                    let units_before = self.bank.contention_units;
+                    let timestamp = self.bank.stamp(tid, var);
+                    let transfer_units = self.bank.contention_units - units_before;
+                    self.log.push(Record::Sync {
+                        tid,
+                        pc,
+                        kind,
+                        var,
+                        timestamp,
+                    });
+                    self.stats.sync_records += 1;
+                    let base = if alloc {
+                        self.cfg.costs.alloc_sync
+                    } else {
+                        self.cfg.costs.sync_log
+                    };
+                    // A contended stamp pays one cache-line transfer,
+                    // however many threads are queued behind it (the
+                    // queueing itself is what the ablation's
+                    // `contention_units` metric measures).
+                    self.overhead.sync_logging += base
+                        + if transfer_units > 0 {
+                            self.cfg.costs.contended_stamp
+                        } else {
+                            0
+                        };
+                }
+            }
+        }
+        // Nothing is buffered during resolution; keep the allocation.
+        self.pending = drained;
     }
 }
 
@@ -173,12 +259,12 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
         match *event {
             Event::ThreadStart { tid, .. } => {
                 if self.cfg.log_markers {
-                    self.log.push(Record::ThreadBegin { tid });
+                    self.defer(Pending::Ready(Record::ThreadBegin { tid }));
                 }
             }
             Event::ThreadExit { tid } => {
                 if self.cfg.log_markers {
-                    self.log.push(Record::ThreadEnd { tid });
+                    self.defer(Pending::Ready(Record::ThreadEnd { tid }));
                 }
             }
             Event::FunctionEntry { tid, func } => {
@@ -234,13 +320,13 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
                     .map(|f| f.instrumented && f.iter_sampled)
                     .unwrap_or(false);
                 if sampled && self.cfg.access_policy.keeps(addr) {
-                    self.log.push(Record::Mem {
+                    self.defer(Pending::Ready(Record::Mem {
                         tid,
                         pc,
                         addr,
                         is_write,
                         mask: SamplerMask::bit(0),
-                    });
+                    }));
                     self.stats.logged_mem += 1;
                     self.overhead.mem_logging += self.cfg.costs.mem_log;
                 }
@@ -455,6 +541,148 @@ mod tests {
             looped.stats.logged_mem
         );
         assert!(looped.stats.logged_mem >= 10);
+    }
+
+    /// Replays the old stamp-at-event path over the produced log: a fresh
+    /// bank stamped in log order must reproduce every logged timestamp,
+    /// the modeled sync cost, and the contention statistics exactly —
+    /// deferral may not change a single bit of any of them.
+    fn assert_matches_inline_oracle(out: &InstrumentOutput, cfg: &InstrumentConfig) {
+        let mut bank = TimestampBank::with_counters(cfg.timestamp_counters);
+        let mut sync_cost = 0u64;
+        let mut sync_records = 0u64;
+        for r in &out.log {
+            if let Record::Sync {
+                tid,
+                kind,
+                var,
+                timestamp,
+                ..
+            } = r
+            {
+                let before = bank.contention_units;
+                let ts = bank.stamp(*tid, *var);
+                assert_eq!(ts, *timestamp, "deferred stamp diverged on {var}");
+                let base = if matches!(kind, SyncOpKind::AllocPage) {
+                    cfg.costs.alloc_sync
+                } else {
+                    cfg.costs.sync_log
+                };
+                sync_cost += base
+                    + if bank.contention_units > before {
+                        cfg.costs.contended_stamp
+                    } else {
+                        0
+                    };
+                sync_records += 1;
+            }
+        }
+        assert_eq!(out.overhead.sync_logging, sync_cost);
+        assert_eq!(out.stats.sync_records, sync_records);
+        assert!((out.timestamp_contention - bank.contention_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deferred_stamping_matches_the_inline_oracle() {
+        let cfg = InstrumentConfig::default();
+        let (out, _) = run(AlwaysSampler, cfg.clone(), racy_two_threads);
+        assert_matches_inline_oracle(&out, &cfg);
+    }
+
+    #[test]
+    fn deferred_stamping_survives_multiple_batch_resolutions() {
+        // > 3 * DEFER_BATCH sync records, so the buffer resolves several
+        // times mid-run, not only at finish().
+        let cfg = InstrumentConfig::default();
+        let (out, _) = run(AlwaysSampler, cfg.clone(), |b| {
+            let g = b.global_word("g");
+            let m = b.mutex("m");
+            b.entry_fn("main", move |f| {
+                f.loop_(8_000, |f| {
+                    f.lock(m);
+                    f.write(g);
+                    f.unlock(m);
+                });
+            });
+        });
+        assert!(
+            out.stats.sync_records as usize > 3 * DEFER_BATCH,
+            "program too small to cross batch boundaries: {}",
+            out.stats.sync_records
+        );
+        assert_matches_inline_oracle(&out, &cfg);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Deferred resolution is bit-identical to inline stamping on
+        /// random programs, for both the paper bank and the degenerate
+        /// single-counter bank, and per-var monotonicity holds.
+        #[test]
+        fn deferred_oracle_holds_on_random_programs(
+            threads in 2usize..5,
+            globals in 2u64..5,
+            iters in 5u32..40,
+            counters in proptest::prelude::prop_oneof![
+                proptest::prelude::Just(1usize),
+                proptest::prelude::Just(128usize),
+            ],
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let cfg = InstrumentConfig {
+                timestamp_counters: counters,
+                ..InstrumentConfig::default()
+            };
+            let (out, _) = run(AlwaysSampler, cfg.clone(), |b| {
+                let gs: Vec<_> =
+                    (0..globals).map(|i| b.global_word(&format!("g{i}"))).collect();
+                let ms: Vec<_> =
+                    (0..globals).map(|i| b.mutex(&format!("m{i}"))).collect();
+                let w = b.function("w", 0, {
+                    let gs = gs.clone();
+                    let ms = ms.clone();
+                    move |f| {
+                        let mut x = seed | 1;
+                        f.loop_(iters, |f| {
+                            for (g, m) in gs.iter().zip(&ms) {
+                                x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+                                match x % 3 {
+                                    0 => {
+                                        f.lock(*m);
+                                        f.write(*g);
+                                        f.unlock(*m);
+                                    }
+                                    1 => {
+                                        f.read(*g);
+                                    }
+                                    _ => {
+                                        f.write(*g);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                b.entry_fn("main", move |f| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| f.spawn(w, Rvalue::Const(0)))
+                        .collect();
+                    for h in handles {
+                        f.join(h);
+                    }
+                });
+            });
+            assert_matches_inline_oracle(&out, &cfg);
+            let mut last: HashMap<u64, u64> = HashMap::new();
+            for r in &out.log {
+                if let Record::Sync { var, timestamp, .. } = r {
+                    let prev = last.entry(var.0).or_insert(0);
+                    proptest::prop_assert!(timestamp > prev, "regressed on {var}");
+                    *prev = *timestamp;
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::io::Write;
 
-use literace_log::{EventLog, LogError, LogResult, LogWriter, LogWriterV2, Record};
+use literace_log::{EventLog, LogError, LogResult, LogWriter, LogWriterV2, PipelinedSink, Record};
 
 /// A destination for instrumentation records.
 pub trait RecordSink {
@@ -121,6 +121,16 @@ impl<W: Write> RecordSink for V1Sink<W> {
                 self.writer = None;
             }
         }
+    }
+}
+
+/// The pipelined write path is a sink as-is: `push` is already the
+/// infallible raw append (errors stash inside and surface from
+/// [`finish`](PipelinedSink::finish)), so the observer's hot path does no
+/// encoding, checksumming or I/O at all.
+impl<W: Write + Send + 'static> RecordSink for PipelinedSink<W> {
+    fn push(&mut self, record: Record) {
+        PipelinedSink::push(self, record);
     }
 }
 

@@ -53,6 +53,26 @@ impl AtomicFile {
         &self.final_path
     }
 
+    /// Removes a stale `<path>.partial` left behind by a crashed writer
+    /// (a SIGKILL skips [`Drop`], so the temp file survives the process).
+    /// Returns whether one was removed. Call before starting a fresh run
+    /// to the same destination; harmless when nothing is stale.
+    ///
+    /// # Errors
+    ///
+    /// Any `std::io::Error` from removing an existing temp file
+    /// (a missing file is the common case, not an error).
+    pub fn sweep_stale(path: impl AsRef<Path>) -> std::io::Result<bool> {
+        let mut temp_os = path.as_ref().to_path_buf().into_os_string();
+        temp_os.push(".partial");
+        let temp_path = PathBuf::from(temp_os);
+        match std::fs::remove_file(&temp_path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Flushes, fsyncs and renames the temp file onto the destination.
     /// After this returns `Ok`, the destination durably holds every byte
     /// written; on any error the destination is untouched.
@@ -141,6 +161,26 @@ mod tests {
         }
         assert!(!path.exists());
         assert!(std::fs::read_dir(&dir).unwrap().next().is_none(), "temp left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_a_stale_partial_from_a_crashed_run() {
+        let dir = temp_dir("sweep");
+        let path = dir.join("log.bin");
+        // Simulate a crashed run: the temp file exists, Drop never ran.
+        let crashed = {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"torn").unwrap();
+            let temp = f.temp_path.clone();
+            std::mem::forget(f);
+            temp
+        };
+        assert!(crashed.exists(), "stale partial must exist pre-sweep");
+        assert!(AtomicFile::sweep_stale(&path).unwrap());
+        assert!(!crashed.exists(), "sweep must remove the stale partial");
+        // Idempotent: nothing left to sweep.
+        assert!(!AtomicFile::sweep_stale(&path).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

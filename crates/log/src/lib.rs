@@ -38,6 +38,7 @@ pub mod gv;
 mod io;
 pub mod mmap;
 mod parallel;
+mod pipelined;
 mod record;
 pub mod retry;
 pub mod salvage;
@@ -60,6 +61,7 @@ pub use io::{
 };
 pub use bytes::Bytes;
 pub use mmap::{map_or_read, mmap_supported};
+pub use pipelined::{EncodeOpts, PipelinedSink, DEFAULT_BLOCK_RECORDS};
 pub use record::{EventLog, Record, SamplerMask};
 pub use retry::{RetryPolicy, RetryReader};
 pub use salvage::{open_salvage, read_log_salvage, SalvageBlocks, SalvageHandle, SalvageReport};

@@ -98,6 +98,17 @@ pub struct Metrics {
     /// Deepest reorder buffer the parallel-decode consumer needed to
     /// restore sequence order from out-of-order workers.
     pub log_decode_ooo_reorder_depth: MaxGauge,
+    /// Nanoseconds pipelined-encode workers spent encoding sealed blocks.
+    pub log_encode_worker_busy_ns: Counter,
+    /// Nanoseconds pipelined-encode workers spent waiting for sealed
+    /// blocks.
+    pub log_encode_worker_idle_ns: Counter,
+    /// Most raw blocks simultaneously sealed and awaiting an encode
+    /// worker in the pipelined write path.
+    pub log_encode_sealed_blocks_hwm: MaxGauge,
+    /// Most blocks simultaneously in flight between the producer's seal
+    /// and the in-order committer of the pipelined write path.
+    pub log_encode_blocks_inflight_hwm: MaxGauge,
     /// Blocks handed from the decode thread to the streaming channel.
     pub log_stream_blocks: Counter,
     /// Times the decode thread found the streaming channel full and had to
@@ -207,6 +218,10 @@ impl Metrics {
             log_decode_worker_idle_ns: Counter::new(),
             log_decode_blocks_inflight_hwm: MaxGauge::new(),
             log_decode_ooo_reorder_depth: MaxGauge::new(),
+            log_encode_worker_busy_ns: Counter::new(),
+            log_encode_worker_idle_ns: Counter::new(),
+            log_encode_sealed_blocks_hwm: MaxGauge::new(),
+            log_encode_blocks_inflight_hwm: MaxGauge::new(),
             log_stream_blocks: Counter::new(),
             log_stream_stalls: Counter::new(),
             log_stream_queue: LevelGauges::new(),
@@ -237,7 +252,7 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 45] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 47] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
@@ -292,6 +307,14 @@ impl Metrics {
                 "log.decode.worker_idle_ns",
                 &self.log_decode_worker_idle_ns,
             ),
+            (
+                "log.encode.worker_busy_ns",
+                &self.log_encode_worker_busy_ns,
+            ),
+            (
+                "log.encode.worker_idle_ns",
+                &self.log_encode_worker_idle_ns,
+            ),
             ("log.stream.blocks", &self.log_stream_blocks),
             ("log.stream.stalls", &self.log_stream_stalls),
             ("detector.records.routed", &self.detector_records_routed),
@@ -342,7 +365,7 @@ impl Metrics {
     /// Name↔field table for monotonic gauges. `detector.races.suppressed`
     /// lives here because suppression happens after snapshot-producing
     /// detection in some flows and must not look like detector throughput.
-    pub(crate) fn gauges(&self) -> [(&'static str, u64); 5] {
+    pub(crate) fn gauges(&self) -> [(&'static str, u64); 7] {
         [
             (
                 "log.decode.blocks_inflight_hwm",
@@ -351,6 +374,14 @@ impl Metrics {
             (
                 "log.decode.ooo_reorder_depth",
                 self.log_decode_ooo_reorder_depth.get(),
+            ),
+            (
+                "log.encode.sealed_blocks_hwm",
+                self.log_encode_sealed_blocks_hwm.get(),
+            ),
+            (
+                "log.encode.blocks_inflight_hwm",
+                self.log_encode_blocks_inflight_hwm.get(),
             ),
             (
                 "detector.frontier.tracked_hwm",
@@ -402,6 +433,8 @@ impl Metrics {
         self.log_stream_queue.reset();
         self.log_decode_blocks_inflight_hwm.reset();
         self.log_decode_ooo_reorder_depth.reset();
+        self.log_encode_sealed_blocks_hwm.reset();
+        self.log_encode_blocks_inflight_hwm.reset();
         self.detector_frontier_tracked_hwm.reset();
         self.detector_epoch_resident_shared.reset();
         self.detector_races_suppressed.reset();

@@ -300,6 +300,58 @@ fn parallel_decode_pool_is_neutral() {
     assert!(on_snap.counters["log.decode.worker_busy_ns"] >= 1, "{on_snap:?}");
 }
 
+/// The pipelined encode pool is neutral too: writing a log through
+/// `PipelinedSink` yields a byte-stream that decodes to identical records
+/// and identical race reports with telemetry on or off — and the
+/// `log.encode.*` pool metrics surface only while enabled.
+#[test]
+fn pipelined_encode_pool_is_neutral() {
+    use literace::log::{read_log_auto, EncodeOpts, PipelinedSink};
+
+    let _guard = serialized();
+    let w = build(WorkloadId::LfList, Scale::Smoke);
+    let (log, non_stack) = full_log(&w.program, 5);
+    let run = |on: bool| {
+        telemetry::metrics().reset();
+        let out = with_flag(on, || {
+            let mut sink = PipelinedSink::with_opts(
+                Vec::new(),
+                EncodeOpts::with_threads(2).block_records(64),
+            )
+            .expect("pool spawns");
+            for r in &log {
+                sink.push(*r);
+            }
+            let bytes = sink.finish().expect("vec sink");
+            let decoded = read_log_auto(&bytes[..]).expect("clean log decodes");
+            (detect(&decoded, non_stack), bytes)
+        });
+        (out, telemetry::metrics().snapshot())
+    };
+    let (off, off_snap) = run(false);
+    let (on, on_snap) = run(true);
+    assert_eq!(off.0, on.0, "pipelined encode changed the report under telemetry");
+    assert_eq!(off.1, on.1, "pipelined encode changed the bytes under telemetry");
+    for name in ["log.encode.worker_busy_ns", "log.encode.worker_idle_ns"] {
+        assert_eq!(off_snap.counters[name], 0, "{name} recorded while disabled");
+    }
+    for name in [
+        "log.encode.sealed_blocks_hwm",
+        "log.encode.blocks_inflight_hwm",
+    ] {
+        assert_eq!(off_snap.gauges[name], 0, "{name} recorded while disabled");
+    }
+    assert!(on_snap.counters["log.encode.worker_busy_ns"] >= 1, "{on_snap:?}");
+    assert!(
+        on_snap.gauges["log.encode.sealed_blocks_hwm"] >= 1,
+        "{on_snap:?}"
+    );
+    assert!(
+        on_snap.gauges["log.encode.blocks_inflight_hwm"] >= 1,
+        "{on_snap:?}"
+    );
+}
+
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (2u32..5, 2u32..5, 5u32..15, 3u32..7, any::<u64>()).prop_map(
         |(threads, globals, iterations, actions, seed)| SyntheticConfig {
