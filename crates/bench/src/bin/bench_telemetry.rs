@@ -3,12 +3,14 @@
 //! and — the headline — end-to-end overhead of metrics-on vs metrics-off
 //! detection and pipeline runs.
 //!
-//! The binary doubles as the overhead guard: if enabling telemetry slows
-//! detection by more than `--budget-pct` (default 2%) on any measured
-//! workload it exits nonzero, so CI catches a recording site that leaked
-//! onto the hot path. "Off" means the runtime flag is off with the
-//! `telemetry` feature compiled in — the configuration a user who simply
-//! didn't pass `--metrics-out` runs; compile-time off is cheaper still.
+//! The binary doubles as the overhead guard: if enabling telemetry — or
+//! event tracing, measured as its own row — slows detection by more than
+//! `--budget-pct` (default 2%) on any measured workload it exits nonzero,
+//! so CI catches a recording site that leaked onto the hot path. "Off"
+//! means the runtime flag is off with the `telemetry` feature compiled
+//! in — the configuration a user who simply didn't pass `--metrics-out`
+//! runs; compile-time off is cheaper still. "Traced" additionally turns
+//! event tracing on, the `--trace-out` configuration.
 //!
 //! Byte-identical reports on vs off are asserted as a side effect of every
 //! timed pair.
@@ -58,6 +60,35 @@ fn time_pair<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64) {
     (best_off, best_on)
 }
 
+/// Like [`time_pair`] but with a third interleaved round per iteration:
+/// metrics *and* event tracing on (the `--trace-out` configuration).
+/// Trace buffers are reset between rounds outside the timed region so
+/// every traced round records into empty buffers rather than hitting the
+/// capacity bound and measuring drop handling instead of recording.
+fn time_triple<F: FnMut()>(repeats: usize, mut f: F) -> (f64, f64, f64) {
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut best_traced = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        telemetry::set_enabled(false);
+        let t = Instant::now();
+        f();
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+        telemetry::set_enabled(true);
+        let t = Instant::now();
+        f();
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+        telemetry::set_trace_enabled(true);
+        let t = Instant::now();
+        f();
+        best_traced = best_traced.min(t.elapsed().as_secs_f64());
+        telemetry::set_trace_enabled(false);
+        telemetry::reset_trace();
+    }
+    telemetry::set_enabled(false);
+    (best_off, best_on, best_traced)
+}
+
 /// Nanoseconds per op over `iters` calls of `f`, best of 3 rounds.
 fn ns_per_op<F: FnMut(u64)>(iters: u64, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -94,6 +125,7 @@ struct Row {
     seq_on: f64,
     sharded_off: f64,
     sharded_on: f64,
+    sharded_traced: f64,
     pipeline_off: f64,
     pipeline_on: f64,
 }
@@ -192,17 +224,23 @@ fn main() {
         let mut run_cfg = RunConfig::seeded(1);
         run_cfg.detect_threads = 2;
 
-        // Equal reports on vs off, asserted once outside the timed loops.
+        // Equal reports off vs on vs traced, asserted once outside the
+        // timed loops.
         telemetry::set_enabled(false);
         let report_off = detect_sharded(&log, non_stack, &cfg4);
         telemetry::set_enabled(true);
         let report_on = detect_sharded(&log, non_stack, &cfg4);
         assert_eq!(report_off, report_on, "{name}: telemetry changed the report");
+        telemetry::set_trace_enabled(true);
+        let report_traced = detect_sharded(&log, non_stack, &cfg4);
+        telemetry::set_trace_enabled(false);
+        telemetry::reset_trace();
+        assert_eq!(report_off, report_traced, "{name}: tracing changed the report");
 
         let (seq_off, seq_on) = time_pair(repeats, || {
             black_box(detect(&log, non_stack));
         });
-        let (sharded_off, sharded_on) = time_pair(repeats, || {
+        let (sharded_off, sharded_on, sharded_traced) = time_triple(repeats, || {
             black_box(detect_sharded(&log, non_stack, &cfg4));
         });
         let (pipeline_off, pipeline_on) = time_pair(repeats.min(5), || {
@@ -215,6 +253,7 @@ fn main() {
         for (kind, on, off) in [
             ("sequential detect", seq_on, seq_off),
             ("sharded detect", sharded_on, sharded_off),
+            ("sharded traced detect", sharded_traced, sharded_off),
         ] {
             let pct = overhead_pct(on, off);
             if pct > worst.0 {
@@ -236,6 +275,12 @@ fn main() {
             overhead_pct(sharded_on, sharded_off)
         );
         println!(
+            "  sharded(4) traced  : off {:.3} ms, traced {:.3} ms ({:+.2}%)",
+            sharded_off * 1e3,
+            sharded_traced * 1e3,
+            overhead_pct(sharded_traced, sharded_off)
+        );
+        println!(
             "  full pipeline      : off {:.3} ms, on {:.3} ms ({:+.2}%)",
             pipeline_off * 1e3,
             pipeline_on * 1e3,
@@ -248,6 +293,7 @@ fn main() {
             seq_on,
             sharded_off,
             sharded_on,
+            sharded_traced,
             pipeline_off,
             pipeline_on,
         });
@@ -264,7 +310,7 @@ fn main() {
         "  \"host_cpus\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
-    json.push_str("  \"notes\": \"'off' is the runtime flag off with the telemetry feature compiled in; off/on rounds are interleaved within one loop and overhead pct is best-of-N on vs best-of-N off, guarded against budget_pct on the detect rows.\",\n");
+    json.push_str("  \"notes\": \"'off' is the runtime flag off with the telemetry feature compiled in; 'traced' additionally enables event tracing (the --trace-out configuration) with buffers reset between rounds. Off/on/traced rounds are interleaved within one loop and overhead pct is best-of-N vs best-of-N off, guarded against budget_pct on the detect rows including traced.\",\n");
     json.push_str("  \"registry_ns_per_op\": {\n");
     json.push_str(&format!(
         "    \"enabled_check\": {},\n",
@@ -296,6 +342,10 @@ fn main() {
         json.push_str(&format!(
             "      \"sharded4_detect_overhead_pct\": {},\n",
             json_f64(overhead_pct(r.sharded_on, r.sharded_off))
+        ));
+        json.push_str(&format!(
+            "      \"sharded4_traced_overhead_pct\": {},\n",
+            json_f64(overhead_pct(r.sharded_traced, r.sharded_off))
         ));
         json.push_str(&format!(
             "      \"pipeline_overhead_pct\": {},\n",

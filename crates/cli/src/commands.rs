@@ -32,7 +32,7 @@ USAGE:
                [--streaming] [--threads N] [--decode-threads N|auto]
                [--stream-depth N] [--encode-threads N|auto]
                [--block-records N] [--suppress pat1,pat2]
-               [--metrics-out <file>] [--progress]
+               [--metrics-out <file>] [--trace-out <file>] [--progress]
       Instrument, execute, and detect. Optionally write the event log
       (compact v2 blocks by default; --format v1 for the legacy
       fixed-width format) and suppress races in functions matching the
@@ -46,7 +46,10 @@ USAGE:
       workers (v2 only, needs --log), and --block-records sets the
       records-per-block seal point. A stale <file>.partial left by a
       crashed run is swept before writing. --metrics-out writes a JSON
-      telemetry snapshot; --progress prints a heartbeat to stderr.
+      telemetry snapshot; --trace-out records pipeline event tracing and
+      writes a Chrome trace-event JSON file loadable in Perfetto
+      (ui.perfetto.dev) or chrome://tracing; --progress prints a
+      heartbeat to stderr.
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
       Compare all Table 3 samplers on identical interleavings (§5.3).
@@ -57,7 +60,8 @@ USAGE:
   literace detect --log <file> [--detector hb|fasttrack|lockset]
                   [--non-stack <count>] [--threads N] [--no-streaming]
                   [--decode-threads N|auto] [--stream-depth N]
-                  [--salvage] [--metrics-out <file>] [--progress]
+                  [--salvage] [--metrics-out <file>] [--trace-out <file>]
+                  [--progress]
       Run offline detection over a previously written event log (v1 or
       v2; the format is auto-detected). With --threads N ≥ 2, the hb
       detector shards accesses across N workers (byte-identical output).
@@ -72,7 +76,19 @@ USAGE:
       corrupt blocks are skipped where provably safe (no sync records
       lost), the rest is dropped, and the damage tally is printed — a
       salvaged log can never report a race the clean log would not.
-      --metrics-out / --progress export telemetry as under `run`.
+      --metrics-out / --trace-out / --progress export telemetry as under
+      `run`; with --progress, a sealed v2 log's footer total adds a
+      percent-complete segment to the heartbeat line.
+
+  literace explain --workload <name> [--seed 1] [--scale smoke|paper]
+                   [--sampler tl-ad] [--race K]
+  literace explain --log <file> [--non-stack <count>] [--race K]
+      Re-run sequential happens-before detection with provenance capture
+      and print, for each reported race, the two access epochs, thread
+      ids and sites, the vector-clock check that failed, and the last
+      sync-chain edge that would have ordered the pair had it been
+      acquired. --race K limits output to the K-th race (1-based). The
+      race set is byte-identical to `run`/`detect` on the same input.
 
   literace metrics [--in <metrics.json> | --workload <name> [--seed 1]
                    [--scale smoke|paper] [--threads N]]
@@ -97,6 +113,10 @@ USAGE:
 
   literace trace --workload <name> [--limit 40] [--seed 1]
       Print the first events of an execution, human-readably.
+
+  literace trace --in <trace.json> [--top 10]
+      Validate a --trace-out file and print a summary: per-track
+      wall-clock attribution, the longest spans, and stall/race instants.
 ";
 
 fn fail(e: impl std::fmt::Display) -> ExitCode {
@@ -603,6 +623,16 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
     };
     let salvage = flags.is_set("salvage");
     let telemetry = Telemetry::from_flags(&flags);
+    if literace::telemetry::enabled() {
+        // A sealed v2 log's footer declares its record total; publishing
+        // it before decoding lets the --progress heartbeat show
+        // percent-complete. Unsealed or v1 logs leave the gauge at zero.
+        if let Some(total) = literace::log::peek_sealed_total(std::path::Path::new(path)) {
+            literace::telemetry::metrics()
+                .log_decode_total_records
+                .record(total);
+        }
+    }
     let file = File::open(path).map_err(CliError::io("cannot open", path))?;
     // Picks the detector for a materialized log, honoring --detector and
     // --threads the same way on the clean and the salvage path.
@@ -622,6 +652,9 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
             Some(other) => return Err(format!("unknown detector `{other}`").into()),
         })
     };
+    // An error below exits without writing the trace, so the span needs no
+    // balancing on the failure paths.
+    literace::telemetry::trace_begin("phase.detect");
     let (report, heading, salvage_report) = if streaming {
         match flags.get("detector") {
             None | Some("hb") => {}
@@ -670,6 +703,7 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
         let report = detect_materialized(&log)?;
         (report, format!("{} records", log.len()), None)
     };
+    literace::telemetry::trace_end("phase.detect");
     telemetry.finish()?;
     println!(
         "{}: {}, {} static races ({} dynamic)",
@@ -694,6 +728,99 @@ fn detect_inner(args: &[String]) -> Result<(), CliError> {
                 "warning: synchronization records were lost; everything after the \
                  damage was dropped so no false race can be reported"
             );
+        }
+    }
+    Ok(())
+}
+
+/// `literace explain …`
+pub fn explain(args: &[String]) -> ExitCode {
+    match explain_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn explain_inner(args: &[String]) -> Result<(), CliError> {
+    use literace::detector::HbDetector;
+    let flags = crate::args::Flags::parse(args)?;
+    let race_filter: usize = flags.get_parsed("race", 0)?;
+    // Either mode yields (log, non_stack, heading, program-for-names);
+    // detection itself is always the sequential core with capture on —
+    // provenance rides alongside the report and never changes it, so the
+    // race set matches `run`/`detect` on the same input exactly.
+    let (log, non_stack, heading, program) = match (flags.get("log"), flags.get("workload")) {
+        (Some(_), Some(_)) => return Err("--log conflicts with --workload".into()),
+        (Some(path), None) => {
+            let non_stack: u64 = flags.get_parsed("non-stack", 0)?;
+            let file = File::open(path).map_err(CliError::io("cannot open", path))?;
+            let log = read_log_auto(file).map_err(|e| format!("read {path}: {e}"))?;
+            (log, non_stack, path.to_owned(), None)
+        }
+        (None, Some(name)) => {
+            let id = parse_workload(name)?;
+            let scale = parse_scale(&flags)?;
+            let seed: u64 = flags.get_parsed("seed", 1)?;
+            let sampler = match flags.get("sampler") {
+                None => SamplerKind::TlAdaptive,
+                Some(name) => SamplerKind::from_short_name(name)
+                    .ok_or_else(|| format!("unknown sampler `{name}`"))?,
+            };
+            let w = build(id, scale);
+            let cfg = RunConfig::seeded(seed);
+            let outcome =
+                run_literace(&w.program, sampler, &cfg).map_err(|e| e.to_string())?;
+            let heading = format!("{id} ({:?} scale, seed {seed}, {})", scale, sampler.short_name());
+            (
+                outcome.instrumented.log,
+                outcome.summary.non_stack_accesses,
+                heading,
+                Some(w.program),
+            )
+        }
+        (None, None) => {
+            return Err("explain needs --workload <name> or --log <file>".into())
+        }
+    };
+    let mut det = HbDetector::new();
+    det.enable_provenance();
+    det.process_log(&log);
+    let (report, provenance) = det.finish_full(non_stack);
+    let provenance = provenance.expect("provenance was enabled");
+    println!(
+        "{heading}: {} static races ({} dynamic)",
+        report.static_count(),
+        report.dynamic_races
+    );
+    if race_filter > report.static_count() {
+        return Err(format!(
+            "--race {race_filter} is out of range (1..={})",
+            report.static_count()
+        )
+        .into());
+    }
+    let site = |pc: literace::sim::Pc| -> String {
+        match &program {
+            Some(p) => format!("{}+{}", p.function(pc.func()).name, pc.offset()),
+            None => pc.to_string(),
+        }
+    };
+    for (i, r) in report.static_races.iter().enumerate() {
+        let k = i + 1;
+        if race_filter != 0 && k != race_filter {
+            continue;
+        }
+        println!();
+        println!(
+            "race {k}: {} ↔ {} ({} occurrences, {} addresses)",
+            site(r.pcs.0),
+            site(r.pcs.1),
+            r.count,
+            r.distinct_addrs
+        );
+        match provenance.find(r.pcs) {
+            Some(e) => println!("{e}"),
+            None => println!("  (no evidence captured for this pair)"),
         }
     }
     Ok(())
@@ -754,6 +881,17 @@ fn trace_inner(args: &[String]) -> Result<(), CliError> {
         lower, ChunkedRandomScheduler, Event, Machine, MachineConfig, Observer,
     };
     let flags = crate::args::Flags::parse(args)?;
+    if let Some(path) = flags.get("in") {
+        // Summary mode: validate a --trace-out file with the strict
+        // trace-event parser and print the per-track attribution table.
+        let top: usize = flags.get_parsed("top", 10)?;
+        let text =
+            std::fs::read_to_string(path).map_err(CliError::io("cannot read", path))?;
+        let summary = literace::telemetry::validate_chrome_trace(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", literace::telemetry::render_trace_summary(&summary, top));
+        return Ok(());
+    }
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
     let seed: u64 = flags.get_parsed("seed", 1)?;

@@ -6,9 +6,11 @@
 //! literace eval --workload dryad [...]       compare all samplers (§5.3)
 //! literace overhead --workload lkrhash       Table 5 row + Figure 6 bars
 //! literace detect --log run.lrlog [...]      offline detection from a log
+//! literace explain --workload dryad [...]    why each race was reported
 //! literace metrics [--format prom] [...]     export the telemetry registry
 //! literace log-stats --log run.lrlog         log composition and size
 //! literace inspect --workload dryad [...]    program structure + disasm
+//! literace trace --in trace.json [...]       summarize a --trace-out file
 //! ```
 
 mod args;
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         Some("eval") => commands::eval(&argv[1..]),
         Some("overhead") => commands::overhead(&argv[1..]),
         Some("detect") => commands::detect(&argv[1..]),
+        Some("explain") => commands::explain(&argv[1..]),
         Some("metrics") => commands::metrics_cmd(&argv[1..]),
         Some("log-stats") => commands::log_stats(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),

@@ -1,17 +1,22 @@
-//! CLI-side telemetry plumbing: `--metrics-out`, the `--progress`
-//! heartbeat, and snapshot export.
+//! CLI-side telemetry plumbing: `--metrics-out`, `--trace-out`, the
+//! `--progress` heartbeat, and snapshot export.
 //!
-//! Either flag switches the runtime registry on
-//! ([`literace::telemetry::set_enabled`]); recording stays compiled in but
-//! dormant otherwise. The heartbeat is a detached thread sampling the
-//! global registry a few times a second and writing one status line per
-//! tick to stderr — stdout stays clean for reports and exported metrics.
+//! `--metrics-out` and `--progress` switch the runtime registry on
+//! ([`literace::telemetry::set_enabled`]); `--trace-out` additionally
+//! switches event tracing on and drains the per-thread trace buffers into
+//! a Chrome trace-event JSON file at [`Telemetry::finish`]. Recording
+//! stays compiled in but dormant otherwise. The heartbeat is a detached
+//! thread sampling the global registry a few times a second and writing
+//! one status line per tick to stderr — stdout stays clean for reports and
+//! exported metrics.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use literace::telemetry::{metrics, set_enabled, Snapshot};
+use literace::telemetry::{
+    chrome_trace_json, drain_tracks, metrics, set_enabled, set_trace_enabled, Snapshot,
+};
 
 use crate::args::Flags;
 use crate::error::CliError;
@@ -19,28 +24,36 @@ use crate::error::CliError;
 /// Telemetry options shared by the pipeline commands.
 pub struct Telemetry {
     metrics_out: Option<String>,
+    trace_out: Option<String>,
     progress: Option<Heartbeat>,
 }
 
 impl Telemetry {
-    /// Reads `--metrics-out` and `--progress`, enabling the registry and
-    /// starting the heartbeat as requested.
+    /// Reads `--metrics-out`, `--trace-out` and `--progress`, enabling the
+    /// registry (and event tracing) and starting the heartbeat as
+    /// requested.
     pub fn from_flags(flags: &Flags) -> Telemetry {
         let metrics_out = flags.get("metrics-out").map(str::to_owned);
+        let trace_out = flags.get("trace-out").map(str::to_owned);
         let progress = flags.is_set("progress");
-        if metrics_out.is_some() || progress {
+        if metrics_out.is_some() || progress || trace_out.is_some() {
             set_enabled(true);
+        }
+        if trace_out.is_some() {
+            set_trace_enabled(true);
         }
         Telemetry {
             metrics_out,
+            trace_out,
             progress: if progress { Heartbeat::spawn() } else { None },
         }
     }
 
-    /// Stops the heartbeat and writes the JSON snapshot if requested.
+    /// Stops the heartbeat and writes the JSON snapshot and the trace file
+    /// if requested.
     ///
     /// Call once the pipeline work (including suppression) is done, so the
-    /// snapshot carries the final counts.
+    /// snapshot carries the final counts and the trace every span.
     pub fn finish(self) -> Result<(), CliError> {
         if let Some(hb) = self.progress {
             hb.stop();
@@ -49,6 +62,17 @@ impl Telemetry {
             let json = metrics().snapshot().to_json();
             std::fs::write(&path, json).map_err(CliError::io("cannot write", &path))?;
             eprintln!("metrics written to {path}");
+        }
+        if let Some(path) = self.trace_out {
+            set_trace_enabled(false);
+            let tracks = drain_tracks();
+            let json = chrome_trace_json(&tracks);
+            std::fs::write(&path, json).map_err(CliError::io("cannot write", &path))?;
+            eprintln!(
+                "trace written to {path} ({} tracks) — load it in Perfetto \
+                 (ui.perfetto.dev) or chrome://tracing",
+                tracks.len()
+            );
         }
         Ok(())
     }
@@ -91,24 +115,48 @@ fn heartbeat_loop(stop: &AtomicBool) {
             return; // no tick after the command's final output
         }
         let snap = metrics().snapshot();
-        let logged = counter(&snap, "instrument.mem.logged")
-            + counter(&snap, "instrument.sync.logged");
         let routed = counter(&snap, "detector.records.routed");
         let rate = (routed.saturating_sub(last_routed)) as f64 / TICK.as_secs_f64();
         last_routed = routed;
-        let queue_hwm = snap
-            .slots
-            .get("detector.shard.queue_depth_hwm")
-            .map(|v| v.iter().copied().max().unwrap_or(0))
-            .unwrap_or(0);
-        eprintln!(
-            "[literace {:6.1}s] logged {logged} | routed {routed} ({rate:.0}/s) | \
-             stalls stream={} shard={} | shard queue hwm {queue_hwm}",
-            start.elapsed().as_secs_f64(),
-            counter(&snap, "log.stream.stalls"),
-            counter(&snap, "detector.stream.stalls"),
-        );
+        eprintln!("{}", format_heartbeat(start.elapsed().as_secs_f64(), &snap, rate));
     }
+}
+
+/// Renders one `--progress` status line from a registry snapshot.
+///
+/// Pure so the format is unit-testable: elapsed seconds and the
+/// inter-tick routing rate are the only inputs the snapshot cannot carry.
+/// When the input log's footer declared a record total
+/// (`log.decode.total_records`, set before decoding starts), the line ends
+/// with percent-complete; otherwise that segment is omitted.
+fn format_heartbeat(elapsed_s: f64, snap: &Snapshot, rate: f64) -> String {
+    let logged =
+        counter(snap, "instrument.mem.logged") + counter(snap, "instrument.sync.logged");
+    let routed = counter(snap, "detector.records.routed");
+    let queue_hwm = snap
+        .slots
+        .get("detector.shard.queue_depth_hwm")
+        .map(|v| v.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
+    let total = snap
+        .gauges
+        .get("log.decode.total_records")
+        .copied()
+        .unwrap_or(0);
+    let percent = if total > 0 {
+        format!(
+            " | {:.1}% of {total}",
+            100.0 * routed.min(total) as f64 / total as f64
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "[literace {elapsed_s:6.1}s] logged {logged} | routed {routed} ({rate:.0}/s) | \
+         stalls stream={} shard={} | shard queue hwm {queue_hwm}{percent}",
+        counter(snap, "log.stream.stalls"),
+        counter(snap, "detector.stream.stalls"),
+    )
 }
 
 fn counter(snap: &Snapshot, name: &str) -> u64 {
@@ -135,11 +183,39 @@ mod tests {
         let path_str = path.to_str().expect("utf-8 temp path").to_owned();
         let t = Telemetry {
             metrics_out: Some(path_str),
+            trace_out: None,
             progress: None,
         };
         t.finish().expect("snapshot written");
         let json = std::fs::read_to_string(&path).expect("snapshot file exists");
         Snapshot::from_json(&json).expect("snapshot parses");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heartbeat_line_includes_rate_and_percent_when_total_known() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("instrument.mem.logged".into(), 900);
+        snap.counters.insert("instrument.sync.logged".into(), 100);
+        snap.counters.insert("detector.records.routed".into(), 250);
+        snap.counters.insert("log.stream.stalls".into(), 2);
+        snap.counters.insert("detector.stream.stalls".into(), 3);
+        snap.slots
+            .insert("detector.shard.queue_depth_hwm".into(), vec![1, 7, 4]);
+        snap.gauges.insert("log.decode.total_records".into(), 1000);
+        let line = format_heartbeat(1.5, &snap, 625.0);
+        assert_eq!(
+            line,
+            "[literace    1.5s] logged 1000 | routed 250 (625/s) | \
+             stalls stream=2 shard=3 | shard queue hwm 7 | 25.0% of 1000"
+        );
+    }
+
+    #[test]
+    fn heartbeat_line_omits_percent_without_a_total() {
+        let snap = Snapshot::default();
+        let line = format_heartbeat(0.4, &snap, 0.0);
+        assert!(line.ends_with("shard queue hwm 0"), "{line}");
+        assert!(!line.contains('%'), "{line}");
     }
 }

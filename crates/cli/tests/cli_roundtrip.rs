@@ -24,7 +24,9 @@ fn help_lists_every_subcommand() {
         c.arg("help");
         c
     });
-    for sub in ["run", "eval", "overhead", "detect", "log-stats", "inspect", "trace"] {
+    for sub in [
+        "run", "eval", "overhead", "detect", "explain", "log-stats", "inspect", "trace",
+    ] {
         assert!(text.contains(sub), "missing `{sub}` in help:\n{text}");
     }
 }
@@ -77,6 +79,164 @@ fn run_then_detect_round_trips_through_a_log_file() {
         c
     });
     assert!(text.contains("synchronization"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_out_emits_a_valid_chrome_trace_and_summarizes() {
+    let dir = std::env::temp_dir().join("literace_cli_traceout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("run.lrlog");
+    let run_trace = dir.join("run_trace.json");
+    let detect_trace = dir.join("detect_trace.json");
+
+    // A traced run: the execute and detect phases land on the main track.
+    let out = literace()
+        .args([
+            "run",
+            "--workload",
+            "lflist",
+            "--sampler",
+            "Full",
+            "--log",
+            log.to_str().unwrap(),
+            "--trace-out",
+            run_trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trace written to"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&run_trace).unwrap();
+    let summary = literace::telemetry::validate_chrome_trace(&text).expect("valid trace");
+    assert!(summary.total_events > 0);
+    assert!(
+        summary.top_spans.iter().any(|s| s.name == "phase.execute"),
+        "spans: {:?}",
+        summary.top_spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+
+    // A traced sharded detect over the written log.
+    let baseline = stdout_of({
+        let mut c = literace();
+        c.args(["detect", "--log", log.to_str().unwrap(), "--threads", "2"]);
+        c
+    });
+    let out = literace()
+        .args([
+            "detect",
+            "--log",
+            log.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-out",
+            detect_trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Tracing must not perturb detection: stdout is byte-identical.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), baseline);
+    let text = std::fs::read_to_string(&detect_trace).unwrap();
+    let summary = literace::telemetry::validate_chrome_trace(&text).expect("valid trace");
+    assert!(
+        summary.top_spans.iter().any(|s| s.name == "phase.detect"),
+        "spans: {:?}",
+        summary.top_spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(
+        summary.tracks.iter().any(|t| t.name.starts_with("literace-shard-")),
+        "tracks: {:?}",
+        summary.tracks.iter().map(|t| &t.name).collect::<Vec<_>>()
+    );
+
+    // The summary command validates and renders the same file.
+    let text = stdout_of({
+        let mut c = literace();
+        c.args(["trace", "--in", detect_trace.to_str().unwrap(), "--top", "5"]);
+        c
+    });
+    assert!(text.contains("tracks over"), "{text}");
+    assert!(text.contains("phase.detect"), "{text}");
+
+    // Garbage is rejected by the strict parser.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": 3}").unwrap();
+    let out = literace()
+        .args(["trace", "--in", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_prints_epochs_and_the_failed_sync_edge() {
+    let dir = std::env::temp_dir().join("literace_cli_explain");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("run.lrlog");
+    stdout_of({
+        let mut c = literace();
+        c.args([
+            "run",
+            "--workload",
+            "lflist",
+            "--sampler",
+            "Full",
+            "--log",
+            log.to_str().unwrap(),
+        ]);
+        c
+    });
+
+    // Workload mode re-runs the pipeline and explains every race.
+    let text = stdout_of({
+        let mut c = literace();
+        c.args(["explain", "--workload", "lflist", "--sampler", "Full"]);
+        c
+    });
+    assert!(text.contains("static races"), "{text}");
+    assert!(text.contains("prior:"), "{text}");
+    assert!(text.contains("current:"), "{text}");
+    assert!(text.contains("at epoch"), "{text}");
+    assert!(text.contains("ordering check:"), "{text}");
+    assert!(text.contains("unordered"), "{text}");
+    assert!(text.contains("failed edge:"), "{text}");
+    // Every reported race carries evidence (no capture misses).
+    assert!(!text.contains("no evidence captured"), "{text}");
+
+    // Log mode explains a written log; --race narrows to one.
+    let text = stdout_of({
+        let mut c = literace();
+        c.args([
+            "explain",
+            "--log",
+            log.to_str().unwrap(),
+            "--non-stack",
+            "100000",
+            "--race",
+            "1",
+        ]);
+        c
+    });
+    assert!(text.contains("race 1:"), "{text}");
+    assert!(!text.contains("race 2:"), "{text}");
+    assert!(text.contains("ordering check:"), "{text}");
+
+    // Out-of-range --race and missing input fail cleanly.
+    let out = literace()
+        .args(["explain", "--workload", "lflist", "--race", "999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = literace().arg("explain").output().unwrap();
+    assert!(!out.status.success());
+
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

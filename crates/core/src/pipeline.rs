@@ -104,7 +104,10 @@ pub fn run_literace(
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = {
         let _span = literace_telemetry::metrics().phase_execute.span();
-        Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?
+        literace_telemetry::trace_begin("phase.execute");
+        let run = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst);
+        literace_telemetry::trace_end("phase.execute");
+        run?
     };
     let instrumented = inst.finish();
     let report = detect_event_log(
@@ -129,13 +132,16 @@ pub(crate) fn detect_event_log(
     streaming: bool,
 ) -> RaceReport {
     let _span = literace_telemetry::metrics().phase_detect.span();
-    if streaming {
+    literace_telemetry::trace_begin("phase.detect");
+    let report = if streaming {
         let blocks = log.records().chunks(4096).map(|c| Ok(c.to_vec()));
         detect_stream(blocks, non_stack_accesses, cfg)
             .expect("in-memory blocks cannot fail to decode")
     } else {
         detect_sharded(log, non_stack_accesses, cfg)
-    }
+    };
+    literace_telemetry::trace_end("phase.detect");
+    report
 }
 
 /// Runs instrumentation and execution, emitting records into `sink` as
@@ -160,7 +166,10 @@ pub fn run_literace_with_sink<L: RecordSink>(
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = {
         let _span = literace_telemetry::metrics().phase_execute.span();
-        Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst)?
+        literace_telemetry::trace_begin("phase.execute");
+        let run = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut inst);
+        literace_telemetry::trace_end("phase.execute");
+        run?
     };
     Ok((summary, inst.finish()))
 }

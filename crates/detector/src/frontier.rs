@@ -132,7 +132,9 @@ impl Frontier {
     /// in history order. An access races with a remembered one iff it is
     /// by a different thread and not ordered after it (`clock.get(tid) <
     /// epoch`); a write additionally supersedes everything ordered before
-    /// it, a read supersedes only reads ordered before it.
+    /// it, a read supersedes only reads ordered before it. The closure's
+    /// second argument tells whether the remembered access was a write
+    /// (provenance capture needs the access kinds; most callers ignore it).
     // Every argument is consumed on the hot path; bundling them into a
     // struct would only move the construction cost to the caller.
     #[allow(clippy::too_many_arguments)]
@@ -145,7 +147,7 @@ impl Frontier {
         is_write: bool,
         clock: &VectorClock,
         generation: u64,
-        mut conflict: impl FnMut(Access),
+        mut conflict: impl FnMut(Access, bool),
     ) -> usize {
         let key = MemoKey::new(tid, pc, is_write, generation);
         // Resolve the address to its slab slot — through the one-entry
@@ -194,9 +196,9 @@ impl Frontier {
         };
         debug_assert!(current.epoch > 0, "thread clocks start at 1");
         let mut fired = false;
-        let mut conflict = |a: Access| {
+        let mut conflict = |a: Access, was_write: bool| {
             fired = true;
-            conflict(a);
+            conflict(a, was_write);
         };
         let scanned = if loc.slot == INLINE {
             let scanned = usize::from(loc.write.present()) + usize::from(loc.read.present());
@@ -205,7 +207,7 @@ impl Frontier {
                 let mut kept_w = Access::none();
                 if loc.write.present() && clock.get(loc.write.tid) < loc.write.epoch {
                     if loc.write.tid != tid {
-                        conflict(loc.write);
+                        conflict(loc.write, true);
                     }
                     kept_w = loc.write;
                 }
@@ -213,7 +215,7 @@ impl Frontier {
                 let mut kept_r = Access::none();
                 if loc.read.present() && clock.get(loc.read.tid) < loc.read.epoch {
                     if loc.read.tid != tid {
-                        conflict(loc.read);
+                        conflict(loc.read, false);
                     }
                     kept_r = loc.read;
                 }
@@ -249,7 +251,7 @@ impl Frontier {
                     && loc.write.tid != tid
                     && clock.get(loc.write.tid) < loc.write.epoch
                 {
-                    conflict(loc.write);
+                    conflict(loc.write, true);
                 }
                 // Mirror of `reads.retain(..)` on the read path (no
                 // conflicts: read–read is never a race).
@@ -288,14 +290,14 @@ impl Frontier {
                 h.writes.retain(|w| {
                     let keep = clock.get(w.tid) < w.epoch;
                     if keep && w.tid != tid {
-                        conflict(*w);
+                        conflict(*w, true);
                     }
                     keep
                 });
                 h.reads.retain(|r| {
                     let keep = clock.get(r.tid) < r.epoch;
                     if keep && r.tid != tid {
-                        conflict(*r);
+                        conflict(*r, false);
                     }
                     keep
                 });
@@ -304,7 +306,7 @@ impl Frontier {
             } else {
                 for w in &h.writes {
                     if w.tid != tid && clock.get(w.tid) < w.epoch {
-                        conflict(*w);
+                        conflict(*w, true);
                     }
                 }
                 h.reads.retain(|r| clock.get(r.tid) < r.epoch);
@@ -447,7 +449,7 @@ mod tests {
         c
     }
 
-    fn no_conflict(a: Access) {
+    fn no_conflict(a: Access, _w: bool) {
         panic!("unexpected conflict with t{} @ {}", a.tid.index(), a.epoch);
     }
 
@@ -468,7 +470,7 @@ mod tests {
         let mut f = Frontier::new(128);
         f.access(t(0), pc(1), 7, true, &clock(&[1]), 0, no_conflict);
         let mut conflicts = Vec::new();
-        f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |a| conflicts.push(a.tid));
+        f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |a, _| conflicts.push(a.tid));
         assert_eq!(conflicts, vec![t(0)]);
         assert_eq!(f.escalated_locations(), 1);
         assert_eq!(f.stats().escalations, 1);
@@ -487,7 +489,7 @@ mod tests {
         // concurrent write must race with all three.
         f.access(t(2), pc(3), 7, false, &clock(&[0, 0, 1]), 0, no_conflict);
         let mut conflicts = Vec::new();
-        f.access(t(3), pc(4), 7, true, &clock(&[0, 0, 0, 1]), 0, |a| {
+        f.access(t(3), pc(4), 7, true, &clock(&[0, 0, 0, 1]), 0, |a, _| {
             conflicts.push(a.tid)
         });
         assert_eq!(conflicts, vec![t(0), t(1), t(2)]);
@@ -549,7 +551,7 @@ mod tests {
         for _ in 0..3 {
             // Every repeat must re-fire the conflict (pair counts grow in
             // the real detector), so none may hit the memo.
-            f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |_| hits += 1);
+            f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |_, _| hits += 1);
         }
         assert_eq!(hits, 3);
         assert_eq!(f.stats().memo_hits, 0);
@@ -569,7 +571,7 @@ mod tests {
         assert_eq!(f.tracked_locations(), 0);
         // The memo from before the compaction must not fire.
         let mut conflicts = 0;
-        f.access(t(1), pc(2), 7, false, &clock(&[0, 1]), 0, |_| conflicts += 1);
+        f.access(t(1), pc(2), 7, false, &clock(&[0, 1]), 0, |_, _| conflicts += 1);
         assert_eq!(f.stats().memo_hits, 0);
         assert_eq!(conflicts, 0);
         assert_eq!(f.tracked_locations(), 1);
@@ -601,7 +603,7 @@ mod tests {
         let mut conflicts = 0;
         // Concurrent write: conflict fires, but with a 1-entry bound the
         // old entry drains — no escalation, ever.
-        f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |_| conflicts += 1);
+        f.access(t(1), pc(2), 7, true, &clock(&[0, 1]), 0, |_, _| conflicts += 1);
         assert_eq!(conflicts, 1);
         assert_eq!(f.escalated_locations(), 0);
     }

@@ -24,6 +24,7 @@ use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
 use crate::fast_hash::{FastMap, FastSet};
 use crate::frontier::Frontier;
+use crate::provenance::{AccessEvidence, ProvenanceReport, ProvenanceState, SyncEdge};
 use crate::report::{RaceReport, StaticRace};
 use crate::vector_clock::VectorClock;
 
@@ -88,6 +89,10 @@ pub struct HbCore {
     /// accumulated locally and flushed to the global registry at
     /// [`finish`](HbCore::finish).
     scan_hist: literace_telemetry::ScanSampler,
+    /// Race-provenance capture, when enabled (see
+    /// [`enable_provenance`](HbCore::enable_provenance)). Off — the
+    /// default — costs one null check on the conflict path only.
+    provenance: Option<Box<ProvenanceState>>,
 }
 
 impl HbCore {
@@ -102,6 +107,18 @@ impl HbCore {
             frontier: Frontier::new(cfg.max_history_per_location),
             pairs: FastMap::default(),
             scan_hist: literace_telemetry::ScanSampler::new(),
+            provenance: None,
+        }
+    }
+
+    /// Turns on race-provenance capture: the core starts tracking each
+    /// thread's last release and records, for the first dynamic occurrence
+    /// of every static pair, the two access epochs and the sync edge that
+    /// failed to order them (retrieved via [`finish_full`](HbCore::finish_full)).
+    /// The [`RaceReport`] is byte-identical with capture on or off.
+    pub fn enable_provenance(&mut self) {
+        if self.provenance.is_none() {
+            self.provenance = Some(Box::default());
         }
     }
 
@@ -145,6 +162,18 @@ impl HbCore {
             }
         }
         if release {
+            if let Some(p) = self.provenance.as_deref_mut() {
+                // The epoch *before* the increment: an acquire of `var`
+                // imports clock values up to and including this one.
+                p.record_release(
+                    i,
+                    SyncEdge {
+                        var,
+                        kind,
+                        release_epoch: self.threads[i].get(tid),
+                    },
+                );
+            }
             self.syncvars
                 .entry(var)
                 .or_default()
@@ -174,30 +203,71 @@ impl HbCore {
             frontier,
             pairs,
             scan_hist,
+            provenance,
             ..
         } = self;
         let clock = &threads[i];
         let generation = clock_gen[i];
         let max_pair = cfg.max_dynamic_per_pair as u64;
-        let scanned = frontier.access(tid, pc, addr.raw(), is_write, clock, generation, |prior| {
-            let key = if prior.pc <= pc {
-                (prior.pc, pc)
-            } else {
-                (pc, prior.pc)
-            };
-            let agg = pairs.entry(key).or_insert_with(|| PairAgg {
-                stored: 0,
-                overflow: 0,
-                example_addr: addr,
-                addrs: FastSet::default(),
-            });
-            if agg.stored < max_pair {
-                agg.stored += 1;
-                agg.addrs.insert(addr);
-            } else {
-                agg.overflow += 1;
-            }
-        });
+        let mut provenance = provenance.as_deref_mut();
+        let scanned = frontier.access(
+            tid,
+            pc,
+            addr.raw(),
+            is_write,
+            clock,
+            generation,
+            |prior, prior_is_write| {
+                let key = if prior.pc <= pc {
+                    (prior.pc, pc)
+                } else {
+                    (pc, prior.pc)
+                };
+                let agg = pairs.entry(key).or_insert_with(|| PairAgg {
+                    stored: 0,
+                    overflow: 0,
+                    example_addr: addr,
+                    addrs: FastSet::default(),
+                });
+                if agg.stored == 0 && agg.overflow == 0 {
+                    // First dynamic occurrence of this static pair: emit a
+                    // trace instant and capture provenance. Both are off
+                    // the hot path — conflicts are rare, first-per-pair
+                    // conflicts rarer still.
+                    if literace_telemetry::trace_enabled() {
+                        literace_telemetry::trace_instant_detail(
+                            "race.detected",
+                            format!("{} ↔ {} at {addr}", key.0, key.1),
+                        );
+                    }
+                    if let Some(p) = provenance.as_mut() {
+                        p.capture(
+                            key,
+                            addr,
+                            AccessEvidence {
+                                tid: prior.tid,
+                                epoch: prior.epoch,
+                                pc: prior.pc,
+                                is_write: prior_is_write,
+                            },
+                            AccessEvidence {
+                                tid,
+                                epoch: clock.get(tid),
+                                pc,
+                                is_write,
+                            },
+                            clock.get(prior.tid),
+                        );
+                    }
+                }
+                if agg.stored < max_pair {
+                    agg.stored += 1;
+                    agg.addrs.insert(addr);
+                } else {
+                    agg.overflow += 1;
+                }
+            },
+        );
         scan_hist.record(scanned as u64);
     }
 
@@ -252,7 +322,17 @@ impl HbCore {
     /// a linear emit-and-sort — there is no grouping pass over stored
     /// dynamic races. A pair with occurrences but nothing stored (possible
     /// only when `max_dynamic_per_pair` is 0) is omitted entirely.
-    pub fn finish(mut self, non_stack_accesses: u64) -> RaceReport {
+    pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
+        self.finish_full(non_stack_accesses).0
+    }
+
+    /// Like [`finish`](HbCore::finish), additionally returning the
+    /// provenance evidence when capture was enabled (`None` otherwise).
+    pub fn finish_full(
+        mut self,
+        non_stack_accesses: u64,
+    ) -> (RaceReport, Option<ProvenanceReport>) {
+        let provenance = self.provenance.take().map(|p| p.into_report());
         self.frontier.flush_telemetry();
         if literace_telemetry::enabled() {
             let m = literace_telemetry::metrics();
@@ -282,11 +362,12 @@ impl HbCore {
             m.detector_races_static.add(static_races.len() as u64);
             m.detector_races_dynamic.add(dynamic_races);
         }
-        RaceReport {
+        let report = RaceReport {
             static_races,
             dynamic_races,
             non_stack_accesses,
-        }
+        };
+        (report, provenance)
     }
 
     /// Number of addresses with live frontier state (memory footprint).
@@ -406,6 +487,21 @@ impl HbDetector {
     /// Finishes, producing the report.
     pub fn finish(self, non_stack_accesses: u64) -> RaceReport {
         self.core.finish(non_stack_accesses)
+    }
+
+    /// Turns on race-provenance capture (see
+    /// [`HbCore::enable_provenance`]).
+    pub fn enable_provenance(&mut self) {
+        self.core.enable_provenance();
+    }
+
+    /// Finishes, returning the report and — when provenance capture was
+    /// enabled — one [`RaceEvidence`](crate::RaceEvidence) per static pair.
+    pub fn finish_full(
+        self,
+        non_stack_accesses: u64,
+    ) -> (RaceReport, Option<ProvenanceReport>) {
+        self.core.finish_full(non_stack_accesses)
     }
 }
 
@@ -665,6 +761,78 @@ mod tests {
         let report = detect(&log, 20);
         assert_eq!(report.static_count(), 1);
         assert!(report.static_races[0].count >= 10);
+    }
+
+    #[test]
+    fn provenance_captures_epochs_and_the_failed_edge() {
+        // t0 writes, releases a lock; t1 writes without acquiring it: the
+        // race's failed edge is t0's release.
+        let mut d = HbDetector::new();
+        d.enable_provenance();
+        d.process(&mem(t(0), 1, a(0), true));
+        d.process(&sync(t(0), SyncOpKind::LockRelease, v(0), 1));
+        d.process(&mem(t(1), 2, a(0), false));
+        let (report, prov) = d.finish_full(2);
+        assert_eq!(report.static_count(), 1);
+        let prov = prov.expect("capture was enabled");
+        let ev = prov.find(report.static_races[0].pcs).expect("evidence");
+        assert_eq!(ev.prior.tid, t(0));
+        assert!(ev.prior.is_write);
+        assert_eq!(ev.prior.epoch, 1, "t0's clock at the write");
+        assert_eq!(ev.current.tid, t(1));
+        assert!(!ev.current.is_write);
+        assert_eq!(ev.clock_seen, 0, "t1 never saw t0");
+        let edge = ev.failed_edge.expect("t0 released after the write");
+        assert_eq!(edge.var, v(0));
+        assert_eq!(edge.kind, SyncOpKind::LockRelease);
+        assert_eq!(edge.release_epoch, 1);
+    }
+
+    #[test]
+    fn provenance_reports_no_edge_when_none_existed() {
+        let mut d = HbDetector::new();
+        d.enable_provenance();
+        d.process(&mem(t(0), 1, a(0), true));
+        d.process(&mem(t(1), 2, a(0), true));
+        let (report, prov) = d.finish_full(2);
+        assert_eq!(report.static_count(), 1);
+        let prov = prov.unwrap();
+        assert_eq!(prov.races.len(), 1);
+        assert_eq!(prov.races[0].failed_edge, None);
+    }
+
+    #[test]
+    fn provenance_capture_leaves_the_report_byte_identical() {
+        let records = vec![
+            sync(t(0), SyncOpKind::LockAcquire, v(0), 1),
+            mem(t(0), 1, a(0), true),
+            sync(t(0), SyncOpKind::LockRelease, v(0), 2),
+            mem(t(1), 2, a(0), true),
+            mem(t(2), 3, a(1), false),
+            mem(t(1), 4, a(1), true),
+        ];
+        let log: EventLog = records.into_iter().collect();
+        let plain = detect(&log, 6);
+        let mut d = HbDetector::new();
+        d.enable_provenance();
+        d.process_log(&log);
+        let (with_prov, prov) = d.finish_full(6);
+        assert_eq!(plain, with_prov);
+        // Every reported static pair has evidence.
+        let prov = prov.unwrap();
+        for s in &with_prov.static_races {
+            assert!(prov.find(s.pcs).is_some(), "missing evidence for {s}");
+        }
+    }
+
+    #[test]
+    fn provenance_disabled_returns_none() {
+        let mut d = HbDetector::new();
+        d.process(&mem(t(0), 1, a(0), true));
+        d.process(&mem(t(1), 2, a(0), true));
+        let (report, prov) = d.finish_full(2);
+        assert_eq!(report.static_count(), 1);
+        assert!(prov.is_none());
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod hb;
 mod lockset;
 pub mod merge;
 mod online;
+mod provenance;
 mod report;
 pub mod sharded;
 mod streaming;
@@ -63,6 +64,7 @@ pub use fasttrack::{detect_fasttrack, FastTrackDetector};
 pub use hb::{detect, HbConfig, HbCore, HbDetector};
 pub use lockset::{detect_lockset, LocksetDetector};
 pub use online::OnlineDetector;
+pub use provenance::{AccessEvidence, ProvenanceReport, RaceEvidence, SyncEdge};
 pub use sharded::{detect_sharded, DetectConfig};
 pub use streaming::detect_stream;
 pub use report::{DynamicRace, RaceReport, StaticRace};

@@ -328,6 +328,7 @@ pub(crate) fn merge_pairs(
         }
     }
     let _span = literace_telemetry::metrics().phase_merge.span();
+    literace_telemetry::trace_begin("merge");
     let mut dynamic_races = 0;
     let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
     for (pcs, mut races) in by_pair {
@@ -352,6 +353,7 @@ pub(crate) fn merge_pairs(
         m.detector_races_static.add(static_races.len() as u64);
         m.detector_races_dynamic.add(dynamic_races);
     }
+    literace_telemetry::trace_end("merge");
     RaceReport {
         static_races,
         dynamic_races,
@@ -362,8 +364,14 @@ pub(crate) fn merge_pairs(
 /// One worker: replays its own pre-partitioned access stream against the
 /// shared clock timeline. Pure frontier work — no sync replay, no clock
 /// mutation, no cloning.
-fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> ShardPairs {
+fn run_shard(
+    events: &[ShardEvent],
+    timeline: &Timeline,
+    max_history: usize,
+    trace: &mut literace_telemetry::TraceBuf,
+) -> ShardPairs {
     let _span = literace_telemetry::metrics().phase_shard_replay.span();
+    trace.begin("shard.replay");
     let mut scan_hist = literace_telemetry::ScanSampler::new();
     let mut frontier = Frontier::new(max_history);
     let mut pairs = ShardPairs::default();
@@ -397,7 +405,7 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
             is_write,
             clock,
             u64::from(generation),
-            |prior| {
+            |prior, _| {
                 let key = if prior.pc <= pc {
                     (prior.pc, pc)
                 } else {
@@ -412,6 +420,7 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
     if literace_telemetry::enabled() {
         scan_hist.flush_into(&literace_telemetry::metrics().detector_frontier_scan);
     }
+    trace.end("shard.replay");
     pairs
 }
 
@@ -419,30 +428,47 @@ fn run_shard(events: &[ShardEvent], timeline: &Timeline, max_history: usize) -> 
 /// threads (the calling thread works the first chunk itself). Shards are
 /// fully independent, so any worker/shard assignment produces the same
 /// per-shard outputs; results are returned in shard order regardless.
+/// Each worker gets an explicitly named trace track (`literace-replay-N`)
+/// because the scoped threads themselves are unnamed.
 fn run_shards(
     streams: &[Vec<ShardEvent>],
     timeline: &Timeline,
     max_history: usize,
     workers: usize,
 ) -> Vec<ShardPairs> {
-    let each = |events: &Vec<ShardEvent>| run_shard(events, timeline, max_history);
+    let each = |events: &Vec<ShardEvent>, trace: &mut literace_telemetry::TraceBuf| {
+        run_shard(events, timeline, max_history, trace)
+    };
     if workers <= 1 {
-        return streams.iter().map(each).collect();
+        let mut trace = literace_telemetry::TraceBuf::new("literace-replay-0");
+        return streams.iter().map(|ev| each(ev, &mut trace)).collect();
     }
     let chunk = streams.len().div_ceil(workers);
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = streams
             .chunks(chunk)
             .skip(1)
-            .map(|group| s.spawn(move |_| group.iter().map(each).collect::<Vec<ShardPairs>>()))
+            .enumerate()
+            .map(|(i, group)| {
+                s.spawn(move |_| {
+                    let mut trace =
+                        literace_telemetry::TraceBuf::new(format!("literace-replay-{}", i + 1));
+                    group
+                        .iter()
+                        .map(|ev| each(ev, &mut trace))
+                        .collect::<Vec<ShardPairs>>()
+                })
+            })
             .collect();
+        let mut trace = literace_telemetry::TraceBuf::new("literace-replay-0");
         let mut all: Vec<ShardPairs> = streams
             .chunks(chunk)
             .next()
             .unwrap_or(&[])
             .iter()
-            .map(each)
+            .map(|ev| each(ev, &mut trace))
             .collect();
+        drop(trace);
         for h in handles {
             all.extend(h.join().expect("shard worker panicked"));
         }
@@ -477,7 +503,10 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
 
     let (timeline, streams) = {
         let _span = literace_telemetry::metrics().phase_sync_prepass.span();
-        build_plan(log.records(), shards)
+        literace_telemetry::trace_begin("sync.prepass");
+        let plan = build_plan(log.records(), shards);
+        literace_telemetry::trace_end("sync.prepass");
+        plan
     };
     if literace_telemetry::enabled() {
         let m = literace_telemetry::metrics();

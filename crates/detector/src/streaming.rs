@@ -281,6 +281,7 @@ fn send_msg(sender: &SyncSender<ShardMsg>, shard: usize, msg: ShardMsg) {
         Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
         Err(std::sync::mpsc::TrySendError::Full(msg)) => {
             m.detector_stream_stalls.add(1);
+            literace_telemetry::trace_instant("shard.send.stall");
             sender.send(msg).is_ok()
         }
     };
@@ -312,6 +313,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
         });
         match msg {
             ShardMsg::Compact(clocks) => {
+                literace_telemetry::trace_instant("shard.compact");
                 let live: Vec<&VectorClock> = clocks.iter().map(Arc::as_ref).collect();
                 frontier.compact(&live);
             }
@@ -319,6 +321,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
                 if literace_telemetry::enabled() {
                     literace_telemetry::metrics().detector_shard_queue.dec(shard);
                 }
+                literace_telemetry::trace_begin("shard.batch");
                 for ev in &events {
                     let scanned = frontier.access(
                         ev.tid,
@@ -327,7 +330,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
                         ev.is_write,
                         &ev.clock,
                         ev.generation,
-                        |prior| {
+                        |prior, _| {
                             let key = if prior.pc <= ev.pc {
                                 (prior.pc, ev.pc)
                             } else {
@@ -338,6 +341,7 @@ fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) ->
                     );
                     scan_hist.record(scanned as u64);
                 }
+                literace_telemetry::trace_end("shard.batch");
             }
         }
         if let Some(busy) = busy {

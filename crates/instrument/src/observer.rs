@@ -209,6 +209,7 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
     /// The bank's state depends only on the `stamp` call sequence, so
     /// in-order replay is bit-identical to stamping at event time.
     fn resolve_pending(&mut self) {
+        literace_telemetry::trace_begin("instrument.resolve_batch");
         let mut drained = std::mem::take(&mut self.pending);
         for p in drained.drain(..) {
             match p {
@@ -251,6 +252,7 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
         }
         // Nothing is buffered during resolution; keep the allocation.
         self.pending = drained;
+        literace_telemetry::trace_end("instrument.resolve_batch");
     }
 }
 

@@ -71,8 +71,9 @@ pub use stream::{
     DEFAULT_STREAM_DEPTH, MAX_STREAM_DEPTH, V1_BLOCK_RECORDS,
 };
 pub use v2::{
-    decode_block, encode_block, encode_block_rev, encode_v2, encode_v2_rev, LogWriterV2,
-    SealState, V2Blocks, DEFAULT_BLOCK_BYTES, V2_MAGIC, V2_REV_DELTA, V2_REV_GV, V2_VERSION,
+    decode_block, encode_block, encode_block_rev, encode_v2, encode_v2_rev, peek_sealed_total,
+    LogWriterV2, SealState, V2Blocks, DEFAULT_BLOCK_BYTES, V2_MAGIC, V2_REV_DELTA, V2_REV_GV,
+    V2_VERSION,
 };
 pub use varint::{
     get_delta, get_delta_slice, get_varint, get_varint_slice, put_delta, put_varint, unzigzag,

@@ -241,8 +241,10 @@ fn scan<S: ScanSource>(
 ) {
     let mut seq = 0u64;
     let finish = |seq: u64, t: Terminal| {
+        literace_telemetry::trace_end("scan");
         let _ = terminal.send((seq, t));
     };
+    literace_telemetry::trace_begin("scan");
     loop {
         if abort.load(Ordering::Acquire) {
             let drained = if salvage { src.drain() } else { 0 };
@@ -287,6 +289,7 @@ fn scan<S: ScanSource>(
                 .log_decode_blocks_inflight_hwm
                 .record(in_flight);
         }
+        literace_telemetry::trace_counter("decode.blocks_inflight", in_flight);
         if jobs
             .send(Job {
                 seq,
@@ -336,6 +339,7 @@ fn worker(
                 .add(t0.elapsed().as_nanos() as u64);
         }
         let busy_start = literace_telemetry::enabled().then(std::time::Instant::now);
+        literace_telemetry::trace_begin("decode.block");
         let result = if abort.load(Ordering::Acquire) {
             // The consumer only needs the head for byte accounting now;
             // skip the decode work.
@@ -343,6 +347,7 @@ fn worker(
         } else {
             decode_job(&mut state, &job, rev)
         };
+        literace_telemetry::trace_end("decode.block");
         if let Some(t0) = busy_start {
             let m = literace_telemetry::metrics();
             let ns = t0.elapsed().as_nanos() as u64;
@@ -423,16 +428,21 @@ impl Consumer {
         let mut pending: BTreeMap<u64, Done> = BTreeMap::new();
         let mut next = 0u64;
         while let Ok(done) = results.recv() {
-            if done.seq != next && literace_telemetry::enabled() {
-                literace_telemetry::metrics()
-                    .log_decode_ooo_reorder_depth
-                    .record(pending.len() as u64 + 1);
+            if done.seq != next {
+                if literace_telemetry::enabled() {
+                    literace_telemetry::metrics()
+                        .log_decode_ooo_reorder_depth
+                        .record(pending.len() as u64 + 1);
+                }
+                literace_telemetry::trace_instant("consume.reorder");
             }
             pending.insert(done.seq, done);
             while let Some(done) = pending.remove(&next) {
                 next += 1;
                 self.inflight.fetch_sub(1, Ordering::AcqRel);
+                literace_telemetry::trace_begin("consume.block");
                 self.handle(done);
+                literace_telemetry::trace_end("consume.block");
             }
         }
         // Workers have all exited, so the scanner is finished too and its

@@ -174,12 +174,14 @@ fn encode_worker(
                 .add(t0.elapsed().as_nanos() as u64);
         }
         let busy_start = literace_telemetry::enabled().then(std::time::Instant::now);
+        literace_telemetry::trace_begin("encode.block");
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut bytes = BytesMut::new();
             encode_block_rev(&job.records, &mut bytes, rev);
             bytes
         }))
         .map_err(|payload| panic_message(payload.as_ref()));
+        literace_telemetry::trace_end("encode.block");
         if let Some(t0) = busy_start {
             literace_telemetry::metrics()
                 .log_encode_worker_busy_ns
@@ -243,6 +245,7 @@ impl<W: Write> Committer<W> {
                         continue;
                     }
                 };
+                literace_telemetry::trace_begin("commit.block");
                 let rev = self.rev;
                 let commit = (|| -> LogResult<()> {
                     if !header_written {
@@ -265,6 +268,7 @@ impl<W: Write> Committer<W> {
                     }
                     Err(e) => error = Some(e),
                 }
+                literace_telemetry::trace_end("commit.block");
             }
         }
         if let Some(e) = error {

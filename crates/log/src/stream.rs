@@ -546,11 +546,15 @@ where
     })
 }
 
-fn decode_loop<I>(blocks: I, sender: SyncSender<LogResult<Vec<Record>>>)
+fn decode_loop<I>(mut blocks: I, sender: SyncSender<LogResult<Vec<Record>>>)
 where
     I: Iterator<Item = LogResult<Vec<Record>>>,
 {
-    for block in blocks {
+    loop {
+        literace_telemetry::trace_begin("stream.decode_block");
+        let block = blocks.next();
+        literace_telemetry::trace_end("stream.decode_block");
+        let Some(block) = block else { return };
         if !push_output(&sender, block) {
             // Consumer dropped the stream; stop decoding.
             return;
@@ -578,6 +582,7 @@ pub(crate) fn push_output(
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
             Err(std::sync::mpsc::TrySendError::Full(item)) => {
                 m.log_stream_stalls.add(1);
+                literace_telemetry::trace_instant("stream.send.stall");
                 if sender.send(item).is_err() {
                     return false;
                 }

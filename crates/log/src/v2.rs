@@ -190,6 +190,33 @@ pub(crate) fn parse_frame(frame: &[u8; FRAME_BYTES]) -> LogResult<Frame> {
     }))
 }
 
+/// Reads the total record count a sealed v2 log declares in its footer,
+/// without decoding anything: checks the magic, then parses the trailing
+/// 24-byte frame. Returns `None` for v1 logs, unsealed v2 logs, torn
+/// footers, or files too short to hold one — this is a progress hint, so
+/// every failure degrades to "unknown" rather than an error.
+pub fn peek_sealed_total(path: &std::path::Path) -> Option<u64> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut magic = [0u8; 4];
+    f.read_exact(&mut magic).ok()?;
+    if magic != V2_MAGIC {
+        return None;
+    }
+    let len = f.seek(SeekFrom::End(0)).ok()?;
+    // Header (magic + version) plus at least the footer frame.
+    if len < (5 + FRAME_BYTES) as u64 {
+        return None;
+    }
+    f.seek(SeekFrom::Start(len - FRAME_BYTES as u64)).ok()?;
+    let mut frame = [0u8; FRAME_BYTES];
+    f.read_exact(&mut frame).ok()?;
+    match parse_frame(&frame) {
+        Ok(Frame::Footer(foot)) => Some(foot.total_records),
+        _ => None,
+    }
+}
+
 /// Builds a checksummed block frame for `payload`.
 pub(crate) fn make_block_frame(
     payload: &[u8],
@@ -1326,6 +1353,30 @@ mod tests {
         let bytes = encode_v2(&records);
         assert_eq!(bytes[4], V2_REV_GV, "default revision is group varint");
         assert_eq!(decode_stream(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn peek_sealed_total_reads_the_footer() {
+        let records = sample_records();
+        let bytes = encode_v2(&records);
+        let dir = std::env::temp_dir();
+        let sealed = dir.join("literace_peek_sealed.lrl");
+        std::fs::write(&sealed, &bytes).unwrap();
+        assert_eq!(peek_sealed_total(&sealed), Some(records.len() as u64));
+
+        // Truncating the footer leaves an unsealed log: no total.
+        let torn = dir.join("literace_peek_torn.lrl");
+        std::fs::write(&torn, &bytes[..bytes.len() - FRAME_BYTES]).unwrap();
+        assert_eq!(peek_sealed_total(&torn), None);
+
+        // Non-v2 bytes: no total.
+        let v1 = dir.join("literace_peek_v1.lrl");
+        std::fs::write(&v1, b"\x01not a v2 log, just some bytes....").unwrap();
+        assert_eq!(peek_sealed_total(&v1), None);
+
+        for p in [sealed, torn, v1] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -42,6 +42,8 @@ mod metrics;
 mod registry;
 pub mod snapshot;
 mod span;
+pub mod trace;
+pub mod trace_export;
 
 pub use json::{parse_json, JsonValue};
 pub use metrics::{
@@ -51,6 +53,15 @@ pub use metrics::{
 pub use registry::{metrics, Metrics};
 pub use snapshot::{HistogramSnapshot, PhaseSnapshot, Snapshot, SCHEMA_VERSION};
 pub use span::{PhaseStats, SpanGuard};
+pub use trace::{
+    drain_tracks, reset_trace, trace_begin, trace_counter, trace_end, trace_flush_local,
+    trace_instant, trace_instant_detail, trace_now_ns, TraceBuf, TraceEvent, TraceKind,
+    TrackData,
+};
+pub use trace_export::{
+    chrome_trace_json, render_trace_summary, validate_chrome_trace, SpanStat, TraceSummary,
+    TrackSummary,
+};
 
 #[cfg(feature = "enabled")]
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,6 +96,44 @@ pub fn set_enabled(on: bool) {
 /// Turns runtime recording on or off (no-op: the `enabled` feature is off).
 #[cfg(not(feature = "enabled"))]
 pub fn set_enabled(_on: bool) {}
+
+#[cfg(feature = "enabled")]
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether event tracing is on, both at compile time and at runtime.
+///
+/// Independent of [`enabled`] — `--metrics-out` alone records no trace
+/// events, and `--trace-out` does not switch the metrics registry on.
+/// `const false` without the `enabled` feature, so guarded recording sites
+/// compile away.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether event tracing is on (the `enabled` feature is off, so: no).
+#[cfg(not(feature = "enabled"))]
+#[inline]
+pub const fn trace_enabled() -> bool {
+    false
+}
+
+/// Turns runtime event tracing on or off. Enabling pins the trace clock
+/// base, so timestamps count from (roughly) this call. No-op when the
+/// feature is off.
+#[cfg(feature = "enabled")]
+pub fn set_trace_enabled(on: bool) {
+    if on {
+        trace::init_clock_base();
+    }
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Turns runtime event tracing on or off (no-op: the `enabled` feature is
+/// off).
+#[cfg(not(feature = "enabled"))]
+pub fn set_trace_enabled(_on: bool) {}
 
 #[cfg(test)]
 mod tests {

@@ -117,6 +117,10 @@ pub struct Metrics {
     /// Occupancy of the decode→detect channel (slot 0), with high-water
     /// mark.
     pub log_stream_queue: LevelGauges<1>,
+    /// Total records a sealed v2 log declares in its footer — set before
+    /// decoding starts so progress reporting can compute percent-complete.
+    /// Zero when the input is unsealed or the total is unknown.
+    pub log_decode_total_records: MaxGauge,
     /// Log records attributed per thread (populated by `log-stats`).
     pub log_records_by_thread: SlotCounters<SLOTS>,
 
@@ -225,6 +229,7 @@ impl Metrics {
             log_stream_blocks: Counter::new(),
             log_stream_stalls: Counter::new(),
             log_stream_queue: LevelGauges::new(),
+            log_decode_total_records: MaxGauge::new(),
             log_records_by_thread: SlotCounters::new(),
             detector_records_routed: Counter::new(),
             detector_shard_events: SlotCounters::new(),
@@ -365,11 +370,15 @@ impl Metrics {
     /// Name↔field table for monotonic gauges. `detector.races.suppressed`
     /// lives here because suppression happens after snapshot-producing
     /// detection in some flows and must not look like detector throughput.
-    pub(crate) fn gauges(&self) -> [(&'static str, u64); 7] {
+    pub(crate) fn gauges(&self) -> [(&'static str, u64); 8] {
         [
             (
                 "log.decode.blocks_inflight_hwm",
                 self.log_decode_blocks_inflight_hwm.get(),
+            ),
+            (
+                "log.decode.total_records",
+                self.log_decode_total_records.get(),
             ),
             (
                 "log.decode.ooo_reorder_depth",
@@ -432,6 +441,7 @@ impl Metrics {
         self.detector_shard_queue.reset();
         self.log_stream_queue.reset();
         self.log_decode_blocks_inflight_hwm.reset();
+        self.log_decode_total_records.reset();
         self.log_decode_ooo_reorder_depth.reset();
         self.log_encode_sealed_blocks_hwm.reset();
         self.log_encode_blocks_inflight_hwm.reset();

@@ -454,13 +454,22 @@ fn write_u64_section(
     out.push_str(if last { "\n" } else { ",\n" });
 }
 
+/// Reads a named object section. An absent section parses as empty, and
+/// unknown sections (or unknown fields inside known entries) are simply
+/// never looked at — snapshots written by a future version that *adds*
+/// keys still load here; the `schema_version` gate is reserved for
+/// incompatible changes to keys this reader does consume.
 fn section<'a>(
     root: &'a JsonValue,
     name: &str,
 ) -> Result<&'a BTreeMap<String, JsonValue>, String> {
-    root.get(name)
-        .and_then(JsonValue::as_object)
-        .ok_or_else(|| format!("missing section {name}"))
+    static EMPTY: BTreeMap<String, JsonValue> = BTreeMap::new();
+    match root.get(name) {
+        None => Ok(&EMPTY),
+        Some(v) => v
+            .as_object()
+            .ok_or_else(|| format!("section {name} is not an object")),
+    }
 }
 
 fn field_u64(owner: &str, v: &JsonValue, field: &str) -> Result<u64, String> {
@@ -500,6 +509,74 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.to_json(), json, "serialization is deterministic");
         assert_eq!(back.derived["log.decode.v2.mb_per_s"], 1.0);
+    }
+
+    #[test]
+    fn exporters_emit_the_same_metric_name_set() {
+        let m = Metrics::new();
+        m.detector_frontier_scan.record(3);
+        m.log_decode_v2_ns.add(1_000_000);
+        m.log_decode_v2_bytes.add(1 << 20);
+        let snap = m.snapshot();
+
+        // Every name the JSON snapshot carries, sanitized the way the
+        // Prometheus exporter does (phases expand to their three series).
+        let mut json_names: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        json_names.extend(snap.counters.keys().map(|n| prom_name(n)));
+        json_names.extend(snap.gauges.keys().map(|n| prom_name(n)));
+        json_names.extend(snap.slots.keys().map(|n| prom_name(n)));
+        json_names.extend(snap.histograms.keys().map(|n| prom_name(n)));
+        for n in snap.phases.keys() {
+            let p = prom_name(n);
+            json_names.insert(format!("{p}_total_ns"));
+            json_names.insert(format!("{p}_count"));
+            json_names.insert(format!("{p}_max_ns"));
+        }
+        json_names.extend(snap.derived.keys().map(|n| prom_name(n)));
+
+        // Every family the Prometheus exporter declares.
+        let prom = snap.to_prometheus();
+        let prom_names: std::collections::BTreeSet<String> = prom
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|rest| rest.split(' ').next().unwrap().to_owned())
+            .collect();
+
+        assert_eq!(
+            json_names, prom_names,
+            "JSON and Prometheus exporters disagree on the metric set"
+        );
+    }
+
+    #[test]
+    fn from_json_ignores_unknown_keys() {
+        let m = Metrics::new();
+        m.instrument_dispatch_checks.add(3);
+        m.detector_frontier_scan.record(7);
+        m.phase_detect.record_ns(11);
+        let snap = m.snapshot();
+        // A future writer adds a top-level section, a field inside the
+        // first histogram entry, and a field inside the first phase entry;
+        // this reader must skip all three and recover the same snapshot.
+        let patched = snap
+            .to_json()
+            .replacen(
+                "\"counters\"",
+                "\"future_section\": {\"x\": 1}, \"counters\"",
+                1,
+            )
+            .replacen("\"count\":", "\"future_field\": \"y\", \"count\":", 2);
+        assert_eq!(Snapshot::from_json(&patched).expect("parses"), snap);
+    }
+
+    #[test]
+    fn from_json_tolerates_absent_sections() {
+        let minimal = format!("{{\"schema_version\": {SCHEMA_VERSION}}}");
+        assert_eq!(
+            Snapshot::from_json(&minimal).expect("parses"),
+            Snapshot::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,539 @@
+//! Chrome trace-event export, strict validation, and summary statistics
+//! for drained trace tracks.
+//!
+//! The emitted document is the JSON object form of the [trace-event
+//! format]: `{"traceEvents": [...]}` with `ph` `B`/`E` spans, `i`
+//! instants, `C` counters, and `M` `thread_name` metadata, timestamps in
+//! fractional microseconds. It loads directly in `ui.perfetto.dev` and
+//! `chrome://tracing`. Export is deterministic: tracks are sorted by name
+//! and assigned dense `tid`s, and numbers are formatted with fixed
+//! precision.
+//!
+//! [`validate_chrome_trace`] is the strict consumer used by tests, CI and
+//! `literace trace --in`: it re-parses a document, enforces balanced
+//! begin/end per track and monotonic timestamps, and returns the
+//! per-track attribution that [`render_trace_summary`] formats.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{escape_into, parse_json, JsonValue};
+use crate::trace::{TraceKind, TrackData};
+
+/// All events share one process id in the export.
+const PID: u64 = 1;
+
+/// Formats `ns` nanoseconds as fractional microseconds (the trace-event
+/// `ts` unit) without going through floating point.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders drained tracks as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(tracks: &[TrackData]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |s: &str| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(s);
+    };
+    for (tid, track) in tracks.iter().enumerate() {
+        let mut name = String::new();
+        escape_into(&track.track, &mut name);
+        push_event(&format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+        for ev in &track.events {
+            let mut ename = String::new();
+            escape_into(ev.name, &mut ename);
+            let ts = ts_us(ev.ts_ns);
+            let line = match ev.kind {
+                TraceKind::Begin | TraceKind::End => {
+                    let ph = if ev.kind == TraceKind::Begin { 'B' } else { 'E' };
+                    let args = match &ev.detail {
+                        Some(d) => {
+                            let mut detail = String::new();
+                            escape_into(d, &mut detail);
+                            format!(",\"args\":{{\"detail\":\"{detail}\"}}")
+                        }
+                        None => String::new(),
+                    };
+                    format!(
+                        "{{\"ph\":\"{ph}\",\"name\":\"{ename}\",\"cat\":\"literace\",\
+                         \"pid\":{PID},\"tid\":{tid},\"ts\":{ts}{args}}}"
+                    )
+                }
+                TraceKind::Instant => {
+                    let args = match &ev.detail {
+                        Some(d) => {
+                            let mut detail = String::new();
+                            escape_into(d, &mut detail);
+                            format!(",\"args\":{{\"detail\":\"{detail}\"}}")
+                        }
+                        None => String::new(),
+                    };
+                    format!(
+                        "{{\"ph\":\"i\",\"name\":\"{ename}\",\"cat\":\"literace\",\
+                         \"pid\":{PID},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\"{args}}}"
+                    )
+                }
+                TraceKind::Counter(v) => format!(
+                    "{{\"ph\":\"C\",\"name\":\"{ename}\",\"cat\":\"literace\",\
+                     \"pid\":{PID},\"tid\":{tid},\"ts\":{ts},\"args\":{{\"value\":{v}}}}}"
+                ),
+            };
+            push_event(&line);
+        }
+        if track.dropped > 0 {
+            let last_ts = track.events.last().map_or(0, |e| e.ts_ns);
+            push_event(&format!(
+                "{{\"ph\":\"C\",\"name\":\"trace.dropped\",\"cat\":\"literace\",\
+                 \"pid\":{PID},\"tid\":{tid},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                ts_us(last_ts),
+                track.dropped
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One completed span, attributed to its track.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Track (thread) name.
+    pub track: String,
+    /// Span name.
+    pub name: String,
+    /// Start, nanoseconds since the trace clock base.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-track attribution computed during validation.
+#[derive(Debug, Clone)]
+pub struct TrackSummary {
+    /// Track (thread) name from `thread_name` metadata.
+    pub name: String,
+    /// Track id in the document.
+    pub tid: u64,
+    /// Events on the track (excluding metadata).
+    pub events: usize,
+    /// Completed spans.
+    pub spans: usize,
+    /// Wall-clock covered by *top-level* spans (nested spans don't double
+    /// count), nanoseconds.
+    pub busy_ns: u64,
+    /// Instant events.
+    pub instants: usize,
+    /// Instants whose name mentions a stall (queue backpressure marks).
+    pub stalls: usize,
+    /// Events the recorder dropped at its capacity bound (from the
+    /// `trace.dropped` counter).
+    pub dropped: u64,
+}
+
+/// The validated shape of a trace document.
+#[derive(Debug)]
+pub struct TraceSummary {
+    /// Per-track attribution, in document `tid` order.
+    pub tracks: Vec<TrackSummary>,
+    /// Total non-metadata events.
+    pub total_events: usize,
+    /// Largest timestamp seen, nanoseconds.
+    pub wall_ns: u64,
+    /// Every completed span, longest first.
+    pub top_spans: Vec<SpanStat>,
+}
+
+/// Parses and strictly validates a Chrome trace-event JSON document.
+///
+/// Enforced per track (`pid`/`tid` pair): every `E` closes a matching open
+/// `B` with the same name, no span is left open at the end, and
+/// timestamps are monotonically non-decreasing. Every track with events
+/// must carry a `thread_name` metadata record with a unique name.
+///
+/// # Errors
+///
+/// Returns a message describing the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = parse_json(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+
+    struct TrackState {
+        tid: u64,
+        name: Option<String>,
+        last_ts: u64,
+        open: Vec<(String, u64)>,
+        summary: TrackSummary,
+    }
+    let mut tracks: Vec<TrackState> = Vec::new();
+    // (tid, name, start_ns, dur_ns); resolved to track names after the
+    // metadata pass.
+    let mut spans: Vec<(u64, String, u64, u64)> = Vec::new();
+    let mut total_events = 0usize;
+    let mut wall_ns = 0u64;
+
+    fn field_str<'a>(ev: &'a JsonValue, key: &str, i: usize) -> Result<&'a str, String> {
+        ev.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing string field \"{key}\""))
+    }
+    fn field_u64(ev: &JsonValue, key: &str, i: usize) -> Result<u64, String> {
+        ev.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("event {i}: missing integer field \"{key}\""))
+    }
+
+    for (i, ev) in events.iter().enumerate() {
+        if ev.as_object().is_none() {
+            return Err(format!("event {i}: not an object"));
+        }
+        let ph = field_str(ev, "ph", i)?;
+        let name = field_str(ev, "name", i)?.to_owned();
+        let pid = field_u64(ev, "pid", i)?;
+        if pid != PID {
+            return Err(format!("event {i}: unexpected pid {pid}"));
+        }
+        let tid = field_u64(ev, "tid", i)?;
+        let state = match tracks.iter_mut().find(|t| t.tid == tid) {
+            Some(t) => t,
+            None => {
+                tracks.push(TrackState {
+                    tid,
+                    name: None,
+                    last_ts: 0,
+                    open: Vec::new(),
+                    summary: TrackSummary {
+                        name: String::new(),
+                        tid,
+                        events: 0,
+                        spans: 0,
+                        busy_ns: 0,
+                        instants: 0,
+                        stalls: 0,
+                        dropped: 0,
+                    },
+                });
+                tracks.last_mut().expect("just pushed")
+            }
+        };
+        if ph == "M" {
+            if name == "thread_name" {
+                let tname = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: thread_name without args.name"))?;
+                state.name = Some(tname.to_owned());
+            }
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        let ts_ns = (ts * 1_000.0).round() as u64;
+        if ts_ns < state.last_ts {
+            return Err(format!(
+                "event {i}: ts went backwards on tid {tid} ({} < {} ns)",
+                ts_ns, state.last_ts
+            ));
+        }
+        state.last_ts = ts_ns;
+        wall_ns = wall_ns.max(ts_ns);
+        total_events += 1;
+        state.summary.events += 1;
+        match ph {
+            "B" => state.open.push((name, ts_ns)),
+            "E" => {
+                let (open_name, start_ns) = state.open.pop().ok_or_else(|| {
+                    format!("event {i}: E \"{name}\" with no open span on tid {tid}")
+                })?;
+                if open_name != name {
+                    return Err(format!(
+                        "event {i}: E \"{name}\" closes open span \"{open_name}\" on tid {tid}"
+                    ));
+                }
+                let dur_ns = ts_ns - start_ns;
+                state.summary.spans += 1;
+                if state.open.is_empty() {
+                    state.summary.busy_ns += dur_ns;
+                }
+                spans.push((tid, name, start_ns, dur_ns));
+            }
+            "i" => {
+                state.summary.instants += 1;
+                if name.contains("stall") {
+                    state.summary.stalls += 1;
+                }
+            }
+            "C" => {
+                if name == "trace.dropped" {
+                    state.summary.dropped = ev
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0);
+                }
+            }
+            other => return Err(format!("event {i}: unknown ph \"{other}\"")),
+        }
+    }
+
+    let mut seen_names: Vec<&str> = Vec::new();
+    for t in &mut tracks {
+        if !t.open.is_empty() {
+            return Err(format!(
+                "tid {}: {} span(s) left open (first: \"{}\")",
+                t.tid,
+                t.open.len(),
+                t.open[0].0
+            ));
+        }
+        let name = t
+            .name
+            .clone()
+            .ok_or_else(|| format!("tid {}: no thread_name metadata", t.tid))?;
+        if seen_names.contains(&name.as_str()) {
+            return Err(format!("duplicate track name \"{name}\""));
+        }
+        t.summary.name = name;
+        seen_names.push(t.summary.name.as_str());
+    }
+
+    let mut top_spans: Vec<SpanStat> = spans
+        .into_iter()
+        .map(|(tid, name, start_ns, dur_ns)| SpanStat {
+            track: tracks
+                .iter()
+                .find(|t| t.tid == tid)
+                .map(|t| t.summary.name.clone())
+                .unwrap_or_default(),
+            name,
+            start_ns,
+            dur_ns,
+        })
+        .collect();
+    top_spans.sort_by(|a, b| {
+        b.dur_ns
+            .cmp(&a.dur_ns)
+            .then_with(|| a.start_ns.cmp(&b.start_ns))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let mut tracks: Vec<TrackSummary> = tracks.into_iter().map(|t| t.summary).collect();
+    tracks.sort_by_key(|t| t.tid);
+    Ok(TraceSummary {
+        tracks,
+        total_events,
+        wall_ns,
+        top_spans,
+    })
+}
+
+/// Formats the per-track attribution table, the top-`top_n` longest spans,
+/// and the stall marks — the body of `literace trace --in`.
+pub fn render_trace_summary(summary: &TraceSummary, top_n: usize) -> String {
+    let mut out = String::new();
+    let wall_ms = summary.wall_ns as f64 / 1e6;
+    out.push_str(&format!(
+        "trace: {} events on {} tracks over {wall_ms:.3} ms\n\n",
+        summary.total_events,
+        summary.tracks.len()
+    ));
+    let name_w = summary
+        .tracks
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    out.push_str(&format!(
+        "{:name_w$}  {:>8}  {:>7}  {:>10}  {:>6}  {:>8}  {:>6}  {:>7}\n",
+        "track", "events", "spans", "busy ms", "busy%", "instants", "stalls", "dropped"
+    ));
+    for t in &summary.tracks {
+        let busy_ms = t.busy_ns as f64 / 1e6;
+        let busy_pct = if summary.wall_ns > 0 {
+            100.0 * t.busy_ns as f64 / summary.wall_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:name_w$}  {:>8}  {:>7}  {:>10.3}  {:>5.1}%  {:>8}  {:>6}  {:>7}\n",
+            t.name, t.events, t.spans, busy_ms, busy_pct, t.instants, t.stalls, t.dropped
+        ));
+    }
+    if !summary.top_spans.is_empty() {
+        out.push_str(&format!(
+            "\ntop {} longest spans:\n",
+            top_n.min(summary.top_spans.len())
+        ));
+        for s in summary.top_spans.iter().take(top_n) {
+            out.push_str(&format!(
+                "  {:>10.3} ms  {} @ {} (start {:.3} ms)\n",
+                s.dur_ns as f64 / 1e6,
+                s.name,
+                s.track,
+                s.start_ns as f64 / 1e6
+            ));
+        }
+    }
+    let total_stalls: usize = summary.tracks.iter().map(|t| t.stalls).sum();
+    if total_stalls > 0 {
+        out.push_str(&format!(
+            "\n{total_stalls} queue-stall instant(s); a stall marks a producer blocking on \
+             a full queue — correlate with the *_hwm gauges in the metrics snapshot\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(ts_ns: u64, kind: TraceKind, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            kind,
+            name,
+            detail: None,
+        }
+    }
+
+    fn sample_tracks() -> Vec<TrackData> {
+        vec![
+            TrackData {
+                track: "main".into(),
+                events: vec![
+                    ev(0, TraceKind::Begin, "phase.execute"),
+                    ev(1_500, TraceKind::Instant, "race.detected"),
+                    ev(2_000, TraceKind::End, "phase.execute"),
+                    ev(2_000, TraceKind::Begin, "phase.detect"),
+                    ev(9_000, TraceKind::End, "phase.detect"),
+                ],
+                dropped: 0,
+            },
+            TrackData {
+                track: "worker-0".into(),
+                events: vec![
+                    ev(100, TraceKind::Begin, "encode_block"),
+                    ev(400, TraceKind::Counter(3), "queue_depth"),
+                    ev(700, TraceKind::End, "encode_block"),
+                    ev(800, TraceKind::Instant, "send.stall"),
+                ],
+                dropped: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let json = chrome_trace_json(&sample_tracks());
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(summary.tracks.len(), 2);
+        let main = &summary.tracks[0];
+        assert_eq!(main.name, "main");
+        assert_eq!(main.spans, 2);
+        assert_eq!(main.busy_ns, 9_000);
+        assert_eq!(main.instants, 1);
+        let worker = &summary.tracks[1];
+        assert_eq!(worker.name, "worker-0");
+        assert_eq!(worker.stalls, 1);
+        assert_eq!(worker.dropped, 2);
+        assert_eq!(summary.top_spans[0].name, "phase.detect");
+        assert_eq!(summary.top_spans[0].dur_ns, 7_000);
+        assert_eq!(summary.wall_ns, 9_000);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_spans() {
+        let mut tracks = sample_tracks();
+        tracks[0].events.pop(); // drop the final End
+        let json = chrome_trace_json(&tracks);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("left open"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_end_name() {
+        let tracks = vec![TrackData {
+            track: "t".into(),
+            events: vec![
+                ev(0, TraceKind::Begin, "a"),
+                ev(1, TraceKind::End, "b"),
+            ],
+            dropped: 0,
+        }];
+        let json = chrome_trace_json(&tracks);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("closes open span"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_backwards_timestamps() {
+        let tracks = vec![TrackData {
+            track: "t".into(),
+            events: vec![
+                ev(5_000, TraceKind::Instant, "late"),
+                ev(1_000, TraceKind::Instant, "early"),
+            ],
+            dropped: 0,
+        }];
+        let json = chrome_trace_json(&tracks);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+    }
+
+    #[test]
+    fn nested_spans_do_not_double_count_busy_time() {
+        let tracks = vec![TrackData {
+            track: "t".into(),
+            events: vec![
+                ev(0, TraceKind::Begin, "outer"),
+                ev(100, TraceKind::Begin, "inner"),
+                ev(900, TraceKind::End, "inner"),
+                ev(1_000, TraceKind::End, "outer"),
+            ],
+            dropped: 0,
+        }];
+        let json = chrome_trace_json(&tracks);
+        let summary = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(summary.tracks[0].busy_ns, 1_000);
+        assert_eq!(summary.tracks[0].spans, 2);
+    }
+
+    #[test]
+    fn summary_renders_tracks_and_top_spans() {
+        let json = chrome_trace_json(&sample_tracks());
+        let summary = validate_chrome_trace(&json).expect("valid");
+        let text = render_trace_summary(&summary, 3);
+        assert!(text.contains("main"), "{text}");
+        assert!(text.contains("phase.detect"), "{text}");
+        assert!(text.contains("queue-stall"), "{text}");
+    }
+}

@@ -1,8 +1,9 @@
-//! Telemetry neutrality: flipping metrics recording on can never change
-//! what the pipeline produces — not a race report on any detection path
-//! (sequential, sharded ×{2,4,8}, streaming), not a byte of an encoded
-//! log. This is the contract that makes `--metrics-out` safe to use on a
-//! run whose results matter.
+//! Telemetry neutrality: flipping metrics recording — or event tracing —
+//! on can never change what the pipeline produces — not a race report on
+//! any detection path (sequential, sharded ×{2,4,8}, streaming), not a
+//! byte of an encoded log. This is the contract that makes
+//! `--metrics-out` and `--trace-out` safe to use on a run whose results
+//! matter.
 //!
 //! The runtime flag is process-global and the test runner is parallel, so
 //! every test here serializes on one mutex and restores the flag to off
@@ -33,6 +34,20 @@ fn with_flag<T>(on: bool, f: impl FnOnce() -> T) -> T {
     let out = f();
     telemetry::set_enabled(false);
     out
+}
+
+/// Runs `f` with both the metrics registry and event tracing set to `on`
+/// (the `--trace-out` configuration), restoring both to off and draining
+/// the trace collector afterwards so later tests start clean. Returns
+/// `f`'s output plus the drained tracks.
+fn with_trace<T>(on: bool, f: impl FnOnce() -> T) -> (T, Vec<telemetry::TrackData>) {
+    telemetry::reset_trace();
+    telemetry::set_enabled(on);
+    telemetry::set_trace_enabled(on);
+    let out = f();
+    telemetry::set_trace_enabled(false);
+    telemetry::set_enabled(false);
+    (out, telemetry::drain_tracks())
 }
 
 /// Runs `program` once under full logging and returns the event log plus
@@ -98,6 +113,56 @@ fn workload_reports_are_byte_identical_on_vs_off() {
     for id in [WorkloadId::LfList, WorkloadId::LkrHash] {
         let w = build(id, Scale::Smoke);
         assert_neutral(&w.program, 2, id.name());
+    }
+}
+
+/// Event tracing is neutral too: with `--trace-out`-style tracing on,
+/// every detection path's report and the v2 encoding of the log are
+/// byte-identical to a fully untraced run — tracing observes the
+/// pipeline, never steers it. While off the trace collector stays empty;
+/// while on the sharded workers show up as their own tracks.
+#[test]
+fn tracing_reports_and_log_bytes_are_byte_identical_on_vs_off() {
+    let _guard = serialized();
+    for id in [WorkloadId::LfList, WorkloadId::LkrHash] {
+        let w = build(id, Scale::Smoke);
+        let (log, non_stack) = full_log(&w.program, 2);
+        let (off, off_tracks) =
+            with_trace(false, || (all_paths(&log, non_stack), v2_bytes(&log)));
+        let (on, on_tracks) =
+            with_trace(true, || (all_paths(&log, non_stack), v2_bytes(&log)));
+        for (i, (o, n)) in off.0.iter().zip(&on.0).enumerate() {
+            assert_eq!(o, n, "{}: path {i} changed under tracing", id.name());
+            assert_eq!(
+                format!("{o:?}"),
+                format!("{n:?}"),
+                "{}: path {i} renders differently under tracing",
+                id.name()
+            );
+        }
+        assert_eq!(
+            off.1,
+            on.1,
+            "{}: v2 encoding changed under tracing",
+            id.name()
+        );
+        assert_eq!(
+            off_tracks.iter().map(|t| t.events.len()).sum::<usize>(),
+            0,
+            "tracing disabled must record nothing: {:?}",
+            off_tracks.iter().map(|t| &t.track).collect::<Vec<_>>()
+        );
+        assert!(
+            on_tracks.iter().map(|t| t.events.len()).sum::<usize>() > 0,
+            "{}: tracing enabled recorded no events",
+            id.name()
+        );
+        assert!(
+            on_tracks.iter().any(|t| t.track.starts_with("literace-shard-")),
+            "{}: sharded workers missing from tracks: {:?}",
+            id.name(),
+            on_tracks.iter().map(|t| &t.track).collect::<Vec<_>>()
+        );
     }
 }
 
