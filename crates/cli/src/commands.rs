@@ -32,6 +32,7 @@ USAGE:
                [--streaming] [--threads N] [--decode-threads N|auto]
                [--stream-depth N] [--encode-threads N|auto]
                [--block-records N] [--suppress pat1,pat2]
+               [--prefilter] [--prefilter-stats]
                [--metrics-out <file>] [--trace-out <file>] [--progress]
       Instrument, execute, and detect. Optionally write the event log
       (compact v2 blocks by default; --format v1 for the legacy
@@ -50,9 +51,18 @@ USAGE:
       writes a Chrome trace-event JSON file loadable in Perfetto
       (ui.perfetto.dev) or chrome://tracing; --progress prints a
       heartbeat to stderr.
+      --sampler picks the sampling strategy (tl-ad, tl-fx, g-ad, g-fx,
+      rnd10, rnd25, ucp, o1pair, prefiltered, full, none). --prefilter
+      installs the static ordering skip table with any sampler: access
+      sites provably ordered (stack-private, consistently lock-protected,
+      or confined to single-threaded startup/shutdown phases) bypass the
+      sampler and the log entirely (`--sampler prefiltered` implies it).
+      --prefilter-stats prints the static classification and the run's
+      skipped/residual access counts (implies --prefilter).
 
   literace eval --workload <name> [--seeds 3] [--scale smoke|paper]
-      Compare all Table 3 samplers on identical interleavings (§5.3).
+      Compare the Table 3 samplers plus the O1Pair and Prefiltered
+      extensions on identical interleavings (§5.3).
 
   literace overhead --workload <name> [--seed 1] [--scale smoke|paper]
       Print the workload's Table 5 row and Figure 6 decomposition.
@@ -149,6 +159,24 @@ fn parse_scale(flags: &crate::args::Flags) -> Result<Scale, String> {
         None | Some("smoke") => Ok(Scale::Smoke),
         Some("paper") => Ok(Scale::Paper),
         Some(other) => Err(format!("--scale expects smoke|paper, got `{other}`")),
+    }
+}
+
+/// Resolves a `--sampler` value to a kind; absent means TL-Ad, the paper's
+/// shipped sampler. Unknown names fail with the full list of known ones.
+fn resolve_sampler(name: Option<&str>) -> Result<SamplerKind, CliError> {
+    match name {
+        None => Ok(SamplerKind::TlAdaptive),
+        Some(name) => SamplerKind::from_short_name(name).ok_or_else(|| {
+            let known: Vec<&str> = SamplerKind::all()
+                .iter()
+                .map(|k| k.short_name())
+                .collect();
+            CliError::Msg(format!(
+                "unknown sampler `{name}` ({})",
+                known.join(", ")
+            ))
+        }),
     }
 }
 
@@ -338,7 +366,10 @@ pub fn run(args: &[String]) -> ExitCode {
 
 fn run_inner(args: &[String]) -> Result<(), CliError> {
     let flags =
-        crate::args::Flags::parse_with_switches(args, &["streaming", "progress"])?;
+        crate::args::Flags::parse_with_switches(
+            args,
+            &["streaming", "progress", "prefilter", "prefilter-stats"],
+        )?;
     let id = parse_workload(flags.require("workload")?)?;
     let scale = parse_scale(&flags)?;
     let seed: u64 = flags.get_parsed("seed", 1)?;
@@ -365,16 +396,29 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
             eprintln!("note: removed stale {path}.partial left by a crashed run");
         }
     }
-    let sampler = match flags.get("sampler") {
-        None => SamplerKind::TlAdaptive,
-        Some(name) => SamplerKind::from_short_name(name)
-            .ok_or_else(|| format!("unknown sampler `{name}` (TL-Ad, TL-Fx, G-Ad, G-Fx, Rnd10, Rnd25, UCP, Full, None)"))?,
-    };
+    let sampler = resolve_sampler(flags.get("sampler"))?;
     let telemetry = Telemetry::from_flags(&flags);
 
     let w = build(id, scale);
     let mut cfg = RunConfig::seeded(seed);
     cfg.detect_threads = threads;
+
+    // --prefilter forces the static ordering skip table with any sampler
+    // (the Prefiltered sampler gets one automatically); --prefilter-stats
+    // implies it, since the runtime counters only move with a table
+    // installed. Building it here (rather than in the pipeline) keeps the
+    // static classification around for the stats printout.
+    let want_prefilter =
+        flags.is_set("prefilter") || flags.is_set("prefilter-stats") || sampler.needs_prefilter();
+    let prefilter_static = if want_prefilter {
+        let table = literace::sim::PrefilterTable::build(&literace::sim::lower(&w.program));
+        let stats = *table.stats();
+        let bytes = table.table_bytes();
+        cfg.instrument.prefilter = Some(table);
+        Some((stats, bytes))
+    } else {
+        None
+    };
 
     let (summary, stats, overhead, report, log_note) = if streaming {
         if let Some(path) = flags.get("log") {
@@ -484,6 +528,27 @@ fn run_inner(args: &[String]) -> Result<(), CliError> {
         pct(stats.esr()),
     );
     println!("sync records       : {}", stats.sync_records);
+    if flags.is_set("prefilter-stats") {
+        if let Some((ps, bytes)) = prefilter_static {
+            println!(
+                "prefilter (static) : {} of {} sites provably ordered \
+                 ({} stack, {} lock, {} phase); {} of {} functions fully \
+                 skipped; skip table {} bytes",
+                ps.skipped_sites,
+                ps.total_sites,
+                ps.stack_sites,
+                ps.lock_sites,
+                ps.phase_sites,
+                ps.fully_skipped_functions,
+                ps.total_functions,
+                bytes,
+            );
+            println!(
+                "prefilter (run)    : {} accesses skipped, {} residual",
+                stats.prefilter_skipped, stats.prefilter_residual,
+            );
+        }
+    }
     println!(
         "modeled slowdown   : {}",
         slowdown(overhead.slowdown(summary.baseline_cost))
@@ -517,6 +582,7 @@ fn eval_inner(args: &[String]) -> Result<(), CliError> {
     let w = build(id, scale);
     let cfg = EvalConfig {
         seeds: (1..=seeds).collect(),
+        samplers: SamplerKind::study_set().to_vec(),
         ..EvalConfig::default()
     };
     let eval = evaluate_program(&w.program, &cfg).map_err(|e| e.to_string())?;
@@ -761,11 +827,7 @@ fn explain_inner(args: &[String]) -> Result<(), CliError> {
             let id = parse_workload(name)?;
             let scale = parse_scale(&flags)?;
             let seed: u64 = flags.get_parsed("seed", 1)?;
-            let sampler = match flags.get("sampler") {
-                None => SamplerKind::TlAdaptive,
-                Some(name) => SamplerKind::from_short_name(name)
-                    .ok_or_else(|| format!("unknown sampler `{name}`"))?,
-            };
+            let sampler = resolve_sampler(flags.get("sampler"))?;
             let w = build(id, scale);
             let cfg = RunConfig::seeded(seed);
             let outcome =
@@ -1134,6 +1196,43 @@ mod tests {
         assert_eq!(parse_scale(&f).unwrap(), Scale::Paper);
         let f = Flags::parse(&["--scale".into(), "huge".into()]).unwrap();
         assert!(parse_scale(&f).is_err());
+    }
+
+    #[test]
+    fn sampler_names_resolve_for_every_kind() {
+        // Default is the paper's shipped sampler.
+        assert_eq!(resolve_sampler(None).unwrap(), SamplerKind::TlAdaptive);
+        for kind in SamplerKind::all() {
+            assert_eq!(resolve_sampler(Some(kind.short_name())).unwrap(), kind);
+            let lower = kind.short_name().to_ascii_lowercase();
+            assert_eq!(resolve_sampler(Some(&lower)).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_sampler_is_a_typed_error_listing_the_options() {
+        let err = resolve_sampler(Some("nope")).unwrap_err();
+        let msg = match &err {
+            CliError::Msg(msg) => msg,
+            other => panic!("expected CliError::Msg, got {other:?}"),
+        };
+        assert!(msg.contains("unknown sampler `nope`"), "{msg}");
+        // Every legal name is offered back to the user.
+        for kind in SamplerKind::all() {
+            assert!(msg.contains(kind.short_name()), "{msg} missing {kind}");
+        }
+    }
+
+    #[test]
+    fn prefilter_stats_run_smoke() {
+        let args: Vec<String> = [
+            "--workload", "apache-1", "--sampler", "prefiltered",
+            "--prefilter-stats", "--seed", "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        assert_eq!(run(&args), std::process::ExitCode::SUCCESS);
     }
 
     #[test]

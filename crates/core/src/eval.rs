@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use literace_detector::{DetectConfig, RaceReport};
 use literace_instrument::{InstrumentConfig, MultiSamplerInstrumenter};
+use literace_log::SamplerMask;
 use literace_samplers::SamplerKind;
 use literace_sim::{
     lower, ChunkedRandomScheduler, Machine, MachineConfig, Pc, Program, SimError,
@@ -130,9 +131,32 @@ pub fn evaluate_program(program: &Program, cfg: &EvalConfig) -> Result<ProgramEv
     let mut total_mem = 0u64;
     let mut non_stack = 0u64;
 
+    // Samplers operating over the static prefilter's residual site set get
+    // the skip table applied to their mask bits; everyone else (including
+    // the ground-truth full log) is untouched.
+    let prefilter_mask = cfg
+        .samplers
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| k.needs_prefilter())
+        .fold(SamplerMask::EMPTY, |m, (i, _)| m.union(SamplerMask::bit(i)));
+    let table = if prefilter_mask.is_empty() {
+        None
+    } else {
+        Some(literace_sim::PrefilterTable::build(&compiled))
+    };
+
     for &seed in &cfg.seeds {
         let samplers = cfg.samplers.iter().map(|k| k.build(seed)).collect();
-        let mut obs = MultiSamplerInstrumenter::new(samplers, cfg.instrument.clone());
+        let mut obs = match &table {
+            Some(t) => MultiSamplerInstrumenter::with_prefilter(
+                samplers,
+                cfg.instrument.clone(),
+                t.clone(),
+                prefilter_mask,
+            ),
+            None => MultiSamplerInstrumenter::new(samplers, cfg.instrument.clone()),
+        };
         let mut sched = ChunkedRandomScheduler::seeded(seed, cfg.sched_quantum);
         let summary = Machine::new(&compiled, cfg.machine).run(&mut sched, &mut obs)?;
         let out = obs.finish();
@@ -315,6 +339,33 @@ mod tests {
         // And it does so while logging far less than UCP.
         assert!(tl.esr < 0.2);
         assert!(ucp.esr > 0.9);
+    }
+
+    #[test]
+    fn prefiltered_logs_no_more_than_plain_tl_ad() {
+        // mixed_program's cold_caller burns 60 stack writes before its racy
+        // call; the prefilter skips them, so the Prefiltered sampler's ESR
+        // is at most TL-Ad's while the racy sites stay detectable.
+        let cfg = EvalConfig {
+            samplers: vec![SamplerKind::TlAdaptive, SamplerKind::Prefiltered],
+            seeds: vec![1, 2, 3],
+            ..EvalConfig::default()
+        };
+        let eval = evaluate_program(&mixed_program(), &cfg).unwrap();
+        let tl = &eval.samplers[0];
+        let pf = &eval.samplers[1];
+        assert!(
+            pf.logged_mem < tl.logged_mem,
+            "Prefiltered {} vs TL-Ad {}",
+            pf.logged_mem,
+            tl.logged_mem
+        );
+        assert!(
+            pf.detection_rate >= tl.detection_rate,
+            "Prefiltered {} vs TL-Ad {}",
+            pf.detection_rate,
+            tl.detection_rate
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn run_sampler_study_on(
     seeds: &[u64],
     workloads: &[WorkloadId],
 ) -> Result<SamplerStudy, SimError> {
-    let samplers = SamplerKind::paper_set().to_vec();
+    let samplers = SamplerKind::study_set().to_vec();
     let cfg = EvalConfig {
         seeds: seeds.to_vec(),
         samplers: samplers.clone(),
@@ -189,7 +189,7 @@ pub fn run_sampler_study_parallel_opts(
     detect_threads: usize,
     streaming_detect: bool,
 ) -> Result<SamplerStudy, SimError> {
-    let samplers = SamplerKind::paper_set().to_vec();
+    let samplers = SamplerKind::study_set().to_vec();
     let cfg = EvalConfig {
         seeds: seeds.to_vec(),
         samplers: samplers.clone(),

@@ -100,7 +100,8 @@ pub fn run_literace(
     cfg: &RunConfig,
 ) -> Result<RunOutcome, SimError> {
     let compiled = lower(program);
-    let mut inst = Instrumenter::new(sampler.build(cfg.seed), cfg.instrument.clone());
+    let icfg = instrument_config_for(&compiled, sampler, &cfg.instrument);
+    let mut inst = Instrumenter::new(sampler.build(cfg.seed), icfg);
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = {
         let _span = literace_telemetry::metrics().phase_execute.span();
@@ -121,6 +122,24 @@ pub fn run_literace(
         instrumented,
         report,
     })
+}
+
+/// Resolves the effective instrument config for one run: samplers that
+/// operate over the static prefilter's residual site set get a skip table
+/// built from the compiled program unless the caller supplied one already.
+/// The table is only sound when synchronization logging is on (the ordering
+/// proofs lean on fork/join and lock edges being in the log), so a config
+/// with `sync_logging` disabled never gets one auto-installed.
+fn instrument_config_for(
+    compiled: &literace_sim::CompiledProgram,
+    sampler: SamplerKind,
+    base: &InstrumentConfig,
+) -> InstrumentConfig {
+    let mut cfg = base.clone();
+    if sampler.needs_prefilter() && cfg.prefilter.is_none() && cfg.sync_logging {
+        cfg.prefilter = Some(literace_sim::PrefilterTable::build(compiled));
+    }
+    cfg
 }
 
 /// Detects over an in-memory log via either the materialized sharded path
@@ -162,7 +181,8 @@ pub fn run_literace_with_sink<L: RecordSink>(
     sink: L,
 ) -> Result<(RunSummary, InstrumentOutput<L>), SimError> {
     let compiled = lower(program);
-    let mut inst = Instrumenter::with_sink(sampler.build(cfg.seed), cfg.instrument.clone(), sink);
+    let icfg = instrument_config_for(&compiled, sampler, &cfg.instrument);
+    let mut inst = Instrumenter::with_sink(sampler.build(cfg.seed), icfg, sink);
     let mut sched = ChunkedRandomScheduler::seeded(cfg.seed, cfg.sched_quantum);
     let summary = {
         let _span = literace_telemetry::metrics().phase_execute.span();
@@ -275,6 +295,31 @@ mod tests {
         let bytes = out.log.finish().unwrap();
         let log = literace_log::read_log_auto(&bytes[..]).unwrap();
         assert_eq!(log, materialized.instrumented.log);
+    }
+
+    #[test]
+    fn prefiltered_sampler_gets_an_auto_built_table() {
+        let out = run_literace(
+            &racy_program(),
+            SamplerKind::Prefiltered,
+            &RunConfig::seeded(1),
+        )
+        .unwrap();
+        // The racy write is to an unprotected global: residual, so the cold
+        // race is still found; the table was installed (counters moved).
+        assert_eq!(out.report.static_count(), 1);
+        assert!(out.instrumented.stats.prefilter_residual > 0);
+    }
+
+    #[test]
+    fn prefilter_is_not_auto_installed_without_sync_logging() {
+        let mut cfg = RunConfig::seeded(1);
+        cfg.instrument.sync_logging = false;
+        let out = run_literace(&racy_program(), SamplerKind::Prefiltered, &cfg).unwrap();
+        // Unsound to prefilter without sync edges in the log: both counters
+        // stay untouched because no table was installed.
+        assert_eq!(out.instrumented.stats.prefilter_skipped, 0);
+        assert_eq!(out.instrumented.stats.prefilter_residual, 0);
     }
 
     #[test]

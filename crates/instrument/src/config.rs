@@ -1,6 +1,7 @@
 //! Instrumentation configuration and overhead accounting.
 
 use literace_samplers::BackoffSchedule;
+use literace_sim::PrefilterTable;
 use serde::{Deserialize, Serialize};
 
 use crate::timestamps::PAPER_COUNTER_COUNT;
@@ -121,6 +122,13 @@ pub struct InstrumentConfig {
     pub loop_policy: LoopPolicy,
     /// Whether thread begin/end markers are written.
     pub log_markers: bool,
+    /// Static ordering prefilter skip table. When present, access sites the
+    /// table proves ordered bypass the sampler and the log entirely, and
+    /// functions whose every site is skipped lose their dispatch check
+    /// (no instrumented copy is generated for them). Sound only with sync
+    /// logging enabled — the run pipeline enforces that.
+    #[serde(default)]
+    pub prefilter: Option<PrefilterTable>,
 }
 
 impl Default for InstrumentConfig {
@@ -134,6 +142,7 @@ impl Default for InstrumentConfig {
             timestamp_counters: PAPER_COUNTER_COUNT,
             loop_policy: LoopPolicy::FunctionGranularity,
             log_markers: true,
+            prefilter: None,
         }
     }
 }
@@ -190,6 +199,11 @@ pub struct InstrStats {
     pub dispatch_checks: u64,
     /// Function executions that ran the instrumented copy.
     pub instrumented_entries: u64,
+    /// Accesses skipped by the static prefilter before any sampler call.
+    pub prefilter_skipped: u64,
+    /// Accesses that passed the prefilter and took the normal sampled path
+    /// (only counted when a prefilter is installed).
+    pub prefilter_residual: u64,
 }
 
 impl InstrStats {

@@ -60,6 +60,10 @@ pub struct MultiSamplerInstrumenter {
     /// Per-thread stack of per-frame masks.
     frames: Vec<Vec<SamplerMask>>,
     per_sampler: Vec<PerSamplerStats>,
+    /// Samplers that run behind the static prefilter: sites the skip table
+    /// proves ordered are cleared from their mask bits, and fully-skipped
+    /// functions never reach their dispatch logic.
+    prefilter_mask: SamplerMask,
     total_mem: u64,
     func_entries: u64,
 }
@@ -95,8 +99,32 @@ impl MultiSamplerInstrumenter {
             log: EventLog::new(),
             frames: Vec::new(),
             per_sampler: vec![PerSamplerStats::default(); n],
+            prefilter_mask: SamplerMask::EMPTY,
             total_mem: 0,
             func_entries: 0,
+        }
+    }
+
+    /// Like [`MultiSamplerInstrumenter::new`], but installs a static
+    /// prefilter skip `table` applying to the samplers in `prefilter_mask`.
+    /// Those samplers never see a dispatch for a fully-skipped function and
+    /// have their mask bit cleared on every access the table proves ordered;
+    /// samplers outside the mask are unaffected, and the log itself stays
+    /// full (ground truth needs every record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 samplers are supplied (mask width) or none.
+    pub fn with_prefilter(
+        samplers: Vec<Box<dyn Sampler>>,
+        mut cfg: InstrumentConfig,
+        table: literace_sim::PrefilterTable,
+        prefilter_mask: SamplerMask,
+    ) -> MultiSamplerInstrumenter {
+        cfg.prefilter = Some(table);
+        MultiSamplerInstrumenter {
+            prefilter_mask,
+            ..MultiSamplerInstrumenter::new(samplers, cfg)
         }
     }
 
@@ -139,8 +167,18 @@ impl Observer for MultiSamplerInstrumenter {
             }
             Event::FunctionEntry { tid, func } => {
                 self.func_entries += 1;
+                let fully_skipped = self
+                    .cfg
+                    .prefilter
+                    .as_ref()
+                    .is_some_and(|t| t.fully_skips(func));
                 let mut mask = SamplerMask::EMPTY;
                 for (i, s) in self.samplers.iter_mut().enumerate() {
+                    if fully_skipped && self.prefilter_mask.contains(i) {
+                        // No instrumented copy exists for this function under
+                        // the prefilter: no dispatch, no sampling.
+                        continue;
+                    }
                     if s.dispatch(tid, func).is_sampled() {
                         mask = mask.union(SamplerMask::bit(i));
                         self.per_sampler[i].instrumented_entries += 1;
@@ -155,11 +193,15 @@ impl Observer for MultiSamplerInstrumenter {
             Event::MemRead { tid, pc, addr } | Event::MemWrite { tid, pc, addr } => {
                 self.total_mem += 1;
                 let is_write = matches!(event, Event::MemWrite { .. });
-                let mask = self
+                let mut mask = self
                     .frames_mut(tid)
                     .last()
                     .copied()
                     .unwrap_or(SamplerMask::EMPTY);
+                if self.cfg.prefilter.as_ref().is_some_and(|t| t.skips(pc)) {
+                    // Prefiltered samplers never log a provably ordered site.
+                    mask = mask.minus(self.prefilter_mask);
+                }
                 for (i, st) in self.per_sampler.iter_mut().enumerate() {
                     if mask.contains(i) {
                         st.logged_mem += 1;
@@ -297,6 +339,63 @@ mod tests {
     fn sampler_names_are_index_aligned() {
         let out = run_marked(&[SamplerKind::GlobalFixed, SamplerKind::UnCold], hot_loop, 0);
         assert_eq!(out.sampler_names, vec!["G-Fx", "UCP"]);
+    }
+
+    #[test]
+    fn prefiltered_sampler_never_marks_ordered_sites() {
+        use literace_sim::Rvalue;
+        // Two TL-Ad samplers over the same execution; the second runs behind
+        // the prefilter, so it keeps strictly fewer records and none of them
+        // at skipped sites.
+        let mut b = ProgramBuilder::new();
+        let g = b.global_word("g");
+        let u = b.global_word("u");
+        let m = b.mutex("m");
+        let w = b.function("w", 0, move |f| {
+            f.loop_(200, |f| {
+                f.lock(m);
+                f.write(g);
+                f.unlock(m);
+                f.read(u);
+            });
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+        let compiled = lower(&b.build().unwrap());
+        let table = literace_sim::PrefilterTable::build(&compiled);
+        assert!(table.stats().skipped_sites > 0);
+        let samplers: Vec<Box<dyn Sampler>> = vec![
+            SamplerKind::TlAdaptive.build(0),
+            SamplerKind::Prefiltered.build(0),
+        ];
+        let mut obs = MultiSamplerInstrumenter::with_prefilter(
+            samplers,
+            InstrumentConfig::default(),
+            table.clone(),
+            SamplerMask::bit(1),
+        );
+        Machine::new(&compiled, MachineConfig::default())
+            .run(&mut RandomScheduler::seeded(3), &mut obs)
+            .unwrap();
+        let out = obs.finish();
+        // Identical dispatch schedule, so the prefiltered subset is exactly
+        // the plain subset minus the skipped sites.
+        for r in out.log.records() {
+            if let Record::Mem { pc, mask, .. } = r {
+                if table.skips(*pc) {
+                    assert!(!mask.contains(1), "skipped site marked at {pc:?}");
+                } else {
+                    assert_eq!(mask.contains(0), mask.contains(1));
+                }
+            }
+        }
+        assert!(out.per_sampler[1].logged_mem < out.per_sampler[0].logged_mem);
+        // The full log is unaffected: every executed access has a record.
+        assert_eq!(out.log.mem_count() as u64, out.total_mem);
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl<S: Sampler, L: RecordSink> Instrumenter<S, L> {
             m.instrument_mem_executed.add(self.stats.total_mem);
             m.instrument_mem_logged.add(self.stats.logged_mem);
             m.instrument_sync_logged.add(self.stats.sync_records);
+            if let Some(table) = &self.cfg.prefilter {
+                m.instrument_prefilter_skipped.add(self.stats.prefilter_skipped);
+                m.instrument_prefilter_residual
+                    .add(self.stats.prefilter_residual);
+                m.instrument_prefilter_table_bytes
+                    .add(table.table_bytes() as u64);
+            }
             for (tid, [checks, sampled]) in self.dispatch_by_thread.iter().enumerate() {
                 m.instrument_dispatch_checks_by_thread.add(tid, *checks);
                 m.instrument_dispatch_sampled_by_thread.add(tid, *sampled);
@@ -270,6 +277,25 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
                 }
             }
             Event::FunctionEntry { tid, func } => {
+                // Static prefilter fast path: a function whose every data
+                // access is provably ordered has no instrumented copy at
+                // all, so its entry pays neither the dispatch check nor a
+                // sampler consultation (and the sampler's budget state is
+                // never perturbed by it).
+                if self.cfg.dispatch_checks
+                    && self
+                        .cfg
+                        .prefilter
+                        .as_ref()
+                        .is_some_and(|t| t.fully_skips(func))
+                {
+                    self.frames_mut(tid).push(FrameInfo {
+                        instrumented: false,
+                        iter_sampled: true,
+                        loops: None,
+                    });
+                    return;
+                }
                 let decision = if self.cfg.dispatch_checks {
                     self.stats.dispatch_checks += 1;
                     self.overhead.dispatch += self.cfg.costs.dispatch_check;
@@ -315,6 +341,17 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
             }
             Event::MemRead { tid, pc, addr } | Event::MemWrite { tid, pc, addr } => {
                 self.stats.total_mem += 1;
+                // Skip-table probe before any sampler or policy logic: a
+                // provably ordered site costs one bitset load. The access
+                // still counts toward `total_mem`, so ESR denominators
+                // stay comparable across samplers.
+                if let Some(table) = &self.cfg.prefilter {
+                    if table.skips(pc) {
+                        self.stats.prefilter_skipped += 1;
+                        return;
+                    }
+                    self.stats.prefilter_residual += 1;
+                }
                 let is_write = matches!(event, Event::MemWrite { .. });
                 let sampled = self
                     .frames_mut(tid)
@@ -361,6 +398,7 @@ impl<S: Sampler, L: RecordSink> Observer for Instrumenter<S, L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::InstrumentCosts;
     use literace_samplers::{AlwaysSampler, NeverSampler, SamplerKind};
     use literace_sim::{
         lower, Machine, MachineConfig, ProgramBuilder, RandomScheduler, Rvalue,
@@ -685,6 +723,113 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Builds, lowers, prefilters, and runs one program with and without
+    /// the skip table installed; returns (with, without).
+    fn run_prefiltered<S: Sampler + Clone>(
+        sampler: S,
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> (InstrumentOutput, InstrumentOutput) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let compiled = lower(&b.build().unwrap());
+        let table = literace_sim::PrefilterTable::build(&compiled);
+        let mut outs = Vec::new();
+        for prefilter in [Some(table), None] {
+            let cfg = InstrumentConfig {
+                prefilter,
+                ..InstrumentConfig::default()
+            };
+            let mut inst = Instrumenter::new(sampler.clone(), cfg);
+            Machine::new(&compiled, MachineConfig::default())
+                .run(&mut RandomScheduler::seeded(0), &mut inst)
+                .unwrap();
+            outs.push(inst.finish());
+        }
+        let without = outs.pop().unwrap();
+        (outs.pop().unwrap(), without)
+    }
+
+    fn lock_heavy_worker(b: &mut ProgramBuilder) {
+        let g = b.global_word("g");
+        let u = b.global_word("u");
+        let m = b.mutex("m");
+        let w = b.function("w", 0, move |f| {
+            f.lock(m);
+            f.write(g);
+            f.unlock(m);
+            f.write_stack(0);
+            f.loop_(100, |f| {
+                f.read(u);
+            });
+        });
+        b.entry_fn("main", move |f| {
+            let t1 = f.spawn(w, Rvalue::Const(0));
+            let t2 = f.spawn(w, Rvalue::Const(0));
+            f.join(t1);
+            f.join(t2);
+        });
+    }
+
+    #[test]
+    fn prefilter_skips_ordered_sites_before_the_sampler() {
+        let (with, without) = run_prefiltered(AlwaysSampler, lock_heavy_worker);
+        // The locked global write and the stack write are provably ordered:
+        // 2 skips per worker execution, everything else residual.
+        assert_eq!(with.stats.prefilter_skipped, 4);
+        assert_eq!(with.stats.prefilter_residual, with.stats.total_mem - 4);
+        assert_eq!(with.stats.total_mem, without.stats.total_mem);
+        assert_eq!(with.stats.logged_mem + 4, without.stats.logged_mem);
+        // Skipped accesses pay no modeled logging cost.
+        assert_eq!(
+            with.overhead.mem_logging + 4 * InstrumentCosts::DEFAULT.mem_log,
+            without.overhead.mem_logging
+        );
+        // Without a table, the prefilter counters stay untouched.
+        assert_eq!(without.stats.prefilter_skipped, 0);
+        assert_eq!(without.stats.prefilter_residual, 0);
+    }
+
+    #[test]
+    fn fully_skipped_function_pays_no_dispatch_check() {
+        let build = |b: &mut ProgramBuilder| {
+            let u = b.global_word("u");
+            // All of `scratch` is stack-local: fully skipped.
+            let scratch = b.function("scratch", 0, |f| {
+                f.write_stack(0);
+                f.read_stack(0);
+            });
+            let w = b.function("w", 0, move |f| {
+                f.call(scratch);
+                f.write(u);
+            });
+            b.entry_fn("main", move |f| {
+                let t1 = f.spawn(w, Rvalue::Const(0));
+                let t2 = f.spawn(w, Rvalue::Const(0));
+                f.join(t1);
+                f.join(t2);
+            });
+        };
+        let (with, without) = run_prefiltered(AlwaysSampler, build);
+        // Both `scratch` entries lose their dispatch checks (and cost), as
+        // does `main`, which has no data-access sites at all.
+        assert_eq!(with.stats.dispatch_checks + 3, without.stats.dispatch_checks);
+        assert_eq!(
+            with.overhead.dispatch + 3 * InstrumentCosts::DEFAULT.dispatch_check,
+            without.overhead.dispatch
+        );
+        // Its accesses are skipped, not logged...
+        assert_eq!(with.stats.prefilter_skipped, 4);
+        // ...but still executed, so the ESR denominator is unchanged.
+        assert_eq!(with.stats.total_mem, without.stats.total_mem);
+    }
+
+    #[test]
+    fn prefilter_only_diverts_memory_records_never_sync() {
+        let (with, without) = run_prefiltered(AlwaysSampler, lock_heavy_worker);
+        assert_eq!(with.stats.sync_records, without.stats.sync_records);
+        assert_eq!(with.log.sync_count(), without.log.sync_count());
     }
 
     #[test]

@@ -49,6 +49,11 @@ impl SamplerMask {
         SamplerMask(self.0 | other.0)
     }
 
+    /// Bits set in `self` but not in `other`.
+    pub fn minus(self, other: SamplerMask) -> SamplerMask {
+        SamplerMask(self.0 & !other.0)
+    }
+
     /// Whether no bits are set.
     pub fn is_empty(self) -> bool {
         self.0 == 0

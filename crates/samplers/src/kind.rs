@@ -4,7 +4,9 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::burst::BackoffSchedule;
 use crate::global::GlobalSampler;
+use crate::o1pair::O1PairSampler;
 use crate::random::RandomSampler;
 use crate::sampler::Sampler;
 use crate::thread_local::ThreadLocalSampler;
@@ -29,6 +31,13 @@ pub enum SamplerKind {
     /// Un-Cold Region (UCP): everything except the first 10 calls per
     /// function per thread.
     UnCold,
+    /// Constant samples per `(thread, function)` region plus log-many
+    /// refreshes, after "Dynamic Race Detection With O(1) Samples".
+    O1Pair,
+    /// TL-Ad over the static prefilter's residual possibly-racy site set:
+    /// provably ordered sites never reach the sampler, so the cold-region
+    /// budget concentrates where races can live.
+    Prefiltered,
     /// Sample everything (full logging; ground truth).
     Always,
     /// Sample nothing (baseline; sync ops still logged).
@@ -49,6 +58,29 @@ impl SamplerKind {
         ]
     }
 
+    /// The §5.3 study set: the paper's seven samplers plus the two
+    /// budget-aware extensions evaluated alongside them.
+    pub fn study_set() -> [SamplerKind; 9] {
+        [
+            SamplerKind::TlAdaptive,
+            SamplerKind::TlFixed,
+            SamplerKind::GlobalAdaptive,
+            SamplerKind::GlobalFixed,
+            SamplerKind::Rnd10,
+            SamplerKind::Rnd25,
+            SamplerKind::UnCold,
+            SamplerKind::O1Pair,
+            SamplerKind::Prefiltered,
+        ]
+    }
+
+    /// Whether this sampler only makes sense over a static prefilter's
+    /// residual site set (the run pipeline builds the skip table
+    /// automatically for such kinds).
+    pub fn needs_prefilter(self) -> bool {
+        matches!(self, SamplerKind::Prefiltered)
+    }
+
     /// Short name as used in the paper's figures.
     pub fn short_name(self) -> &'static str {
         match self {
@@ -59,6 +91,8 @@ impl SamplerKind {
             SamplerKind::Rnd10 => "Rnd10",
             SamplerKind::Rnd25 => "Rnd25",
             SamplerKind::UnCold => "UCP",
+            SamplerKind::O1Pair => "O1Pair",
+            SamplerKind::Prefiltered => "Prefiltered",
             SamplerKind::Always => "Full",
             SamplerKind::Never => "None",
         }
@@ -80,6 +114,12 @@ impl SamplerKind {
             SamplerKind::UnCold => {
                 "first 10 calls per function / per thread are NOT sampled, all remaining calls are sampled"
             }
+            SamplerKind::O1Pair => {
+                "constant budget of 10 samples per function / per thread, then only log-many refresh samples"
+            }
+            SamplerKind::Prefiltered => {
+                "TL-Ad restricted to the static prefilter's residual possibly-racy sites"
+            }
             SamplerKind::Always => "all calls sampled (full logging)",
             SamplerKind::Never => "no calls sampled",
         }
@@ -96,6 +136,11 @@ impl SamplerKind {
             SamplerKind::Rnd10 => Box::new(RandomSampler::rnd10(seed)),
             SamplerKind::Rnd25 => Box::new(RandomSampler::rnd25(seed)),
             SamplerKind::UnCold => Box::new(UnColdSampler::paper()),
+            SamplerKind::O1Pair => Box::new(O1PairSampler::paper()),
+            SamplerKind::Prefiltered => Box::new(ThreadLocalSampler::with_schedule(
+                "Prefiltered",
+                BackoffSchedule::literace(),
+            )),
             SamplerKind::Always => Box::new(AlwaysSampler),
             SamplerKind::Never => Box::new(NeverSampler),
         }
@@ -103,7 +148,15 @@ impl SamplerKind {
 
     /// Parses a short name (case-insensitive) back into a kind.
     pub fn from_short_name(name: &str) -> Option<SamplerKind> {
-        let all = [
+        SamplerKind::all()
+            .into_iter()
+            .find(|k| k.short_name().eq_ignore_ascii_case(name))
+    }
+
+    /// Every kind, in Table 3 order followed by the extensions and the
+    /// `Full`/`None` endpoints.
+    pub fn all() -> [SamplerKind; 11] {
+        [
             SamplerKind::TlAdaptive,
             SamplerKind::TlFixed,
             SamplerKind::GlobalAdaptive,
@@ -111,11 +164,11 @@ impl SamplerKind {
             SamplerKind::Rnd10,
             SamplerKind::Rnd25,
             SamplerKind::UnCold,
+            SamplerKind::O1Pair,
+            SamplerKind::Prefiltered,
             SamplerKind::Always,
             SamplerKind::Never,
-        ];
-        all.into_iter()
-            .find(|k| k.short_name().eq_ignore_ascii_case(name))
+        ]
     }
 }
 
@@ -143,35 +196,56 @@ mod tests {
     }
 
     #[test]
+    fn study_set_is_paper_set_plus_extensions() {
+        let names: Vec<&str> = SamplerKind::study_set()
+            .iter()
+            .map(|k| k.short_name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25", "UCP", "O1Pair", "Prefiltered"]
+        );
+    }
+
+    #[test]
     fn built_sampler_names_match_kind() {
-        for kind in SamplerKind::paper_set() {
+        for kind in SamplerKind::all() {
             let s = kind.build(0);
             assert_eq!(s.name(), kind.short_name());
         }
     }
 
     #[test]
-    fn short_names_round_trip() {
-        for kind in SamplerKind::paper_set() {
+    fn short_names_round_trip_for_every_kind() {
+        for kind in SamplerKind::all() {
             assert_eq!(SamplerKind::from_short_name(kind.short_name()), Some(kind));
+            // Case-insensitively too.
+            let lower = kind.short_name().to_ascii_lowercase();
+            assert_eq!(SamplerKind::from_short_name(&lower), Some(kind));
         }
         assert_eq!(SamplerKind::from_short_name("tl-ad"), Some(SamplerKind::TlAdaptive));
+        assert_eq!(SamplerKind::from_short_name("o1pair"), Some(SamplerKind::O1Pair));
+        assert_eq!(
+            SamplerKind::from_short_name("PREFILTERED"),
+            Some(SamplerKind::Prefiltered)
+        );
         assert_eq!(SamplerKind::from_short_name("nope"), None);
     }
 
     #[test]
+    fn only_prefiltered_needs_a_prefilter() {
+        for kind in SamplerKind::all() {
+            assert_eq!(
+                kind.needs_prefilter(),
+                kind == SamplerKind::Prefiltered,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
     fn all_samplers_dispatch_without_panicking() {
-        for kind in [
-            SamplerKind::TlAdaptive,
-            SamplerKind::TlFixed,
-            SamplerKind::GlobalAdaptive,
-            SamplerKind::GlobalFixed,
-            SamplerKind::Rnd10,
-            SamplerKind::Rnd25,
-            SamplerKind::UnCold,
-            SamplerKind::Always,
-            SamplerKind::Never,
-        ] {
+        for kind in SamplerKind::all() {
             let mut s = kind.build(1);
             for i in 0..100 {
                 let _ = s.dispatch(ThreadId::from_index(i % 3), FuncId::from_index(i % 7));

@@ -30,6 +30,7 @@
 mod burst;
 mod global;
 mod kind;
+mod o1pair;
 mod random;
 mod sampler;
 mod thread_local;
@@ -38,6 +39,7 @@ mod uncold;
 pub use burst::{BackoffSchedule, BurstState, BURST_LEN};
 pub use global::GlobalSampler;
 pub use kind::SamplerKind;
+pub use o1pair::O1PairSampler;
 pub use random::RandomSampler;
 pub use sampler::{Dispatch, Sampler};
 pub use thread_local::ThreadLocalSampler;

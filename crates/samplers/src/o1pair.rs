@@ -1,0 +1,171 @@
+//! The O(1)-samples budget sampler (`O1Pair`).
+//!
+//! "Dynamic Race Detection With O(1) Samples" observes that a race detector
+//! does not need a *rate* — it needs a constant number of samples per pair
+//! of conflicting sites to catch a reproducible race with high probability.
+//! This sampler adapts that idea to LiteRace's function-granularity
+//! dispatch: each `(thread, function)` region gets a fixed budget of fully
+//! sampled executions (the burst that covers every access-site pair the
+//! region can produce), after which sampling stops entirely except for
+//! exponentially spaced *refresh* windows that re-establish coverage when a
+//! function's behavior drifts over a long run.
+//!
+//! Unlike the adaptive back-off of TL-Ad, the total number of samples per
+//! region is **O(1) + O(log calls)** — constant budget plus logarithmically
+//! many refreshes — instead of a constant *fraction*. The coverage
+//! accounting ([`O1PairSampler::pairs_covered`]) makes the guarantee
+//! inspectable: a covered region consumed its full constant budget.
+
+use std::collections::HashMap;
+
+use literace_sim::{FuncId, ThreadId};
+
+use crate::burst::BURST_LEN;
+use crate::sampler::{Dispatch, Sampler};
+
+/// Constant samples per `(thread, function)` region, plus logarithmically
+/// many refresh windows. Deterministic; ignores the run seed.
+#[derive(Debug, Clone)]
+pub struct O1PairSampler {
+    /// Fully sampled executions granted to each region before back-off.
+    budget: u64,
+    /// Per-thread maps from function index to region call count.
+    counts: Vec<HashMap<u32, u64>>,
+    /// Per-function global call counts driving the refresh windows.
+    global: HashMap<u32, u64>,
+}
+
+impl O1PairSampler {
+    /// The default configuration: budget of [`BURST_LEN`] samples per
+    /// region, matching the burst length of the paper's samplers so ESR
+    /// comparisons in §5.3 are apples-to-apples.
+    pub fn paper() -> O1PairSampler {
+        O1PairSampler::with_budget(u64::from(BURST_LEN))
+    }
+
+    /// A sampler granting `budget` fully sampled executions per region.
+    pub fn with_budget(budget: u64) -> O1PairSampler {
+        O1PairSampler {
+            budget,
+            counts: Vec::new(),
+            global: HashMap::new(),
+        }
+    }
+
+    /// Number of `(thread, function)` regions seen so far.
+    pub fn pairs_tracked(&self) -> usize {
+        self.counts.iter().map(|m| m.len()).sum()
+    }
+
+    /// Number of regions that have consumed their full constant budget —
+    /// the coverage guarantee: every access-site pair such a region can
+    /// produce has been observed `budget` times.
+    pub fn pairs_covered(&self) -> usize {
+        self.counts
+            .iter()
+            .flat_map(|m| m.values())
+            .filter(|&&c| c >= self.budget)
+            .count()
+    }
+}
+
+impl Sampler for O1PairSampler {
+    fn name(&self) -> &str {
+        "O1Pair"
+    }
+
+    fn dispatch(&mut self, tid: ThreadId, func: FuncId) -> Dispatch {
+        let ti = tid.index();
+        if ti >= self.counts.len() {
+            self.counts.resize_with(ti + 1, HashMap::new);
+        }
+        let fi = func.index() as u32;
+        let pair = self.counts[ti].entry(fi).or_insert(0);
+        *pair += 1;
+        let global = self.global.entry(fi).or_insert(0);
+        *global += 1;
+        // Constant budget per region, then refresh only when the function's
+        // global call count crosses a power of two — log-many samples over
+        // any execution length.
+        Dispatch::from(*pair <= self.budget || global.is_power_of_two())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn every_region_gets_its_full_budget() {
+        let mut s = O1PairSampler::paper();
+        for tid in 0..3 {
+            for i in 0..BURST_LEN {
+                assert!(s.dispatch(t(tid), f(5)).is_sampled(), "thread {tid} call {i}");
+            }
+        }
+        assert_eq!(s.pairs_covered(), 3);
+    }
+
+    #[test]
+    fn total_samples_are_logarithmic_after_the_budget() {
+        let mut s = O1PairSampler::paper();
+        let n: u64 = 1 << 17;
+        let sampled = (0..n).filter(|_| s.dispatch(t(0), f(0)).is_sampled()).count() as u64;
+        // Budget (10) + power-of-two refreshes up to 2^17 (18), minus the
+        // overlap where both conditions hold on early calls.
+        assert!(sampled <= u64::from(BURST_LEN) + 18, "sampled {sampled}");
+        assert!(sampled >= u64::from(BURST_LEN), "sampled {sampled}");
+    }
+
+    #[test]
+    fn refresh_windows_hit_power_of_two_global_counts() {
+        let mut s = O1PairSampler::with_budget(2);
+        let mut sampled_at = Vec::new();
+        for i in 1..=40u64 {
+            if s.dispatch(t(0), f(0)).is_sampled() {
+                sampled_at.push(i);
+            }
+        }
+        assert_eq!(sampled_at, vec![1, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn a_new_thread_gets_a_fresh_budget_even_when_the_function_is_hot() {
+        let mut s = O1PairSampler::paper();
+        for _ in 0..50_000 {
+            s.dispatch(t(0), f(0));
+        }
+        for i in 0..BURST_LEN {
+            assert!(s.dispatch(t(1), f(0)).is_sampled(), "call {i}");
+        }
+    }
+
+    #[test]
+    fn coverage_accounting_tracks_partial_regions() {
+        let mut s = O1PairSampler::paper();
+        for _ in 0..BURST_LEN {
+            s.dispatch(t(0), f(0));
+        }
+        s.dispatch(t(0), f(1)); // partially covered
+        assert_eq!(s.pairs_tracked(), 2);
+        assert_eq!(s.pairs_covered(), 1);
+    }
+
+    #[test]
+    fn dispatch_sequence_is_deterministic() {
+        let run = || {
+            let mut s = O1PairSampler::paper();
+            (0..5_000)
+                .map(|i| s.dispatch(t(i % 3), f(i % 7)).is_sampled())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

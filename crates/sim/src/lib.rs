@@ -57,6 +57,7 @@ mod ids;
 pub mod lower;
 mod machine;
 mod op;
+mod prefilter;
 mod program;
 mod sched;
 mod stats;
@@ -80,6 +81,7 @@ pub use machine::{
     SYNC_OBJ_STRIDE,
 };
 pub use op::{AddrExpr, Op, Rvalue, SyncRef};
+pub use prefilter::{PrefilterStats, PrefilterTable};
 pub use program::{Function, Program, SyncDecl, SyncKind};
 pub use sched::{ChunkedRandomScheduler, PctScheduler, RandomScheduler, RoundRobinScheduler, Scheduler};
 pub use stats::ProgramStats;

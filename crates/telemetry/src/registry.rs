@@ -31,6 +31,14 @@ pub struct Metrics {
     pub instrument_mem_logged: Counter,
     /// Synchronization records logged (never sampled, §4.1).
     pub instrument_sync_logged: Counter,
+    /// Memory accesses skipped by the static ordering prefilter — no
+    /// sampler consultation, no log record.
+    pub instrument_prefilter_skipped: Counter,
+    /// Memory accesses that passed the prefilter (the residual
+    /// possibly-racy set the sampler budget is spent on).
+    pub instrument_prefilter_residual: Counter,
+    /// Size in bytes of the installed prefilter skip table.
+    pub instrument_prefilter_table_bytes: Counter,
     /// Burst-sampler back-off transitions, by the back-off level entered
     /// (slot 1 = first back-off, e.g. 100%→10% in the LiteRace schedule).
     pub sampler_burst_transitions: SlotCounters<BURST_SLOTS>,
@@ -192,6 +200,9 @@ impl Metrics {
             instrument_mem_executed: Counter::new(),
             instrument_mem_logged: Counter::new(),
             instrument_sync_logged: Counter::new(),
+            instrument_prefilter_skipped: Counter::new(),
+            instrument_prefilter_residual: Counter::new(),
+            instrument_prefilter_table_bytes: Counter::new(),
             sampler_burst_transitions: SlotCounters::new(),
             log_encode_v1_records: Counter::new(),
             log_encode_v1_bytes: Counter::new(),
@@ -257,13 +268,25 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 47] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 50] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
             ("instrument.mem.executed", &self.instrument_mem_executed),
             ("instrument.mem.logged", &self.instrument_mem_logged),
             ("instrument.sync.logged", &self.instrument_sync_logged),
+            (
+                "instrument.prefilter.skipped",
+                &self.instrument_prefilter_skipped,
+            ),
+            (
+                "instrument.prefilter.residual",
+                &self.instrument_prefilter_residual,
+            ),
+            (
+                "instrument.prefilter.table_bytes",
+                &self.instrument_prefilter_table_bytes,
+            ),
             ("log.encode.v1.records", &self.log_encode_v1_records),
             ("log.encode.v1.bytes", &self.log_encode_v1_bytes),
             ("log.encode.v2.records", &self.log_encode_v2_records),
