@@ -23,8 +23,16 @@
 //! overhead rather than parallel speedup, so the honest headline there is
 //! sharded vs the seed path (both reported).
 //!
+//! The checkpoint columns size a midpoint snapshot of each workload's
+//! detector state (sealed bytes, serialize/parse MB/s) and time a full
+//! resume — parse the sealed bytes, rebuild the detector, replay the
+//! suffix — whose report is asserted byte-identical to one-shot
+//! detection. `--check-resume-overhead` gates the resumed record rate at
+//! ≥ 0.9× the one-shot sequential rate, self-relative in the same run.
+//!
 //! Usage: `bench_detector [--scale smoke|paper] [--seeds N]
-//! [--workloads a,b,c] [--out PATH] [--repeats N] [--check-epoch-vs-vc]`
+//! [--workloads a,b,c] [--out PATH] [--repeats N] [--check-epoch-vs-vc]
+//! [--check-resume-overhead]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
@@ -32,7 +40,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use literace::detector::{
-    detect, detect_sharded, DetectConfig, DynamicRace, RaceReport, VectorClock,
+    detect, detect_sharded, Checkpoint, DetectConfig, DynamicRace, HbDetector, RaceReport,
+    VectorClock,
 };
 use literace::instrument::{InstrumentConfig, Instrumenter};
 use literace::log::{EventLog, Record};
@@ -572,6 +581,82 @@ struct Row {
     deescalations: u64,
     memo_hits: u64,
     resident_hwm: u64,
+    checkpoint: CheckpointCols,
+}
+
+/// Checkpoint size and save/load/resume throughput for one workload, all
+/// measured at the log's midpoint (the worst case for live state: nothing
+/// has retired or compacted away yet).
+struct CheckpointCols {
+    bytes: usize,
+    save_mbps: f64,
+    load_mbps: f64,
+    resumed_eps: f64,
+    /// `resumed_eps / sequential_eps` — the self-relative gate input.
+    resume_ratio: f64,
+}
+
+/// Measures checkpoint size, serialization/parse throughput, and the
+/// resumed-detection rate against the one-shot sequential rate (the
+/// resumed run replays the suffix after a midpoint checkpoint; byte
+/// identity with the one-shot report is asserted, not assumed).
+fn checkpoint_cols(
+    log: &EventLog,
+    non_stack: u64,
+    sequential_eps: f64,
+    repeats: usize,
+    expected: &RaceReport,
+) -> CheckpointCols {
+    let records = log.records();
+    let mid = records.len() / 2;
+    let mut first = HbDetector::new();
+    for r in &records[..mid] {
+        first.process(r);
+    }
+    let cp = first.save_checkpoint(non_stack);
+
+    let mut bytes = Vec::new();
+    let save_secs = time_best(repeats, || bytes = cp.to_bytes());
+    let load_secs = time_best(repeats, || {
+        let back = Checkpoint::from_bytes(&bytes).expect("sealed checkpoint loads");
+        assert_eq!(back.records_processed(), mid as u64);
+    });
+
+    let suffix: EventLog = records[mid..].iter().copied().collect();
+    let mut resumed_report: Option<RaceReport> = None;
+    // The timed resume includes the full production path: parse + validate
+    // the sealed bytes, rebuild the detector, replay the suffix, finish.
+    let resumed_secs = time_best(repeats, || {
+        let back = Checkpoint::from_bytes(&bytes).expect("sealed checkpoint loads");
+        let mut d = HbDetector::resume(&back);
+        d.process_log(&suffix);
+        resumed_report = Some(d.finish(non_stack));
+    });
+    assert_eq!(
+        resumed_report.as_ref().expect("resumed ran"),
+        expected,
+        "resumed detection must be byte-identical to one-shot"
+    );
+
+    let mbps = |secs: f64| {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            bytes.len() as f64 / secs / (1024.0 * 1024.0)
+        }
+    };
+    let resumed_eps = events_per_sec(suffix.len(), resumed_secs);
+    CheckpointCols {
+        bytes: bytes.len(),
+        save_mbps: mbps(save_secs),
+        load_mbps: mbps(load_secs),
+        resumed_eps,
+        resume_ratio: if sequential_eps > 0.0 {
+            resumed_eps / sequential_eps
+        } else {
+            0.0
+        },
+    }
 }
 
 impl Row {
@@ -619,6 +704,7 @@ fn main() {
     let mut seeds = vec![1u64];
     let mut workloads: Option<Vec<WorkloadId>> = None;
     let mut check_epoch_vs_vc = false;
+    let mut check_resume_overhead = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -664,6 +750,7 @@ fn main() {
                 );
             }
             "--check-epoch-vs-vc" => check_epoch_vs_vc = true,
+            "--check-resume-overhead" => check_resume_overhead = true,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -743,6 +830,13 @@ fn main() {
         });
         let (escalations, deescalations, memo_hits, resident_hwm) =
             epoch_stats(&log, non_stack);
+        let checkpoint = checkpoint_cols(
+            &log,
+            non_stack,
+            events_per_sec(records, seq_secs),
+            repeats,
+            &seq_report,
+        );
 
         let mut sharded_eps = Vec::new();
         for &threads in &thread_counts {
@@ -773,6 +867,7 @@ fn main() {
             deescalations,
             memo_hits,
             resident_hwm,
+            checkpoint,
         });
     }
 
@@ -797,8 +892,13 @@ fn main() {
          byte-identical during the run. peak_detector_bytes is heap high \
          water over the run's baseline from a counting allocator; \
          epoch_escalation_rate is escalated transitions per memory record. \
-         On a 1-CPU host sharded speedup over 'sequential' is not expected \
-         — track sharded vs 'seed'.\",\n",
+         checkpoint_* columns snapshot detector state at the log midpoint: \
+         sealed size, serialize/parse MB/s, and the resumed detection rate \
+         (parse + rebuild + replay the suffix), asserted byte-identical to \
+         one-shot detection; resume_ratio_vs_sequential is the \
+         --check-resume-overhead gate input. On a 1-CPU host sharded \
+         speedup over 'sequential' is not expected — track sharded vs \
+         'seed'.\",\n",
     );
     json.push_str("  \"workloads\": [\n");
     for (wi, row) in rows.iter().enumerate() {
@@ -865,8 +965,32 @@ fn main() {
         ));
         json.push_str(&format!("      \"epoch_memo_hits\": {},\n", row.memo_hits));
         json.push_str(&format!(
-            "      \"epoch_resident_shared_hwm\": {}\n",
+            "      \"epoch_resident_shared_hwm\": {},\n",
             row.resident_hwm
+        ));
+        json.push_str(&format!(
+            "      \"checkpoint_bytes\": {},\n",
+            row.checkpoint.bytes
+        ));
+        json.push_str(&format!(
+            "      \"checkpoint_save_mb_per_sec\": {},\n",
+            json_f64(row.checkpoint.save_mbps)
+        ));
+        json.push_str(&format!(
+            "      \"checkpoint_load_mb_per_sec\": {},\n",
+            json_f64(row.checkpoint.load_mbps)
+        ));
+        json.push_str(&format!(
+            "      \"resumed_events_per_sec\": {},\n",
+            json_f64(row.checkpoint.resumed_eps)
+        ));
+        json.push_str(&format!(
+            "      \"resume_ratio_vs_sequential\": {}\n",
+            if row.checkpoint.resume_ratio.is_finite() {
+                format!("{:.3}", row.checkpoint.resume_ratio)
+            } else {
+                "null".to_owned()
+            }
         ));
         json.push_str("    }");
         if wi + 1 < rows.len() {
@@ -888,6 +1012,15 @@ fn main() {
             row.peak_vc_bytes as f64 / 1024.0,
             row.peak_epoch_bytes as f64 / 1024.0,
             row.escalation_rate(),
+        );
+        println!(
+            "{:<16} checkpoint {:>7.1} KiB   save {:>7.1} MB/s   load {:>7.1} MB/s   resumed {:>12.0} ev/s ({:.2}x one-shot)",
+            "",
+            row.checkpoint.bytes as f64 / 1024.0,
+            row.checkpoint.save_mbps,
+            row.checkpoint.load_mbps,
+            row.checkpoint.resumed_eps,
+            row.checkpoint.resume_ratio,
         );
     }
 
@@ -917,6 +1050,32 @@ fn main() {
         }
         eprintln!(
             "[bench_detector] check-epoch-vs-vc OK: geomean {geomean:.3}x vs vcfrontier"
+        );
+    }
+
+    if check_resume_overhead {
+        // Resuming parses + validates the sealed checkpoint and rebuilds
+        // the detector before the first suffix record; the gate requires
+        // that tax to cost under 10% of the one-shot record rate. Both
+        // rates come from the same process and the same log, so the check
+        // is self-relative and safe on noisy shared runners.
+        const MIN_GEOMEAN: f64 = 0.9;
+        let n = rows.len().max(1) as f64;
+        let geomean = (rows
+            .iter()
+            .map(|r| r.checkpoint.resume_ratio.max(f64::MIN_POSITIVE).ln())
+            .sum::<f64>()
+            / n)
+            .exp();
+        if geomean < MIN_GEOMEAN {
+            eprintln!(
+                "[bench_detector] FAIL: resumed detection geomean {geomean:.3}x the \
+                 one-shot sequential rate (must be >= {MIN_GEOMEAN}x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench_detector] check-resume-overhead OK: geomean {geomean:.3}x vs one-shot"
         );
     }
 }

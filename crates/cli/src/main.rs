@@ -9,6 +9,7 @@
 //! literace explain --workload dryad [...]    why each race was reported
 //! literace metrics [--format prom] [...]     export the telemetry registry
 //! literace log-stats --log run.lrlog         log composition and size
+//! literace checkpoint --in state.lrcp        inspect a detector checkpoint
 //! literace inspect --workload dryad [...]    program structure + disasm
 //! literace trace --in trace.json [...]       summarize a --trace-out file
 //! ```
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("explain") => commands::explain(&argv[1..]),
         Some("metrics") => commands::metrics_cmd(&argv[1..]),
         Some("log-stats") => commands::log_stats(&argv[1..]),
+        Some("checkpoint") => commands::checkpoint(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

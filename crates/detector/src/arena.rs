@@ -62,6 +62,12 @@ impl Arena {
         &mut self.slots[idx as usize]
     }
 
+    /// Read-only view of a slot, for state snapshots.
+    #[inline]
+    pub fn get(&self, idx: u32) -> &LocHistory {
+        &self.slots[idx as usize]
+    }
+
     /// Currently escalated locations.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn live(&self) -> usize {

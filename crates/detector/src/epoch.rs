@@ -12,6 +12,50 @@
 
 use literace_sim::{Pc, ThreadId};
 
+/// Highest thread index the detector registers. One below the memo-key
+/// packing limit: [`MemoKey`] folds the access kind into bit 31 of a
+/// `u32`, so index `0x7FFF_FFFF` with the write bit set would collide
+/// with [`MemoKey::INVALID`], and anything ≥ 2³¹ would silently flip the
+/// recorded access kind. Rather than let a hostile or corrupt log reach
+/// either state (or OOM materializing billions of clocks on the way
+/// there), registration rejects the index outright — see
+/// [`check_thread_index`].
+pub const MAX_THREAD_INDEX: usize = (u32::MAX >> 1) as usize - 1;
+
+/// A thread index above [`MAX_THREAD_INDEX`] was presented for
+/// registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TidCeilingExceeded {
+    /// The rejected thread index.
+    pub index: usize,
+}
+
+impl std::fmt::Display for TidCeilingExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread index {} exceeds the detector ceiling of {MAX_THREAD_INDEX} \
+             (indices ≥ 2^31 would corrupt the access-kind bit packing)",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for TidCeilingExceeded {}
+
+/// Validates a thread index against [`MAX_THREAD_INDEX`]. Every detection
+/// path calls this at thread-registration time (the first record naming a
+/// thread), so the memo-key bit packing above can never see an index it
+/// would mis-encode.
+#[inline]
+pub fn check_thread_index(index: usize) -> Result<(), TidCeilingExceeded> {
+    if index > MAX_THREAD_INDEX {
+        Err(TidCeilingExceeded { index })
+    } else {
+        Ok(())
+    }
+}
+
 /// One remembered access: the accessing thread, its own clock component at
 /// the access (the epoch scalar), and the instruction site for reports.
 /// Whether it was a read or a write is encoded by where it is stored.
@@ -19,7 +63,7 @@ use literace_sim::{Pc, ThreadId};
 /// An absent access is encoded as `epoch == 0`: every thread clock starts
 /// at `{t: 1}` and own components only grow, so a real epoch is always
 /// ≥ 1.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Access {
     /// Accessing thread.
     pub tid: ThreadId,
@@ -143,5 +187,22 @@ mod tests {
         let huge = ThreadId::from_index((u32::MAX >> 1) as usize);
         assert!(!MemoKey::new(huge, Pc(0), true, 0).is_valid());
         assert!(!MemoKey::INVALID.is_valid());
+    }
+
+    #[test]
+    fn thread_index_ceiling_sits_exactly_at_the_packing_boundary() {
+        // The last accepted index must still produce a valid memo key with
+        // the write bit set (i.e. it cannot alias INVALID), and the first
+        // rejected index is exactly the one the memo packing cannot carry.
+        assert!(check_thread_index(0).is_ok());
+        assert!(check_thread_index(MAX_THREAD_INDEX).is_ok());
+        let key = MemoKey::new(ThreadId::from_index(MAX_THREAD_INDEX), Pc(1), true, 1);
+        assert!(key.is_valid(), "ceiling index must still memoize");
+
+        let over = MAX_THREAD_INDEX + 1;
+        assert_eq!(check_thread_index(over), Err(TidCeilingExceeded { index: over }));
+        assert!(check_thread_index(1 << 31).is_err());
+        let msg = TidCeilingExceeded { index: over }.to_string();
+        assert!(msg.contains("2^31"), "{msg}");
     }
 }

@@ -387,6 +387,66 @@ impl Frontier {
         before - index.len()
     }
 
+    /// Serializes the table into canonical form: every tracked address
+    /// with its remembered writes and reads, oldest first, sorted by
+    /// address. Hash-map iteration order never leaks into the result, so
+    /// equal frontier states produce equal snapshots.
+    ///
+    /// Only the semantically significant state is captured: the memo keys,
+    /// address cache, and local counters are all re-derivable (a cleared
+    /// memo merely costs one redundant — and provably conflict-free —
+    /// history walk on the next access).
+    pub fn snapshot(&self) -> Vec<(u64, Vec<Access>, Vec<Access>)> {
+        let mut out: Vec<(u64, Vec<Access>, Vec<Access>)> = self
+            .index
+            .iter()
+            .map(|(&addr, &li)| {
+                let loc = &self.locs[li as usize];
+                if loc.slot == INLINE {
+                    let w: Vec<Access> = loc.write.present().then_some(loc.write).into_iter().collect();
+                    let r: Vec<Access> = loc.read.present().then_some(loc.read).into_iter().collect();
+                    (addr, w, r)
+                } else {
+                    let h = self.arena.get(loc.slot);
+                    (addr, h.writes.clone(), h.reads.clone())
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(addr, _, _)| addr);
+        out
+    }
+
+    /// Rebuilds a table from a [`snapshot`](Frontier::snapshot). The
+    /// inline-vs-escalated representation is rederived from the antichain
+    /// sizes — the live invariant is that a location is escalated iff
+    /// either antichain holds ≥ 2 entries (de-escalation is eager in both
+    /// [`access`](Frontier::access) and [`compact`](Frontier::compact)) —
+    /// so the restored table is semantically identical to the one
+    /// snapshotted, and every path through it reports the same conflicts.
+    pub fn restore(
+        max_history: usize,
+        locations: impl IntoIterator<Item = (u64, Vec<Access>, Vec<Access>)>,
+    ) -> Frontier {
+        let mut f = Frontier::new(max_history);
+        for (addr, writes, reads) in locations {
+            let li = f.locs.len() as u32;
+            let mut loc = Loc::new();
+            if writes.len() >= 2 || reads.len() >= 2 {
+                let slot = f.arena.alloc();
+                let h = f.arena.get_mut(slot);
+                h.writes.extend(writes);
+                h.reads.extend(reads);
+                loc.slot = slot;
+            } else {
+                loc.write = writes.into_iter().next().unwrap_or_else(Access::none);
+                loc.read = reads.into_iter().next().unwrap_or_else(Access::none);
+            }
+            f.locs.push(loc);
+            f.index.insert(addr, li);
+        }
+        f
+    }
+
     /// Number of addresses with live history state (memory footprint).
     pub fn tracked_locations(&self) -> usize {
         self.index.len()
@@ -620,6 +680,40 @@ mod tests {
         assert_eq!(f.tracked_locations(), 1);
         assert_eq!(f.compact(&[]), 1);
         assert_eq!(f.tracked_locations(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_inline_and_escalated() {
+        let mut f = Frontier::new(128);
+        f.access(t(0), pc(1), 7, true, &clock(&[1]), 0, no_conflict); // inline write
+        f.access(t(0), pc(2), 8, false, &clock(&[1]), 0, no_conflict); // inline read
+        f.access(t(1), pc(3), 9, false, &clock(&[0, 1]), 0, no_conflict);
+        f.access(t(2), pc(4), 9, false, &clock(&[0, 0, 1]), 0, no_conflict); // escalated
+        let snap = f.snapshot();
+        assert_eq!(snap.iter().map(|s| s.0).collect::<Vec<_>>(), vec![7, 8, 9]);
+        let mut g = Frontier::restore(128, snap);
+        assert_eq!(g.tracked_locations(), f.tracked_locations());
+        assert_eq!(g.escalated_locations(), 1);
+        // The restored table fires the same conflicts as the original.
+        let probe = clock(&[0, 0, 0, 1]);
+        let mut orig = Vec::new();
+        f.access(t(3), pc(9), 9, true, &probe, 0, |a, w| orig.push((a.tid, a.epoch, w)));
+        let mut restored = Vec::new();
+        g.access(t(3), pc(9), 9, true, &probe, 0, |a, w| restored.push((a.tid, a.epoch, w)));
+        assert_eq!(orig, restored);
+        assert_eq!(orig.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_keeps_empty_locations_tracked() {
+        // max_history 0 leaves empty location entries until compaction;
+        // a snapshot/restore cycle must not silently drop them.
+        let mut f = Frontier::new(0);
+        f.access(t(0), pc(1), 7, true, &clock(&[1]), 0, no_conflict);
+        assert_eq!(f.tracked_locations(), 1);
+        let g = Frontier::restore(0, f.snapshot());
+        assert_eq!(g.tracked_locations(), 1);
+        assert_eq!(g.escalated_locations(), 0);
     }
 
     #[test]

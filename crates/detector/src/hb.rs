@@ -22,8 +22,9 @@ use std::collections::HashMap;
 use literace_log::{EventLog, Record};
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
+use crate::epoch::check_thread_index;
 use crate::fast_hash::{FastMap, FastSet};
-use crate::frontier::Frontier;
+use crate::frontier::{Access, Frontier};
 use crate::provenance::{AccessEvidence, ProvenanceReport, ProvenanceState, SyncEdge};
 use crate::report::{RaceReport, StaticRace};
 use crate::vector_clock::VectorClock;
@@ -124,9 +125,22 @@ impl HbCore {
 
     /// Makes sure `tid`'s clock (and those of all lower thread ids) is
     /// materialized, and returns its index into `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`TidCeilingExceeded`](crate::TidCeilingExceeded)'s
+    /// message when the index exceeds
+    /// [`MAX_THREAD_INDEX`](crate::MAX_THREAD_INDEX): beyond it the memo
+    /// keys' access-kind bit packing would silently corrupt race
+    /// classification (see `crate::epoch`), and materializing billions of
+    /// backfilled clocks would exhaust memory long before that. Only a
+    /// corrupt or hostile log can reach this.
     fn ensure_thread(&mut self, tid: ThreadId) -> usize {
         let i = tid.index();
         if i >= self.threads.len() {
+            if let Err(e) = check_thread_index(i) {
+                panic!("{e}");
+            }
             for j in self.threads.len()..=i {
                 let mut c = VectorClock::new();
                 c.set(ThreadId::from_index(j), 1);
@@ -374,6 +388,142 @@ impl HbCore {
     pub fn tracked_locations(&self) -> usize {
         self.frontier.tracked_locations()
     }
+
+    /// The configuration the core was created with.
+    pub fn config(&self) -> HbConfig {
+        self.cfg
+    }
+
+    /// Extracts the core's full semantic state in canonical (sorted)
+    /// order, for checkpoint serialization. Telemetry-only state (the
+    /// scan sampler, epoch counters) and provenance capture are excluded;
+    /// the frontier memos reset on restore, which is output-neutral (a
+    /// memo only ever short-circuits a provably conflict-free repeat).
+    pub(crate) fn snapshot_state(&self) -> CoreSnapshot {
+        let threads = (0..self.threads.len())
+            .map(|i| ThreadState {
+                components: self.threads[i].components().to_vec(),
+                clock_gen: self.clock_gen[i],
+                retired: self.retired.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        let mut syncvars: Vec<(SyncVar, Vec<u64>)> = self
+            .syncvars
+            .iter()
+            .map(|(&var, clock)| (var, clock.components().to_vec()))
+            .collect();
+        syncvars.sort_unstable_by_key(|&(var, _)| var);
+        let mut pairs: Vec<((Pc, Pc), PairSnapshot)> = self
+            .pairs
+            .iter()
+            .map(|(&pcs, agg)| {
+                let mut addrs: Vec<Addr> = agg.addrs.iter().copied().collect();
+                addrs.sort_unstable();
+                (
+                    pcs,
+                    PairSnapshot {
+                        stored: agg.stored,
+                        overflow: agg.overflow,
+                        example_addr: agg.example_addr,
+                        addrs,
+                    },
+                )
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(pcs, _)| pcs);
+        CoreSnapshot {
+            threads,
+            syncvars,
+            locations: self.frontier.snapshot(),
+            pairs,
+        }
+    }
+
+    /// Rebuilds a core from a [`snapshot_state`](HbCore::snapshot_state)
+    /// capture. The restored core processes any suffix of records exactly
+    /// as the snapshotted one would have.
+    pub(crate) fn from_snapshot(cfg: HbConfig, snap: CoreSnapshot) -> HbCore {
+        let mut threads = Vec::with_capacity(snap.threads.len());
+        let mut clock_gen = Vec::with_capacity(snap.threads.len());
+        let mut retired = Vec::with_capacity(snap.threads.len());
+        for t in snap.threads {
+            threads.push(VectorClock::from_components(t.components));
+            clock_gen.push(t.clock_gen);
+            retired.push(t.retired);
+        }
+        let syncvars: FastMap<SyncVar, VectorClock> = snap
+            .syncvars
+            .into_iter()
+            .map(|(var, c)| (var, VectorClock::from_components(c)))
+            .collect();
+        let pairs: FastMap<(Pc, Pc), PairAgg> = snap
+            .pairs
+            .into_iter()
+            .map(|(pcs, p)| {
+                (
+                    pcs,
+                    PairAgg {
+                        stored: p.stored,
+                        overflow: p.overflow,
+                        example_addr: p.example_addr,
+                        addrs: p.addrs.into_iter().collect(),
+                    },
+                )
+            })
+            .collect();
+        HbCore {
+            cfg,
+            threads,
+            clock_gen,
+            retired,
+            syncvars,
+            frontier: Frontier::restore(cfg.max_history_per_location, snap.locations),
+            pairs,
+            scan_hist: literace_telemetry::ScanSampler::new(),
+            provenance: None,
+        }
+    }
+}
+
+/// Per-thread state in a [`CoreSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ThreadState {
+    /// The thread's vector clock, as its dense component slice.
+    pub components: Vec<u64>,
+    /// The thread's clock generation (the frontier memo token).
+    pub clock_gen: u64,
+    /// Whether the thread has exited.
+    pub retired: bool,
+}
+
+/// One static pair's aggregate in a [`CoreSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PairSnapshot {
+    /// Dynamic occurrences stored (capped).
+    pub stored: u64,
+    /// Occurrences beyond the cap.
+    pub overflow: u64,
+    /// Address of the first stored occurrence.
+    pub example_addr: Addr,
+    /// Distinct addresses among stored occurrences, sorted.
+    pub addrs: Vec<Addr>,
+}
+
+/// The full semantic state of an [`HbCore`], in canonical order: equal
+/// detector states produce equal snapshots regardless of hash-map
+/// iteration order. Produced by [`HbCore::snapshot_state`], consumed by
+/// [`HbCore::from_snapshot`] and the checkpoint codec
+/// (see [`checkpoint`](crate::checkpoint)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CoreSnapshot {
+    /// Per-thread clocks, generations, and retirement flags, by index.
+    pub threads: Vec<ThreadState>,
+    /// Sync-variable clocks, sorted by variable.
+    pub syncvars: Vec<(SyncVar, Vec<u64>)>,
+    /// Frontier state, sorted by address (see [`Frontier::snapshot`]).
+    pub locations: Vec<(u64, Vec<Access>, Vec<Access>)>,
+    /// Per-pair aggregates, sorted by the pc pair.
+    pub pairs: Vec<((Pc, Pc), PairSnapshot)>,
 }
 
 /// Records between automatic frontier compactions in [`HbDetector`] (and
@@ -406,11 +556,15 @@ pub(crate) const COMPACT_INTERVAL: u64 = 1 << 18;
 /// ```
 #[derive(Debug)]
 pub struct HbDetector {
-    core: HbCore,
-    records_since_compact: u64,
+    pub(crate) core: HbCore,
+    pub(crate) records_since_compact: u64,
+    /// Total records processed since construction (or since the state a
+    /// resumed detector was checkpointed from began), for checkpoint
+    /// bookkeeping and the inspector.
+    pub(crate) records_processed: u64,
     /// Per-var last timestamp, to validate the logical-timestamp invariant
     /// (§4.2): operations on one variable must be logged in timestamp order.
-    last_ts: HashMap<SyncVar, u64>,
+    pub(crate) last_ts: HashMap<SyncVar, u64>,
     /// Count of timestamp-order violations observed (should stay zero; a
     /// nonzero value reproduces the paper's "hundreds of false data races"
     /// failure mode when atomic timestamping is broken).
@@ -428,9 +582,16 @@ impl HbDetector {
         HbDetector {
             core: HbCore::new(cfg),
             records_since_compact: 0,
+            records_processed: 0,
             last_ts: HashMap::new(),
             timestamp_violations: 0,
         }
+    }
+
+    /// Total records processed so far (including any processed before the
+    /// checkpoint a resumed detector started from).
+    pub fn records_processed(&self) -> u64 {
+        self.records_processed
     }
 
     /// Processes one log record.
@@ -470,6 +631,7 @@ impl HbDetector {
                 self.core.compact();
             }
         }
+        self.records_processed += 1;
         self.records_since_compact += 1;
         if self.records_since_compact >= COMPACT_INTERVAL {
             self.records_since_compact = 0;

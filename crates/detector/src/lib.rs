@@ -17,6 +17,10 @@
 //! * [`detect_stream`] — the same sharded detection fed block-by-block
 //!   from a decoding log stream, overlapping decode, routing, and replay
 //!   without materializing the log;
+//! * [`Checkpoint`] — a sealed, self-validating snapshot of full detector
+//!   state; resuming from one (on any path: [`detect_resume`],
+//!   [`detect_sharded_resume`], [`detect_stream_resume`]) yields reports
+//!   byte-identical to one-shot detection;
 //! * [`merge`] utilities reconstructing a global order from per-thread logs
 //!   using the §4.2 logical timestamps.
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arena;
+mod checkpoint;
 mod epoch;
 pub mod fast_hash;
 mod fasttrack;
@@ -60,13 +65,15 @@ mod streaming;
 mod suppress;
 mod vector_clock;
 
+pub use checkpoint::{detect_resume, Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use epoch::{check_thread_index, TidCeilingExceeded, MAX_THREAD_INDEX};
 pub use fasttrack::{detect_fasttrack, FastTrackDetector};
 pub use hb::{detect, HbConfig, HbCore, HbDetector};
 pub use lockset::{detect_lockset, LocksetDetector};
 pub use online::OnlineDetector;
 pub use provenance::{AccessEvidence, ProvenanceReport, RaceEvidence, SyncEdge};
-pub use sharded::{detect_sharded, DetectConfig};
-pub use streaming::detect_stream;
+pub use sharded::{detect_sharded, detect_sharded_resume, DetectConfig};
+pub use streaming::{detect_stream, detect_stream_checkpointed, detect_stream_resume};
 pub use report::{DynamicRace, RaceReport, StaticRace};
 pub use suppress::Suppressions;
 pub use vector_clock::VectorClock;

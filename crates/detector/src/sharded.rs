@@ -42,9 +42,11 @@
 use literace_log::{EventLog, Record};
 use literace_sim::{Addr, FuncId, Pc, SyncOpKind, SyncVar, ThreadId};
 
+use crate::checkpoint::Checkpoint;
+use crate::epoch::check_thread_index;
 use crate::fast_hash::{FastMap, FastSet};
 use crate::frontier::Frontier;
-use crate::hb::{HbConfig, HbDetector, COMPACT_INTERVAL};
+use crate::hb::{HbConfig, HbDetector, PairSnapshot, COMPACT_INTERVAL};
 use crate::report::{RaceReport, StaticRace};
 use crate::vector_clock::VectorClock;
 
@@ -145,8 +147,20 @@ struct ClockState {
 impl ClockState {
     /// Materializes `tid`'s clock (and those of all lower thread ids), as
     /// `HbCore::ensure_thread` does, and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics, like `HbCore::ensure_thread`, when the index exceeds
+    /// [`MAX_THREAD_INDEX`](crate::MAX_THREAD_INDEX) — the parallel paths
+    /// enforce the same registration-time tid ceiling as the sequential
+    /// core (see `crate::epoch`).
     fn ensure_thread(&mut self, tid: ThreadId) -> usize {
         let i = tid.index();
+        if i >= self.current.len() {
+            if let Err(e) = check_thread_index(i) {
+                panic!("{e}");
+            }
+        }
         while self.current.len() <= i {
             let mut c = VectorClock::new();
             c.set(ThreadId::from_index(self.current.len()), 1);
@@ -177,8 +191,19 @@ impl ClockState {
 /// algebra (including thread materialization order) and
 /// [`HbDetector`]'s compaction cadence exactly.
 ///
+/// With `seed`, the pre-pass starts from a checkpoint's clock state
+/// instead of a fresh one: per-thread clocks, sync-variable clocks,
+/// retirement flags, and the compaction phase are all restored, so the
+/// records (which must be the suffix after the checkpointed position)
+/// replay under exactly the clocks the sequential resumed detector would
+/// hold. Each seeded clock becomes that thread's generation 0.
+///
 /// [`HbCore`]: crate::HbCore
-fn build_plan(records: &[Record], shards: usize) -> (Timeline, Vec<Vec<ShardEvent>>) {
+fn build_plan(
+    records: &[Record],
+    shards: usize,
+    seed: Option<&Checkpoint>,
+) -> (Timeline, Vec<Vec<ShardEvent>>) {
     let mut clocks = ClockState::default();
     let mut compact_live: Vec<Vec<(usize, u32)>> = Vec::new();
     let mut streams: Vec<Vec<ShardEvent>> = (0..shards)
@@ -187,6 +212,23 @@ fn build_plan(records: &[Record], shards: usize) -> (Timeline, Vec<Vec<ShardEven
     let mut syncvars: FastMap<SyncVar, VectorClock> = FastMap::default();
     let mut retired: Vec<bool> = Vec::new();
     let mut since_compact = 0u64;
+    if let Some(cp) = seed {
+        for t in &cp.core.threads {
+            clocks
+                .current
+                .push(VectorClock::from_components(t.components.clone()));
+            clocks.frozen.push(Vec::new());
+            clocks.referenced.push(false);
+            retired.push(t.retired);
+        }
+        syncvars = cp
+            .core
+            .syncvars
+            .iter()
+            .map(|(var, c)| (*var, VectorClock::from_components(c.clone())))
+            .collect();
+        since_compact = cp.records_since_compact;
+    }
 
     fn emit_compact(
         clocks: &mut ClockState,
@@ -309,7 +351,17 @@ pub(crate) type ShardPairs = FastMap<(Pc, Pc), Vec<(u64, Addr)>>;
 /// omitted, matching `HbCore::finish`. Shared by [`detect_sharded`] and
 /// [`detect_stream`](crate::detect_stream), which is what makes the two
 /// byte-identical to each other and to the sequential detector.
-pub(crate) fn merge_pairs(
+///
+/// With a non-empty `prefix` — a checkpoint's per-pair aggregates — the
+/// accounting *continues* from the prefix instead of starting fresh:
+/// every prefix occurrence globally precedes every shard occurrence (the
+/// prefix is the log up to the checkpoint, the shards replayed its
+/// suffix), so stored capacity left is `cap - stored`, the example
+/// address is the prefix's when it stored anything, and distinct
+/// addresses union the prefix's stored set with the newly stored
+/// occurrences. Produces exactly the one-shot sequential report.
+pub(crate) fn merge_pairs_seeded(
+    prefix: &[((Pc, Pc), PairSnapshot)],
     shard_pairs: Vec<ShardPairs>,
     cap: usize,
     non_stack_accesses: u64,
@@ -330,22 +382,40 @@ pub(crate) fn merge_pairs(
     let _span = literace_telemetry::metrics().phase_merge.span();
     literace_telemetry::trace_begin("merge");
     let mut dynamic_races = 0;
-    let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len());
-    for (pcs, mut races) in by_pair {
+    let mut static_races: Vec<StaticRace> = Vec::with_capacity(by_pair.len() + prefix.len());
+    let mut emit = |pcs: (Pc, Pc), snap: Option<&PairSnapshot>, mut races: Vec<(u64, Addr)>| {
         races.sort_unstable_by_key(|&(pos, _)| pos);
-        let stored = races.len().min(cap);
-        if stored == 0 {
-            continue;
+        let prior_stored = snap.map_or(0, |s| s.stored);
+        let prior_overflow = snap.map_or(0, |s| s.overflow);
+        let capacity_left = (cap as u64).saturating_sub(prior_stored) as usize;
+        let extra_stored = races.len().min(capacity_left);
+        if prior_stored == 0 && extra_stored == 0 {
+            // Nothing stored even counting the prefix: the pair is omitted,
+            // matching `HbCore::finish` (possible only when `cap` is 0).
+            return;
         }
-        let count = races.len() as u64;
+        let count = prior_stored + prior_overflow + races.len() as u64;
         dynamic_races += count;
-        let addrs: FastSet<Addr> = races[..stored].iter().map(|&(_, a)| a).collect();
+        let mut addrs: FastSet<Addr> =
+            snap.map_or_else(FastSet::default, |s| s.addrs.iter().copied().collect());
+        addrs.extend(races[..extra_stored].iter().map(|&(_, a)| a));
+        let example_addr = match snap {
+            Some(s) if s.stored > 0 => s.example_addr,
+            _ => races[0].1,
+        };
         static_races.push(StaticRace {
             pcs,
             count,
-            example_addr: races[0].1,
+            example_addr,
             distinct_addrs: addrs.len() as u64,
         });
+    };
+    for (pcs, snap) in prefix {
+        let races = by_pair.remove(pcs).unwrap_or_default();
+        emit(*pcs, Some(snap), races);
+    }
+    for (pcs, races) in by_pair {
+        emit(pcs, None, races);
     }
     static_races.sort_by(|a, b| b.count.cmp(&a.count).then(a.pcs.cmp(&b.pcs)));
     if literace_telemetry::enabled() {
@@ -363,17 +433,17 @@ pub(crate) fn merge_pairs(
 
 /// One worker: replays its own pre-partitioned access stream against the
 /// shared clock timeline. Pure frontier work — no sync replay, no clock
-/// mutation, no cloning.
+/// mutation, no cloning. The caller owns the frontier so a resumed run
+/// can seed it from a checkpoint (fresh runs pass `Frontier::new`).
 fn run_shard(
     events: &[ShardEvent],
     timeline: &Timeline,
-    max_history: usize,
+    frontier: &mut Frontier,
     trace: &mut literace_telemetry::TraceBuf,
 ) -> ShardPairs {
     let _span = literace_telemetry::metrics().phase_shard_replay.span();
     trace.begin("shard.replay");
     let mut scan_hist = literace_telemetry::ScanSampler::new();
-    let mut frontier = Frontier::new(max_history);
     let mut pairs = ShardPairs::default();
     let mut live: Vec<&VectorClock> = Vec::new();
     for ev in events {
@@ -432,30 +502,40 @@ fn run_shard(
 /// because the scoped threads themselves are unnamed.
 fn run_shards(
     streams: &[Vec<ShardEvent>],
+    frontiers: &mut [Frontier],
     timeline: &Timeline,
-    max_history: usize,
     workers: usize,
 ) -> Vec<ShardPairs> {
-    let each = |events: &Vec<ShardEvent>, trace: &mut literace_telemetry::TraceBuf| {
-        run_shard(events, timeline, max_history, trace)
+    debug_assert_eq!(streams.len(), frontiers.len());
+    let each = |events: &Vec<ShardEvent>,
+                frontier: &mut Frontier,
+                trace: &mut literace_telemetry::TraceBuf| {
+        run_shard(events, timeline, frontier, trace)
     };
     if workers <= 1 {
         let mut trace = literace_telemetry::TraceBuf::new("literace-replay-0");
-        return streams.iter().map(|ev| each(ev, &mut trace)).collect();
+        return streams
+            .iter()
+            .zip(frontiers)
+            .map(|(ev, f)| each(ev, f, &mut trace))
+            .collect();
     }
     let chunk = streams.len().div_ceil(workers);
+    let (first_frontiers, rest_frontiers) = frontiers.split_at_mut(chunk.min(streams.len()));
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = streams
             .chunks(chunk)
             .skip(1)
+            .zip(rest_frontiers.chunks_mut(chunk))
             .enumerate()
-            .map(|(i, group)| {
+            .map(|(i, (group, group_frontiers))| {
                 s.spawn(move |_| {
                     let mut trace =
                         literace_telemetry::TraceBuf::new(format!("literace-replay-{}", i + 1));
                     group
                         .iter()
-                        .map(|ev| each(ev, &mut trace))
+                        .zip(group_frontiers)
+                        .map(|(ev, f)| each(ev, f, &mut trace))
                         .collect::<Vec<ShardPairs>>()
                 })
             })
@@ -466,7 +546,8 @@ fn run_shards(
             .next()
             .unwrap_or(&[])
             .iter()
-            .map(|ev| each(ev, &mut trace))
+            .zip(first_frontiers)
+            .map(|(ev, f)| each(ev, f, &mut trace))
             .collect();
         drop(trace);
         for h in handles {
@@ -500,11 +581,49 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
         d.process_log(log);
         return d.finish(non_stack_accesses);
     }
+    detect_sharded_inner(log, non_stack_accesses, shards, cfg.hb, None)
+}
 
+/// [`detect_sharded`] resuming from a [`Checkpoint`]: `log` must be the
+/// records *after* the checkpointed position. The pre-pass starts from
+/// the checkpoint's clock state, each shard's frontier is seeded with the
+/// checkpoint locations it owns, and the merge continues the checkpoint's
+/// per-pair accounting — the report is byte-identical to one-shot
+/// detection over the whole stream, for any shard count.
+///
+/// The happens-before tuning comes from the checkpoint (it is part of the
+/// detector state); `cfg` contributes only the worker count.
+pub fn detect_sharded_resume(
+    log: &EventLog,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+    cp: &Checkpoint,
+) -> RaceReport {
+    let shards = cfg.threads.max(1);
+    if shards == 1 || log.len() >= COMPACT as usize {
+        let mut d = HbDetector::resume(cp);
+        d.process_log(log);
+        return d.finish(non_stack_accesses);
+    }
+    if literace_telemetry::enabled() {
+        literace_telemetry::metrics().detector_checkpoint_resumes.add(1);
+    }
+    detect_sharded_inner(log, non_stack_accesses, shards, cp.cfg, Some(cp))
+}
+
+/// Shared pre-pass → replay → merge pipeline behind [`detect_sharded`]
+/// and [`detect_sharded_resume`].
+fn detect_sharded_inner(
+    log: &EventLog,
+    non_stack_accesses: u64,
+    shards: usize,
+    hb: HbConfig,
+    seed: Option<&Checkpoint>,
+) -> RaceReport {
     let (timeline, streams) = {
         let _span = literace_telemetry::metrics().phase_sync_prepass.span();
         literace_telemetry::trace_begin("sync.prepass");
-        let plan = build_plan(log.records(), shards);
+        let plan = build_plan(log.records(), shards, seed);
         literace_telemetry::trace_end("sync.prepass");
         plan
     };
@@ -519,6 +638,7 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
             m.detector_records_routed.add(routed);
         }
     }
+    let mut frontiers = shard_frontiers(shards, hb.max_history_per_location, seed);
     // Shard count is a logical partition; OS threads are capped by the
     // hardware so narrow machines don't pay scheduling overhead for
     // parallelism they can't realize.
@@ -526,8 +646,34 @@ pub fn detect_sharded(log: &EventLog, non_stack_accesses: u64, cfg: &DetectConfi
         .map(|n| n.get())
         .unwrap_or(1)
         .min(shards);
-    let shard_pairs = run_shards(&streams, &timeline, cfg.hb.max_history_per_location, workers);
-    merge_pairs(shard_pairs, cfg.hb.max_dynamic_per_pair, non_stack_accesses)
+    let shard_pairs = run_shards(&streams, &mut frontiers, &timeline, workers);
+    let prefix = seed.map_or(&[][..], |cp| &cp.core.pairs);
+    merge_pairs_seeded(prefix, shard_pairs, hb.max_dynamic_per_pair, non_stack_accesses)
+}
+
+/// One frontier per shard: fresh for a clean run, or seeded with the
+/// checkpoint locations the shard owns (the same `shard_of` routing that
+/// partitions the access streams) for a resumed one.
+pub(crate) fn shard_frontiers(
+    shards: usize,
+    max_history: usize,
+    seed: Option<&Checkpoint>,
+) -> Vec<Frontier> {
+    match seed {
+        None => (0..shards).map(|_| Frontier::new(max_history)).collect(),
+        Some(cp) => (0..shards)
+            .map(|shard| {
+                Frontier::restore(
+                    max_history,
+                    cp.core
+                        .locations
+                        .iter()
+                        .filter(|(addr, _, _)| shard_of(Addr(*addr), shards) == shard)
+                        .cloned(),
+                )
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -651,7 +797,7 @@ mod tests {
             sync(t(0), SyncOpKind::LockRelease, 7, 2),
             mem(t(0), 2, 0, true),
         ];
-        let (timeline, streams) = build_plan(&records, 1);
+        let (timeline, streams) = build_plan(&records, 1, None);
         assert_eq!(timeline.versions[0].len(), 2);
         let gens: Vec<u32> = streams[0]
             .iter()
@@ -670,7 +816,7 @@ mod tests {
             .map(|ts| sync(t(0), SyncOpKind::LockRelease, 7, ts + 1))
             .collect();
         records.push(mem(t(0), 1, 0, true));
-        let (timeline, _) = build_plan(&records, 2);
+        let (timeline, _) = build_plan(&records, 2, None);
         assert_eq!(timeline.versions[0].len(), 1);
         assert_eq!(timeline.versions[0][0].get(t(0)), 101);
     }
@@ -681,16 +827,42 @@ mod tests {
         // cap workers at 1): per-shard outputs must not depend on how
         // shards are spread over OS threads.
         let log = mixed_log();
-        let (timeline, streams) = build_plan(log.records(), 4);
-        let base = run_shards(&streams, &timeline, 128, 1);
+        let (timeline, streams) = build_plan(log.records(), 4, None);
+        let mut frontiers = shard_frontiers(4, 128, None);
+        let base = run_shards(&streams, &mut frontiers, &timeline, 1);
         for workers in [2, 3, 4, 8] {
-            let pooled = run_shards(&streams, &timeline, 128, workers);
+            let mut frontiers = shard_frontiers(4, 128, None);
+            let pooled = run_shards(&streams, &mut frontiers, &timeline, workers);
             assert_eq!(pooled.len(), base.len());
             for (a, b) in pooled.iter().zip(&base) {
                 assert_eq!(a.len(), b.len(), "workers={workers}");
                 for (key, races) in a {
                     assert_eq!(races, &b[key], "workers={workers}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_sharded_detection_matches_one_shot() {
+        let log = mixed_log();
+        let seq = detect(&log, 1000);
+        assert!(seq.static_count() > 0, "log should race");
+        let records = log.records();
+        for split in [0, 1, records.len() / 2, records.len()] {
+            let mut first = HbDetector::new();
+            for r in &records[..split] {
+                first.process(r);
+            }
+            let cp = first.save_checkpoint(1000);
+            let suffix: EventLog = records[split..].iter().copied().collect();
+            for threads in [1, 2, 4, 8] {
+                let cfg = DetectConfig::with_threads(threads);
+                assert_eq!(
+                    detect_sharded_resume(&suffix, 1000, &cfg, &cp),
+                    seq,
+                    "split={split} threads={threads}"
+                );
             }
         }
     }

@@ -24,7 +24,7 @@
 //! value captured at first reference is exactly the value the lazy freeze
 //! would later snapshot — same clocks, same per-shard streams, same
 //! compaction bounds, and therefore (through the shared
-//! [`merge_pairs`](crate::sharded::merge_pairs) accounting) output
+//! [`merge_pairs_seeded`](crate::sharded::merge_pairs_seeded) accounting) output
 //! byte-identical to both `detect_sharded` and the sequential detector.
 //! Per access this costs one atomic refcount bump instead of the clock
 //! clone the sharded design was built to avoid.
@@ -39,11 +39,13 @@ use std::sync::Arc;
 use literace_log::{LogResult, Record};
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 
+use crate::checkpoint::Checkpoint;
+use crate::epoch::check_thread_index;
 use crate::fast_hash::FastMap;
 use crate::frontier::Frontier;
 use crate::hb::{HbDetector, COMPACT_INTERVAL};
 use crate::report::RaceReport;
-use crate::sharded::{merge_pairs, shard_of, DetectConfig, ShardPairs};
+use crate::sharded::{merge_pairs_seeded, shard_frontiers, shard_of, DetectConfig, ShardPairs};
 use crate::vector_clock::VectorClock;
 
 /// Accesses buffered per shard before a batch is sent. Large enough to
@@ -97,8 +99,20 @@ struct StreamClocks {
 impl StreamClocks {
     /// Materializes `tid`'s clock (and those of all lower thread ids), as
     /// `HbCore::ensure_thread` does, and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics, like `HbCore::ensure_thread`, when the index exceeds
+    /// [`MAX_THREAD_INDEX`](crate::MAX_THREAD_INDEX) — the parallel paths
+    /// enforce the same registration-time tid ceiling as the sequential
+    /// core (see `crate::epoch`).
     fn ensure_thread(&mut self, tid: ThreadId) -> usize {
         let i = tid.index();
+        if i >= self.current.len() {
+            if let Err(e) = check_thread_index(i) {
+                panic!("{e}");
+            }
+        }
         while self.current.len() <= i {
             let mut c = VectorClock::new();
             c.set(ThreadId::from_index(self.current.len()), 1);
@@ -140,14 +154,42 @@ struct Router {
 }
 
 impl Router {
-    fn new(senders: Vec<SyncSender<ShardMsg>>) -> Router {
+    /// A router over fresh clock state, or — with `seed` — over a
+    /// checkpoint's: per-thread clocks (each becoming its thread's first
+    /// streaming generation), sync-variable clocks, retirement flags, the
+    /// compaction phase, and the global position all resume where the
+    /// checkpointed detector stopped.
+    fn new(senders: Vec<SyncSender<ShardMsg>>, seed: Option<&Checkpoint>) -> Router {
+        let mut clocks = StreamClocks::default();
+        let mut syncvars = FastMap::default();
+        let mut retired = Vec::new();
+        let mut since_compact = 0;
+        let mut pos = 0;
+        if let Some(cp) = seed {
+            for t in &cp.core.threads {
+                clocks
+                    .current
+                    .push(VectorClock::from_components(t.components.clone()));
+                clocks.cached.push(None);
+                clocks.generation.push(t.clock_gen);
+                retired.push(t.retired);
+            }
+            syncvars = cp
+                .core
+                .syncvars
+                .iter()
+                .map(|(var, c)| (*var, VectorClock::from_components(c.clone())))
+                .collect();
+            since_compact = cp.records_since_compact;
+            pos = cp.records_processed;
+        }
         Router {
             shards: senders.len(),
-            clocks: StreamClocks::default(),
-            syncvars: FastMap::default(),
-            retired: Vec::new(),
-            since_compact: 0,
-            pos: 0,
+            clocks,
+            syncvars,
+            retired,
+            since_compact,
+            pos,
             buffers: (0..senders.len())
                 .map(|_| Vec::with_capacity(BATCH_RECORDS))
                 .collect(),
@@ -293,10 +335,9 @@ fn send_msg(sender: &SyncSender<ShardMsg>, shard: usize, msg: ShardMsg) {
 /// One shard worker: drains its channel, replaying batches against its
 /// private frontier. Pure frontier work, same as the materialized shard
 /// loop — only the clock arrives via `Arc` instead of a timeline lookup.
-fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, max_history: usize) -> ShardPairs {
+fn run_stream_shard(shard: usize, rx: Receiver<ShardMsg>, mut frontier: Frontier) -> ShardPairs {
     let _span = literace_telemetry::metrics().phase_shard_replay.span();
     let mut scan_hist = literace_telemetry::ScanSampler::new();
-    let mut frontier = Frontier::new(max_history);
     let mut pairs = ShardPairs::default();
     loop {
         let idle = literace_telemetry::enabled().then(std::time::Instant::now);
@@ -395,9 +436,50 @@ pub fn detect_stream<I>(
 where
     I: IntoIterator<Item = LogResult<Vec<Record>>>,
 {
+    detect_stream_inner(blocks, non_stack_accesses, cfg, None)
+}
+
+/// [`detect_stream`] resuming from a [`Checkpoint`]: `blocks` must carry
+/// the records *after* the checkpointed position. Works at any shard
+/// count — the router starts from the checkpoint's clock state, shard
+/// frontiers are seeded with the locations they own, and the merge
+/// continues the checkpoint's per-pair accounting — and the report is
+/// byte-identical to one-shot detection over the whole stream.
+///
+/// The happens-before tuning comes from the checkpoint; `cfg` contributes
+/// only the worker count.
+///
+/// # Errors
+///
+/// As [`detect_stream`]: the first decode/I-O error the stream yields.
+pub fn detect_stream_resume<I>(
+    blocks: I,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+    cp: &Checkpoint,
+) -> LogResult<RaceReport>
+where
+    I: IntoIterator<Item = LogResult<Vec<Record>>>,
+{
+    detect_stream_inner(blocks, non_stack_accesses, cfg, Some(cp))
+}
+
+fn detect_stream_inner<I>(
+    blocks: I,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+    seed: Option<&Checkpoint>,
+) -> LogResult<RaceReport>
+where
+    I: IntoIterator<Item = LogResult<Vec<Record>>>,
+{
     let shards = cfg.threads.max(1);
+    let hb = seed.map_or(cfg.hb, |cp| cp.cfg);
     if shards == 1 {
-        let mut detector = HbDetector::with_config(cfg.hb);
+        let mut detector = match seed {
+            Some(cp) => HbDetector::resume(cp),
+            None => HbDetector::with_config(hb),
+        };
         for block in blocks {
             for record in &block? {
                 detector.process(record);
@@ -405,23 +487,26 @@ where
         }
         return Ok(detector.finish(non_stack_accesses));
     }
+    if seed.is_some() && literace_telemetry::enabled() {
+        literace_telemetry::metrics().detector_checkpoint_resumes.add(1);
+    }
 
-    let max_history = cfg.hb.max_history_per_location;
     std::thread::scope(|s| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        let frontiers = shard_frontiers(shards, hb.max_history_per_location, seed);
+        for (shard, frontier) in frontiers.into_iter().enumerate() {
             let (tx, rx) = sync_channel::<ShardMsg>(CHANNEL_DEPTH);
             senders.push(tx);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("literace-shard-{shard}"))
-                    .spawn_scoped(s, move || run_stream_shard(shard, rx, max_history))
+                    .spawn_scoped(s, move || run_stream_shard(shard, rx, frontier))
                     .expect("spawning shard worker"),
             );
         }
 
-        let mut router = Router::new(senders);
+        let mut router = Router::new(senders, seed);
         let mut stream_err = None;
         for block in blocks {
             match block {
@@ -444,13 +529,73 @@ where
             .collect();
         match stream_err {
             Some(e) => Err(e),
-            None => Ok(merge_pairs(
+            None => Ok(merge_pairs_seeded(
+                seed.map_or(&[][..], |cp| &cp.core.pairs),
                 shard_pairs,
-                cfg.hb.max_dynamic_per_pair,
+                hb.max_dynamic_per_pair,
                 non_stack_accesses,
             )),
         }
     })
+}
+
+/// Streaming detection with periodic checkpointing: every
+/// `checkpoint_every_blocks` input blocks the detector's full state is
+/// sealed into a [`Checkpoint`] and handed to `on_checkpoint` (which
+/// typically writes it via [`Checkpoint::write_to`]). Once the stream
+/// drains, the final state is sealed and emitted too (unless a periodic
+/// save already landed exactly at the end), so the caller always holds a
+/// checkpoint covering everything processed — resume it against records
+/// appended later for incremental detection. Pass `resume` to continue
+/// from a previously saved checkpoint; pass `0` to checkpoint only at
+/// end of stream.
+///
+/// Checkpoint *creation* requires the sequential core — a mid-run
+/// parallel snapshot would have to drain and re-synchronize every shard —
+/// so this driver always runs single-threaded and ignores `cfg.threads`.
+/// *Resuming* has no such restriction: a checkpoint saved here can be
+/// resumed at any shard count via
+/// [`detect_sharded_resume`](crate::detect_sharded_resume) or
+/// [`detect_stream_resume`].
+///
+/// # Errors
+///
+/// The first decode/I-O error the stream yields, or the error returned by
+/// `on_checkpoint`.
+pub fn detect_stream_checkpointed<I, F>(
+    blocks: I,
+    non_stack_accesses: u64,
+    cfg: &DetectConfig,
+    resume: Option<&Checkpoint>,
+    checkpoint_every_blocks: u64,
+    mut on_checkpoint: F,
+) -> LogResult<RaceReport>
+where
+    I: IntoIterator<Item = LogResult<Vec<Record>>>,
+    F: FnMut(&Checkpoint) -> std::io::Result<()>,
+{
+    let mut detector = match resume {
+        Some(cp) => HbDetector::resume(cp),
+        None => HbDetector::with_config(cfg.hb),
+    };
+    let mut blocks_seen = 0u64;
+    let mut sealed_at = u64::MAX;
+    for block in blocks {
+        for record in &block? {
+            detector.process(record);
+        }
+        blocks_seen += 1;
+        if checkpoint_every_blocks > 0 && blocks_seen.is_multiple_of(checkpoint_every_blocks) {
+            let cp = detector.save_checkpoint(non_stack_accesses);
+            on_checkpoint(&cp)?;
+            sealed_at = blocks_seen;
+        }
+    }
+    if sealed_at != blocks_seen {
+        let cp = detector.save_checkpoint(non_stack_accesses);
+        on_checkpoint(&cp)?;
+    }
+    Ok(detector.finish(non_stack_accesses))
 }
 
 #[cfg(test)]
@@ -571,6 +716,87 @@ mod tests {
         let cfg = DetectConfig::with_threads(4);
         let err = detect_stream(stream, 0, &cfg).unwrap_err();
         assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn resumed_stream_matches_one_shot_at_any_shard_count() {
+        let log = mixed_log();
+        let seq = detect(&log, 1000);
+        let records = log.records();
+        for split in [0, 1, records.len() / 2, records.len()] {
+            let mut first = HbDetector::new();
+            for r in &records[..split] {
+                first.process(r);
+            }
+            let cp = first.save_checkpoint(1000);
+            for threads in [1, 2, 4, 8] {
+                let cfg = DetectConfig::with_threads(threads);
+                let suffix: Vec<LogResult<Vec<Record>>> = records[split..]
+                    .chunks(64)
+                    .map(|c| Ok(c.to_vec()))
+                    .collect();
+                let report = detect_stream_resume(suffix, 1000, &cfg, &cp).unwrap();
+                assert_eq!(report, seq, "split={split} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_driver_emits_resumable_checkpoints() {
+        let log = mixed_log();
+        let seq = detect(&log, 1000);
+        let mut saved: Vec<(u64, Checkpoint)> = Vec::new();
+        let report = detect_stream_checkpointed(
+            blocks_of(&log, 100),
+            1000,
+            &DetectConfig::default(),
+            None,
+            2,
+            |cp| {
+                saved.push((cp.records_processed(), cp.clone()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(report, seq, "checkpointing must not perturb detection");
+        assert!(!saved.is_empty(), "every-2-blocks must have fired");
+        // Every emitted checkpoint resumes to the one-shot report, on the
+        // sequential, sharded, and streaming paths alike.
+        for (processed, cp) in &saved {
+            let rest = &log.records()[*processed as usize..];
+            let suffix: EventLog = rest.iter().copied().collect();
+            assert_eq!(crate::checkpoint::detect_resume(&suffix, cp, 1000), seq);
+            assert_eq!(
+                crate::detect_sharded_resume(&suffix, 1000, &DetectConfig::with_threads(4), cp),
+                seq
+            );
+            let blocks: Vec<LogResult<Vec<Record>>> =
+                rest.chunks(64).map(|c| Ok(c.to_vec())).collect();
+            assert_eq!(
+                detect_stream_resume(blocks, 1000, &DetectConfig::with_threads(2), cp).unwrap(),
+                seq
+            );
+        }
+        // A round-trip through bytes resumes identically (the CLI path).
+        let (processed, cp) = &saved[saved.len() / 2];
+        let back = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+        let suffix: EventLog = log.records()[*processed as usize..].iter().copied().collect();
+        assert_eq!(crate::checkpoint::detect_resume(&suffix, &back, 1000), seq);
+    }
+
+    #[test]
+    fn checkpoint_callback_errors_propagate() {
+        let log = mixed_log();
+        let err = detect_stream_checkpointed(
+            blocks_of(&log, 10),
+            0,
+            &DetectConfig::default(),
+            None,
+            1,
+            |_| Err(std::io::Error::other("disk full")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
     }
 
     #[test]

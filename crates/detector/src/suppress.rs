@@ -52,6 +52,12 @@ impl Suppressions {
         }
     }
 
+    /// The patterns in force, in insertion order (so a checkpoint can carry
+    /// the triage configuration alongside the detector state).
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
     /// Number of rules.
     pub fn len(&self) -> usize {
         self.patterns.len()

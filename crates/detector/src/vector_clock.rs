@@ -91,6 +91,17 @@ impl VectorClock {
     pub fn is_empty(&self) -> bool {
         self.components.is_empty()
     }
+
+    /// The dense component slice, for state serialization.
+    pub(crate) fn components(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Rebuilds a clock from a dense component slice (the inverse of
+    /// [`components`](VectorClock::components)).
+    pub(crate) fn from_components(components: Vec<u64>) -> VectorClock {
+        VectorClock { components }
+    }
 }
 
 impl PartialOrd for VectorClock {

@@ -31,6 +31,7 @@
 mod atomic;
 mod checksum;
 mod codec;
+mod container;
 mod dir;
 mod error;
 pub mod fault;
@@ -49,6 +50,7 @@ mod varint;
 
 pub use atomic::AtomicFile;
 pub use checksum::{checksum, checksum32, Checksum};
+pub use container::{read_container, ContainerSection, ContainerWriter};
 pub use codec::{
     decode, decode_all, encode, encode_all, encoded_len, tag_len, MARKER_RECORD_BYTES,
     MEM_RECORD_BYTES, SYNC_RECORD_BYTES,

@@ -191,16 +191,19 @@ pub(crate) fn parse_frame(frame: &[u8; FRAME_BYTES]) -> LogResult<Frame> {
 }
 
 /// Reads the total record count a sealed v2 log declares in its footer,
-/// without decoding anything: checks the magic, then parses the trailing
-/// 24-byte frame. Returns `None` for v1 logs, unsealed v2 logs, torn
-/// footers, or files too short to hold one — this is a progress hint, so
-/// every failure degrades to "unknown" rather than an error.
+/// without decoding anything: checks the magic and version, parses the
+/// trailing 24-byte frame, and verifies the footer's whole-stream checksum
+/// against the body bytes (everything between the 5-byte header and the
+/// footer). Returns `None` for v1 logs, unsealed v2 logs, torn footers,
+/// bodies that fail the stream checksum, or files too short to hold a
+/// footer — this is a progress hint, so every failure degrades to
+/// "unknown" rather than an error.
 pub fn peek_sealed_total(path: &std::path::Path) -> Option<u64> {
     use std::io::{Read, Seek, SeekFrom};
     let mut f = std::fs::File::open(path).ok()?;
-    let mut magic = [0u8; 4];
-    f.read_exact(&mut magic).ok()?;
-    if magic != V2_MAGIC {
+    let mut header = [0u8; 5];
+    f.read_exact(&mut header).ok()?;
+    if header[..4] != V2_MAGIC || !rev_supported(header[4]) {
         return None;
     }
     let len = f.seek(SeekFrom::End(0)).ok()?;
@@ -211,10 +214,30 @@ pub fn peek_sealed_total(path: &std::path::Path) -> Option<u64> {
     f.seek(SeekFrom::Start(len - FRAME_BYTES as u64)).ok()?;
     let mut frame = [0u8; FRAME_BYTES];
     f.read_exact(&mut frame).ok()?;
-    match parse_frame(&frame) {
-        Ok(Frame::Footer(foot)) => Some(foot.total_records),
-        _ => None,
+    let foot = match parse_frame(&frame) {
+        Ok(Frame::Footer(foot)) => foot,
+        _ => return None,
+    };
+    // The footer's own checksum (`foot_sum`) is validated by `parse_frame`,
+    // but `total_records` is only trustworthy if the footer belongs to this
+    // body: stream the bytes between header and footer through the running
+    // checksum and require a `file_sum` match, exactly as the full reader
+    // does. A progress heartbeat fed a stale or spliced footer would
+    // otherwise report garbage percentages for the whole run.
+    f.seek(SeekFrom::Start(5)).ok()?;
+    let mut body_sum = Checksum::new();
+    let mut remaining = len - 5 - FRAME_BYTES as u64;
+    let mut buf = [0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = buf.len().min(remaining as usize);
+        f.read_exact(&mut buf[..want]).ok()?;
+        body_sum.update(&buf[..want]);
+        remaining -= want as u64;
     }
+    if body_sum.finish() != foot.file_sum {
+        return None;
+    }
+    Some(foot.total_records)
 }
 
 /// Builds a checksummed block frame for `payload`.

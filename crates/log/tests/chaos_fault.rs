@@ -13,8 +13,8 @@
 //!    sealed log.
 
 use literace_log::{
-    encode_v2, read_log_auto, salvage::SalvageReport, DecodeOpts, FaultPlan, FaultyReader,
-    FaultySink, LogWriterV2, Record, RecordStream, SamplerMask, SealState,
+    encode_v2, peek_sealed_total, read_log_auto, salvage::SalvageReport, DecodeOpts, FaultPlan,
+    FaultyReader, FaultySink, LogWriterV2, Record, RecordStream, SamplerMask, SealState,
 };
 use literace_sim::{Addr, Pc, SyncOpKind, SyncVar, ThreadId};
 use proptest::prelude::*;
@@ -203,6 +203,75 @@ fn transient_errors_are_absorbed_by_the_retrying_stream() {
         out.extend(block.expect("the pooled scanner must absorb transients too"));
     }
     assert_eq!(out, records);
+}
+
+/// Writes `bytes` to a throwaway file and runs [`peek_sealed_total`] on
+/// it (the peek reads from a path, not a reader).
+fn peek_of(bytes: &[u8], tag: &str) -> Option<u64> {
+    let dir = std::env::temp_dir().join(format!("literace-peek-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.lrlog"));
+    std::fs::write(&path, bytes).unwrap();
+    let got = peek_sealed_total(&path);
+    let _ = std::fs::remove_file(&path);
+    got
+}
+
+#[test]
+fn peek_sealed_total_reads_a_clean_footer() {
+    let records = sample_records(120);
+    let bytes = small_block_log(&records);
+    assert_eq!(peek_of(&bytes, "clean"), Some(records.len() as u64));
+}
+
+#[test]
+fn peek_sealed_total_rejects_every_truncation() {
+    let records = sample_records(60);
+    let bytes = small_block_log(&records);
+    for cut in 0..bytes.len() {
+        assert_eq!(
+            peek_of(&bytes[..cut], "truncated"),
+            None,
+            "cut {cut}/{} peeked a total from a torn log",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn peek_sealed_total_rejects_header_footer_and_body_flips() {
+    // A flipped footer fed the --progress heartbeat garbage totals before
+    // the peek validated checksums; pin the fix across the whole file:
+    // magic and version flips, body flips (caught by the stream checksum),
+    // and footer flips (caught by the footer's own checksum).
+    let records = sample_records(60);
+    let bytes = small_block_log(&records);
+    for off in 0..bytes.len() {
+        for mask in [0x01u8, 0x10, 0x80] {
+            let mut bad = bytes.clone();
+            bad[off] ^= mask;
+            assert_eq!(
+                peek_of(&bad, "flip"),
+                None,
+                "flip at {off} mask {mask:#x} still peeked a total"
+            );
+        }
+    }
+}
+
+#[test]
+fn peek_sealed_total_rejects_an_unsealed_writer_drop() {
+    let records = sample_records(60);
+    let mut unsealed = Vec::new();
+    {
+        let mut w = LogWriterV2::with_block_bytes(&mut unsealed, 48);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        // Dropped without finish: blocks flushed, but no footer.
+    }
+    assert!(!unsealed.is_empty());
+    assert_eq!(peek_of(&unsealed, "unsealed"), None);
 }
 
 proptest! {

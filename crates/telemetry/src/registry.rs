@@ -167,6 +167,15 @@ pub struct Metrics {
     /// Most simultaneously escalated (full-history) locations, summed over
     /// shard frontiers.
     pub detector_epoch_resident_shared: MaxGauge,
+    /// Checkpoint bytes serialized (sealed container size, summed over
+    /// saves).
+    pub detector_checkpoint_bytes: Counter,
+    /// Nanoseconds spent serializing checkpoints.
+    pub detector_checkpoint_save_ns: Counter,
+    /// Nanoseconds spent parsing and validating checkpoints.
+    pub detector_checkpoint_load_ns: Counter,
+    /// Detectors resumed from a checkpoint (any path).
+    pub detector_checkpoint_resumes: Counter,
     /// Static (PC-pair) races reported.
     pub detector_races_static: Counter,
     /// Dynamic race occurrences reported.
@@ -256,6 +265,10 @@ impl Metrics {
             detector_epoch_deescalations: Counter::new(),
             detector_epoch_memo_hits: Counter::new(),
             detector_epoch_resident_shared: MaxGauge::new(),
+            detector_checkpoint_bytes: Counter::new(),
+            detector_checkpoint_save_ns: Counter::new(),
+            detector_checkpoint_load_ns: Counter::new(),
+            detector_checkpoint_resumes: Counter::new(),
             detector_races_static: Counter::new(),
             detector_races_dynamic: Counter::new(),
             detector_races_suppressed: Counter::new(),
@@ -268,7 +281,7 @@ impl Metrics {
     }
 
     /// Name↔field table for plain counters (the canonical metric names).
-    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 50] {
+    pub(crate) fn counters(&self) -> [(&'static str, &Counter); 54] {
         [
             ("instrument.dispatch.checks", &self.instrument_dispatch_checks),
             ("instrument.dispatch.sampled", &self.instrument_dispatch_sampled),
@@ -357,6 +370,22 @@ impl Metrics {
                 &self.detector_epoch_deescalations,
             ),
             ("detector.epoch.memo_hits", &self.detector_epoch_memo_hits),
+            (
+                "detector.checkpoint.bytes",
+                &self.detector_checkpoint_bytes,
+            ),
+            (
+                "detector.checkpoint.save_ns",
+                &self.detector_checkpoint_save_ns,
+            ),
+            (
+                "detector.checkpoint.load_ns",
+                &self.detector_checkpoint_load_ns,
+            ),
+            (
+                "detector.checkpoint.resumes",
+                &self.detector_checkpoint_resumes,
+            ),
             ("detector.races.static", &self.detector_races_static),
             ("detector.races.dynamic", &self.detector_races_dynamic),
         ]
